@@ -1,0 +1,54 @@
+//! Experiment E1: consensus number of the deterministic grouped family.
+//!
+//! Regenerates the E1 table (exhaustive consensus checks per level and
+//! process count) and benchmarks the model-checking kernel behind it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::grouped_system;
+use subconsensus_core::grouped_consensus_check;
+use subconsensus_modelcheck::{ExploreOptions, StateGraph};
+
+fn print_table() {
+    println!("\nE1 — consensus number of O_{{n,k}} (exhaustive model check)");
+    println!(
+        "{:>4} {:>4} {:>7} {:>10} {:>14} {:>10}",
+        "n", "k", "procs", "solves?", "max distinct", "configs"
+    );
+    for n in 1..=3usize {
+        for k in 0..=1usize {
+            for procs in [n, n + 1] {
+                let r = grouped_consensus_check(n, k, procs).expect("check");
+                println!(
+                    "{:>4} {:>4} {:>7} {:>10} {:>14} {:>10}",
+                    r.n,
+                    r.k,
+                    r.procs,
+                    if r.solves_consensus { "yes" } else { "NO" },
+                    r.max_distinct,
+                    r.configs
+                );
+                assert_eq!(r.solves_consensus, procs <= n);
+            }
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e1_explore");
+    for (n, k, procs) in [(2usize, 1usize, 3usize), (3, 0, 4), (2, 1, 4)] {
+        let spec = grouped_system(n, k, procs);
+        g.bench_with_input(
+            BenchmarkId::new("statespace", format!("n{n}_k{k}_p{procs}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| StateGraph::explore(spec, &ExploreOptions::default()).expect("explore"))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment E2: set-consensus power of the grouped family.
+//!
+//! Regenerates the E2 table — worst-case distinct decisions over many
+//! adversarial schedules vs. the `k+1` bound — and benchmarks full protocol
+//! runs at several sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::grouped_system;
+use subconsensus_sim::{run, RandomScheduler, RunOptions};
+
+fn worst_case_distinct(n: usize, k: usize, seeds: u64) -> usize {
+    let spec = grouped_system(n, k, n * (k + 1));
+    let mut worst = 0;
+    for seed in 0..seeds {
+        let mut sched = RandomScheduler::seeded(seed);
+        let mut chooser = RandomScheduler::seeded(seed + 7);
+        let out = run(&spec, &mut sched, &mut chooser, &RunOptions::default()).expect("run");
+        assert!(out.reached_final);
+        worst = worst.max(out.decided_values().len());
+    }
+    worst
+}
+
+fn print_table() {
+    println!("\nE2 — (n(k+1), k+1)-set consensus from one O_{{n,k}} (1000 schedules each)");
+    println!(
+        "{:>4} {:>4} {:>8} {:>10} {:>16}",
+        "n", "k", "procs", "bound k+1", "worst observed"
+    );
+    for n in 2..=4usize {
+        for k in 0..=3usize {
+            let worst = worst_case_distinct(n, k, 1000);
+            println!(
+                "{:>4} {:>4} {:>8} {:>10} {:>16}",
+                n,
+                k,
+                n * (k + 1),
+                k + 1,
+                worst
+            );
+            assert!(worst <= k + 1, "bound violated");
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e2_protocol_run");
+    for (n, k) in [(2usize, 1usize), (3, 2), (4, 3), (2, 7)] {
+        let procs = n * (k + 1);
+        let spec = grouped_system(n, k, procs);
+        g.bench_with_input(
+            BenchmarkId::new("run", format!("n{n}_k{k}_p{procs}")),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sched = RandomScheduler::seeded(seed);
+                    let mut chooser = RandomScheduler::seeded(seed + 7);
+                    run(spec, &mut sched, &mut chooser, &RunOptions::default()).expect("run")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Experiment E3: the Theorem-41 implementability characterization.
+//!
+//! Regenerates the predicate/execution consistency table and benchmarks the
+//! partition construction and the exhaustive cross-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::partition_system;
+use subconsensus_core::{implementable, partition_bound, ScPower};
+use subconsensus_modelcheck::{max_distinct_decisions, ExploreOptions, StateGraph};
+use subconsensus_sim::{run, RandomScheduler, RunOptions};
+
+fn print_table() {
+    println!("\nE3 — partition bound vs executed construction (500 schedules each)");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>16} {:>12}",
+        "procs", "m", "j", "bound", "worst observed", "predicate"
+    );
+    for (procs, m, j) in [
+        (4usize, 2usize, 1usize),
+        (6, 2, 1),
+        (6, 3, 2),
+        (8, 3, 2),
+        (9, 4, 3),
+        (12, 3, 2),
+    ] {
+        let bound = partition_bound(procs, m, j);
+        let spec = partition_system(procs, m, j);
+        let mut worst = 0;
+        for seed in 0..500u64 {
+            let mut sched = RandomScheduler::seeded(seed);
+            let mut chooser = RandomScheduler::seeded(seed + 13);
+            let out = run(&spec, &mut sched, &mut chooser, &RunOptions::default()).expect("run");
+            worst = worst.max(out.decided_values().len());
+        }
+        let pred = implementable(ScPower::new(procs, bound), ScPower::new(m, j));
+        println!(
+            "{:>8} {:>8} {:>8} {:>8} {:>16} {:>12}",
+            procs,
+            m,
+            j,
+            bound,
+            worst,
+            if pred { "yes" } else { "no" }
+        );
+        assert!(worst <= bound);
+        assert!(pred);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e3");
+    // The executable positive direction at growing sizes.
+    for (procs, m, j) in [(6usize, 3usize, 2usize), (12, 3, 2), (16, 4, 2)] {
+        let spec = partition_system(procs, m, j);
+        g.bench_with_input(
+            BenchmarkId::new("partition_run", format!("p{procs}_m{m}_j{j}")),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sched = RandomScheduler::seeded(seed);
+                    let mut chooser = RandomScheduler::seeded(seed + 13);
+                    run(spec, &mut sched, &mut chooser, &RunOptions::default()).expect("run")
+                })
+            },
+        );
+    }
+    // The exhaustive cross-check (incl. object nondeterminism).
+    let spec = partition_system(3, 3, 2);
+    g.bench_function("exhaustive_3_from_3_2", |b| {
+        b.iter(|| StateGraph::explore(&spec, &ExploreOptions::default()).expect("explore"))
+    });
+    let spec = partition_system(4, 2, 1);
+    g.bench_function("exhaustive_4_from_2cons", |b| {
+        b.iter(|| {
+            let graph = StateGraph::explore(&spec, &ExploreOptions::default()).expect("explore");
+            max_distinct_decisions(&graph)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Experiment E4: the hierarchies beyond consensus numbers.
+//!
+//! Regenerates the sub-consensus chain table and benchmarks the executable
+//! object-implementation directions (capacity gate, spillover).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_core::{sc_chain, CapacityGate, GroupedObject};
+use subconsensus_objects::FetchAdd;
+use subconsensus_sim::{
+    run_concurrent, BaseObjects, FirstOutcome, Implementation, Op, RandomScheduler, Value,
+};
+
+fn print_table() {
+    println!("\nE4 — the strict sub-consensus chain (counting-verified both directions)");
+    for link in sc_chain(10) {
+        println!("   {link}");
+    }
+    println!();
+}
+
+fn gate_fixture(n: usize, k_big: usize, limit: usize) -> (BaseObjects, Arc<dyn Implementation>) {
+    let mut bank = BaseObjects::new();
+    let inner = bank.add(GroupedObject::for_level(n, k_big));
+    let tickets = bank.add(FetchAdd::new());
+    let im: Arc<dyn Implementation> = Arc::new(CapacityGate::new(inner, tickets, limit));
+    (bank, im)
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e4_capacity_gate");
+    for (n, k_big, limit, procs) in [(2usize, 3usize, 4usize, 4usize), (3, 3, 6, 6)] {
+        g.bench_with_input(
+            BenchmarkId::new("gate_run", format!("n{n}_limit{limit}_p{procs}")),
+            &(n, k_big, limit, procs),
+            |b, &(n, k_big, limit, procs)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let (bank, im) = gate_fixture(n, k_big, limit);
+                    let workload: Vec<Vec<Op>> = (0..procs)
+                        .map(|i| vec![Op::unary("propose", Value::Int(i as i64 + 1))])
+                        .collect();
+                    let mut sched = RandomScheduler::seeded(seed);
+                    run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 100_000)
+                        .expect("run")
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Chain construction itself (pure arithmetic, scales far).
+    c.bench_function("e4_chain_arithmetic_k1000", |b| {
+        b.iter(|| sc_chain(1000).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment E5: the Common2 positive side — what 2-consensus builds.
+//!
+//! Benchmarks tournament test-and-set at growing process counts and the
+//! universal-construction queue, with a one-time linearizability
+//! verification before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::{tournament_system, universal_queue};
+use subconsensus_objects::Queue;
+use subconsensus_sim::{
+    check_linearizable, run, run_concurrent, FirstOutcome, RandomScheduler, RunOptions,
+};
+
+fn verify_once() {
+    // Tournament: single winner across 50 schedules at n = 8.
+    let spec = tournament_system(8);
+    for seed in 0..50 {
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run");
+        let winners = out
+            .decisions()
+            .iter()
+            .filter(|d| d.as_ref().and_then(subconsensus_sim::Value::as_int) == Some(0))
+            .count();
+        assert_eq!(winners, 1, "seed {seed}");
+    }
+    // Universal queue: linearizable across 25 schedules.
+    for seed in 0..25 {
+        let (bank, im, workload) = universal_queue(3, 48, 4);
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut sched,
+            &mut FirstOutcome,
+            1_000_000,
+        )
+        .expect("run");
+        assert!(
+            check_linearizable(&out.history, &Queue::new())
+                .expect("check")
+                .is_some(),
+            "seed {seed}"
+        );
+    }
+    println!("\nE5 — verified: single-winner tournament (n=8), linearizable universal queue\n");
+}
+
+fn bench(c: &mut Criterion) {
+    verify_once();
+    let mut g = c.benchmark_group("e5_tournament");
+    for n in [2usize, 4, 8, 16] {
+        let spec = tournament_system(n);
+        g.bench_with_input(BenchmarkId::new("tas", n), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sched = RandomScheduler::seeded(seed);
+                run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e5_universal_queue");
+    for (procs, ops) in [(2usize, 4usize), (3, 4), (3, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("queue", format!("p{procs}_ops{ops}")),
+            &(procs, ops),
+            |b, &(procs, ops)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let (bank, im, workload) = universal_queue(procs, procs * ops * 2, ops);
+                    let mut sched = RandomScheduler::seeded(seed);
+                    run_concurrent(
+                        &bank,
+                        &im,
+                        workload,
+                        &mut sched,
+                        &mut FirstOutcome,
+                        1_000_000,
+                    )
+                    .expect("run")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Experiment E6: substrate costs — snapshot, renaming, adopt–commit, and
+//! model-checker scaling.
+//!
+//! Regenerates the state-space scaling table and benchmarks each substrate
+//! protocol end to end.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::{grouped_system, renaming_system};
+use subconsensus_modelcheck::{ExploreOptions, StateGraph};
+use subconsensus_objects::RegisterArray;
+use subconsensus_protocols::{AdoptCommit, SnapshotFromRegisters};
+use subconsensus_sim::{
+    run, run_concurrent, BaseObjects, FirstOutcome, Implementation, Op, Protocol, RandomScheduler,
+    RunOptions, SystemBuilder, Value,
+};
+
+fn print_scaling_table() {
+    println!("\nE6 — model-checker state-space scaling (one O_{{2,1}}, propose protocol)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>8}",
+        "procs", "configs", "edges", "terminals", "depth"
+    );
+    for procs in 1..=4usize {
+        let spec = grouped_system(2, 1, procs);
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).expect("explore");
+        let s = g.stats();
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>8}",
+            procs, s.configs, s.edges, s.terminals, s.max_depth
+        );
+    }
+    println!();
+}
+
+fn snapshot_fixture(n: usize) -> (BaseObjects, Arc<dyn Implementation>, Vec<Vec<Op>>) {
+    let mut bank = BaseObjects::new();
+    let regs = bank.add(RegisterArray::new(n));
+    let im: Arc<dyn Implementation> = Arc::new(SnapshotFromRegisters::new(regs, n));
+    let workload = (0..n)
+        .map(|i| {
+            vec![
+                Op::binary("update", Value::from(i), Value::Int(i as i64)),
+                Op::new("scan"),
+                Op::binary("update", Value::from(i), Value::Int(i as i64 + 10)),
+                Op::new("scan"),
+            ]
+        })
+        .collect();
+    (bank, im, workload)
+}
+
+fn bench(c: &mut Criterion) {
+    print_scaling_table();
+
+    let mut g = c.benchmark_group("e6_snapshot");
+    for n in [2usize, 3, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("scan_update", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let (bank, im, workload) = snapshot_fixture(n);
+                let mut sched = RandomScheduler::seeded(seed);
+                run_concurrent(
+                    &bank,
+                    &im,
+                    workload,
+                    &mut sched,
+                    &mut FirstOutcome,
+                    1_000_000,
+                )
+                .expect("run")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_renaming");
+    for k in [2usize, 3, 4, 6] {
+        let spec = renaming_system(k);
+        g.bench_with_input(BenchmarkId::new("grid", k), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sched = RandomScheduler::seeded(seed);
+                run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_adopt_commit");
+    for n in [2usize, 3, 4] {
+        let mut b = SystemBuilder::new();
+        let r1 = b.add_object(RegisterArray::new(n));
+        let r2 = b.add_object(RegisterArray::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(AdoptCommit::new(r1, r2, n));
+        b.add_processes(p, (0..n).map(|i| Value::Int(i as i64)));
+        let spec = b.build();
+        g.bench_with_input(BenchmarkId::new("ac", n), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sched = RandomScheduler::seeded(seed);
+                run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_agreement_substrates");
+    for n in [2usize, 3, 4] {
+        // Immediate snapshot.
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(subconsensus_objects::Snapshot::new(n));
+        let p: Arc<dyn Protocol> =
+            Arc::new(subconsensus_protocols::ImmediateSnapshot::new(snap, n));
+        b.add_processes(p, (0..n).map(|i| Value::Int(i as i64)));
+        let spec = b.build();
+        g.bench_with_input(BenchmarkId::new("immediate_snapshot", n), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sched = RandomScheduler::seeded(seed);
+                run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+            })
+        });
+
+        // Safe agreement.
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(subconsensus_objects::Snapshot::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(subconsensus_protocols::SafeAgreement::new(snap, n));
+        b.add_processes(p, (0..n).map(|i| Value::Int(i as i64)));
+        let spec = b.build();
+        g.bench_with_input(BenchmarkId::new("safe_agreement", n), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sched = RandomScheduler::seeded(seed);
+                run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+            })
+        });
+
+        // Tight renaming.
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(subconsensus_objects::Snapshot::new(n));
+        let p: Arc<dyn Protocol> =
+            Arc::new(subconsensus_protocols::SnapshotRenaming::new(snap));
+        b.add_processes(p, (0..n).map(|i| Value::Int(100 + i as i64)));
+        let spec = b.build();
+        g.bench_with_input(BenchmarkId::new("tight_renaming", n), &spec, |b, spec| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sched = RandomScheduler::seeded(seed);
+                run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_modelcheck_scaling");
+    g.sample_size(10);
+    for procs in [2usize, 3, 4] {
+        let spec = grouped_system(2, 1, procs);
+        g.bench_with_input(BenchmarkId::new("explore", procs), &spec, |b, spec| {
+            b.iter(|| StateGraph::explore(spec, &ExploreOptions::default()).expect("explore"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Experiment E8 (extension): the Write-and-Read-Next algorithms.
+//!
+//! Benchmarks Algorithm 2 (set consensus from one `WRN_k`), Algorithm 3
+//! (participants out of a huge namespace, with its `k^(k(k+1)/2)` object
+//! table), and Algorithm 5 (the `1sWRN` construction from strong set
+//! election), after a one-time correctness pass.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_objects::{Register, RegisterArray, Snapshot};
+use subconsensus_protocols::GridRenaming;
+use subconsensus_sim::{
+    check_linearizable, run, run_concurrent, BaseObjects, FirstOutcome, Implementation, ObjectSpec,
+    Op, Protocol, RandomScheduler, RunOptions, SystemBuilder, SystemSpec, Value,
+};
+use subconsensus_wrn::{OneShotWrn, StrongSetElection, Wrn, WrnFromSse, WrnManyProcs, WrnPropose};
+
+fn algorithm2_system(k: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(Wrn::new(k));
+    let p: Arc<dyn Protocol> = Arc::new(WrnPropose::new(obj));
+    b.add_processes(p, (0..k).map(|i| Value::Int(100 + i as i64)));
+    b.build()
+}
+
+fn algorithm3_system(k: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+    let wrns = b.add_object_array(WrnManyProcs::wrn_objects_needed(k), |_| {
+        Box::new(Wrn::new(k)) as Box<dyn ObjectSpec>
+    });
+    let p: Arc<dyn Protocol> = Arc::new(WrnManyProcs::new(regs, wrns, k));
+    b.add_processes(p, (0..k).map(|i| Value::Int(1_000_000 + 7 * i as i64)));
+    b.build()
+}
+
+fn algorithm5_fixture(k: usize) -> (BaseObjects, Arc<dyn Implementation>, Vec<Vec<Op>>) {
+    let mut bank = BaseObjects::new();
+    let r = bank.add(Snapshot::new(k));
+    let o = bank.add(Snapshot::new(k));
+    let doorway = bank.add(Register::with_initial(Value::Sym("opened")));
+    let sse = bank.add(StrongSetElection::new(k));
+    let im: Arc<dyn Implementation> = Arc::new(WrnFromSse::new(r, o, doorway, sse, k));
+    let workload = (0..k)
+        .map(|i| vec![Op::binary("wrn", Value::from(i), Value::Int(50 + i as i64))])
+        .collect();
+    (bank, im, workload)
+}
+
+fn verify_once() {
+    // Algorithm 2 respects the (k-1) bound on 200 schedules at k = 5.
+    let spec = algorithm2_system(5);
+    for seed in 0..200 {
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run");
+        assert!(out.decided_values().len() <= 4);
+    }
+    // Algorithm 5 linearizes on 25 schedules at k = 3.
+    let reference = OneShotWrn::new(3);
+    for seed in 0..25 {
+        let (bank, im, workload) = algorithm5_fixture(3);
+        let mut sched = RandomScheduler::seeded(seed);
+        let mut chooser = RandomScheduler::seeded(seed + 5);
+        let out =
+            run_concurrent(&bank, &im, workload, &mut sched, &mut chooser, 500_000).expect("run");
+        assert!(check_linearizable(&out.history, &reference)
+            .expect("check")
+            .is_some());
+    }
+    println!("\nE8 — verified: Algorithm 2 bound (k=5), Algorithm 5 linearizability (k=3)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    verify_once();
+
+    let mut g = c.benchmark_group("e8_algorithm2");
+    for k in [3usize, 5, 8, 12] {
+        let spec = algorithm2_system(k);
+        g.bench_with_input(
+            BenchmarkId::new("wrn_set_consensus", k),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sched = RandomScheduler::seeded(seed);
+                    run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e8_algorithm3");
+    g.sample_size(10);
+    for k in [2usize, 3] {
+        let spec = algorithm3_system(k);
+        g.bench_with_input(
+            BenchmarkId::new(
+                "many_procs",
+                format!("k{k}_objs{}", WrnManyProcs::wrn_objects_needed(k)),
+            ),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sched = RandomScheduler::seeded(seed);
+                    run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e8_algorithm5");
+    for k in [3usize, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("wrn_from_sse", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let (bank, im, workload) = algorithm5_fixture(k);
+                let mut sched = RandomScheduler::seeded(seed);
+                let mut chooser = RandomScheduler::seeded(seed + 5);
+                run_concurrent(&bank, &im, workload, &mut sched, &mut chooser, 500_000)
+                    .expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

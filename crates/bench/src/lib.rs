@@ -1,0 +1,131 @@
+//! Shared fixtures for the experiment benchmarks (`benches/e1 … e7`).
+//!
+//! Each bench regenerates one table of `EXPERIMENTS.md` (printed once at
+//! startup) and then measures the kernels behind it with criterion.
+
+use std::sync::Arc;
+
+use subconsensus_core::GroupedObject;
+use subconsensus_objects::{Consensus, Queue, RegisterArray, SetConsensus};
+use subconsensus_protocols::{
+    tournament_nodes, GridRenaming, PartitionPropose, ProposeDecide, Tournament,
+    UniversalConstruction,
+};
+use subconsensus_sim::{
+    BaseObjects, Implementation, ObjectSpec, Op, Protocol, SystemBuilder, SystemSpec, Value,
+};
+
+/// `procs` processes proposing distinct values through one
+/// `GroupedObject::for_level(n, k)`.
+pub fn grouped_system(n: usize, k: usize, procs: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+/// `procs` processes over `⌈procs/m⌉` copies of an `(m, j)` agreement
+/// object ((m,1) = bounded consensus).
+pub fn partition_system(procs: usize, m: usize, j: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let blocks = procs.div_ceil(m);
+    let base = b.add_object_array(blocks, |_| {
+        if j == 1 {
+            Box::new(Consensus::bounded(m)) as Box<dyn ObjectSpec>
+        } else {
+            Box::new(SetConsensus::new(m, j).expect("0 < j < m")) as Box<dyn ObjectSpec>
+        }
+    });
+    let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, m));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+/// A tournament test-and-set system for `n` processes.
+pub fn tournament_system(n: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let base = b.add_object_array(tournament_nodes(n), |_| {
+        Box::new(Consensus::bounded(2)) as Box<dyn ObjectSpec>
+    });
+    let p: Arc<dyn Protocol> = Arc::new(Tournament::new(base, n));
+    b.add_processes(p, (0..n).map(Value::from));
+    b.build()
+}
+
+/// A grid-renaming system for `k` participants with large original names.
+pub fn renaming_system(k: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+    let p: Arc<dyn Protocol> = Arc::new(GridRenaming::new(regs, k));
+    b.add_processes(p, (0..k).map(|i| Value::Int(1_000 + 37 * i as i64)));
+    b.build()
+}
+
+/// A universal-construction queue over `nprocs`-bounded consensus slots,
+/// plus a simple enq/deq workload per process.
+pub fn universal_queue(
+    nprocs: usize,
+    nslots: usize,
+    ops_per_proc: usize,
+) -> (BaseObjects, Arc<dyn Implementation>, Vec<Vec<Op>>) {
+    let mut bank = BaseObjects::new();
+    let announce = bank.add(RegisterArray::new(nprocs));
+    let slots = bank.add_array(nslots, |_| {
+        Box::new(Consensus::bounded(nprocs)) as Box<dyn ObjectSpec>
+    });
+    let inner: Arc<dyn ObjectSpec> = Arc::new(Queue::new());
+    let im: Arc<dyn Implementation> = Arc::new(UniversalConstruction::new(
+        inner, announce, slots, nslots, nprocs,
+    ));
+    let workload = (0..nprocs)
+        .map(|p| {
+            (0..ops_per_proc)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Op::unary("enq", Value::Int((p * 100 + i) as i64))
+                    } else {
+                        Op::new("deq")
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (bank, im, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::{run, FirstOutcome, RoundRobin, RunOptions};
+
+    #[test]
+    fn fixtures_build_and_run() {
+        for spec in [
+            grouped_system(2, 1, 4),
+            partition_system(6, 3, 2),
+            tournament_system(4),
+            renaming_system(3),
+        ] {
+            let out = run(
+                &spec,
+                &mut RoundRobin::new(),
+                &mut subconsensus_sim::RandomScheduler::seeded(1),
+                &RunOptions::default(),
+            )
+            .unwrap();
+            assert!(out.reached_final);
+        }
+        let (bank, im, workload) = universal_queue(2, 16, 4);
+        let out = subconsensus_sim::run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut RoundRobin::new(),
+            &mut FirstOutcome,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(out.reached_final);
+    }
+}

@@ -1,0 +1,313 @@
+//! The deterministic sub-consensus object family (`O_{n,k}` stand-in).
+//!
+//! # Relation to the paper
+//!
+//! *Deterministic Objects: Life Beyond Consensus* (PODC 2016) constructs,
+//! for every `n ≥ 2`, an infinite sequence of **deterministic** objects
+//! `O_{n,k}` of consensus number `n` whose synchronization power strictly
+//! increases with `k`. The full text of the paper is not available to this
+//! reproduction (see `DESIGN.md`); only its *properties* are, via the
+//! follow-up literature. This module provides a deterministic family with
+//! those properties:
+//!
+//! [`GroupedObject`]`{ group_size: n, capacity: c }` is a deterministic,
+//! oblivious, single-operation object. Its state is the sequence of
+//! proposals in arrival order; the `p`-th proposal (1-based, `p ≤ c`) is
+//! appended and answered with the proposal of the **leader of its arrival
+//! group** — proposal number `⌊(p−1)/n⌋·n + 1`. Proposals past the capacity
+//! hang undetectably, exactly like the model's set-consensus objects.
+//!
+//! Consequences (each validated by the experiment suite):
+//!
+//! * the first `n` arrivals all receive the first proposal ⇒ `n` processes
+//!   solve consensus with one object, one step each (consensus number ≥ `n`);
+//! * `n + 1` processes cannot solve consensus with the one-shot propose
+//!   protocol (the adversary splits them across a group boundary), and the
+//!   model checker confirms disagreement for every small instance tried —
+//!   matching the paper's claim that the objects' consensus number is
+//!   exactly `n`;
+//! * with capacity `c = n(k+1)`, the object answers `n(k+1)` proposals with
+//!   at most `k+1` distinct values ⇒ it solves `(n(k+1), k+1)`-set
+//!   consensus, which registers alone cannot;
+//! * by the set-consensus counting bound, the power of the family strictly
+//!   increases with `k` at matched system sizes (see [`crate::hierarchy`]).
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+/// The deterministic grouped-agreement object — this reproduction's stand-in
+/// for the paper's `O_{n,k}` family (see the module docs for the exact
+/// relationship).
+///
+/// Single operation: `propose(v)` with `v ≠ ⊥`. Deterministic and oblivious.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_core::GroupedObject;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// // O_{2,1}: consensus number 2, solves (4, 2)-set consensus.
+/// let o = GroupedObject::for_level(2, 1);
+/// assert_eq!(o.group_size(), 2);
+/// assert_eq!(o.capacity(), 4);
+///
+/// let s0 = o.initial_state();
+/// let first = o.apply(&s0, &Op::unary("propose", Value::Int(7))).unwrap().remove(0);
+/// assert_eq!(first.response, Some(Value::Int(7)), "group leader gets own value");
+/// let second = o.apply(&first.state, &Op::unary("propose", Value::Int(9))).unwrap().remove(0);
+/// assert_eq!(second.response, Some(Value::Int(7)), "same group agrees with the leader");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GroupedObject {
+    group_size: usize,
+    capacity: usize,
+}
+
+const GROUPED: &str = "grouped";
+
+impl GroupedObject {
+    /// Creates a grouped object with arrival groups of `group_size` and the
+    /// given total proposal `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0` or `capacity == 0`.
+    pub fn new(group_size: usize, capacity: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        GroupedObject {
+            group_size,
+            capacity,
+        }
+    }
+
+    /// Creates the level-`(n, k)` member of the family: groups of `n`,
+    /// capacity `n(k+1)` — consensus number `n`, solves
+    /// `(n(k+1), k+1)`-set consensus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn for_level(n: usize, k: usize) -> Self {
+        Self::new(n, n * (k + 1))
+    }
+
+    /// Returns the arrival-group size `n` (= the object's consensus number).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Returns the total proposal capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of arrival groups, `⌈capacity / group_size⌉` — the
+    /// maximum number of distinct responses the object ever produces, i.e.
+    /// its set-consensus agreement bound.
+    pub fn groups(&self) -> usize {
+        self.capacity.div_ceil(self.group_size)
+    }
+
+    /// Returns the set-consensus task this object solves directly with the
+    /// one-step propose protocol: `(capacity, groups)`-set consensus.
+    pub fn set_consensus_power(&self) -> (usize, usize) {
+        (self.capacity, self.groups())
+    }
+
+    /// Returns the object's consensus number (= `group_size`): the paper's
+    /// headline property, validated by experiment E1.
+    pub fn consensus_number(&self) -> usize {
+        self.group_size
+    }
+}
+
+impl ObjectSpec for GroupedObject {
+    fn type_name(&self) -> &'static str {
+        GROUPED
+    }
+
+    /// State: `(proposals, count)` — the sequence of answered proposals in
+    /// arrival order, and the total number of proposals (including hung
+    /// ones).
+    fn initial_state(&self) -> Value {
+        Value::tup([Value::tup([]), Value::Int(0)])
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        if op.name != "propose" {
+            return Err(ObjectError::UnknownOp {
+                object: GROUPED,
+                op: op.clone(),
+            });
+        }
+        if op.args.len() != 1 {
+            return Err(ObjectError::BadArity {
+                object: GROUPED,
+                op: op.clone(),
+                expected: 1,
+            });
+        }
+        let v = op.args[0].clone();
+        if v.is_nil() {
+            return Err(ObjectError::IllegalOp {
+                object: GROUPED,
+                detail: "cannot propose ⊥".into(),
+            });
+        }
+        let corrupt = || ObjectError::TypeMismatch {
+            object: GROUPED,
+            detail: format!("state {state} is not (proposals, count)"),
+        };
+        let proposals = state.index(0).and_then(Value::as_tup).ok_or_else(corrupt)?;
+        let count = state
+            .index(1)
+            .and_then(Value::as_index)
+            .ok_or_else(corrupt)?;
+        if count >= self.capacity {
+            // Exhausted: hang undetectably (count keeps advancing so the
+            // state change is visible to the model checker, not to anyone
+            // in-system).
+            let next = Value::tup([Value::Tup(proposals.to_vec()), Value::from(count + 1)]);
+            return Ok(vec![Outcome::hang(next)]);
+        }
+        let mut props = proposals.to_vec();
+        props.push(v);
+        let position = count; // 0-based arrival index of this proposal
+        let leader = (position / self.group_size) * self.group_size;
+        let response = props[leader].clone();
+        let next = Value::tup([Value::Tup(props), Value::from(count + 1)]);
+        Ok(vec![Outcome::ret(next, response)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    fn propose(o: &GroupedObject, s: &Value, v: i64) -> Outcome {
+        o.apply(s, &Op::unary("propose", Value::Int(v)))
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn level_constructor_geometry() {
+        let o = GroupedObject::for_level(3, 2);
+        assert_eq!(o.group_size(), 3);
+        assert_eq!(o.capacity(), 9);
+        assert_eq!(o.groups(), 3);
+        assert_eq!(o.set_consensus_power(), (9, 3));
+        assert_eq!(o.consensus_number(), 3);
+    }
+
+    #[test]
+    fn ragged_last_group_counts() {
+        let o = GroupedObject::new(3, 7);
+        assert_eq!(o.groups(), 3, "groups of 3, 3, 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be positive")]
+    fn zero_group_rejected() {
+        let _ = GroupedObject::new(0, 3);
+    }
+
+    #[test]
+    fn arrival_groups_agree_on_their_leader() {
+        let o = GroupedObject::for_level(2, 1); // groups of 2, capacity 4
+        let mut s = o.initial_state();
+        let responses: Vec<_> = (1..=4)
+            .map(|v| {
+                let out = propose(&o, &s, v * 10);
+                s = out.state.clone();
+                out.response.unwrap()
+            })
+            .collect();
+        assert_eq!(
+            responses,
+            vec![
+                Value::Int(10),
+                Value::Int(10),
+                Value::Int(30),
+                Value::Int(30)
+            ],
+            "arrivals 1–2 get proposal 1; arrivals 3–4 get proposal 3"
+        );
+    }
+
+    #[test]
+    fn at_most_groups_distinct_responses() {
+        for (n, cap) in [(2usize, 6usize), (3, 9), (4, 4), (1, 5)] {
+            let o = GroupedObject::new(n, cap);
+            let mut s = o.initial_state();
+            let mut distinct = std::collections::BTreeSet::new();
+            for v in 0..cap as i64 {
+                let out = propose(&o, &s, v + 100);
+                s = out.state;
+                distinct.insert(out.response.unwrap());
+            }
+            assert_eq!(distinct.len(), o.groups(), "n={n} cap={cap}");
+        }
+    }
+
+    #[test]
+    fn overflow_hangs_forever() {
+        let o = GroupedObject::new(2, 2);
+        let s1 = propose(&o, &o.initial_state(), 1).state;
+        let s2 = propose(&o, &s1, 2).state;
+        let h = propose(&o, &s2, 3);
+        assert!(h.is_hang());
+        let h2 = propose(&o, &h.state, 4);
+        assert!(h2.is_hang(), "stays exhausted");
+    }
+
+    #[test]
+    fn deterministic_audit_passes() {
+        let o = GroupedObject::for_level(2, 1);
+        let ops = [
+            Op::unary("propose", Value::Int(1)),
+            Op::unary("propose", Value::Int(2)),
+        ];
+        assert_eq!(audit_determinism(&o, &ops, 6).unwrap(), None);
+        assert!(o.is_deterministic());
+    }
+
+    #[test]
+    fn misuse_rejected() {
+        let o = GroupedObject::for_level(2, 0);
+        let s = o.initial_state();
+        assert!(o.apply(&s, &Op::new("read")).is_err());
+        assert!(o.apply(&s, &Op::new("propose")).is_err());
+        assert!(o.apply(&s, &Op::unary("propose", Value::Nil)).is_err());
+        assert!(o
+            .apply(&Value::Int(0), &Op::unary("propose", Value::Int(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn group_size_one_is_a_trivial_object() {
+        // n = 1: every arrival is its own leader — the object returns the
+        // caller's own value, i.e. it is as weak as a register (consensus
+        // number 1, the level the paper leaves open and DISC 2018 resolves).
+        let o = GroupedObject::for_level(1, 3);
+        let mut s = o.initial_state();
+        for v in 1..=4 {
+            let out = propose(&o, &s, v);
+            assert_eq!(out.response, Some(Value::Int(v)));
+            s = out.state;
+        }
+    }
+
+    #[test]
+    fn wrn2_degeneracy_note() {
+        // For group size 2, capacity 2 the object behaves like one round of
+        // a swap-style 2-agreement: first gets own, second gets first's.
+        let o = GroupedObject::new(2, 2);
+        let o1 = propose(&o, &o.initial_state(), 5);
+        let o2 = propose(&o, &o1.state, 6);
+        assert_eq!(o1.response, Some(Value::Int(5)));
+        assert_eq!(o2.response, Some(Value::Int(5)));
+    }
+}

@@ -1,0 +1,291 @@
+//! The hierarchies beyond consensus numbers — the paper's headline theorems,
+//! in executable form.
+//!
+//! The paper proves: *for every `n ≥ 2` there is an infinite sequence of
+//! deterministic objects `O_{n,k}` of consensus number `n` such that
+//! `O_{n,k}` cannot non-blocking implement `O_{n,k+1}` in a system of
+//! `nk + n + k` processes.* Consensus number alone therefore does not
+//! characterize deterministic objects; in particular Common2 is refuted.
+//!
+//! Two distinct hierarchies are at play, and this module mechanizes the
+//! checkable faces of both:
+//!
+//! 1. **The set-consensus implementation preorder** ("Theorem 41", the
+//!    counting characterization in [`crate::partition_bound`]). A corollary
+//!    is an infinite *strictly decreasing* chain of powers between
+//!    2-consensus and registers:
+//!    `(2,1)-SC ≻ (3,2)-SC ≻ (4,3)-SC ≻ …` — see [`sc_chain`] /
+//!    [`strictly_stronger`]. Every link is verified in both directions by
+//!    the predicate and, on the positive side, by executable partition
+//!    protocols (experiment E3).
+//!
+//! 2. **The object-implementation hierarchy at a fixed consensus level**
+//!    `n ≥ 2` — the paper's own `O_{n,k}` result. Tasks cannot see it: *any*
+//!    object of consensus number `n` solves exactly the
+//!    `(N, ⌈N/n⌉)`-set-consensus tasks (partition into `n`-blocks;
+//!    [`grouped_task_bound`] and experiment E4 demonstrate the matching
+//!    upper bound with [`GroupedObject`]s). The hierarchy lives strictly in
+//!    the *non-blocking implementation relation between objects*:
+//!    * the **downward** direction is executable — a higher-capacity family
+//!      member implements a lower-capacity one by capacity gating
+//!      ([`crate::CapacityGate`], linearizability-checked);
+//!    * the **upward** impossibility (`O_{n,k}` cannot implement
+//!      `O_{n,k+1}` at `nk + n + k` processes) is the paper's hand proof
+//!      over *all* algorithms, which no finite exploration can replace; the
+//!      experiment suite instead refutes the natural spillover construction
+//!      by adversarial exhaustion (experiment E4b) and documents the gap.
+//!
+//! The consensus-number claim itself — every family level has consensus
+//! number exactly `n` — is model-checked exhaustively for small instances
+//! by [`grouped_consensus_check`] (experiment E1).
+
+use crate::family::GroupedObject;
+use crate::power::{implementable, partition_bound, ScPower};
+
+/// The set-consensus power of family level `(n, k)` when fully stuffed:
+/// `(n(k+1), k+1)`-set consensus.
+pub fn level_power(n: usize, k: usize) -> ScPower {
+    ScPower::new(n * (k + 1), k + 1)
+}
+
+/// `true` iff `a` is strictly stronger than `b` in the implementation
+/// preorder: `a`-objects implement `b` but not vice versa.
+pub fn strictly_stronger(a: ScPower, b: ScPower) -> bool {
+    implementable(b, a) && !implementable(a, b)
+}
+
+/// One link of the sub-consensus chain: `(k, k-1)-SC ≻ (k+1, k)-SC`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainLink {
+    /// The stronger power, `(k, k-1)`.
+    pub stronger: ScPower,
+    /// The weaker power, `(k+1, k)`.
+    pub weaker: ScPower,
+    /// The partition bound showing the weaker cannot build the stronger:
+    /// the fewest distinct values `(k+1, k)`-objects force on `k` processes.
+    pub refuting_bound: usize,
+}
+
+impl std::fmt::Display for ChainLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ≻ {}  (weaker forces ≥ {} values on {} processes)",
+            self.stronger, self.weaker, self.refuting_bound, self.stronger.n
+        )
+    }
+}
+
+/// Builds the infinite (here: finite prefix) chain of strictly decreasing
+/// set-consensus powers between 2-consensus and registers:
+/// `(2,1) ≻ (3,2) ≻ … ≻ (k_max, k_max - 1)`.
+///
+/// Every link is verified in both directions against the counting
+/// characterization.
+///
+/// # Panics
+///
+/// Panics if `k_max < 3` or if a link unexpectedly fails to verify (it
+/// never does — this is the theorem).
+pub fn sc_chain(k_max: usize) -> Vec<ChainLink> {
+    assert!(k_max >= 3, "the chain starts at (2,1) ≻ (3,2)");
+    (2..k_max)
+        .map(|k| {
+            let stronger = ScPower::new(k, k - 1);
+            let weaker = ScPower::new(k + 1, k);
+            assert!(
+                strictly_stronger(stronger, weaker),
+                "chain link (k={k}) failed — should be impossible"
+            );
+            ChainLink {
+                stronger,
+                weaker,
+                refuting_bound: partition_bound(stronger.n, weaker.n, weaker.k),
+            }
+        })
+        .collect()
+}
+
+/// The best (fewest) number of distinct decisions achievable among `procs`
+/// processes using copies of consensus-number-`n` grouped objects:
+/// `⌈procs / n⌉`, by partitioning into `n`-blocks.
+///
+/// This is the task-level *ceiling* shared by **every** object of consensus
+/// number `n` — the reason the paper's `O_{n,k}` hierarchy must be measured
+/// in the object-implementation relation rather than by tasks.
+pub fn grouped_task_bound(n: usize, procs: usize) -> usize {
+    procs.div_ceil(n)
+}
+
+/// Whether the task-level counting bound can separate family level `(n, k)`
+/// from plain `n`-consensus objects. Always `false` (see module docs): both
+/// realize exactly the `(N, ⌈N/n⌉)` task family. Kept as an explicit,
+/// documented boundary between what this reproduction proves mechanically
+/// and what the paper proves by hand.
+pub fn counting_separates_from_consensus(n: usize, k: usize) -> bool {
+    let level = level_power(n, k);
+    let consensus_bound = partition_bound(level.n, n, 1);
+    level.k < consensus_bound
+}
+
+/// Whether family level `(n, k)` exceeds read-write registers at its own
+/// system size: registers guarantee nothing better than everyone deciding
+/// its own input, so any `k + 1 < n(k+1)` bound beats them. Holds for every
+/// `n ≥ 2`.
+pub fn beats_registers(n: usize, k: usize) -> bool {
+    let p = level_power(n, k);
+    p.k < p.n
+}
+
+/// Result of exhaustively model-checking the grouped object's consensus
+/// behavior at a given process count (experiment E1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupedConsensusCheck {
+    /// The family level checked.
+    pub n: usize,
+    /// The capacity parameter checked.
+    pub k: usize,
+    /// The number of processes in the checked system.
+    pub procs: usize,
+    /// Whether the one-step propose protocol wait-free solves consensus for
+    /// `procs` processes over one object — exhaustive over all schedules.
+    pub solves_consensus: bool,
+    /// The worst-case number of distinct decisions over all schedules.
+    pub max_distinct: usize,
+    /// The number of configurations explored.
+    pub configs: usize,
+}
+
+/// Exhaustively model-checks the one-step propose protocol over a single
+/// `GroupedObject::for_level(n, k)` with `procs` processes proposing
+/// distinct values (experiment E1).
+///
+/// For `procs ≤ n` this *proves* consensus is solved (consensus number
+/// ≥ n); for `procs = n + 1` it exhibits the disagreeing schedules the
+/// paper's consensus-number-≤-n argument predicts.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn grouped_consensus_check(
+    n: usize,
+    k: usize,
+    procs: usize,
+) -> Result<GroupedConsensusCheck, subconsensus_sim::SimError> {
+    use std::sync::Arc;
+    use subconsensus_modelcheck::ExploreOptions;
+    use subconsensus_protocols::ProposeDecide;
+    use subconsensus_sim::{Protocol, SystemBuilder, Value};
+    use subconsensus_tasks::{check_exhaustive, SetConsensusTask};
+
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    let spec = b.build();
+    let report = check_exhaustive(
+        &spec,
+        &SetConsensusTask::consensus(),
+        &ExploreOptions::default(),
+    )?;
+    let graph = subconsensus_modelcheck::StateGraph::explore(&spec, &ExploreOptions::default())?;
+    let max_distinct = subconsensus_modelcheck::max_distinct_decisions(&graph);
+    Ok(GroupedConsensusCheck {
+        n,
+        k,
+        procs,
+        solves_consensus: report.solved(),
+        max_distinct,
+        configs: report.configs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_power_matches_object_geometry() {
+        for n in 1..5 {
+            for k in 0..4 {
+                let o = GroupedObject::for_level(n, k);
+                let p = level_power(n, k);
+                assert_eq!(o.set_consensus_power(), (p.n, p.k));
+            }
+        }
+    }
+
+    #[test]
+    fn the_sub_consensus_chain_is_strict_and_long() {
+        let chain = sc_chain(12);
+        assert_eq!(chain.len(), 10);
+        for link in &chain {
+            assert!(strictly_stronger(link.stronger, link.weaker));
+            assert!(link.refuting_bound > link.stronger.k);
+            assert!(link.to_string().contains("≻"));
+        }
+        // Transitively: the head strictly exceeds the tail.
+        let head = chain.first().unwrap().stronger;
+        let tail = chain.last().unwrap().weaker;
+        assert!(strictly_stronger(head, tail));
+    }
+
+    #[test]
+    fn chain_sits_strictly_below_2_consensus() {
+        // (2,1) IS 2-consensus; every later power cannot build it.
+        for k in 3..10 {
+            let p = ScPower::new(k, k - 1);
+            assert!(!implementable(ScPower::consensus(2), p), "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chain starts")]
+    fn short_chain_panics() {
+        let _ = sc_chain(2);
+    }
+
+    #[test]
+    fn task_bound_is_blind_within_a_consensus_level() {
+        // The documented limit: tasks cannot separate family levels at the
+        // same n, nor the family from n-consensus.
+        for n in 2..=4 {
+            for k in 0..=3 {
+                assert!(!counting_separates_from_consensus(n, k), "n={n} k={k}");
+            }
+            for procs in 1..=12 {
+                assert_eq!(grouped_task_bound(n, procs), procs.div_ceil(n));
+            }
+        }
+    }
+
+    #[test]
+    fn every_level_beats_registers_for_n_ge_2() {
+        for n in 2..=5 {
+            for k in 0..=4 {
+                assert!(beats_registers(n, k));
+            }
+        }
+        assert!(
+            !beats_registers(1, 3),
+            "n = 1 degenerates to register power"
+        );
+    }
+
+    #[test]
+    fn e1_consensus_number_small_instances() {
+        // Exhaustive: n processes solve consensus with O_{n,k}; n+1 do not
+        // (with the one-step protocol).
+        for (n, k) in [(1usize, 1usize), (2, 0), (2, 1), (3, 0)] {
+            let ok = grouped_consensus_check(n, k, n).unwrap();
+            assert!(ok.solves_consensus, "n={n} k={k}: {ok:?}");
+            assert_eq!(ok.max_distinct, 1);
+
+            let over = grouped_consensus_check(n, k, n + 1).unwrap();
+            assert!(!over.solves_consensus, "n={n} k={k}: {over:?}");
+            if (n + 1) <= GroupedObject::for_level(n, k).capacity() {
+                assert!(over.max_distinct >= 2, "disagreement exhibited: {over:?}");
+            }
+        }
+    }
+}

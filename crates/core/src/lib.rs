@@ -1,0 +1,68 @@
+//! # subconsensus-core — *Deterministic Objects: Life Beyond Consensus*
+//!
+//! Executable reproduction of the core of Afek, Ellen & Gafni's PODC 2016
+//! paper: deterministic objects whose synchronization power the consensus
+//! hierarchy fails to capture.
+//!
+//! > **Paper provenance.** The paper text available to this reproduction was
+//! > a *different* (follow-up) paper; per `DESIGN.md` this crate is built
+//! > from the PODC 2016 paper's title, venue, authors and the properties of
+//! > its results as reported by the follow-up literature. The exact
+//! > `O_{n,k}` object construction is therefore **reconstructed**:
+//! > [`GroupedObject`] realizes every property reported for the original
+//! > family, and the experiment suite validates each property mechanically.
+//!
+//! ## What lives here
+//!
+//! * [`GroupedObject`] — the deterministic family: groups of `n` arrivals
+//!   agree on their group leader's value; capacity `n(k+1)`; consensus
+//!   number `n`; solves `(n(k+1), k+1)`-set consensus.
+//! * [`ScPower`], [`partition_bound`], [`implementable`] — the
+//!   set-consensus counting characterization ("Theorem 41") with executable
+//!   positive direction.
+//! * [`sc_chain`], [`strictly_stronger`], [`grouped_consensus_check`],
+//!   [`CapacityGate`] — the hierarchies beyond consensus numbers: the strict
+//!   sub-consensus chain of set-consensus powers, the exhaustive
+//!   model-checking entry points behind experiments E1–E4, and the
+//!   executable downward direction of the object-implementation hierarchy.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use subconsensus_core::{sc_chain, GroupedObject};
+//!
+//! // An infinite chain of strictly decreasing synchronization powers
+//! // between 2-consensus and registers (a corollary of the paper's
+//! // set-consensus characterization):
+//! for link in sc_chain(6) {
+//!     println!("{link}");
+//! }
+//!
+//! // The deterministic family at consensus level 2:
+//! let o = GroupedObject::for_level(2, 3);
+//! assert_eq!(o.consensus_number(), 2);
+//! assert_eq!(o.set_consensus_power(), (8, 4));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod family;
+mod hierarchy;
+mod impossibility;
+mod power;
+mod restrict;
+
+pub use family::GroupedObject;
+pub use hierarchy::{
+    beats_registers, counting_separates_from_consensus, grouped_consensus_check,
+    grouped_task_bound, level_power, sc_chain, strictly_stronger, ChainLink, GroupedConsensusCheck,
+};
+pub use impossibility::{
+    search_binary_consensus, set_consensus_32_class, tree_count, wrn_class, ProtocolClass,
+    SearchOutcome, SolvabilityWitness,
+};
+pub use power::{
+    compare_power, implementable, partition_bound, witness_partition, PowerOrder, ScPower,
+};
+pub use restrict::{CapacityGate, RelaxedGate};

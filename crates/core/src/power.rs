@@ -1,0 +1,271 @@
+//! Set-consensus power arithmetic: the counting characterization of which
+//! set-consensus objects implement which ("Theorem 41").
+//!
+//! The follow-up literature attributes to the paper (jointly with
+//! Borowsky–Gafni and Chaudhuri–Reiners) the characterization of when
+//! `(n, k)`-set-consensus objects are wait-free implementable from
+//! `(m, j)`-set-consensus objects and registers in a system of `n` or more
+//! processes. The operative quantity is the **partition bound**: partition
+//! the `n` processes greedily into blocks of at most `m` and give each block
+//! one source object —
+//!
+//! ```text
+//! bound(n, m, j) = j·⌊n/m⌋ + min(j, n mod m)
+//! ```
+//!
+//! distinct decisions suffice, and (by BG-simulation) no algorithm does
+//! better. So the implementation exists iff `k ≥ bound(n, m, j)`.
+//!
+//! The *positive* direction is executable in this workspace:
+//! [`PartitionPropose`](subconsensus_protocols::PartitionPropose) over
+//! [`SetConsensus`](subconsensus_objects::SetConsensus) objects realizes the
+//! bound, and experiment E3 validates predicate-vs-execution over a grid.
+
+use std::fmt;
+
+/// The power of an `(n, k)`-set-consensus object (or task): `n` accesses
+/// (processes), at most `k` distinct decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScPower {
+    /// Number of supported accesses/processes.
+    pub n: usize,
+    /// Agreement bound (maximum distinct decisions).
+    pub k: usize,
+}
+
+impl ScPower {
+    /// Creates an `(n, k)` power descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k ≤ n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k <= n, "require 0 < k ≤ n, got ({n}, {k})");
+        ScPower { n, k }
+    }
+
+    /// The power of `n`-process consensus, `(n, 1)`.
+    pub fn consensus(n: usize) -> Self {
+        Self::new(n, 1)
+    }
+}
+
+impl fmt::Display for ScPower {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})-SC", self.n, self.k)
+    }
+}
+
+/// The partition bound `j·⌊n/m⌋ + min(j, n mod m)`: the fewest distinct
+/// decisions achievable among `n` processes using `(m, j)`-set-consensus
+/// objects and registers.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_core::partition_bound;
+///
+/// // 4 processes with 2-consensus objects: 2 blocks of 2 → 2 values.
+/// assert_eq!(partition_bound(4, 2, 1), 2);
+/// // 5 processes with (3,2)-SC objects: block of 3 (2 values) + block of 2
+/// // (min(2,2) values) → 4.
+/// assert_eq!(partition_bound(5, 3, 2), 4);
+/// ```
+pub fn partition_bound(n: usize, m: usize, j: usize) -> usize {
+    j * (n / m) + j.min(n % m)
+}
+
+/// The counting characterization: can `target` be wait-free implemented from
+/// `source` objects and registers, in a system of `target.n` processes?
+///
+/// `true` iff `target.k ≥ partition_bound(target.n, source.n, source.k)`.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_core::{implementable, ScPower};
+///
+/// // (4,2)-SC from 2-consensus: yes (partition into two pairs).
+/// assert!(implementable(ScPower::new(4, 2), ScPower::consensus(2)));
+/// // 2-consensus from (3,2)-SC: no — set consensus never reaches consensus.
+/// assert!(!implementable(ScPower::consensus(2), ScPower::new(3, 2)));
+/// ```
+pub fn implementable(target: ScPower, source: ScPower) -> bool {
+    target.k >= partition_bound(target.n, source.n, source.k)
+}
+
+/// A greedy witness partition for the positive direction: block sizes
+/// (each ≤ `m`) covering `n` processes, realizing [`partition_bound`].
+pub fn witness_partition(n: usize, m: usize) -> Vec<usize> {
+    let mut blocks = vec![m; n / m];
+    if n % m > 0 {
+        blocks.push(n % m);
+    }
+    blocks
+}
+
+/// Compares two powers under the implementation preorder at matched system
+/// sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PowerOrder {
+    /// Each implements the other.
+    Equivalent,
+    /// The left implements the right but not vice versa.
+    LeftStronger,
+    /// The right implements the left but not vice versa.
+    RightStronger,
+    /// Neither implements the other.
+    Incomparable,
+}
+
+/// Orders `a` and `b` by mutual implementability (each judged at the other's
+/// system size).
+pub fn compare_power(a: ScPower, b: ScPower) -> PowerOrder {
+    let a_impl_b = implementable(b, a); // a-objects build b
+    let b_impl_a = implementable(a, b);
+    match (a_impl_b, b_impl_a) {
+        (true, true) => PowerOrder::Equivalent,
+        (true, false) => PowerOrder::LeftStronger,
+        (false, true) => PowerOrder::RightStronger,
+        (false, false) => PowerOrder::Incomparable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_examples() {
+        assert_eq!(partition_bound(6, 2, 1), 3);
+        assert_eq!(partition_bound(7, 2, 1), 4);
+        assert_eq!(partition_bound(3, 5, 2), 2, "n < m: one block, min(j, n)");
+        assert_eq!(partition_bound(2, 5, 4), 2);
+        assert_eq!(
+            partition_bound(12, 3, 2),
+            8,
+            "the paper's (12,8) example from WRN₃-power"
+        );
+    }
+
+    #[test]
+    fn consensus_is_never_implementable_from_weak_set_consensus() {
+        for n in 2..8 {
+            for m in (n)..9 {
+                for j in 2..m {
+                    assert!(
+                        !implementable(ScPower::consensus(n), ScPower::new(m, j)),
+                        "consensus({n}) from ({m},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_implementation_always_holds() {
+        for n in 1..10 {
+            for k in 1..=n {
+                let p = ScPower::new(n, k);
+                assert!(implementable(p, p), "{p} from itself");
+            }
+        }
+    }
+
+    #[test]
+    fn implementability_is_transitive_on_a_grid() {
+        // Counting characterizations must be transitive: if a builds b and
+        // b builds c then a builds c.
+        let mut powers = Vec::new();
+        for n in 1..=6 {
+            for k in 1..=n {
+                powers.push(ScPower::new(n, k));
+            }
+        }
+        for &a in &powers {
+            for &b in &powers {
+                for &c in &powers {
+                    if implementable(b, a) && implementable(c, b) {
+                        assert!(implementable(c, a), "transitivity broken: {a} → {b} → {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_ratio_generic_powers_are_incomparable() {
+        // Generic (i.e. worst-case, non-graded) set-consensus objects of the
+        // same ratio n/k but different sizes cannot implement one another:
+        // neither (n(k+1), k+1) nor (n(k+2), k+2) builds the other. This is
+        // why the paper's fixed-consensus-level hierarchy must be measured
+        // in the object-implementation relation, not by tasks alone.
+        for n in 2..=5 {
+            for k in 1..=4 {
+                let small = ScPower::new(n * (k + 1), k + 1);
+                let large = ScPower::new(n * (k + 2), k + 2);
+                assert!(!implementable(large, small), "n={n}, k={k}");
+                assert!(!implementable(small, large), "n={n}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_same_ratio_is_stronger_when_sizes_divide() {
+        // When the larger size is a multiple of the smaller, the smaller
+        // same-ratio power implements the larger by partitioning — and never
+        // conversely.
+        for n in 2..=4 {
+            let small = ScPower::new(n, 1); // ratio n
+            for mult in 2..=4 {
+                let large = ScPower::new(n * mult, mult); // same ratio n
+                assert!(implementable(large, small), "n={n} mult={mult}");
+                assert!(!implementable(small, large), "n={n} mult={mult}");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_partition_covers_and_respects_m() {
+        for n in 1..20 {
+            for m in 1..10 {
+                let blocks = witness_partition(n, m);
+                assert_eq!(blocks.iter().sum::<usize>(), n);
+                assert!(blocks.iter().all(|&b| b >= 1 && b <= m));
+            }
+        }
+    }
+
+    #[test]
+    fn compare_power_cases() {
+        assert_eq!(
+            compare_power(ScPower::consensus(2), ScPower::consensus(2)),
+            PowerOrder::Equivalent
+        );
+        assert_eq!(
+            compare_power(ScPower::consensus(3), ScPower::consensus(2)),
+            PowerOrder::LeftStronger
+        );
+        assert_eq!(
+            compare_power(ScPower::consensus(2), ScPower::consensus(3)),
+            PowerOrder::RightStronger
+        );
+        // (2,1) vs (3,2): consensus for 2 cannot be built from (3,2); can
+        // (3,2) be built from (2,1)? bound(3,2,1) = 1+1 = 2 ≤ 2: yes.
+        assert_eq!(
+            compare_power(ScPower::consensus(2), ScPower::new(3, 2)),
+            PowerOrder::LeftStronger
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k ≤ n")]
+    fn invalid_power_panics() {
+        let _ = ScPower::new(2, 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ScPower::new(4, 2).to_string(), "(4, 2)-SC");
+    }
+}

@@ -1,0 +1,76 @@
+//! Mirroring the paper's Section-6-style critical-configuration arguments
+//! on the deterministic grouped family: the model checker *finds* the
+//! configurations on which the hand impossibility proofs operate.
+
+use std::sync::Arc;
+
+use subconsensus_core::GroupedObject;
+use subconsensus_modelcheck::{find_critical, ExploreOptions, StateGraph, Valency};
+use subconsensus_protocols::ProposeDecide;
+use subconsensus_sim::{Protocol, SystemBuilder, SystemSpec, Value};
+
+fn race(n: usize, k: usize, procs: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+#[test]
+fn within_group_race_is_univalent_after_the_first_step() {
+    // Two processes over O_{2,k}: both land in the first group, so the
+    // first propose commits the outcome — the initial configuration is
+    // critical, with both branches committing different values.
+    let spec = race(2, 1, 2);
+    let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    let valency = Valency::compute(&graph);
+    assert!(valency.is_bivalent(0));
+    let crit = find_critical(&graph, &valency).expect("critical configuration exists");
+    assert_eq!(crit.index, 0, "the very first step commits");
+    let committed: std::collections::BTreeSet<&Value> =
+        crit.branches.iter().map(|(_, v)| v).collect();
+    assert_eq!(
+        committed.len(),
+        2,
+        "each process's step commits its own value"
+    );
+}
+
+#[test]
+fn cross_group_race_never_becomes_univalent_before_decisions() {
+    // Three processes over O_{2,k}: the third lands in the second group.
+    // Disagreement (2 values) is decided in every full execution, so the
+    // "valence" never collapses to one value from the root — the checker
+    // quantifies how far the protocol is from consensus.
+    let spec = race(2, 1, 3);
+    let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    let valency = Valency::compute(&graph);
+    assert!(valency.is_bivalent(0));
+    // Terminals themselves carry 2 decided values (the protocol is not a
+    // consensus protocol for 3 processes).
+    let degenerate = graph
+        .terminals()
+        .iter()
+        .filter(|&&t| graph.config(t).decided_values().len() >= 2)
+        .count();
+    assert!(degenerate > 0, "disagreement terminals must exist");
+}
+
+#[test]
+fn solo_runs_from_every_configuration_are_univalent() {
+    // From any configuration, a single process running alone cannot change
+    // the committed structure: along any solo path, the valence is
+    // monotonically non-increasing.
+    let spec = race(2, 0, 2);
+    let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    let valency = Valency::compute(&graph);
+    for i in 0..graph.len() {
+        for e in graph.edges(i) {
+            assert!(
+                valency.valence(e.to).is_subset(valency.valence(i)),
+                "steps never grow the valence"
+            );
+        }
+    }
+}

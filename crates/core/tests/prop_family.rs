@@ -1,0 +1,117 @@
+//! Property-based tests for the deterministic grouped family.
+
+use proptest::prelude::*;
+use subconsensus_core::GroupedObject;
+use subconsensus_sim::{ObjectSpec, Op, Value};
+
+/// Applies a sequence of proposals, returning (responses, hang-count).
+fn drive(obj: &GroupedObject, proposals: &[i64]) -> (Vec<Value>, usize) {
+    let mut state = obj.initial_state();
+    let mut responses = Vec::new();
+    let mut hangs = 0;
+    for &v in proposals {
+        let out = obj
+            .apply(&state, &Op::unary("propose", Value::Int(v)))
+            .unwrap()
+            .remove(0);
+        state = out.state;
+        match out.response {
+            Some(r) => responses.push(r),
+            None => hangs += 1,
+        }
+    }
+    (responses, hangs)
+}
+
+proptest! {
+    #[test]
+    fn grading_invariant(
+        group in 1usize..6,
+        extra_cap in 0usize..12,
+        raw in prop::collection::vec(1i64..1000, 1..20),
+    ) {
+        // Make proposal values unique so distinct responses = touched groups.
+        let proposals: Vec<i64> =
+            raw.iter().enumerate().map(|(i, v)| v + 1000 * i as i64).collect();
+        let capacity = group + extra_cap;
+        let obj = GroupedObject::new(group, capacity);
+        let (responses, hangs) = drive(&obj, &proposals);
+
+        // Exactly min(len, capacity) proposals answered; the rest hang.
+        let answered = proposals.len().min(capacity);
+        prop_assert_eq!(responses.len(), answered);
+        prop_assert_eq!(hangs, proposals.len() - answered);
+
+        // The p-th answered proposal receives the group leader's value.
+        for (p, resp) in responses.iter().enumerate() {
+            let leader = (p / group) * group;
+            prop_assert_eq!(resp.as_int().unwrap(), proposals[leader]);
+        }
+
+        // Distinct responses = number of touched groups (the grading).
+        let distinct: std::collections::BTreeSet<&Value> = responses.iter().collect();
+        prop_assert_eq!(distinct.len(), answered.div_ceil(group));
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs(
+        group in 1usize..5,
+        k in 0usize..4,
+        proposals in prop::collection::vec(1i64..100, 1..15),
+    ) {
+        let obj = GroupedObject::for_level(group, k);
+        let a = drive(&obj, &proposals);
+        let b = drive(&obj, &proposals);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn first_group_always_agrees_on_first_proposal(
+        group in 2usize..6,
+        k in 0usize..3,
+        proposals in prop::collection::vec(1i64..100, 2..12),
+    ) {
+        let obj = GroupedObject::for_level(group, k);
+        let (responses, _) = drive(&obj, &proposals);
+        for resp in responses.iter().take(group) {
+            prop_assert_eq!(resp.as_int().unwrap(), proposals[0]);
+        }
+    }
+
+    #[test]
+    fn validity_every_response_was_proposed(
+        group in 1usize..5,
+        cap in 1usize..12,
+        proposals in prop::collection::vec(1i64..50, 1..20),
+    ) {
+        let obj = GroupedObject::new(group, cap);
+        let (responses, _) = drive(&obj, &proposals);
+        for r in &responses {
+            prop_assert!(proposals.contains(&r.as_int().unwrap()));
+        }
+    }
+
+    #[test]
+    fn state_hash_stable_for_model_checking(
+        group in 1usize..4,
+        cap in 1usize..8,
+        proposals in prop::collection::vec(1i64..10, 0..10),
+    ) {
+        // Two replays of the same proposal sequence produce identical
+        // (hash-equal) states — the property the model checker's visited
+        // set depends on.
+        let obj = GroupedObject::new(group, cap);
+        let run_state = |ps: &[i64]| {
+            let mut s = obj.initial_state();
+            for &v in ps {
+                s = obj
+                    .apply(&s, &Op::unary("propose", Value::Int(v)))
+                    .unwrap()
+                    .remove(0)
+                    .state;
+            }
+            s
+        };
+        prop_assert_eq!(run_state(&proposals), run_state(&proposals));
+    }
+}

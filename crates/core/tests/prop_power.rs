@@ -1,0 +1,98 @@
+//! Property-based tests for the set-consensus power arithmetic.
+
+use proptest::prelude::*;
+use subconsensus_core::{implementable, partition_bound, witness_partition, ScPower};
+
+fn power_strategy() -> impl Strategy<Value = ScPower> {
+    (1usize..12)
+        .prop_flat_map(|n| (Just(n), 1usize..=n))
+        .prop_map(|(n, k)| ScPower::new(n, k))
+}
+
+proptest! {
+    #[test]
+    fn bound_is_at_most_n_and_at_least_min_j_n(n in 1usize..50, m in 1usize..10, j in 1usize..10) {
+        prop_assume!(j <= m);
+        let b = partition_bound(n, m, j);
+        prop_assert!(b <= n);
+        prop_assert!(b >= j.min(n));
+    }
+
+    #[test]
+    fn bound_monotone_in_n(n in 1usize..40, m in 1usize..10, j in 1usize..10) {
+        prop_assume!(j <= m);
+        prop_assert!(partition_bound(n, m, j) <= partition_bound(n + 1, m, j));
+    }
+
+    #[test]
+    fn bound_monotone_in_j(n in 1usize..40, m in 2usize..10, j in 1usize..9) {
+        prop_assume!(j + 1 <= m);
+        prop_assert!(partition_bound(n, m, j) <= partition_bound(n, m, j + 1));
+    }
+
+    #[test]
+    fn bound_antimonotone_in_m(n in 1usize..40, m in 1usize..9, j in 1usize..9) {
+        prop_assume!(j <= m);
+        // A bigger object (more accesses, same agreement) never forces more
+        // values.
+        prop_assert!(partition_bound(n, m + 1, j) <= partition_bound(n, m, j));
+    }
+
+    #[test]
+    fn bound_is_subadditive_over_process_splits(
+        n1 in 1usize..25, n2 in 1usize..25, m in 1usize..10, j in 1usize..10,
+    ) {
+        prop_assume!(j <= m);
+        prop_assert!(
+            partition_bound(n1 + n2, m, j)
+                <= partition_bound(n1, m, j) + partition_bound(n2, m, j)
+        );
+    }
+
+    #[test]
+    fn implementability_is_reflexive_and_transitive(
+        a in power_strategy(), b in power_strategy(), c in power_strategy(),
+    ) {
+        prop_assert!(implementable(a, a));
+        if implementable(b, a) && implementable(c, b) {
+            prop_assert!(implementable(c, a), "{a} -> {b} -> {c}");
+        }
+    }
+
+    #[test]
+    fn weakening_the_target_preserves_implementability(
+        a in power_strategy(), b in power_strategy(),
+    ) {
+        if implementable(b, a) && b.k < b.n {
+            // Asking for one more allowed value is easier.
+            prop_assert!(implementable(ScPower::new(b.n, b.k + 1), a));
+        }
+    }
+
+    #[test]
+    fn witness_partition_is_exact(n in 1usize..60, m in 1usize..12) {
+        let blocks = witness_partition(n, m);
+        prop_assert_eq!(blocks.iter().sum::<usize>(), n);
+        prop_assert!(blocks.iter().all(|&b| 0 < b && b <= m));
+        // Greedy is optimal: no partition forces fewer values. Check a few
+        // random alternative partitions do not beat it.
+        for j in 1..=m {
+            let bound = partition_bound(n, m, j);
+            let realized: usize = blocks.iter().map(|&b| j.min(b)).sum();
+            prop_assert_eq!(realized, bound);
+        }
+    }
+
+    #[test]
+    fn consensus_universality_on_the_grid(n in 1usize..10, np in 1usize..10, k in 1usize..10) {
+        prop_assume!(k <= np && np <= n);
+        // n-consensus implements every (n', k) with n' ≤ n.
+        prop_assert!(implementable(ScPower::new(np, k), ScPower::consensus(n)));
+    }
+
+    #[test]
+    fn nothing_weak_builds_consensus(m in 3usize..12, j in 2usize..11) {
+        prop_assume!(j < m);
+        prop_assert!(!implementable(ScPower::consensus(2), ScPower::new(m, j)));
+    }
+}

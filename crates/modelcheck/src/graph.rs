@@ -1,0 +1,479 @@
+//! Exhaustive construction of the reachable configuration graph.
+
+use std::collections::HashMap;
+
+use subconsensus_sim::{Config, Pid, SimError, SystemSpec};
+
+/// Options bounding an exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// Stop after visiting this many distinct configurations.
+    pub max_configs: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_configs: 1_000_000,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Options with the given configuration bound.
+    pub fn with_max_configs(max_configs: usize) -> Self {
+        ExploreOptions { max_configs }
+    }
+}
+
+/// One outgoing edge of the configuration graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// The process whose step produced this edge.
+    pub pid: Pid,
+    /// Index of the successor configuration.
+    pub to: usize,
+}
+
+/// Summary statistics of a [`StateGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of distinct reachable configurations.
+    pub configs: usize,
+    /// Total number of edges (steps).
+    pub edges: usize,
+    /// Number of final configurations.
+    pub terminals: usize,
+    /// Maximum branching factor of any configuration.
+    pub max_out_degree: usize,
+    /// Longest shortest-path distance from the initial configuration.
+    pub max_depth: usize,
+    /// Whether the exploration was truncated.
+    pub truncated: bool,
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} configs, {} edges, {} terminals, out-degree ≤ {}, depth {}{}",
+            self.configs,
+            self.edges,
+            self.terminals,
+            self.max_out_degree,
+            self.max_depth,
+            if self.truncated { " (TRUNCATED)" } else { "" }
+        )
+    }
+}
+
+/// The reachable configuration graph of a system, with every scheduler choice
+/// and every nondeterministic object outcome expanded.
+///
+/// Node `0` is the initial configuration.
+#[derive(Clone, Debug)]
+pub struct StateGraph {
+    configs: Vec<Config>,
+    edges: Vec<Vec<Edge>>,
+    terminals: Vec<usize>,
+    truncated: bool,
+}
+
+impl StateGraph {
+    /// Exhaustively explores `spec` from its initial configuration.
+    ///
+    /// If the bound in `opts` is hit, the returned graph is marked
+    /// [`truncated`](Self::is_truncated) and all analyses on it are partial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised while stepping.
+    pub fn explore(spec: &SystemSpec, opts: &ExploreOptions) -> Result<Self, SimError> {
+        let init = spec.initial_config();
+        let mut configs = vec![init.clone()];
+        let mut index: HashMap<Config, usize> = HashMap::new();
+        index.insert(init, 0);
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new()];
+        let mut terminals = Vec::new();
+        let mut truncated = false;
+
+        let mut frontier = vec![0usize];
+        while let Some(i) = frontier.pop() {
+            let enabled = configs[i].enabled();
+            if enabled.is_empty() {
+                terminals.push(i);
+                continue;
+            }
+            for pid in enabled {
+                let succs = spec.successors(&configs[i], pid)?;
+                for (next, _info) in succs {
+                    let j = match index.get(&next) {
+                        Some(&j) => j,
+                        None => {
+                            if configs.len() >= opts.max_configs {
+                                truncated = true;
+                                continue;
+                            }
+                            let j = configs.len();
+                            configs.push(next.clone());
+                            index.insert(next, j);
+                            edges.push(Vec::new());
+                            frontier.push(j);
+                            j
+                        }
+                    };
+                    edges[i].push(Edge { pid, to: j });
+                }
+            }
+        }
+        terminals.sort_unstable();
+        Ok(StateGraph {
+            configs,
+            edges,
+            terminals,
+            truncated,
+        })
+    }
+
+    /// Returns the number of distinct reachable configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Returns `true` if the graph has no configurations (never happens for a
+    /// successfully explored system, which always has the initial one).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Returns `true` if the exploration hit its bound.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Returns the configuration at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn config(&self, index: usize) -> &Config {
+        &self.configs[index]
+    }
+
+    /// Returns the outgoing edges of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn edges(&self, index: usize) -> &[Edge] {
+        &self.edges[index]
+    }
+
+    /// Returns the indices of the final configurations (no process enabled).
+    pub fn terminals(&self) -> &[usize] {
+        &self.terminals
+    }
+
+    /// Computes summary statistics of the graph.
+    pub fn stats(&self) -> GraphStats {
+        use std::collections::VecDeque;
+        let edges_total: usize = self.edges.iter().map(Vec::len).sum();
+        let max_out_degree = self.edges.iter().map(Vec::len).max().unwrap_or(0);
+        // BFS depth from the initial configuration.
+        let mut depth = vec![usize::MAX; self.configs.len()];
+        let mut queue = VecDeque::new();
+        depth[0] = 0;
+        queue.push_back(0usize);
+        let mut max_depth = 0;
+        while let Some(i) = queue.pop_front() {
+            for e in &self.edges[i] {
+                if depth[e.to] == usize::MAX {
+                    depth[e.to] = depth[i] + 1;
+                    max_depth = max_depth.max(depth[e.to]);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        GraphStats {
+            configs: self.configs.len(),
+            edges: edges_total,
+            terminals: self.terminals.len(),
+            max_out_degree,
+            max_depth,
+            truncated: self.truncated,
+        }
+    }
+
+    /// Returns a schedule (sequence of stepping pids) leading from the
+    /// initial configuration to the first (BFS-closest) node satisfying
+    /// `pred`, or `None` if no reachable configuration satisfies it.
+    ///
+    /// The returned schedule can be replayed with
+    /// [`ReplayScheduler`](subconsensus_sim::ReplayScheduler) to reproduce
+    /// the configuration in a normal run — this is how counterexamples
+    /// (e.g. a disagreeing consensus schedule) are surfaced to users.
+    pub fn witness_schedule<F>(&self, pred: F) -> Option<Vec<Pid>>
+    where
+        F: Fn(&Config) -> bool,
+    {
+        use std::collections::VecDeque;
+        // parent[i] = (predecessor node, pid that stepped), for BFS tree.
+        let mut parent: Vec<Option<(usize, Pid)>> = vec![None; self.configs.len()];
+        let mut seen = vec![false; self.configs.len()];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        while let Some(i) = queue.pop_front() {
+            if pred(&self.configs[i]) {
+                // Reconstruct the schedule back to the root.
+                let mut schedule = Vec::new();
+                let mut cur = i;
+                while let Some((prev, pid)) = parent[cur] {
+                    schedule.push(pid);
+                    cur = prev;
+                }
+                schedule.reverse();
+                return Some(schedule);
+            }
+            for e in &self.edges[i] {
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    parent[e.to] = Some((i, e.pid));
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if the configuration graph contains a directed cycle.
+    ///
+    /// No cycle means every execution of the system is finite; since a
+    /// process that keeps taking steps in a finite acyclic execution space
+    /// must reach a decision, acyclicity witnesses wait-freedom for
+    /// bounded protocols.
+    pub fn has_cycle(&self) -> bool {
+        // Iterative three-color DFS.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.configs.len();
+        let mut color = vec![WHITE; n];
+        for root in 0..n {
+            if color[root] != WHITE {
+                continue;
+            }
+            // Stack of (node, next-edge-index).
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = GRAY;
+            while let Some(&mut (node, ref mut ei)) = stack.last_mut() {
+                if *ei < self.edges[node].len() {
+                    let to = self.edges[node][*ei].to;
+                    *ei += 1;
+                    match color[to] {
+                        WHITE => {
+                            color[to] = GRAY;
+                            stack.push((to, 0));
+                        }
+                        GRAY => return true,
+                        _ => {}
+                    }
+                } else {
+                    color[node] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_sim::{
+        Action, ObjId, ObjectError, ObjectSpec, Op, Outcome, ProcCtx, Protocol, ProtocolError,
+        SystemBuilder, Value,
+    };
+
+    #[derive(Debug)]
+    struct Reg;
+
+    impl ObjectSpec for Reg {
+        fn type_name(&self) -> &'static str {
+            "reg"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            match op.name {
+                "read" => Ok(vec![Outcome::ret(state.clone(), state.clone())]),
+                "write" => Ok(vec![Outcome::ret(
+                    op.arg(0).cloned().unwrap_or(Value::Nil),
+                    Value::Nil,
+                )]),
+                _ => Err(ObjectError::UnknownOp {
+                    object: "reg",
+                    op: op.clone(),
+                }),
+            }
+        }
+    }
+
+    /// Write your input, read, decide what you read.
+    #[derive(Debug)]
+    struct WriteReadDecide {
+        reg: ObjId,
+    }
+
+    impl Protocol for WriteReadDecide {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Int(0)
+        }
+
+        fn step(
+            &self,
+            ctx: &ProcCtx,
+            local: &Value,
+            resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            match local.as_int() {
+                Some(0) => Ok(Action::invoke(
+                    Value::Int(1),
+                    self.reg,
+                    Op::unary("write", ctx.input.clone()),
+                )),
+                Some(1) => Ok(Action::invoke(Value::Int(2), self.reg, Op::new("read"))),
+                _ => Ok(Action::Decide(resp.cloned().unwrap_or(Value::Nil))),
+            }
+        }
+    }
+
+    /// Loop forever re-reading.
+    #[derive(Debug)]
+    struct Spinner {
+        reg: ObjId,
+    }
+
+    impl Protocol for Spinner {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Nil
+        }
+
+        fn step(
+            &self,
+            _ctx: &ProcCtx,
+            _local: &Value,
+            _resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            Ok(Action::invoke(Value::Nil, self.reg, Op::new("read")))
+        }
+    }
+
+    fn race_spec(nprocs: usize) -> subconsensus_sim::SystemSpec {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        let p = Arc::new(WriteReadDecide { reg });
+        for i in 0..nprocs {
+            b.add_process(p.clone(), Value::Int(i as i64 + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn solo_graph_is_a_path() {
+        let g = StateGraph::explore(&race_spec(1), &ExploreOptions::default()).unwrap();
+        assert_eq!(g.len(), 4, "init, wrote, read, decided");
+        assert_eq!(g.terminals().len(), 1);
+        assert!(!g.has_cycle());
+        assert!(!g.is_truncated());
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn two_process_race_has_multiple_terminals() {
+        let g = StateGraph::explore(&race_spec(2), &ExploreOptions::default()).unwrap();
+        assert!(
+            g.terminals().len() > 1,
+            "different interleavings end differently"
+        );
+        assert!(!g.has_cycle());
+        // Every terminal has both processes decided on some written value.
+        for &t in g.terminals() {
+            let decided = g.config(t).decided_values();
+            assert!(!decided.is_empty());
+            for v in decided {
+                assert!(v == Value::Int(1) || v == Value::Int(2));
+            }
+        }
+    }
+
+    #[test]
+    fn spinner_produces_a_cycle() {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        b.add_process(Arc::new(Spinner { reg }), Value::Nil);
+        let spec = b.build();
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert!(g.has_cycle());
+        assert!(g.terminals().is_empty());
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let g = StateGraph::explore(&race_spec(3), &ExploreOptions::with_max_configs(5)).unwrap();
+        assert!(g.is_truncated());
+        assert!(g.len() <= 5);
+    }
+
+    #[test]
+    fn stats_summarize_the_graph() {
+        let g = StateGraph::explore(&race_spec(1), &ExploreOptions::default()).unwrap();
+        let s = g.stats();
+        assert_eq!(s.configs, 4);
+        assert_eq!(s.edges, 3, "a solo path");
+        assert_eq!(s.terminals, 1);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.max_depth, 3);
+        assert!(!s.truncated);
+        assert!(s.to_string().contains("4 configs"));
+
+        let g2 = StateGraph::explore(&race_spec(2), &ExploreOptions::default()).unwrap();
+        let s2 = g2.stats();
+        assert!(s2.max_out_degree >= 2, "two processes can both step");
+        assert_eq!(s2.max_depth, 6, "every full execution takes 6 steps");
+    }
+
+    #[test]
+    fn witness_schedule_reaches_and_replays() {
+        use subconsensus_sim::{run, FirstOutcome, ReplayScheduler, RunOptions, Value as V};
+        let spec = race_spec(2);
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        // Find a terminal where P0 decided 2 (it read P1's later write).
+        let schedule = g
+            .witness_schedule(|c| c.is_final() && c.decisions()[0] == Some(V::Int(2)))
+            .expect("such a schedule exists");
+        // Replay it in a normal run and observe the same outcome.
+        let mut sched = ReplayScheduler::new(schedule);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+        assert_eq!(out.decisions()[0], Some(V::Int(2)));
+    }
+
+    #[test]
+    fn witness_schedule_for_initial_config_is_empty() {
+        let g = StateGraph::explore(&race_spec(1), &ExploreOptions::default()).unwrap();
+        assert_eq!(g.witness_schedule(|_| true), Some(vec![]));
+        assert_eq!(g.witness_schedule(|_| false), None);
+    }
+
+    #[test]
+    fn edges_record_stepping_pid() {
+        let g = StateGraph::explore(&race_spec(2), &ExploreOptions::default()).unwrap();
+        let pids: std::collections::HashSet<_> = g.edges(0).iter().map(|e| e.pid).collect();
+        assert_eq!(pids.len(), 2, "both processes can step initially");
+    }
+}

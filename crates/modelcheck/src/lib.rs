@@ -1,0 +1,33 @@
+//! Exhaustive model checking for subconsensus systems.
+//!
+//! Because the simulator's step relation is a pure function on hashable
+//! configurations, whole (small) systems can be explored exhaustively —
+//! every scheduler choice and every nondeterministic object outcome. On top
+//! of the resulting [`StateGraph`] this crate provides:
+//!
+//! * **wait-freedom / termination** — [`check_wait_freedom`]: acyclicity of
+//!   the configuration graph plus all-terminals-decide;
+//! * **agreement bounds** — [`max_distinct_decisions`] and
+//!   [`TerminalReport`]: the exact worst-case number of distinct decided
+//!   values over *all* adversary schedules, i.e. the `k` for which a
+//!   protocol solves `k`-set consensus;
+//! * **valency analysis** — [`Valency`], [`find_critical`]: bivalent /
+//!   univalent classification and critical-configuration search, the
+//!   mechanized form of the paper's Section-6-style impossibility arguments.
+//!
+//! This is the evaluation engine of the reproduction: the paper proves its
+//! theorems by hand; we check each concrete instance exhaustively for small
+//! parameters.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod graph;
+mod properties;
+mod valency;
+
+pub use graph::{Edge, ExploreOptions, GraphStats, StateGraph};
+pub use properties::{
+    check_nonblocking, check_wait_freedom, max_distinct_decisions, TerminalReport, WaitFreedom,
+};
+pub use valency::{find_critical, CriticalConfig, Valency};

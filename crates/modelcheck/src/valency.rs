@@ -1,0 +1,224 @@
+//! Valency analysis: which values can still be decided from a configuration.
+//!
+//! This mechanizes the FLP/Herlihy critical-configuration method on concrete
+//! protocols: the *valence* of a configuration is the set of values decided
+//! in some reachable final configuration; a configuration is **bivalent** if
+//! its valence has at least two values, **univalent** if exactly one, and
+//! **critical** if it is bivalent while all of its one-step successors are
+//! univalent.
+
+use std::collections::BTreeSet;
+
+use subconsensus_sim::{Pid, Value};
+
+use crate::graph::StateGraph;
+
+/// The valence of every reachable configuration of a [`StateGraph`].
+#[derive(Clone, Debug)]
+pub struct Valency {
+    sets: Vec<BTreeSet<Value>>,
+}
+
+impl Valency {
+    /// Computes the valence of every node of `graph` by backward fixpoint
+    /// propagation from the final configurations (cycles are handled by the
+    /// fixpoint, monotonically).
+    pub fn compute(graph: &StateGraph) -> Self {
+        let n = graph.len();
+        let mut sets: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); n];
+        for &t in graph.terminals() {
+            sets[t] = graph.config(t).decided_values().into_iter().collect();
+        }
+        // Reverse adjacency for worklist propagation.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for e in graph.edges(i) {
+                preds[e.to].push(i);
+            }
+        }
+        let mut work: Vec<usize> = graph.terminals().to_vec();
+        while let Some(j) = work.pop() {
+            // `clone` keeps the borrow checker happy; sets are tiny.
+            let vals = sets[j].clone();
+            for &p in &preds[j] {
+                let before = sets[p].len();
+                sets[p].extend(vals.iter().cloned());
+                if sets[p].len() > before {
+                    work.push(p);
+                }
+            }
+        }
+        Valency { sets }
+    }
+
+    /// Returns the valence of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn valence(&self, index: usize) -> &BTreeSet<Value> {
+        &self.sets[index]
+    }
+
+    /// Returns `true` if node `index` has at least two decidable values.
+    pub fn is_bivalent(&self, index: usize) -> bool {
+        self.sets[index].len() >= 2
+    }
+
+    /// Returns `true` if node `index` has exactly one decidable value.
+    pub fn is_univalent(&self, index: usize) -> bool {
+        self.sets[index].len() == 1
+    }
+}
+
+/// A critical configuration found by [`find_critical`].
+#[derive(Clone, Debug)]
+pub struct CriticalConfig {
+    /// Node index of the critical configuration.
+    pub index: usize,
+    /// For every outgoing edge: the stepping process and the (unique) value
+    /// its successor is committed to.
+    pub branches: Vec<(Pid, Value)>,
+}
+
+/// Finds a critical configuration: bivalent, with every one-step successor
+/// univalent.
+///
+/// For a correct wait-free consensus protocol over objects of limited power,
+/// the paper's Section-6-style argument derives a contradiction *at* such a
+/// configuration; this function exhibits the configurations on which those
+/// hand arguments operate. Returns `None` if the graph has no critical
+/// configuration (e.g. the protocol is not a consensus protocol, or some
+/// successor is itself bivalent everywhere).
+pub fn find_critical(graph: &StateGraph, valency: &Valency) -> Option<CriticalConfig> {
+    'node: for i in 0..graph.len() {
+        if !valency.is_bivalent(i) {
+            continue;
+        }
+        let edges = graph.edges(i);
+        if edges.is_empty() {
+            continue;
+        }
+        let mut branches = Vec::with_capacity(edges.len());
+        for e in edges {
+            if !valency.is_univalent(e.to) {
+                continue 'node;
+            }
+            let v = valency
+                .valence(e.to)
+                .iter()
+                .next()
+                .expect("univalent set has one element")
+                .clone();
+            branches.push((e.pid, v));
+        }
+        return Some(CriticalConfig { index: i, branches });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExploreOptions;
+    use std::sync::Arc;
+    use subconsensus_sim::{
+        Action, ObjId, ObjectError, ObjectSpec, Op, Outcome, ProcCtx, Protocol, ProtocolError,
+        SystemBuilder, SystemSpec, Value,
+    };
+
+    /// A consensus (sticky) object.
+    #[derive(Debug)]
+    struct Sticky;
+
+    impl ObjectSpec for Sticky {
+        fn type_name(&self) -> &'static str {
+            "sticky"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            let v = op.arg(0).cloned().unwrap_or(Value::Nil);
+            let winner = if state.is_nil() { v } else { state.clone() };
+            Ok(vec![Outcome::ret(winner.clone(), winner)])
+        }
+    }
+
+    /// Propose to the sticky object, decide the answer.
+    #[derive(Debug)]
+    struct ProposeDecide {
+        obj: ObjId,
+    }
+
+    impl Protocol for ProposeDecide {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Int(0)
+        }
+
+        fn step(
+            &self,
+            ctx: &ProcCtx,
+            local: &Value,
+            resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            match local.as_int() {
+                Some(0) => Ok(Action::invoke(
+                    Value::Int(1),
+                    self.obj,
+                    Op::unary("propose", ctx.input.clone()),
+                )),
+                _ => Ok(Action::Decide(resp.cloned().unwrap_or(Value::Nil))),
+            }
+        }
+    }
+
+    fn sticky_consensus(nprocs: usize) -> SystemSpec {
+        let mut b = SystemBuilder::new();
+        let obj = b.add_object(Sticky);
+        let p = Arc::new(ProposeDecide { obj });
+        for i in 0..nprocs {
+            b.add_process(p.clone(), Value::Int(i as i64));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn initial_config_of_consensus_race_is_bivalent() {
+        let spec = sticky_consensus(2);
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        let v = Valency::compute(&g);
+        assert!(v.is_bivalent(0), "either input can win from the start");
+        // All terminals: exactly one value decided (agreement).
+        for &t in g.terminals() {
+            assert_eq!(g.config(t).decided_values().len(), 1);
+            assert!(v.is_univalent(t));
+        }
+    }
+
+    #[test]
+    fn critical_config_exists_for_consensus_race() {
+        let spec = sticky_consensus(2);
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        let v = Valency::compute(&g);
+        let crit = find_critical(&g, &v).expect("a sticky race has a critical configuration");
+        // The initial configuration is critical here: both processes' next
+        // step is the propose that commits the value.
+        assert!(v.is_bivalent(crit.index));
+        let vals: BTreeSet<Value> = crit.branches.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(vals.len(), 2, "different branches commit different values");
+    }
+
+    #[test]
+    fn solo_runs_are_univalent_everywhere() {
+        let spec = sticky_consensus(1);
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        let v = Valency::compute(&g);
+        for i in 0..g.len() {
+            assert!(v.is_univalent(i));
+        }
+        assert!(find_critical(&g, &v).is_none());
+    }
+}

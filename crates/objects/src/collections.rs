@@ -1,0 +1,212 @@
+//! FIFO queues and LIFO stacks as shared objects.
+//!
+//! Queues and stacks have consensus number 2 and are the classic targets of
+//! the *Common2* conjecture the paper refutes: stacks are implementable from
+//! 2-consensus (Afek–Gafni–Morrison), queues are not known to be in general.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{need_arity, tup_state, unknown_op, value_arg};
+
+/// A FIFO queue.
+///
+/// Operations:
+///
+/// * `enq(v)` → `⊥`;
+/// * `deq()` → oldest element, or `⊥` if empty.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::Queue;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let q = Queue::new();
+/// let s = q.apply(&q.initial_state(), &Op::unary("enq", Value::Int(1))).unwrap().remove(0).state;
+/// let out = q.apply(&s, &Op::new("deq")).unwrap();
+/// assert_eq!(out[0].response, Some(Value::Int(1)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Queue {
+    init: Vec<Value>,
+}
+
+impl Queue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a queue pre-filled with `items` (front first).
+    pub fn with_items<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Queue {
+            init: items.into_iter().collect(),
+        }
+    }
+}
+
+const QUEUE: &str = "queue";
+
+impl ObjectSpec for Queue {
+    fn type_name(&self) -> &'static str {
+        QUEUE
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Tup(self.init.clone())
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let items = tup_state(QUEUE, state)?;
+        match op.name {
+            "enq" => {
+                need_arity(QUEUE, op, 1)?;
+                let v = value_arg(QUEUE, op, 0)?;
+                let mut items = items.to_vec();
+                items.push(v);
+                Ok(vec![Outcome::ret(Value::Tup(items), Value::Nil)])
+            }
+            "deq" => {
+                need_arity(QUEUE, op, 0)?;
+                if items.is_empty() {
+                    Ok(vec![Outcome::ret(state.clone(), Value::Nil)])
+                } else {
+                    let head = items[0].clone();
+                    Ok(vec![Outcome::ret(Value::Tup(items[1..].to_vec()), head)])
+                }
+            }
+            _ => Err(unknown_op(QUEUE, op)),
+        }
+    }
+}
+
+/// A LIFO stack.
+///
+/// Operations:
+///
+/// * `push(v)` → `⊥`;
+/// * `pop()` → newest element, or `⊥` if empty.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stack {
+    init: Vec<Value>,
+}
+
+impl Stack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a stack pre-filled with `items` (bottom first).
+    pub fn with_items<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Stack {
+            init: items.into_iter().collect(),
+        }
+    }
+}
+
+const STACK: &str = "stack";
+
+impl ObjectSpec for Stack {
+    fn type_name(&self) -> &'static str {
+        STACK
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Tup(self.init.clone())
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let items = tup_state(STACK, state)?;
+        match op.name {
+            "push" => {
+                need_arity(STACK, op, 1)?;
+                let v = value_arg(STACK, op, 0)?;
+                let mut items = items.to_vec();
+                items.push(v);
+                Ok(vec![Outcome::ret(Value::Tup(items), Value::Nil)])
+            }
+            "pop" => {
+                need_arity(STACK, op, 0)?;
+                match items.split_last() {
+                    None => Ok(vec![Outcome::ret(state.clone(), Value::Nil)]),
+                    Some((top, rest)) => {
+                        Ok(vec![Outcome::ret(Value::Tup(rest.to_vec()), top.clone())])
+                    }
+                }
+            }
+            _ => Err(unknown_op(STACK, op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = Queue::new();
+        let mut s = q.initial_state();
+        for i in 1..=3 {
+            s = q
+                .apply(&s, &Op::unary("enq", Value::Int(i)))
+                .unwrap()
+                .remove(0)
+                .state;
+        }
+        for i in 1..=3 {
+            let out = q.apply(&s, &Op::new("deq")).unwrap().remove(0);
+            assert_eq!(out.response, Some(Value::Int(i)));
+            s = out.state;
+        }
+        let out = q.apply(&s, &Op::new("deq")).unwrap().remove(0);
+        assert_eq!(out.response, Some(Value::Nil), "empty queue dequeues ⊥");
+    }
+
+    #[test]
+    fn stack_is_lifo() {
+        let st = Stack::new();
+        let mut s = st.initial_state();
+        for i in 1..=3 {
+            s = st
+                .apply(&s, &Op::unary("push", Value::Int(i)))
+                .unwrap()
+                .remove(0)
+                .state;
+        }
+        for i in (1..=3).rev() {
+            let out = st.apply(&s, &Op::new("pop")).unwrap().remove(0);
+            assert_eq!(out.response, Some(Value::Int(i)));
+            s = out.state;
+        }
+        let out = st.apply(&s, &Op::new("pop")).unwrap().remove(0);
+        assert_eq!(out.response, Some(Value::Nil));
+    }
+
+    #[test]
+    fn prefilled_constructors() {
+        let q = Queue::with_items([Value::Int(9)]);
+        let out = q
+            .apply(&q.initial_state(), &Op::new("deq"))
+            .unwrap()
+            .remove(0);
+        assert_eq!(out.response, Some(Value::Int(9)));
+        let st = Stack::with_items([Value::Int(1), Value::Int(2)]);
+        let out = st
+            .apply(&st.initial_state(), &Op::new("pop"))
+            .unwrap()
+            .remove(0);
+        assert_eq!(out.response, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn bad_usage_rejected() {
+        let q = Queue::new();
+        assert!(q.apply(&q.initial_state(), &Op::new("pop")).is_err());
+        assert!(q.apply(&Value::Int(0), &Op::new("deq")).is_err());
+        let st = Stack::new();
+        assert!(st.apply(&st.initial_state(), &Op::new("deq")).is_err());
+        assert!(st.apply(&st.initial_state(), &Op::new("push")).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Consensus objects (sticky registers), bounded and unbounded.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{need_arity, unknown_op, value_arg};
+
+/// A consensus object: the first proposed value sticks, and every `propose`
+/// returns it.
+///
+/// Operations:
+///
+/// * `propose(v)` → the winning (first-proposed) value;
+/// * `read()` → the winning value, or `⊥` if nobody proposed yet.
+///
+/// With `capacity = None` the object answers any number of proposals and has
+/// **infinite** consensus number (a *sticky register*). With
+/// `capacity = Some(n)` it answers only the first `n` proposals — subsequent
+/// proposals hang undetectably, exactly like the set-consensus objects of the
+/// paper's model section — giving it consensus number `n` in the classical
+/// sense: `n` processes each proposing once solve consensus, while in any
+/// larger system the adversary can exhaust the object.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::Consensus;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let c = Consensus::unbounded();
+/// let s0 = c.initial_state();
+/// let first = c.apply(&s0, &Op::unary("propose", Value::Int(7))).unwrap().remove(0);
+/// assert_eq!(first.response, Some(Value::Int(7)));
+/// let second = c.apply(&first.state, &Op::unary("propose", Value::Int(9))).unwrap().remove(0);
+/// assert_eq!(second.response, Some(Value::Int(7)), "the first value sticks");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Consensus {
+    capacity: Option<usize>,
+}
+
+impl Consensus {
+    /// Creates a consensus object answering at most `n` proposals.
+    pub fn bounded(n: usize) -> Self {
+        Consensus { capacity: Some(n) }
+    }
+
+    /// Creates a consensus object answering any number of proposals (a
+    /// sticky register; infinite consensus number).
+    pub fn unbounded() -> Self {
+        Consensus { capacity: None }
+    }
+
+    /// Returns the proposal bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+}
+
+const CONS: &str = "consensus";
+
+impl ObjectSpec for Consensus {
+    fn type_name(&self) -> &'static str {
+        CONS
+    }
+
+    /// State: `(winner, count)` where `winner` is `⊥` until the first
+    /// proposal and `count` is the number of proposals so far.
+    fn initial_state(&self) -> Value {
+        Value::tup([Value::Nil, Value::Int(0)])
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let winner = state
+            .index(0)
+            .cloned()
+            .ok_or_else(|| ObjectError::TypeMismatch {
+                object: CONS,
+                detail: format!("state {state} is not (winner, count)"),
+            })?;
+        let count =
+            state
+                .index(1)
+                .and_then(Value::as_index)
+                .ok_or_else(|| ObjectError::TypeMismatch {
+                    object: CONS,
+                    detail: format!("state {state} is not (winner, count)"),
+                })?;
+        match op.name {
+            "propose" => {
+                need_arity(CONS, op, 1)?;
+                let v = value_arg(CONS, op, 0)?;
+                if v.is_nil() {
+                    return Err(ObjectError::IllegalOp {
+                        object: CONS,
+                        detail: "cannot propose ⊥".into(),
+                    });
+                }
+                if self.capacity.is_some_and(|cap| count >= cap) {
+                    // Exhausted: hang undetectably. The count keeps
+                    // increasing so the state change is visible to the model
+                    // checker (but to no process).
+                    let next = Value::tup([winner, Value::from(count + 1)]);
+                    return Ok(vec![Outcome::hang(next)]);
+                }
+                let decided = if winner.is_nil() { v } else { winner };
+                let next = Value::tup([decided.clone(), Value::from(count + 1)]);
+                Ok(vec![Outcome::ret(next, decided)])
+            }
+            "read" => {
+                need_arity(CONS, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), winner)])
+            }
+            _ => Err(unknown_op(CONS, op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    fn propose(c: &Consensus, s: &Value, v: i64) -> Outcome {
+        c.apply(s, &Op::unary("propose", Value::Int(v)))
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn first_value_sticks_forever() {
+        let c = Consensus::unbounded();
+        let mut s = c.initial_state();
+        let o = propose(&c, &s, 5);
+        assert_eq!(o.response, Some(Value::Int(5)));
+        s = o.state;
+        for v in [9, 1, 5, 100] {
+            let o = propose(&c, &s, v);
+            assert_eq!(o.response, Some(Value::Int(5)));
+            s = o.state;
+        }
+    }
+
+    #[test]
+    fn read_observes_winner() {
+        let c = Consensus::unbounded();
+        let s0 = c.initial_state();
+        let r = c.apply(&s0, &Op::new("read")).unwrap().remove(0);
+        assert_eq!(r.response, Some(Value::Nil));
+        let s1 = propose(&c, &s0, 3).state;
+        let r = c.apply(&s1, &Op::new("read")).unwrap().remove(0);
+        assert_eq!(r.response, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn bounded_object_hangs_after_capacity() {
+        let c = Consensus::bounded(2);
+        let s0 = c.initial_state();
+        let o1 = propose(&c, &s0, 1);
+        assert!(!o1.is_hang());
+        let o2 = propose(&c, &o1.state, 2);
+        assert!(!o2.is_hang());
+        assert_eq!(o2.response, Some(Value::Int(1)));
+        let o3 = propose(&c, &o2.state, 3);
+        assert!(o3.is_hang(), "third proposal on a 2-bounded object hangs");
+        let o4 = propose(&c, &o3.state, 4);
+        assert!(o4.is_hang(), "and stays hung");
+    }
+
+    #[test]
+    fn nil_proposal_is_illegal() {
+        let c = Consensus::unbounded();
+        assert!(matches!(
+            c.apply(&c.initial_state(), &Op::unary("propose", Value::Nil)),
+            Err(ObjectError::IllegalOp { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_audit() {
+        let ops = [
+            Op::unary("propose", Value::Int(1)),
+            Op::unary("propose", Value::Int(2)),
+        ];
+        assert_eq!(
+            audit_determinism(&Consensus::bounded(3), &ops, 5).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn capacity_accessor() {
+        assert_eq!(Consensus::bounded(4).capacity(), Some(4));
+        assert_eq!(Consensus::unbounded().capacity(), None);
+    }
+}

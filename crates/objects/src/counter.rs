@@ -1,0 +1,203 @@
+//! Increment/read counters.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{int_state, need_arity, unknown_op};
+
+/// An atomic counter supporting separate increment and read steps.
+///
+/// Operations:
+///
+/// * `inc()` → `⊥` (adds one);
+/// * `read()` → current count.
+///
+/// This is the "counter protected register" shape used by flag-principle
+/// constructions: increment first, then read, and only the process that
+/// reads exactly 1 may proceed.
+///
+/// A counter with separate `inc` and `read` has consensus number 1.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::Counter;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let c = Counter::new();
+/// let s = c.apply(&c.initial_state(), &Op::new("inc")).unwrap().remove(0).state;
+/// let out = c.apply(&s, &Op::new("read")).unwrap();
+/// assert_eq!(out[0].response, Some(Value::Int(1)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter;
+
+impl Counter {
+    /// Creates a counter initialized to 0.
+    pub fn new() -> Self {
+        Counter
+    }
+}
+
+const COUNTER: &str = "counter";
+
+impl ObjectSpec for Counter {
+    fn type_name(&self) -> &'static str {
+        COUNTER
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(0)
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let n = int_state(COUNTER, state)?;
+        match op.name {
+            "inc" => {
+                need_arity(COUNTER, op, 0)?;
+                Ok(vec![Outcome::ret(Value::Int(n + 1), Value::Nil)])
+            }
+            "read" => {
+                need_arity(COUNTER, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), Value::Int(n))])
+            }
+            _ => Err(unknown_op(COUNTER, op)),
+        }
+    }
+}
+
+/// An array of `len` independent counters packaged as one object.
+///
+/// Operations: `inc(i)` → `⊥`, `read(i)` → count of cell `i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterArray {
+    len: usize,
+}
+
+impl CounterArray {
+    /// Creates `len` counters, all initialized to 0.
+    pub fn new(len: usize) -> Self {
+        CounterArray { len }
+    }
+
+    /// Returns the number of counters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+const COUNTER_ARRAY: &str = "counter-array";
+
+impl ObjectSpec for CounterArray {
+    fn type_name(&self) -> &'static str {
+        COUNTER_ARRAY
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Tup(vec![Value::Int(0); self.len])
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        need_arity(COUNTER_ARRAY, op, 1)?;
+        let i = crate::util::index_arg(COUNTER_ARRAY, op, 0)?;
+        if i >= self.len {
+            return Err(ObjectError::IllegalOp {
+                object: COUNTER_ARRAY,
+                detail: format!("cell index {i} out of range 0..{}", self.len),
+            });
+        }
+        let cur =
+            state
+                .index(i)
+                .and_then(Value::as_int)
+                .ok_or_else(|| ObjectError::TypeMismatch {
+                    object: COUNTER_ARRAY,
+                    detail: format!(
+                        "state {state} is not an integer tuple of length {}",
+                        self.len
+                    ),
+                })?;
+        match op.name {
+            "inc" => {
+                let next = state
+                    .with_index(i, Value::Int(cur + 1))
+                    .expect("index validated above");
+                Ok(vec![Outcome::ret(next, Value::Nil)])
+            }
+            "read" => Ok(vec![Outcome::ret(state.clone(), Value::Int(cur))]),
+            _ => Err(unknown_op(COUNTER_ARRAY, op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        let mut s = c.initial_state();
+        for i in 1..=5 {
+            s = c.apply(&s, &Op::new("inc")).unwrap().remove(0).state;
+            let out = c.apply(&s, &Op::new("read")).unwrap();
+            assert_eq!(out[0].response, Some(Value::Int(i)));
+        }
+    }
+
+    #[test]
+    fn counter_rejects_unknown_op_and_bad_state() {
+        let c = Counter::new();
+        assert!(c.apply(&Value::Int(0), &Op::new("dec")).is_err());
+        assert!(c.apply(&Value::Nil, &Op::new("inc")).is_err());
+        assert!(c
+            .apply(&Value::Int(0), &Op::unary("inc", Value::Nil))
+            .is_err());
+    }
+
+    #[test]
+    fn counter_is_deterministic() {
+        let ops = [Op::new("inc"), Op::new("read")];
+        assert_eq!(audit_determinism(&Counter::new(), &ops, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn counter_array_cells_independent() {
+        let a = CounterArray::new(2);
+        let s0 = a.initial_state();
+        let s1 = a
+            .apply(&s0, &Op::unary("inc", Value::Int(1)))
+            .unwrap()
+            .remove(0)
+            .state;
+        let r0 = a
+            .apply(&s1, &Op::unary("read", Value::Int(0)))
+            .unwrap()
+            .remove(0)
+            .response;
+        let r1 = a
+            .apply(&s1, &Op::unary("read", Value::Int(1)))
+            .unwrap()
+            .remove(0)
+            .response;
+        assert_eq!(r0, Some(Value::Int(0)));
+        assert_eq!(r1, Some(Value::Int(1)));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn counter_array_bounds() {
+        let a = CounterArray::new(1);
+        let s = a.initial_state();
+        assert!(matches!(
+            a.apply(&s, &Op::unary("inc", Value::Int(1))),
+            Err(ObjectError::IllegalOp { .. })
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! The shared-object zoo of the `subconsensus` workspace.
+//!
+//! Every object here is a [`subconsensus_sim::ObjectSpec`]: a sequential
+//! specification over the simulator's universal [`Value`] domain that can be
+//! dropped into simulated systems, used as the reference spec for
+//! linearizability checking, or explored by the model checker.
+//!
+//! The zoo covers the landmarks of the consensus hierarchy the paper argues
+//! about:
+//!
+//! | object | consensus number |
+//! |---|---|
+//! | [`Register`], [`RegisterArray`], [`Snapshot`], [`Counter`], [`MaxRegister`] | 1 |
+//! | [`Swap`], [`TestAndSet`], [`FetchAdd`], [`Queue`], [`Stack`] | 2 |
+//! | [`Consensus::bounded`]`(n)` | `n` |
+//! | [`CompareAndSwap`], [`Consensus::unbounded`], [`StickyBit`] | ∞ |
+//! | [`SetConsensus`] (`(n,k)`, nondeterministic, `k ≥ 2`) | 1 |
+//!
+//! The paper's own **deterministic** sub-consensus family lives in
+//! `subconsensus-core`, built on top of this crate.
+//!
+//! [`Value`]: subconsensus_sim::Value
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collections;
+mod consensus;
+mod counter;
+mod misc;
+mod register;
+mod rmw;
+mod set_consensus;
+mod sink;
+mod snapshot;
+pub(crate) mod util;
+
+pub use collections::{Queue, Stack};
+pub use consensus::Consensus;
+pub use counter::{Counter, CounterArray};
+pub use misc::{MaxRegister, StickyBit};
+pub use register::{Register, RegisterArray};
+pub use rmw::{CompareAndSwap, FetchAdd, Swap, TestAndSet};
+pub use set_consensus::{InvalidSetConsensusParams, SetConsensus};
+pub use sink::Sink;
+pub use snapshot::Snapshot;

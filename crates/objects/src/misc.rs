@@ -1,0 +1,201 @@
+//! Smaller classical objects: max-registers and sticky bits.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{int_arg, need_arity, unknown_op};
+
+/// A max-register: `write_max(v)` raises the stored maximum; `read()`
+/// returns it (`⊥` before the first write).
+///
+/// Max-registers are implementable from plain registers (Aspnes et al.), so
+/// their consensus number is 1; they are a staple substrate for counters
+/// and snapshots at the register level of the hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::MaxRegister;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let m = MaxRegister::new();
+/// let s = m.apply(&m.initial_state(), &Op::unary("write_max", Value::Int(5))).unwrap().remove(0).state;
+/// let s = m.apply(&s, &Op::unary("write_max", Value::Int(3))).unwrap().remove(0).state;
+/// let out = m.apply(&s, &Op::new("read")).unwrap();
+/// assert_eq!(out[0].response, Some(Value::Int(5)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxRegister;
+
+impl MaxRegister {
+    /// Creates an empty max-register.
+    pub fn new() -> Self {
+        MaxRegister
+    }
+}
+
+const MAXREG: &str = "max-register";
+
+impl ObjectSpec for MaxRegister {
+    fn type_name(&self) -> &'static str {
+        MAXREG
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Nil
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "write_max" => {
+                need_arity(MAXREG, op, 1)?;
+                let v = int_arg(MAXREG, op, 0)?;
+                let cur = state.as_int();
+                let next = match cur {
+                    Some(c) if c >= v => state.clone(),
+                    _ => Value::Int(v),
+                };
+                Ok(vec![Outcome::ret(next, Value::Nil)])
+            }
+            "read" => {
+                need_arity(MAXREG, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), state.clone())])
+            }
+            _ => Err(unknown_op(MAXREG, op)),
+        }
+    }
+}
+
+/// A sticky bit: `set(b)` with `b ∈ {0, 1}` sticks the first written bit
+/// and returns the stuck value; `read()` observes it.
+///
+/// The sticky bit is the canonical *binary* consensus object: its consensus
+/// number is infinite for binary inputs — the contrast primitive to the
+/// paper's bounded-power deterministic objects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StickyBit;
+
+impl StickyBit {
+    /// Creates an unset sticky bit.
+    pub fn new() -> Self {
+        StickyBit
+    }
+}
+
+const STICKY: &str = "sticky-bit";
+
+impl ObjectSpec for StickyBit {
+    fn type_name(&self) -> &'static str {
+        STICKY
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Nil
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "set" => {
+                need_arity(STICKY, op, 1)?;
+                let b = int_arg(STICKY, op, 0)?;
+                if b != 0 && b != 1 {
+                    return Err(ObjectError::IllegalOp {
+                        object: STICKY,
+                        detail: format!("sticky bit takes 0 or 1, got {b}"),
+                    });
+                }
+                let stuck = if state.is_nil() {
+                    Value::Int(b)
+                } else {
+                    state.clone()
+                };
+                Ok(vec![Outcome::ret(stuck.clone(), stuck)])
+            }
+            "read" => {
+                need_arity(STICKY, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), state.clone())])
+            }
+            _ => Err(unknown_op(STICKY, op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    #[test]
+    fn max_register_is_monotone() {
+        let m = MaxRegister::new();
+        let mut s = m.initial_state();
+        for (w, expect) in [(3i64, 3i64), (7, 7), (5, 7), (7, 7), (100, 100)] {
+            s = m
+                .apply(&s, &Op::unary("write_max", Value::Int(w)))
+                .unwrap()
+                .remove(0)
+                .state;
+            let r = m
+                .apply(&s, &Op::new("read"))
+                .unwrap()
+                .remove(0)
+                .response
+                .unwrap();
+            assert_eq!(r, Value::Int(expect));
+        }
+    }
+
+    #[test]
+    fn max_register_misuse() {
+        let m = MaxRegister::new();
+        assert!(m.apply(&Value::Nil, &Op::new("write_max")).is_err());
+        assert!(m
+            .apply(&Value::Nil, &Op::unary("write_max", Value::Sym("x")))
+            .is_err());
+        assert!(m.apply(&Value::Nil, &Op::new("inc")).is_err());
+    }
+
+    #[test]
+    fn sticky_bit_sticks() {
+        let b = StickyBit::new();
+        let s0 = b.initial_state();
+        let o1 = b
+            .apply(&s0, &Op::unary("set", Value::Int(1)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o1.response, Some(Value::Int(1)));
+        let o2 = b
+            .apply(&o1.state, &Op::unary("set", Value::Int(0)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o2.response, Some(Value::Int(1)), "first bit sticks");
+        assert!(matches!(
+            b.apply(&s0, &Op::unary("set", Value::Int(2))),
+            Err(ObjectError::IllegalOp { .. })
+        ));
+    }
+
+    #[test]
+    fn both_deterministic() {
+        assert_eq!(
+            audit_determinism(
+                &MaxRegister::new(),
+                &[Op::unary("write_max", Value::Int(2)), Op::new("read")],
+                4
+            )
+            .unwrap(),
+            None
+        );
+        assert_eq!(
+            audit_determinism(
+                &StickyBit::new(),
+                &[
+                    Op::unary("set", Value::Int(0)),
+                    Op::unary("set", Value::Int(1))
+                ],
+                4
+            )
+            .unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Atomic read/write registers and register arrays.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{need_arity, unknown_op, value_arg};
+
+/// A single multi-writer multi-reader atomic register.
+///
+/// Operations:
+///
+/// * `read()` → current value;
+/// * `write(v)` → `⊥` (stores `v`).
+///
+/// The consensus number of a register is 1 (Herlihy); registers are the base
+/// line of the hierarchy studied by the paper.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::Register;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let r = Register::new();
+/// let out = r.apply(&r.initial_state(), &Op::unary("write", Value::Int(9))).unwrap();
+/// assert_eq!(out[0].state, Value::Int(9));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Register {
+    init: Value,
+}
+
+impl Register {
+    /// Creates a register initialized to `⊥`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a register with the given initial value.
+    pub fn with_initial(init: Value) -> Self {
+        Register { init }
+    }
+}
+
+const REG: &str = "register";
+
+impl ObjectSpec for Register {
+    fn type_name(&self) -> &'static str {
+        REG
+    }
+
+    fn initial_state(&self) -> Value {
+        self.init.clone()
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "read" => {
+                need_arity(REG, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), state.clone())])
+            }
+            "write" => {
+                need_arity(REG, op, 1)?;
+                let v = value_arg(REG, op, 0)?;
+                Ok(vec![Outcome::ret(v, Value::Nil)])
+            }
+            _ => Err(unknown_op(REG, op)),
+        }
+    }
+}
+
+/// An array of `len` atomic registers packaged as one object.
+///
+/// Operations:
+///
+/// * `read(i)` → value of cell `i`;
+/// * `write(i, v)` → `⊥` (stores `v` into cell `i`).
+///
+/// Each operation touches exactly one cell, so a register array is
+/// observationally equivalent to `len` independent [`Register`]s while
+/// keeping systems with many registers small.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::RegisterArray;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let a = RegisterArray::new(3);
+/// let s1 = a
+///     .apply(&a.initial_state(), &Op::binary("write", Value::Int(1), Value::Sym("x")))
+///     .unwrap()
+///     .remove(0)
+///     .state;
+/// let out = a.apply(&s1, &Op::unary("read", Value::Int(1))).unwrap();
+/// assert_eq!(out[0].response, Some(Value::Sym("x")));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisterArray {
+    len: usize,
+    init: Value,
+}
+
+impl RegisterArray {
+    /// Creates an array of `len` registers initialized to `⊥`.
+    pub fn new(len: usize) -> Self {
+        RegisterArray {
+            len,
+            init: Value::Nil,
+        }
+    }
+
+    /// Creates an array of `len` registers initialized to `init`.
+    pub fn with_initial(len: usize, init: Value) -> Self {
+        RegisterArray { len, init }
+    }
+
+    /// Returns the number of cells.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the array has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+const REG_ARRAY: &str = "register-array";
+
+impl ObjectSpec for RegisterArray {
+    fn type_name(&self) -> &'static str {
+        REG_ARRAY
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Tup(vec![self.init.clone(); self.len])
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let cell = |i: usize| -> Result<(), ObjectError> {
+            if i < self.len {
+                Ok(())
+            } else {
+                Err(ObjectError::IllegalOp {
+                    object: REG_ARRAY,
+                    detail: format!("cell index {i} out of range 0..{}", self.len),
+                })
+            }
+        };
+        match op.name {
+            "read" => {
+                need_arity(REG_ARRAY, op, 1)?;
+                let i = crate::util::index_arg(REG_ARRAY, op, 0)?;
+                cell(i)?;
+                let v = state
+                    .index(i)
+                    .cloned()
+                    .ok_or_else(|| ObjectError::TypeMismatch {
+                        object: REG_ARRAY,
+                        detail: format!("state {state} is not a tuple of length {}", self.len),
+                    })?;
+                Ok(vec![Outcome::ret(state.clone(), v)])
+            }
+            "write" => {
+                need_arity(REG_ARRAY, op, 2)?;
+                let i = crate::util::index_arg(REG_ARRAY, op, 0)?;
+                cell(i)?;
+                let v = value_arg(REG_ARRAY, op, 1)?;
+                let next = state
+                    .with_index(i, v)
+                    .ok_or_else(|| ObjectError::TypeMismatch {
+                        object: REG_ARRAY,
+                        detail: format!("state {state} is not a tuple of length {}", self.len),
+                    })?;
+                Ok(vec![Outcome::ret(next, Value::Nil)])
+            }
+            _ => Err(unknown_op(REG_ARRAY, op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    #[test]
+    fn register_read_write() {
+        let r = Register::new();
+        let s0 = r.initial_state();
+        assert_eq!(s0, Value::Nil);
+        let out = r.apply(&s0, &Op::new("read")).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].response, Some(Value::Nil));
+        let s1 = r
+            .apply(&s0, &Op::unary("write", Value::Int(3)))
+            .unwrap()
+            .remove(0)
+            .state;
+        let out = r.apply(&s1, &Op::new("read")).unwrap();
+        assert_eq!(out[0].response, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn register_with_initial() {
+        let r = Register::with_initial(Value::Sym("opened"));
+        assert_eq!(r.initial_state(), Value::Sym("opened"));
+    }
+
+    #[test]
+    fn register_rejects_bad_ops() {
+        let r = Register::new();
+        let s = r.initial_state();
+        assert!(matches!(
+            r.apply(&s, &Op::new("cas")),
+            Err(ObjectError::UnknownOp { .. })
+        ));
+        assert!(matches!(
+            r.apply(&s, &Op::unary("read", Value::Int(0))),
+            Err(ObjectError::BadArity { .. })
+        ));
+        assert!(matches!(
+            r.apply(&s, &Op::new("write")),
+            Err(ObjectError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn register_is_deterministic() {
+        let r = Register::new();
+        let ops = [Op::new("read"), Op::unary("write", Value::Int(1))];
+        assert_eq!(audit_determinism(&r, &ops, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn array_cells_are_independent() {
+        let a = RegisterArray::new(3);
+        let s0 = a.initial_state();
+        let s1 = a
+            .apply(&s0, &Op::binary("write", Value::Int(0), Value::Int(10)))
+            .unwrap()
+            .remove(0)
+            .state;
+        let s2 = a
+            .apply(&s1, &Op::binary("write", Value::Int(2), Value::Int(30)))
+            .unwrap()
+            .remove(0)
+            .state;
+        let read = |s: &Value, i: i64| {
+            a.apply(s, &Op::unary("read", Value::Int(i)))
+                .unwrap()
+                .remove(0)
+                .response
+                .unwrap()
+        };
+        assert_eq!(read(&s2, 0), Value::Int(10));
+        assert_eq!(read(&s2, 1), Value::Nil);
+        assert_eq!(read(&s2, 2), Value::Int(30));
+    }
+
+    #[test]
+    fn array_bounds_checked() {
+        let a = RegisterArray::new(2);
+        let s = a.initial_state();
+        assert!(matches!(
+            a.apply(&s, &Op::unary("read", Value::Int(2))),
+            Err(ObjectError::IllegalOp { .. })
+        ));
+        assert!(matches!(
+            a.apply(&s, &Op::binary("write", Value::Int(5), Value::Nil)),
+            Err(ObjectError::IllegalOp { .. })
+        ));
+    }
+
+    #[test]
+    fn array_len_accessors() {
+        assert_eq!(RegisterArray::new(4).len(), 4);
+        assert!(!RegisterArray::new(4).is_empty());
+        assert!(RegisterArray::new(0).is_empty());
+        let a = RegisterArray::with_initial(2, Value::Int(0));
+        assert_eq!(
+            a.initial_state(),
+            Value::tup([Value::Int(0), Value::Int(0)])
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Classic read-modify-write objects: swap, test-and-set, fetch-and-add,
+//! compare-and-swap.
+//!
+//! These are the canonical inhabitants of the consensus hierarchy levels the
+//! paper orbits: swap/test-and-set/fetch-and-add have consensus number 2
+//! (the *Common2* family); compare-and-swap has infinite consensus number.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{int_state, need_arity, unknown_op, value_arg};
+
+/// A swap register: `swap(v)` atomically stores `v` and returns the previous
+/// value; `read()` returns the current value.
+///
+/// Consensus number 2 (Herlihy). Note that for `k = 2` the paper's
+/// `WRN₂`-style objects degenerate to exactly this object.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::Swap;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let sw = Swap::new();
+/// let out = sw.apply(&sw.initial_state(), &Op::unary("swap", Value::Int(1))).unwrap();
+/// assert_eq!(out[0].response, Some(Value::Nil)); // previous value was ⊥
+/// assert_eq!(out[0].state, Value::Int(1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Swap {
+    init: Value,
+}
+
+impl Swap {
+    /// Creates a swap register initialized to `⊥`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a swap register with the given initial value.
+    pub fn with_initial(init: Value) -> Self {
+        Swap { init }
+    }
+}
+
+const SWAP: &str = "swap";
+
+impl ObjectSpec for Swap {
+    fn type_name(&self) -> &'static str {
+        SWAP
+    }
+
+    fn initial_state(&self) -> Value {
+        self.init.clone()
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "swap" => {
+                need_arity(SWAP, op, 1)?;
+                let v = value_arg(SWAP, op, 0)?;
+                Ok(vec![Outcome::ret(v, state.clone())])
+            }
+            "read" => {
+                need_arity(SWAP, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), state.clone())])
+            }
+            _ => Err(unknown_op(SWAP, op)),
+        }
+    }
+}
+
+/// A one-shot test-and-set bit.
+///
+/// `test_and_set()` returns `0` to the first caller (the winner) and `1` to
+/// everyone else; `read()` returns the current bit. Consensus number 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TestAndSet;
+
+impl TestAndSet {
+    /// Creates an unset test-and-set bit.
+    pub fn new() -> Self {
+        TestAndSet
+    }
+}
+
+const TAS: &str = "test-and-set";
+
+impl ObjectSpec for TestAndSet {
+    fn type_name(&self) -> &'static str {
+        TAS
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(0)
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let bit = int_state(TAS, state)?;
+        match op.name {
+            "test_and_set" => {
+                need_arity(TAS, op, 0)?;
+                Ok(vec![Outcome::ret(Value::Int(1), Value::Int(bit))])
+            }
+            "read" => {
+                need_arity(TAS, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), Value::Int(bit))])
+            }
+            _ => Err(unknown_op(TAS, op)),
+        }
+    }
+}
+
+/// A fetch-and-add register: `fetch_add(d)` atomically adds `d` and returns
+/// the previous value; `read()` returns the current value.
+///
+/// Consensus number 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchAdd;
+
+impl FetchAdd {
+    /// Creates a fetch-and-add register initialized to 0.
+    pub fn new() -> Self {
+        FetchAdd
+    }
+}
+
+const FAA: &str = "fetch-add";
+
+impl ObjectSpec for FetchAdd {
+    fn type_name(&self) -> &'static str {
+        FAA
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(0)
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let n = int_state(FAA, state)?;
+        match op.name {
+            "fetch_add" => {
+                need_arity(FAA, op, 1)?;
+                let d = crate::util::int_arg(FAA, op, 0)?;
+                Ok(vec![Outcome::ret(Value::Int(n + d), Value::Int(n))])
+            }
+            "read" => {
+                need_arity(FAA, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), Value::Int(n))])
+            }
+            _ => Err(unknown_op(FAA, op)),
+        }
+    }
+}
+
+/// A compare-and-swap register.
+///
+/// `cas(expected, new)` atomically installs `new` iff the current value
+/// equals `expected`, returning the value observed before the operation;
+/// `read()` returns the current value. Infinite consensus number.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompareAndSwap {
+    init: Value,
+}
+
+impl CompareAndSwap {
+    /// Creates a CAS register initialized to `⊥`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a CAS register with the given initial value.
+    pub fn with_initial(init: Value) -> Self {
+        CompareAndSwap { init }
+    }
+}
+
+const CAS: &str = "compare-and-swap";
+
+impl ObjectSpec for CompareAndSwap {
+    fn type_name(&self) -> &'static str {
+        CAS
+    }
+
+    fn initial_state(&self) -> Value {
+        self.init.clone()
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "cas" => {
+                need_arity(CAS, op, 2)?;
+                let expected = value_arg(CAS, op, 0)?;
+                let new = value_arg(CAS, op, 1)?;
+                let next = if *state == expected {
+                    new
+                } else {
+                    state.clone()
+                };
+                Ok(vec![Outcome::ret(next, state.clone())])
+            }
+            "read" => {
+                need_arity(CAS, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), state.clone())])
+            }
+            _ => Err(unknown_op(CAS, op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    #[test]
+    fn swap_returns_previous() {
+        let sw = Swap::new();
+        let s0 = sw.initial_state();
+        let o1 = sw
+            .apply(&s0, &Op::unary("swap", Value::Int(1)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o1.response, Some(Value::Nil));
+        let o2 = sw
+            .apply(&o1.state, &Op::unary("swap", Value::Int(2)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o2.response, Some(Value::Int(1)));
+        assert_eq!(o2.state, Value::Int(2));
+    }
+
+    #[test]
+    fn tas_has_single_winner() {
+        let t = TestAndSet::new();
+        let s0 = t.initial_state();
+        let o1 = t.apply(&s0, &Op::new("test_and_set")).unwrap().remove(0);
+        assert_eq!(o1.response, Some(Value::Int(0)), "first caller wins");
+        let o2 = t
+            .apply(&o1.state, &Op::new("test_and_set"))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o2.response, Some(Value::Int(1)), "second caller loses");
+        let o3 = t
+            .apply(&o2.state, &Op::new("test_and_set"))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o3.response, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let f = FetchAdd::new();
+        let s0 = f.initial_state();
+        let o1 = f
+            .apply(&s0, &Op::unary("fetch_add", Value::Int(5)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o1.response, Some(Value::Int(0)));
+        let o2 = f
+            .apply(&o1.state, &Op::unary("fetch_add", Value::Int(-2)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(o2.response, Some(Value::Int(5)));
+        assert_eq!(o2.state, Value::Int(3));
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let c = CompareAndSwap::new();
+        let s0 = c.initial_state();
+        let win = c
+            .apply(&s0, &Op::binary("cas", Value::Nil, Value::Int(1)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(win.response, Some(Value::Nil));
+        assert_eq!(win.state, Value::Int(1));
+        let lose = c
+            .apply(&win.state, &Op::binary("cas", Value::Nil, Value::Int(2)))
+            .unwrap()
+            .remove(0);
+        assert_eq!(
+            lose.response,
+            Some(Value::Int(1)),
+            "loser observes winner's value"
+        );
+        assert_eq!(
+            lose.state,
+            Value::Int(1),
+            "failed CAS leaves state unchanged"
+        );
+    }
+
+    #[test]
+    fn all_rmw_objects_are_deterministic() {
+        assert_eq!(
+            audit_determinism(&Swap::new(), &[Op::unary("swap", Value::Int(1))], 3).unwrap(),
+            None
+        );
+        assert_eq!(
+            audit_determinism(&TestAndSet::new(), &[Op::new("test_and_set")], 3).unwrap(),
+            None
+        );
+        assert_eq!(
+            audit_determinism(
+                &FetchAdd::new(),
+                &[Op::unary("fetch_add", Value::Int(1))],
+                3
+            )
+            .unwrap(),
+            None
+        );
+        assert_eq!(
+            audit_determinism(
+                &CompareAndSwap::new(),
+                &[Op::binary("cas", Value::Nil, Value::Int(1))],
+                3
+            )
+            .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn unknown_ops_rejected() {
+        assert!(Swap::new().apply(&Value::Nil, &Op::new("pop")).is_err());
+        assert!(TestAndSet::new()
+            .apply(&Value::Int(0), &Op::new("reset"))
+            .is_err());
+        assert!(FetchAdd::new()
+            .apply(&Value::Int(0), &Op::new("mul"))
+            .is_err());
+        assert!(CompareAndSwap::new()
+            .apply(&Value::Nil, &Op::new("swap"))
+            .is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The nondeterministic `(n, k)`-set-consensus object.
+//!
+//! This is the comparison point of the paper: Borowsky–Gafni's
+//! nondeterministic object whose synchronization power is exactly the
+//! `k`-set-consensus task for `n` processes. The paper's contribution is a
+//! family of **deterministic** objects occupying the same territory; this
+//! object is implemented here so that the two can be compared inside one
+//! framework.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{need_arity, unknown_op, value_arg};
+
+/// The `(n, k)`-set-consensus object of Borowsky–Gafni, as specified in the
+/// model section of the paper:
+///
+/// > For all positive integers `k < n`, an `(n, k)`-set consensus
+/// > nondeterministic object supports one operation, `propose`, which takes
+/// > a single value as input. The value of the object is a set of at most
+/// > `k` values, initially empty, and a count of the number of `propose`
+/// > operations performed. The first `propose` adds its input to the set.
+/// > Any other `propose` can nondeterministically choose to add its input,
+/// > provided the set has size less than `k`. Each of the first `n`
+/// > `propose` operations nondeterministically returns an element of the
+/// > set. All subsequent `propose` operations hang the system in a manner
+/// > that cannot be detected by the processes.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::SetConsensus;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let sc = SetConsensus::new(3, 2).unwrap();
+/// let outs = sc
+///     .apply(&sc.initial_state(), &Op::unary("propose", Value::Int(5)))
+///     .unwrap();
+/// // First proposal: deterministic in effect, returns the only element.
+/// assert_eq!(outs.len(), 1);
+/// assert_eq!(outs[0].response, Some(Value::Int(5)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetConsensus {
+    n: usize,
+    k: usize,
+}
+
+/// Error constructing a [`SetConsensus`] with invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidSetConsensusParams {
+    /// Requested access bound.
+    pub n: usize,
+    /// Requested agreement bound.
+    pub k: usize,
+}
+
+impl std::fmt::Display for InvalidSetConsensusParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "(n, k)-set consensus requires 0 < k < n, got (n, k) = ({}, {})",
+            self.n, self.k
+        )
+    }
+}
+
+impl std::error::Error for InvalidSetConsensusParams {}
+
+impl SetConsensus {
+    /// Creates an `(n, k)`-set-consensus object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSetConsensusParams`] unless `0 < k < n`.
+    pub fn new(n: usize, k: usize) -> Result<Self, InvalidSetConsensusParams> {
+        if k == 0 || k >= n {
+            return Err(InvalidSetConsensusParams { n, k });
+        }
+        Ok(SetConsensus { n, k })
+    }
+
+    /// Returns the access bound `n`.
+    pub fn accesses(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the agreement bound `k`.
+    pub fn agreement(&self) -> usize {
+        self.k
+    }
+}
+
+const SETCONS: &str = "set-consensus";
+
+fn decode(state: &Value) -> Result<(Vec<Value>, usize), ObjectError> {
+    let corrupt = || ObjectError::TypeMismatch {
+        object: SETCONS,
+        detail: format!("state {state} is not (set, count)"),
+    };
+    let set = state
+        .index(0)
+        .and_then(Value::as_tup)
+        .ok_or_else(corrupt)?
+        .to_vec();
+    let count = state
+        .index(1)
+        .and_then(Value::as_index)
+        .ok_or_else(corrupt)?;
+    Ok((set, count))
+}
+
+fn encode(mut set: Vec<Value>, count: usize) -> Value {
+    set.sort();
+    set.dedup();
+    Value::tup([Value::Tup(set), Value::from(count)])
+}
+
+impl ObjectSpec for SetConsensus {
+    fn type_name(&self) -> &'static str {
+        SETCONS
+    }
+
+    /// State: `(set, count)` — the (sorted, deduplicated) chosen set and the
+    /// number of proposals so far.
+    fn initial_state(&self) -> Value {
+        encode(Vec::new(), 0)
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        if op.name != "propose" {
+            return Err(unknown_op(SETCONS, op));
+        }
+        need_arity(SETCONS, op, 1)?;
+        let v = value_arg(SETCONS, op, 0)?;
+        if v.is_nil() {
+            return Err(ObjectError::IllegalOp {
+                object: SETCONS,
+                detail: "cannot propose ⊥".into(),
+            });
+        }
+        let (set, count) = decode(state)?;
+        if count >= self.n {
+            // Exhausted: hang undetectably.
+            return Ok(vec![Outcome::hang(encode(set, count + 1))]);
+        }
+        let next_count = count + 1;
+        let mut outcomes = Vec::new();
+        if count == 0 {
+            // The first proposal must add its input and (the set being a
+            // singleton) returns it.
+            let set = vec![v.clone()];
+            outcomes.push(Outcome::ret(encode(set, next_count), v));
+            return Ok(outcomes);
+        }
+        // Later proposals: nondeterministically add (if room), then
+        // nondeterministically return any element of the resulting set.
+        let mut variants: Vec<Vec<Value>> = vec![set.clone()];
+        if set.len() < self.k && !set.contains(&v) {
+            let mut added = set.clone();
+            added.push(v.clone());
+            variants.push(added);
+        }
+        for variant in variants {
+            for elem in &variant {
+                outcomes.push(Outcome::ret(
+                    encode(variant.clone(), next_count),
+                    elem.clone(),
+                ));
+            }
+        }
+        // Deduplicate identical (state, response) pairs.
+        outcomes.sort_by(|a, b| (&a.state, &a.response).cmp(&(&b.state, &b.response)));
+        outcomes.dedup();
+        Ok(outcomes)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn propose(sc: &SetConsensus, s: &Value, v: i64) -> Vec<Outcome> {
+        sc.apply(s, &Op::unary("propose", Value::Int(v))).unwrap()
+    }
+
+    #[test]
+    fn parameters_validated() {
+        assert!(SetConsensus::new(3, 0).is_err());
+        assert!(SetConsensus::new(3, 3).is_err());
+        assert!(SetConsensus::new(3, 4).is_err());
+        let sc = SetConsensus::new(4, 2).unwrap();
+        assert_eq!(sc.accesses(), 4);
+        assert_eq!(sc.agreement(), 2);
+        let err = SetConsensus::new(2, 2).unwrap_err();
+        assert!(err.to_string().contains("(2, 2)"));
+    }
+
+    #[test]
+    fn first_proposal_is_forced() {
+        let sc = SetConsensus::new(3, 2).unwrap();
+        let outs = propose(&sc, &sc.initial_state(), 7);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].response, Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn second_proposal_branches() {
+        let sc = SetConsensus::new(3, 2).unwrap();
+        let s1 = propose(&sc, &sc.initial_state(), 1).remove(0).state;
+        let outs = propose(&sc, &s1, 2);
+        // Branches: keep-set {1} → return 1; add → {1,2} → return 1 or 2.
+        let responses: Vec<_> = outs.iter().map(|o| o.response.clone().unwrap()).collect();
+        assert!(responses.contains(&Value::Int(1)));
+        assert!(responses.contains(&Value::Int(2)));
+        assert_eq!(outs.len(), 3);
+    }
+
+    #[test]
+    fn set_never_exceeds_k() {
+        let sc = SetConsensus::new(5, 1).unwrap();
+        let s1 = propose(&sc, &sc.initial_state(), 1).remove(0).state;
+        let outs = propose(&sc, &s1, 2);
+        // k = 1: the set is full, so the only branch keeps {1} and returns 1.
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].response, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn exhaustion_hangs() {
+        let sc = SetConsensus::new(2, 1).unwrap();
+        let s1 = propose(&sc, &sc.initial_state(), 1).remove(0).state;
+        let s2 = propose(&sc, &s1, 2).remove(0).state;
+        let outs = propose(&sc, &s2, 3);
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].is_hang());
+    }
+
+    #[test]
+    fn duplicate_proposals_do_not_grow_the_set() {
+        let sc = SetConsensus::new(4, 2).unwrap();
+        let s1 = propose(&sc, &sc.initial_state(), 1).remove(0).state;
+        let outs = propose(&sc, &s1, 1);
+        // Proposing an element already in the set: no "add" branch.
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].response, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn declares_nondeterminism() {
+        let sc = SetConsensus::new(3, 2).unwrap();
+        assert!(!sc.is_deterministic());
+        assert!(sc.apply(&sc.initial_state(), &Op::new("read")).is_err());
+        assert!(sc
+            .apply(&sc.initial_state(), &Op::unary("propose", Value::Nil))
+            .is_err());
+    }
+}

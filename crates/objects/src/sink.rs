@@ -1,0 +1,61 @@
+//! The sink: an object every operation on which hangs.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+/// An object whose every operation hangs the caller undetectably.
+///
+/// Useful as an explicit "never terminates" exit for protocols that model
+/// livelock or divergence inside a *finite* configuration graph: invoking
+/// the sink removes the process from the execution without growing the
+/// state space, exactly like an exhausted set-consensus object of the
+/// paper's model.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::Sink;
+/// use subconsensus_sim::{ObjectSpec, Op};
+///
+/// let s = Sink::new();
+/// let outs = s.apply(&s.initial_state(), &Op::new("anything")).unwrap();
+/// assert!(outs[0].is_hang());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sink;
+
+impl Sink {
+    /// Creates a sink.
+    pub fn new() -> Self {
+        Sink
+    }
+}
+
+impl ObjectSpec for Sink {
+    fn type_name(&self) -> &'static str {
+        "sink"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Nil
+    }
+
+    fn apply(&self, state: &Value, _op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        Ok(vec![Outcome::hang(state.clone())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_operation_hangs_and_state_never_changes() {
+        let s = Sink::new();
+        for name in ["read", "write", "propose"] {
+            let outs = s.apply(&s.initial_state(), &Op::new(name)).unwrap();
+            assert_eq!(outs.len(), 1);
+            assert!(outs[0].is_hang());
+            assert_eq!(outs[0].state, Value::Nil);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! An atomic-snapshot object as a primitive.
+//!
+//! Snapshots are wait-free implementable from registers (Afek et al.), and
+//! the `protocols` crate contains such an implementation. This primitive
+//! version is convenient when a protocol should be studied *given* snapshots
+//! (as in several constructions of the paper's lineage) without paying the
+//! state-space cost of the register-level implementation.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+use crate::util::{index_arg, need_arity, unknown_op, value_arg};
+
+/// A single-object atomic snapshot with `len` segments.
+///
+/// Operations:
+///
+/// * `update(i, v)` → `⊥` (stores `v` into segment `i`);
+/// * `scan()` → a tuple of all segments, atomically.
+///
+/// Consensus number 1: snapshots are equivalent to registers.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_objects::Snapshot;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let sn = Snapshot::new(2);
+/// let s = sn
+///     .apply(&sn.initial_state(), &Op::binary("update", Value::Int(0), Value::Int(8)))
+///     .unwrap()
+///     .remove(0)
+///     .state;
+/// let out = sn.apply(&s, &Op::new("scan")).unwrap();
+/// assert_eq!(out[0].response, Some(Value::tup([Value::Int(8), Value::Nil])));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    len: usize,
+}
+
+impl Snapshot {
+    /// Creates a snapshot object with `len` segments, all `⊥`.
+    pub fn new(len: usize) -> Self {
+        Snapshot { len }
+    }
+
+    /// Returns the number of segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the snapshot has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+const SNAP: &str = "snapshot";
+
+impl ObjectSpec for Snapshot {
+    fn type_name(&self) -> &'static str {
+        SNAP
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::nil_tup(self.len)
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "update" => {
+                need_arity(SNAP, op, 2)?;
+                let i = index_arg(SNAP, op, 0)?;
+                if i >= self.len {
+                    return Err(ObjectError::IllegalOp {
+                        object: SNAP,
+                        detail: format!("segment index {i} out of range 0..{}", self.len),
+                    });
+                }
+                let v = value_arg(SNAP, op, 1)?;
+                let next = state
+                    .with_index(i, v)
+                    .ok_or_else(|| ObjectError::TypeMismatch {
+                        object: SNAP,
+                        detail: format!("state {state} is not a tuple of length {}", self.len),
+                    })?;
+                Ok(vec![Outcome::ret(next, Value::Nil)])
+            }
+            "scan" => {
+                need_arity(SNAP, op, 0)?;
+                Ok(vec![Outcome::ret(state.clone(), state.clone())])
+            }
+            _ => Err(unknown_op(SNAP, op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    #[test]
+    fn scan_returns_all_segments_atomically() {
+        let sn = Snapshot::new(3);
+        let mut s = sn.initial_state();
+        s = sn
+            .apply(&s, &Op::binary("update", Value::Int(1), Value::Sym("a")))
+            .unwrap()
+            .remove(0)
+            .state;
+        s = sn
+            .apply(&s, &Op::binary("update", Value::Int(2), Value::Sym("b")))
+            .unwrap()
+            .remove(0)
+            .state;
+        let out = sn.apply(&s, &Op::new("scan")).unwrap().remove(0);
+        assert_eq!(
+            out.response,
+            Some(Value::tup([Value::Nil, Value::Sym("a"), Value::Sym("b")]))
+        );
+    }
+
+    #[test]
+    fn update_bounds_checked() {
+        let sn = Snapshot::new(1);
+        assert!(matches!(
+            sn.apply(
+                &sn.initial_state(),
+                &Op::binary("update", Value::Int(1), Value::Nil)
+            ),
+            Err(ObjectError::IllegalOp { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_audit() {
+        let sn = Snapshot::new(2);
+        let ops = [
+            Op::binary("update", Value::Int(0), Value::Int(1)),
+            Op::new("scan"),
+        ];
+        assert_eq!(audit_determinism(&sn, &ops, 3).unwrap(), None);
+        assert_eq!(sn.len(), 2);
+        assert!(!sn.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared argument-validation helpers for object specs.
+
+use subconsensus_sim::{ObjectError, Op, Value};
+
+/// Checks that `op` has exactly `n` arguments.
+pub(crate) fn need_arity(object: &'static str, op: &Op, n: usize) -> Result<(), ObjectError> {
+    if op.args.len() == n {
+        Ok(())
+    } else {
+        Err(ObjectError::BadArity {
+            object,
+            op: op.clone(),
+            expected: n,
+        })
+    }
+}
+
+/// Extracts argument `i` of `op` as a non-negative index.
+pub(crate) fn index_arg(object: &'static str, op: &Op, i: usize) -> Result<usize, ObjectError> {
+    op.arg(i)
+        .and_then(Value::as_index)
+        .ok_or_else(|| ObjectError::TypeMismatch {
+            object,
+            detail: format!("argument {i} of `{op}` must be a non-negative integer"),
+        })
+}
+
+/// Extracts argument `i` of `op` as an integer.
+pub(crate) fn int_arg(object: &'static str, op: &Op, i: usize) -> Result<i64, ObjectError> {
+    op.arg(i)
+        .and_then(Value::as_int)
+        .ok_or_else(|| ObjectError::TypeMismatch {
+            object,
+            detail: format!("argument {i} of `{op}` must be an integer"),
+        })
+}
+
+/// Extracts argument `i` of `op` as an arbitrary value (clone).
+pub(crate) fn value_arg(object: &'static str, op: &Op, i: usize) -> Result<Value, ObjectError> {
+    op.arg(i).cloned().ok_or_else(|| ObjectError::TypeMismatch {
+        object,
+        detail: format!("argument {i} of `{op}` is missing"),
+    })
+}
+
+/// Views `state` as a tuple, failing with a state-corruption error.
+pub(crate) fn tup_state<'a>(
+    object: &'static str,
+    state: &'a Value,
+) -> Result<&'a [Value], ObjectError> {
+    state.as_tup().ok_or_else(|| ObjectError::TypeMismatch {
+        object,
+        detail: format!("state {state} is not a tuple"),
+    })
+}
+
+/// Views `state` as an integer, failing with a state-corruption error.
+pub(crate) fn int_state(object: &'static str, state: &Value) -> Result<i64, ObjectError> {
+    state.as_int().ok_or_else(|| ObjectError::TypeMismatch {
+        object,
+        detail: format!("state {state} is not an integer"),
+    })
+}
+
+/// The standard "unknown operation" rejection.
+pub(crate) fn unknown_op(object: &'static str, op: &Op) -> ObjectError {
+    ObjectError::UnknownOp {
+        object,
+        op: op.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_check() {
+        let op = Op::unary("f", Value::Int(1));
+        assert!(need_arity("t", &op, 1).is_ok());
+        assert!(matches!(
+            need_arity("t", &op, 2),
+            Err(ObjectError::BadArity { expected: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn index_arg_rejects_negative_and_missing() {
+        let op = Op::unary("f", Value::Int(-1));
+        assert!(index_arg("t", &op, 0).is_err());
+        assert!(index_arg("t", &op, 1).is_err());
+        let ok = Op::unary("f", Value::Int(2));
+        assert_eq!(index_arg("t", &ok, 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn state_views() {
+        assert!(tup_state("t", &Value::Int(1)).is_err());
+        assert_eq!(tup_state("t", &Value::tup([])).unwrap().len(), 0);
+        assert_eq!(int_state("t", &Value::Int(4)).unwrap(), 4);
+        assert!(int_state("t", &Value::Nil).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! The adopt–commit protocol from registers (Gafni's commit–adopt).
+//!
+//! Adopt–commit is the canonical register-only agreement weakener: every
+//! process outputs `(commit, v)` or `(adopt, v)` such that
+//!
+//! * **Validity** — `v` is some process's input;
+//! * **CA-agreement** — if any process outputs `(commit, v)` then every
+//!   output carries the very same `v`;
+//! * **Solo commitment** — a process that runs alone (or whose input is
+//!   shared by everyone) commits.
+//!
+//! It is a substrate for round-based agreement protocols and a useful foil
+//! in this reproduction: it shows how far *registers alone* go (they weaken
+//! agreement but never reach consensus, by the paper's Section-6-style
+//! impossibility).
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{field, need_resp, pc_of, state, tup_of};
+
+/// Symbol used in the `(commit, v)` output.
+pub const COMMIT: &str = "commit";
+/// Symbol used in the `(adopt, v)` output.
+pub const ADOPT: &str = "adopt";
+
+/// The adopt–commit protocol for `n` processes over two
+/// [`RegisterArray`](subconsensus_objects::RegisterArray)`(n)` objects.
+///
+/// Decisions are `(commit|adopt, v)` tuples. See the module docs for the
+/// guarantees.
+///
+/// Phase 1 writes the input to `round1[pid]` and collects `round1`; if only
+/// one distinct value was seen the process *prefers* it (flag `true`), else
+/// it prefers the smallest value seen with flag `false`. Phase 2 writes the
+/// preference to `round2[pid]`, collects `round2`, and commits iff every
+/// collected preference is flagged `true` for the same value.
+#[derive(Clone, Copy, Debug)]
+pub struct AdoptCommit {
+    round1: ObjId,
+    round2: ObjId,
+    n: usize,
+}
+
+impl AdoptCommit {
+    /// Creates the protocol for `n` processes over register arrays `round1`
+    /// and `round2`, each of length `n`.
+    pub fn new(round1: ObjId, round2: ObjId, n: usize) -> Self {
+        AdoptCommit { round1, round2, n }
+    }
+}
+
+// pc layout:
+//   0              — write input to round1[pid]
+//   10 + i         — read round1[i] (collect phase 1); fields: (collected so far)
+//   1              — analyze phase-1 collect, write pref to round2[pid]
+//   20 + i         — read round2[i] (collect phase 2); fields: (pref, collected)
+//   2              — analyze phase-2 collect, decide
+impl Protocol for AdoptCommit {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        state(0, [])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let pc = pc_of(local)?;
+        let me = ctx.pid.index();
+        match pc {
+            0 => Ok(Action::invoke(
+                state(10, [Value::tup([])]),
+                self.round1,
+                Op::binary("write", Value::from(me), ctx.input.clone()),
+            )),
+            _ if (10..10 + self.n as i64).contains(&pc) => {
+                let i = (pc - 10) as usize;
+                let mut collected = tup_of(field(local, 0)?)?.to_vec();
+                if i > 0 {
+                    collected.push(need_resp(resp)?.clone());
+                }
+                // Issue read of round1[i]; the response lands in the next pc.
+                let next_pc = if i + 1 < self.n {
+                    10 + (i as i64) + 1
+                } else {
+                    1
+                };
+                Ok(Action::invoke(
+                    state(next_pc, [Value::Tup(collected)]),
+                    self.round1,
+                    Op::unary("read", Value::from(i)),
+                ))
+            }
+            1 => {
+                let mut collected = tup_of(field(local, 0)?)?.to_vec();
+                collected.push(need_resp(resp)?.clone());
+                let mut seen: Vec<Value> =
+                    collected.iter().filter(|v| !v.is_nil()).cloned().collect();
+                seen.sort();
+                seen.dedup();
+                let pref = if seen.len() == 1 {
+                    Value::tup([Value::Bool(true), seen[0].clone()])
+                } else {
+                    // Prefer the smallest value seen, unflagged.
+                    let v = seen
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| ProtocolError::new("adopt-commit: empty collect"))?;
+                    Value::tup([Value::Bool(false), v])
+                };
+                Ok(Action::invoke(
+                    state(20, [pref.clone(), Value::tup([])]),
+                    self.round2,
+                    Op::binary("write", Value::from(me), pref),
+                ))
+            }
+            _ if (20..20 + self.n as i64).contains(&pc) => {
+                let i = (pc - 20) as usize;
+                let pref = field(local, 0)?.clone();
+                let mut collected = tup_of(field(local, 1)?)?.to_vec();
+                if i > 0 {
+                    collected.push(need_resp(resp)?.clone());
+                }
+                let next_pc = if i + 1 < self.n {
+                    20 + (i as i64) + 1
+                } else {
+                    2
+                };
+                Ok(Action::invoke(
+                    state(next_pc, [pref, Value::Tup(collected)]),
+                    self.round2,
+                    Op::unary("read", Value::from(i)),
+                ))
+            }
+            2 => {
+                let pref = field(local, 0)?.clone();
+                let mut collected = tup_of(field(local, 1)?)?.to_vec();
+                collected.push(need_resp(resp)?.clone());
+                let prefs: Vec<(bool, Value)> = collected
+                    .iter()
+                    .filter(|v| !v.is_nil())
+                    .map(|p| -> Result<(bool, Value), ProtocolError> {
+                        let flag = p
+                            .index(0)
+                            .and_then(Value::as_bool)
+                            .ok_or_else(|| ProtocolError::new("bad preference shape"))?;
+                        let v = p
+                            .index(1)
+                            .cloned()
+                            .ok_or_else(|| ProtocolError::new("bad preference shape"))?;
+                        Ok((flag, v))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let flagged: Vec<&Value> =
+                    prefs.iter().filter(|(f, _)| *f).map(|(_, v)| v).collect();
+                let all_same_flagged =
+                    !flagged.is_empty() && prefs.iter().all(|(f, v)| *f && *v == *flagged[0]);
+                let decision = if all_same_flagged {
+                    Value::tup([Value::Sym(COMMIT), flagged[0].clone()])
+                } else if let Some(v) = flagged.first() {
+                    Value::tup([Value::Sym(ADOPT), (*v).clone()])
+                } else {
+                    // Nobody committed-prefers: adopt own preference value.
+                    let v = pref
+                        .index(1)
+                        .cloned()
+                        .ok_or_else(|| ProtocolError::new("bad own preference"))?;
+                    Value::tup([Value::Sym(ADOPT), v])
+                };
+                Ok(Action::Decide(decision))
+            }
+            pc => Err(ProtocolError::new(format!("adopt-commit: bad pc {pc}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{
+        check_wait_freedom, ExploreOptions, StateGraph, TerminalReport, WaitFreedom,
+    };
+    use subconsensus_objects::RegisterArray;
+    use subconsensus_sim::{SystemBuilder, SystemSpec};
+
+    fn ac_system(inputs: &[i64]) -> SystemSpec {
+        let n = inputs.len();
+        let mut b = SystemBuilder::new();
+        let r1 = b.add_object(RegisterArray::new(n));
+        let r2 = b.add_object(RegisterArray::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(AdoptCommit::new(r1, r2, n));
+        b.add_processes(p, inputs.iter().map(|&i| Value::Int(i)));
+        b.build()
+    }
+
+    fn decode(d: &Value) -> (&'static str, i64) {
+        (
+            d.index(0).and_then(Value::as_sym).unwrap(),
+            d.index(1).and_then(Value::as_int).unwrap(),
+        )
+    }
+
+    #[test]
+    fn solo_process_commits_its_input() {
+        let g = StateGraph::explore(&ac_system(&[7]), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        let r = TerminalReport::of(&g);
+        for set in &r.decision_sets {
+            assert_eq!(set.len(), 1);
+            assert_eq!(decode(&set[0]), (COMMIT, 7));
+        }
+    }
+
+    #[test]
+    fn identical_inputs_always_commit() {
+        let g = StateGraph::explore(&ac_system(&[4, 4]), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        for set in &TerminalReport::of(&g).decision_sets {
+            for d in set {
+                assert_eq!(decode(d), (COMMIT, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn ca_agreement_holds_in_every_schedule() {
+        // Exhaustive over 2 processes with different inputs: if anyone
+        // commits v, every decision carries v; and every carried value is an
+        // input (validity).
+        let g = StateGraph::explore(&ac_system(&[1, 2]), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        for &t in g.terminals() {
+            let cfg = g.config(t);
+            let decisions: Vec<(&'static str, i64)> = cfg
+                .decisions()
+                .iter()
+                .map(|d| decode(d.as_ref().unwrap()))
+                .collect();
+            for &(_, v) in &decisions {
+                assert!(v == 1 || v == 2, "validity");
+            }
+            let committed: Vec<i64> = decisions
+                .iter()
+                .filter(|(s, _)| *s == COMMIT)
+                .map(|&(_, v)| v)
+                .collect();
+            if let Some(&cv) = committed.first() {
+                for &(_, v) in &decisions {
+                    assert_eq!(v, cv, "CA-agreement violated in terminal {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_processes_exhaustive_ca_agreement() {
+        let g = StateGraph::explore(&ac_system(&[1, 2, 3]), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        let mut disagreeing_adopts = 0usize;
+        for &t in g.terminals() {
+            let cfg = g.config(t);
+            let decisions: Vec<(&'static str, i64)> = cfg
+                .decisions()
+                .iter()
+                .map(|d| decode(d.as_ref().unwrap()))
+                .collect();
+            let committed: Vec<i64> = decisions
+                .iter()
+                .filter(|(s, _)| *s == COMMIT)
+                .map(|&(_, v)| v)
+                .collect();
+            if let Some(&cv) = committed.first() {
+                for &(_, v) in &decisions {
+                    assert_eq!(v, cv);
+                }
+            } else {
+                let distinct: std::collections::BTreeSet<i64> =
+                    decisions.iter().map(|&(_, v)| v).collect();
+                if distinct.len() > 1 {
+                    disagreeing_adopts += 1;
+                }
+            }
+        }
+        assert!(
+            disagreeing_adopts > 0,
+            "adopt-commit is weaker than consensus: some schedules disagree on adopted values"
+        );
+    }
+}

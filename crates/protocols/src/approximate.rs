@@ -1,0 +1,246 @@
+//! Wait-free approximate agreement from registers (snapshot rounds).
+//!
+//! The positive counterpart to the consensus impossibility: registers
+//! cannot give *exact* agreement, but they give agreement to within any
+//! `ε > 0`. This rounds out the map of what lives below the paper's
+//! deterministic sub-consensus objects: registers solve approximate
+//! agreement and adopt–commit, the sub-consensus objects add bounded
+//! *exact* disagreement (`k`-set consensus), and 2-consensus adds full
+//! agreement for pairs.
+//!
+//! Integer formulation with `ε = 1`: outputs lie within the input range
+//! (validity) and pairwise differ by at most 1 (1-agreement). Every
+//! process runs exactly `R` rounds; round `r` has its own snapshot object:
+//! write your estimate, scan, move to the midpoint of the scanned
+//! estimates. Because scans of one snapshot object are totally ordered by
+//! containment, the diameter of round-`(r+1)` estimates is at most half
+//! (rounded up) the diameter of round-`r` estimates, so
+//! `R ≥ ⌈log₂ D⌉ + 1` rounds shrink an initial diameter `D` to ≤ 1.
+//! (No early deciding: a process that decided on a solo view while others
+//! keep averaging would break agreement — the classic pitfall.)
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{int_field, need_resp, pc_of, state};
+
+/// Approximate agreement to within 1, over one
+/// [`Snapshot`](subconsensus_objects::Snapshot)`(n)` **per round**, laid
+/// out contiguously from `snaps`.
+///
+/// Every process executes exactly `rounds` rounds and decides its final
+/// estimate. 1-agreement is guaranteed when
+/// `rounds ≥ ⌈log₂(max input − min input)⌉ + 1`; use
+/// [`ApproximateAgreement::rounds_for_range`].
+#[derive(Clone, Copy, Debug)]
+pub struct ApproximateAgreement {
+    snaps: ObjId,
+    rounds: usize,
+}
+
+impl ApproximateAgreement {
+    /// Creates the protocol with the given per-round snapshot array base
+    /// and round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(snaps: ObjId, rounds: usize) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        ApproximateAgreement { snaps, rounds }
+    }
+
+    /// Returns the number of snapshot objects required.
+    pub fn snapshots_needed(rounds: usize) -> usize {
+        rounds
+    }
+
+    /// Returns a sufficient round count for inputs spanning `range`
+    /// (`max − min`).
+    pub fn rounds_for_range(range: u64) -> usize {
+        let mut rounds = 1;
+        let mut d = range;
+        while d > 1 {
+            d = d.div_ceil(2);
+            rounds += 1;
+        }
+        rounds
+    }
+}
+
+// Local state: (pc, round, estimate).
+//   pc 0 — write estimate into round-snapshot; pc 1 — scan; pc 2 — step.
+impl Protocol for ApproximateAgreement {
+    fn start(&self, ctx: &ProcCtx) -> Value {
+        state(0, [Value::from(0usize), ctx.input.clone()])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let pc = pc_of(local)?;
+        let round = int_field(local, 0)? as usize;
+        let est = int_field(local, 1)?;
+        match pc {
+            0 => Ok(Action::invoke(
+                state(1, [Value::from(round), Value::Int(est)]),
+                self.snaps.offset(round),
+                Op::binary("update", Value::from(ctx.pid.index()), Value::Int(est)),
+            )),
+            1 => Ok(Action::invoke(
+                state(2, [Value::from(round), Value::Int(est)]),
+                self.snaps.offset(round),
+                Op::new("scan"),
+            )),
+            2 => {
+                let cells = need_resp(resp)?
+                    .as_tup()
+                    .ok_or_else(|| ProtocolError::new("approx: bad scan"))?;
+                let seen: Vec<i64> = cells
+                    .iter()
+                    .filter(|c| !c.is_nil())
+                    .map(|c| {
+                        c.as_int()
+                            .ok_or_else(|| ProtocolError::new("approx: bad estimate"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let lo = *seen.iter().min().expect("own estimate present");
+                let hi = *seen.iter().max().expect("own estimate present");
+                let mid = lo.midpoint(hi);
+                let next_round = round + 1;
+                if next_round >= self.rounds {
+                    return Ok(Action::Decide(Value::Int(mid)));
+                }
+                Ok(Action::invoke(
+                    state(1, [Value::from(next_round), Value::Int(mid)]),
+                    self.snaps.offset(next_round),
+                    Op::binary("update", Value::from(ctx.pid.index()), Value::Int(mid)),
+                ))
+            }
+            pc => Err(ProtocolError::new(format!("approx: bad pc {pc}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_objects::Snapshot;
+    use subconsensus_sim::{
+        run, FirstOutcome, RandomScheduler, RunOptions, SystemBuilder, SystemSpec,
+    };
+
+    fn system(inputs: &[i64], rounds: usize) -> SystemSpec {
+        let n = inputs.len();
+        let mut b = SystemBuilder::new();
+        let snaps = b.add_object_array(ApproximateAgreement::snapshots_needed(rounds), |_| {
+            Box::new(Snapshot::new(n)) as Box<dyn subconsensus_sim::ObjectSpec>
+        });
+        let p: Arc<dyn Protocol> = Arc::new(ApproximateAgreement::new(snaps, rounds));
+        b.add_processes(p, inputs.iter().map(|&v| Value::Int(v)));
+        b.build()
+    }
+
+    fn rounds_for(inputs: &[i64]) -> usize {
+        let lo = *inputs.iter().min().unwrap();
+        let hi = *inputs.iter().max().unwrap();
+        ApproximateAgreement::rounds_for_range((hi - lo) as u64)
+    }
+
+    fn check_outcome(inputs: &[i64], decisions: &[Option<Value>]) {
+        let lo = *inputs.iter().min().unwrap();
+        let hi = *inputs.iter().max().unwrap();
+        let outs: Vec<i64> = decisions
+            .iter()
+            .map(|d| d.as_ref().and_then(Value::as_int).expect("decided int"))
+            .collect();
+        for &o in &outs {
+            assert!((lo..=hi).contains(&o), "validity: {o} outside [{lo},{hi}]");
+        }
+        for &a in &outs {
+            for &b in &outs {
+                assert!((a - b).abs() <= 1, "1-agreement: {a} vs {b} ({outs:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_formula() {
+        assert_eq!(ApproximateAgreement::rounds_for_range(0), 1);
+        assert_eq!(ApproximateAgreement::rounds_for_range(1), 1);
+        assert_eq!(ApproximateAgreement::rounds_for_range(2), 2);
+        assert_eq!(ApproximateAgreement::rounds_for_range(16), 5);
+        assert_eq!(ApproximateAgreement::rounds_for_range(100), 8);
+    }
+
+    #[test]
+    fn identical_inputs_stay_put() {
+        let inputs = [5i64, 5, 5];
+        let spec = system(&inputs, 2);
+        let out = run(
+            &spec,
+            &mut subconsensus_sim::RoundRobin::new(),
+            &mut FirstOutcome,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(out.reached_final);
+        check_outcome(&inputs, &out.decisions());
+        assert_eq!(out.decided_values(), vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn random_schedules_satisfy_validity_and_1_agreement() {
+        for inputs in [vec![0i64, 16], vec![0, 7, 100], vec![-50, 0, 50, 99]] {
+            let spec = system(&inputs, rounds_for(&inputs));
+            for seed in 0..150 {
+                let mut sched = RandomScheduler::seeded(seed);
+                let out =
+                    run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+                assert!(out.reached_final, "seed {seed}");
+                check_outcome(&inputs, &out.decisions());
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_two_processes() {
+        use subconsensus_modelcheck::{
+            check_wait_freedom, ExploreOptions, StateGraph, WaitFreedom,
+        };
+        let inputs = [0i64, 4];
+        let spec = system(&inputs, rounds_for(&inputs));
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert!(!g.is_truncated());
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        for &t in g.terminals() {
+            check_outcome(&inputs, &g.config(t).decisions());
+        }
+    }
+
+    #[test]
+    fn too_few_rounds_really_can_disagree_by_more_than_1() {
+        // Control experiment justifying the round bound: with only 1 round
+        // and a gap of 100, a solo-first schedule leaves outputs far apart.
+        let inputs = [0i64, 100];
+        let spec = system(&inputs, 1);
+        let mut worst = 0i64;
+        for seed in 0..100 {
+            let mut sched = RandomScheduler::seeded(seed);
+            let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+            let outs: Vec<i64> = out
+                .decisions()
+                .iter()
+                .map(|d| d.as_ref().and_then(Value::as_int).unwrap())
+                .collect();
+            worst = worst.max((outs[0] - outs[1]).abs());
+        }
+        assert!(
+            worst > 1,
+            "one round must be insufficient somewhere (worst {worst})"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! One-shot immediate snapshot (Borowsky–Gafni).
+//!
+//! The immediate-snapshot task is the combinatorial engine of the
+//! BG-simulation arguments behind the set-consensus characterization the
+//! paper builds on. Each process writes its value and obtains a *view* (a
+//! set of values) such that:
+//!
+//! * **self-inclusion** — a process's view contains its own value;
+//! * **containment** — any two views are ordered by inclusion;
+//! * **immediacy** — if `j`'s value is in `i`'s view, then `j`'s view is a
+//!   subset of `i`'s view.
+//!
+//! The classic level-descent algorithm: starting at level `n`, a process
+//! writes `(value, level)` and snapshots; if the number of processes at
+//! levels `≤ level` equals `level`, it returns their values, otherwise it
+//! descends one level and repeats. A process terminates within `n`
+//! iterations (wait-free).
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{index_field, need_resp, pc_of, state};
+
+/// The one-shot immediate-snapshot protocol for `n` processes over a
+/// [`Snapshot`](subconsensus_objects::Snapshot)`(n)` object whose segments
+/// hold `(value, level)` pairs.
+///
+/// Each process decides its view as a sorted tuple of the values it saw at
+/// levels `≤` its exit level.
+#[derive(Clone, Copy, Debug)]
+pub struct ImmediateSnapshot {
+    snap: ObjId,
+    n: usize,
+}
+
+impl ImmediateSnapshot {
+    /// Creates the protocol over snapshot object `snap` with `n` segments.
+    pub fn new(snap: ObjId, n: usize) -> Self {
+        ImmediateSnapshot { snap, n }
+    }
+}
+
+// Local state: (pc, level). pc 0 — write (value, level); pc 1 — scan;
+// pc 2 — analyze scan.
+impl Protocol for ImmediateSnapshot {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        state(0, [Value::from(self.n)])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let pc = pc_of(local)?;
+        let level = index_field(local, 0)?;
+        match pc {
+            0 => Ok(Action::invoke(
+                state(1, [Value::from(level)]),
+                self.snap,
+                Op::binary(
+                    "update",
+                    Value::from(ctx.pid.index()),
+                    Value::tup([ctx.input.clone(), Value::from(level)]),
+                ),
+            )),
+            1 => Ok(Action::invoke(
+                state(2, [Value::from(level)]),
+                self.snap,
+                Op::new("scan"),
+            )),
+            2 => {
+                let scan = need_resp(resp)?;
+                let cells = scan
+                    .as_tup()
+                    .ok_or_else(|| ProtocolError::new("immediate-snapshot: bad scan"))?;
+                let mut seen: Vec<Value> = Vec::new();
+                for cell in cells {
+                    if cell.is_nil() {
+                        continue;
+                    }
+                    let v = cell
+                        .index(0)
+                        .cloned()
+                        .ok_or_else(|| ProtocolError::new("immediate-snapshot: bad cell"))?;
+                    let l = cell
+                        .index(1)
+                        .and_then(Value::as_index)
+                        .ok_or_else(|| ProtocolError::new("immediate-snapshot: bad level"))?;
+                    if l <= level {
+                        seen.push(v);
+                    }
+                }
+                if seen.len() == level {
+                    seen.sort();
+                    return Ok(Action::Decide(Value::Tup(seen)));
+                }
+                if level == 1 {
+                    return Err(ProtocolError::new(
+                        "immediate-snapshot: descended below level 1 — more than n processes?",
+                    ));
+                }
+                // Descend and rewrite at the lower level.
+                Ok(Action::invoke(
+                    state(1, [Value::from(level - 1)]),
+                    self.snap,
+                    Op::binary(
+                        "update",
+                        Value::from(ctx.pid.index()),
+                        Value::tup([ctx.input.clone(), Value::from(level - 1)]),
+                    ),
+                ))
+            }
+            pc => Err(ProtocolError::new(format!(
+                "immediate-snapshot: bad pc {pc}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{check_wait_freedom, ExploreOptions, StateGraph, WaitFreedom};
+    use subconsensus_objects::Snapshot;
+    use subconsensus_sim::{run, FirstOutcome, RandomScheduler, RunOptions, SystemBuilder};
+    use subconsensus_tasks::{check_exhaustive, ImmediateSnapshotTask, Task};
+
+    fn is_system(n: usize) -> subconsensus_sim::SystemSpec {
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(Snapshot::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(ImmediateSnapshot::new(snap, n));
+        b.add_processes(p, (0..n).map(|i| Value::Int(10 + i as i64)));
+        b.build()
+    }
+
+    #[test]
+    fn solo_view_is_a_singleton() {
+        let spec = is_system(1);
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        for &t in g.terminals() {
+            assert_eq!(
+                g.config(t).decided_values(),
+                vec![Value::tup([Value::Int(10)])]
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_immediate_snapshot_properties() {
+        for n in [2usize, 3] {
+            let spec = is_system(n);
+            let report = check_exhaustive(
+                &spec,
+                &ImmediateSnapshotTask::new(),
+                &ExploreOptions::default(),
+            )
+            .unwrap();
+            assert!(report.solved(), "n={n}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn random_larger_systems_satisfy_the_task() {
+        let n = 5;
+        let spec = is_system(n);
+        let task = ImmediateSnapshotTask::new();
+        let inputs: Vec<Value> = (0..n).map(|i| Value::Int(10 + i as i64)).collect();
+        for seed in 0..300 {
+            let mut sched = RandomScheduler::seeded(seed);
+            let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+            assert!(out.reached_final, "seed {seed}");
+            task.check(&inputs, &out.decisions()).unwrap_or_else(|v| {
+                panic!("seed {seed}: {v}");
+            });
+        }
+    }
+
+    #[test]
+    fn full_concurrency_yields_the_full_view() {
+        // All n processes lockstep to the bottom: every view is everything.
+        let n = 3;
+        let spec = is_system(n);
+        // Round-robin interleaves writes and scans so everyone sees all.
+        let out = run(
+            &spec,
+            &mut subconsensus_sim::RoundRobin::new(),
+            &mut FirstOutcome,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        for d in out.decisions().into_iter().flatten() {
+            assert_eq!(d.len(), Some(n), "lockstep run gives full views: {d}");
+        }
+    }
+}

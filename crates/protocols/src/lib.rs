@@ -1,0 +1,54 @@
+//! Wait-free shared-memory protocols for the `subconsensus` workspace.
+//!
+//! Every algorithm is an executable state machine over the
+//! [`subconsensus_sim`] substrate — a [`Protocol`](subconsensus_sim::Protocol)
+//! (one-shot task) or an [`Implementation`](subconsensus_sim::Implementation)
+//! (long-lived object) — and every module carries exhaustive or randomized
+//! correctness tests driven by the model checker and the linearizability
+//! checker.
+//!
+//! | module | algorithm | role in the paper's landscape |
+//! |---|---|---|
+//! | [`ProposeDecide`] | propose input, decide answer | Algorithm-2 shape: set consensus from one agreement object |
+//! | [`PartitionPropose`] | propose to `⌊pid/m⌋`-th object | Algorithm-6 shape / Theorem-41 positive direction |
+//! | [`AdoptCommit`] | Gafni's commit–adopt from registers | what registers *can* do towards agreement |
+//! | [`WriteReadMin`] | broken register consensus | what registers *cannot* do (model-checked) |
+//! | [`GridRenaming`] | Moir–Anderson splitter grid | bounded renaming substrate assumed by [4, 6] |
+//! | [`SnapshotRenaming`] | Attiya et al. tight `(2k-1)`-renaming | the exact bound cited by the lineage |
+//! | [`Tournament`] | test-and-set from 2-consensus | Common2 positive side |
+//! | [`SnapshotFromRegisters`] | Afek et al. atomic snapshot | consensus-number-1 power tool |
+//! | [`RepeatedAdoptCommit`] | obstruction-free consensus from registers | the wait-free/obstruction-free boundary |
+//! | [`ImmediateSnapshot`] | Borowsky–Gafni one-shot immediate snapshot | the engine of BG-simulation arguments |
+//! | [`SafeAgreement`] | Borowsky–Gafni safe agreement | BG simulation's crash-for-blocking trade |
+//! | [`ApproximateAgreement`] | snapshot-round averaging | registers agree to within any ε |
+//! | [`UniversalConstruction`] | Herlihy universal construction | `n`-consensus is universal for `n` processes |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adopt_commit;
+mod approximate;
+mod immediate_snapshot;
+mod naive;
+mod propose;
+mod renaming;
+mod repeated_ac;
+mod safe_agreement;
+mod snapshot_impl;
+mod tight_renaming;
+mod tournament;
+mod universal;
+pub(crate) mod util;
+
+pub use adopt_commit::{AdoptCommit, ADOPT, COMMIT};
+pub use approximate::ApproximateAgreement;
+pub use immediate_snapshot::ImmediateSnapshot;
+pub use naive::WriteReadMin;
+pub use propose::{PartitionPropose, ProposeDecide};
+pub use renaming::{cell_index, grid_cells, GridRenaming};
+pub use repeated_ac::RepeatedAdoptCommit;
+pub use safe_agreement::SafeAgreement;
+pub use snapshot_impl::SnapshotFromRegisters;
+pub use tight_renaming::SnapshotRenaming;
+pub use tournament::{tournament_nodes, Tournament};
+pub use universal::UniversalConstruction;

@@ -1,0 +1,126 @@
+//! A deliberately *incorrect* register-only consensus protocol.
+//!
+//! Registers cannot solve consensus for two processes (FLP / Herlihy — and
+//! the starting point of the paper's whole question). This module contains
+//! the natural-but-wrong attempt — write your value, read the other's, take
+//! the minimum — so that the model checker can *exhibit* the disagreeing
+//! schedule, mirroring how the impossibility proofs chase the adversary.
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{need_resp, pc_of, state};
+
+/// The broken "write–read–min" consensus attempt for 2 processes over a
+/// [`RegisterArray`](subconsensus_objects::RegisterArray)`(2)`.
+///
+/// Process `i` writes its input to cell `i`, reads cell `1 - i`, and decides
+/// the minimum of what it wrote and what it read (its own value if the other
+/// cell is still `⊥`). Some schedules disagree — see the tests, where the
+/// model checker finds them all.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteReadMin {
+    regs: ObjId,
+}
+
+impl WriteReadMin {
+    /// Creates the protocol over register array `regs` (length ≥ 2).
+    pub fn new(regs: ObjId) -> Self {
+        WriteReadMin { regs }
+    }
+}
+
+impl Protocol for WriteReadMin {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        state(0, [])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let me = ctx.pid.index();
+        match pc_of(local)? {
+            0 => Ok(Action::invoke(
+                state(1, []),
+                self.regs,
+                Op::binary("write", Value::from(me), ctx.input.clone()),
+            )),
+            1 => Ok(Action::invoke(
+                state(2, []),
+                self.regs,
+                Op::unary("read", Value::from(1 - me)),
+            )),
+            2 => {
+                let other = need_resp(resp)?;
+                let decision = if other.is_nil() {
+                    ctx.input.clone()
+                } else {
+                    std::cmp::min(other.clone(), ctx.input.clone())
+                };
+                Ok(Action::Decide(decision))
+            }
+            pc => Err(ProtocolError::new(format!("write-read-min: bad pc {pc}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{
+        check_wait_freedom, find_critical, ExploreOptions, StateGraph, TerminalReport, Valency,
+        WaitFreedom,
+    };
+    use subconsensus_objects::RegisterArray;
+    use subconsensus_sim::SystemBuilder;
+
+    fn broken_system() -> subconsensus_sim::SystemSpec {
+        let mut b = SystemBuilder::new();
+        let regs = b.add_object(RegisterArray::new(2));
+        let p: Arc<dyn Protocol> = Arc::new(WriteReadMin::new(regs));
+        b.add_processes(p, [Value::Int(1), Value::Int(2)]);
+        b.build()
+    }
+
+    #[test]
+    fn it_terminates_but_disagrees_somewhere() {
+        let g = StateGraph::explore(&broken_system(), &ExploreOptions::default()).unwrap();
+        assert_eq!(
+            check_wait_freedom(&g),
+            WaitFreedom::WaitFree,
+            "it does terminate"
+        );
+        let r = TerminalReport::of(&g);
+        assert!(
+            r.max_distinct_decisions >= 2,
+            "the model checker exhibits a disagreeing schedule"
+        );
+        // And the disagreeing terminal is the one where P1 ran solo first.
+        assert!(r
+            .decision_sets
+            .contains(&vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn no_critical_configuration_with_clean_valency_exists() {
+        // Valency analysis on a broken protocol: terminals themselves can be
+        // "bivalent" in the decided-set sense (two values decided at once),
+        // so the classic critical-configuration structure degenerates.
+        let g = StateGraph::explore(&broken_system(), &ExploreOptions::default()).unwrap();
+        let v = Valency::compute(&g);
+        assert!(v.is_bivalent(0), "initially both values are in play");
+        // Some terminal contains BOTH values (disagreement), so bivalence
+        // does not resolve the way it would for a correct protocol.
+        let degenerate = g
+            .terminals()
+            .iter()
+            .any(|&t| g.config(t).decided_values().len() == 2);
+        assert!(degenerate);
+        // A critical configuration may or may not exist for a broken
+        // protocol; merely exercising the search here.
+        let _ = find_critical(&g, &v);
+    }
+}

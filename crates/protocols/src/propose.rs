@@ -1,0 +1,234 @@
+//! One-shot propose/decide protocols over agreement objects.
+//!
+//! These are the workhorse protocols of the paper's positive results: a
+//! process proposes its input to an agreement object (consensus,
+//! set-consensus, or the deterministic grouped family of `subconsensus-core`)
+//! and decides what the object answers — falling back to its own input if
+//! the object answers `⊥`.
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{need_resp, pc_of, state};
+
+/// Propose the input to a fixed object; decide the response (or the input
+/// itself if the response is `⊥`).
+///
+/// Instantiated over:
+///
+/// * a [`Consensus`](subconsensus_objects::Consensus) object → solves
+///   consensus;
+/// * an `(n, k)`-[`SetConsensus`](subconsensus_objects::SetConsensus) object
+///   → solves `k`-set consensus for `n` processes;
+/// * a `GroupedObject` from `subconsensus-core` → the paper's Algorithm-2
+///   shape, solving `(k+1)`-set consensus deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use subconsensus_objects::Consensus;
+/// use subconsensus_protocols::ProposeDecide;
+/// use subconsensus_sim::{
+///     run, FirstOutcome, Protocol, RoundRobin, RunOptions, SystemBuilder, Value,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SystemBuilder::new();
+/// let obj = b.add_object(Consensus::unbounded());
+/// let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+/// b.add_processes(p, [Value::Int(10), Value::Int(20)]);
+/// let out = run(&b.build(), &mut RoundRobin::new(), &mut FirstOutcome, &RunOptions::default())?;
+/// assert_eq!(out.decided_values().len(), 1, "consensus: one value decided");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ProposeDecide {
+    obj: ObjId,
+}
+
+impl ProposeDecide {
+    /// Creates the protocol targeting `obj`.
+    pub fn new(obj: ObjId) -> Self {
+        ProposeDecide { obj }
+    }
+}
+
+impl Protocol for ProposeDecide {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        state(0, [])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        match pc_of(local)? {
+            0 => Ok(Action::invoke(
+                state(1, []),
+                self.obj,
+                Op::unary("propose", ctx.input.clone()),
+            )),
+            1 => {
+                let r = need_resp(resp)?;
+                let decision = if r.is_nil() {
+                    ctx.input.clone()
+                } else {
+                    r.clone()
+                };
+                Ok(Action::Decide(decision))
+            }
+            pc => Err(ProtocolError::new(format!("propose-decide: bad pc {pc}"))),
+        }
+    }
+}
+
+/// Partition propose: process `i` proposes to object `base + ⌊i/group⌋`.
+///
+/// This is the positive direction of the set-consensus characterization
+/// ("Theorem 41"): partition `N` processes into blocks of at most `group`,
+/// give each block one agreement object, and the number of distinct
+/// decisions is at most (blocks) × (per-object agreement bound). It is also
+/// the shape of the paper lineage's Algorithm 6 (`m`-set consensus for `n`
+/// processes from smaller objects).
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionPropose {
+    base: ObjId,
+    group: usize,
+}
+
+impl PartitionPropose {
+    /// Creates the protocol over a contiguous array of agreement objects
+    /// starting at `base`, assigning `group` consecutive pids per object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is 0.
+    pub fn new(base: ObjId, group: usize) -> Self {
+        assert!(group > 0, "group size must be positive");
+        PartitionPropose { base, group }
+    }
+
+    /// Returns the object process `pid_index` proposes to.
+    pub fn target(&self, pid_index: usize) -> ObjId {
+        self.base.offset(pid_index / self.group)
+    }
+}
+
+impl Protocol for PartitionPropose {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        state(0, [])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        match pc_of(local)? {
+            0 => Ok(Action::invoke(
+                state(1, []),
+                self.target(ctx.pid.index()),
+                Op::unary("propose", ctx.input.clone()),
+            )),
+            1 => {
+                let r = need_resp(resp)?;
+                let decision = if r.is_nil() {
+                    ctx.input.clone()
+                } else {
+                    r.clone()
+                };
+                Ok(Action::Decide(decision))
+            }
+            pc => Err(ProtocolError::new(format!(
+                "partition-propose: bad pc {pc}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{
+        check_wait_freedom, max_distinct_decisions, ExploreOptions, StateGraph, WaitFreedom,
+    };
+    use subconsensus_objects::{Consensus, SetConsensus};
+    use subconsensus_sim::{SystemBuilder, SystemSpec};
+
+    fn consensus_race(nprocs: usize) -> SystemSpec {
+        let mut b = SystemBuilder::new();
+        let obj = b.add_object(Consensus::unbounded());
+        let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+        b.add_processes(p, (0..nprocs).map(|i| Value::Int(i as i64 + 1)));
+        b.build()
+    }
+
+    #[test]
+    fn consensus_race_agrees_under_all_schedules() {
+        for n in 1..=3 {
+            let g = StateGraph::explore(&consensus_race(n), &ExploreOptions::default()).unwrap();
+            assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+            assert_eq!(max_distinct_decisions(&g), 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn set_consensus_object_bounds_agreement_exactly() {
+        // 3 processes over a (3,2)-set-consensus object: at most 2 distinct
+        // decisions over ALL schedules and ALL nondeterministic outcomes —
+        // and the bound is tight.
+        let mut b = SystemBuilder::new();
+        let obj = b.add_object(SetConsensus::new(3, 2).unwrap());
+        let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+        b.add_processes(p, [Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let g = StateGraph::explore(&b.build(), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        assert_eq!(max_distinct_decisions(&g), 2);
+    }
+
+    #[test]
+    fn exhausted_bounded_consensus_hangs_fourth_process() {
+        // 4 processes over a 3-bounded consensus object: some schedule hangs
+        // the last proposer, so the protocol is not wait-free for 4.
+        let mut b = SystemBuilder::new();
+        let obj = b.add_object(Consensus::bounded(3));
+        let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+        b.add_processes(p, (0..4).map(|i| Value::Int(i as i64 + 1)));
+        let g = StateGraph::explore(&b.build(), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::Hangs);
+    }
+
+    #[test]
+    fn partition_respects_group_boundaries() {
+        let p = PartitionPropose::new(ObjId::new(3), 2);
+        assert_eq!(p.target(0), ObjId::new(3));
+        assert_eq!(p.target(1), ObjId::new(3));
+        assert_eq!(p.target(2), ObjId::new(4));
+        assert_eq!(p.target(5), ObjId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be positive")]
+    fn zero_group_panics() {
+        let _ = PartitionPropose::new(ObjId::new(0), 0);
+    }
+
+    #[test]
+    fn partition_consensus_gives_one_value_per_block() {
+        // 4 processes, 2 consensus objects, blocks of 2: exactly 2 distinct
+        // decisions in the worst case, 1 per block at least... exhaustive.
+        let mut b = SystemBuilder::new();
+        let base = b.add_object_array(2, |_| Box::new(Consensus::unbounded()));
+        let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, 2));
+        b.add_processes(p, (0..4).map(|i| Value::Int(i as i64 + 1)));
+        let g = StateGraph::explore(&b.build(), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        let max = max_distinct_decisions(&g);
+        assert_eq!(max, 2, "one value per block; blocks are independent");
+    }
+}

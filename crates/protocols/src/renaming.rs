@@ -1,0 +1,263 @@
+//! Wait-free one-shot renaming via a Moir–Anderson splitter grid.
+//!
+//! The paper's lineage (Algorithm-3-style constructions) assumes processes
+//! with names from a huge namespace `{0..M-1}` can first be renamed into a
+//! small bounded namespace using registers only ([4, 6] in the paper's
+//! bibliography). This module provides the classic grid-of-splitters
+//! renaming: `k` participants acquire distinct names in
+//! `{0 .. k(k+1)/2 - 1}` wait-free, from registers only.
+//!
+//! (The tight `(2k-1)`-renaming of Afek–Merritt needs snapshots and a more
+//! intricate protocol; the grid bound `k(k+1)/2` is what the constructions
+//! here need — a *bounded* namespace — and keeps the state space small
+//! enough to model-check.)
+//!
+//! A **splitter** (Lamport / Moir–Anderson) is built from two registers `X`
+//! and `Y` and routes each of `c` concurrent entrants to `stop`, `right` or
+//! `down` such that at most one stops, at most `c-1` go right, and at most
+//! `c-1` go down:
+//!
+//! ```text
+//!   X := my-id
+//!   if Y: return RIGHT
+//!   Y := true
+//!   if X == my-id: return STOP else return DOWN
+//! ```
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{index_field, need_resp, pc_of, state};
+
+/// Returns the number of splitter cells (= size of the acquired namespace)
+/// of a grid for `k` participants: `k(k+1)/2`.
+pub fn grid_cells(k: usize) -> usize {
+    k * (k + 1) / 2
+}
+
+/// Returns the linear index of grid cell `(r, c)` (row, column) in a grid
+/// for `k` participants, where cells satisfy `r + c ≤ k - 1`.
+///
+/// Cells are numbered along anti-diagonals: `(0,0)`, `(0,1)`, `(1,0)`,
+/// `(0,2)`, `(1,1)`, `(2,0)`, … so that every cell reachable within the grid
+/// has a valid index.
+///
+/// # Panics
+///
+/// Panics if `r + c ≥ k`.
+pub fn cell_index(r: usize, c: usize, k: usize) -> usize {
+    let d = r + c;
+    assert!(d < k, "cell ({r},{c}) outside grid for k={k}");
+    // Cells on diagonals 0..d plus the position within diagonal d.
+    d * (d + 1) / 2 + r
+}
+
+/// Grid renaming for up to `k` participants over a
+/// [`RegisterArray`](subconsensus_objects::RegisterArray) of length
+/// `2 · k(k+1)/2` (cell `i` uses registers `2i` as `X` and `2i + 1` as `Y`).
+///
+/// Each participant decides the linear index of the cell where it stopped —
+/// a unique name in `{0 .. k(k+1)/2 - 1}`.
+///
+/// The protocol is *adaptive to the identifier domain*: it uses `ctx.input`
+/// (an arbitrary distinct value, e.g. a huge original name) as the splitter
+/// id, not the pid.
+#[derive(Clone, Copy, Debug)]
+pub struct GridRenaming {
+    regs: ObjId,
+    k: usize,
+}
+
+impl GridRenaming {
+    /// Creates the protocol for at most `k` participants over the register
+    /// array `regs` (which must have `2 · k(k+1)/2` cells).
+    pub fn new(regs: ObjId, k: usize) -> Self {
+        GridRenaming { regs, k }
+    }
+
+    /// Returns the register-array length this protocol requires.
+    pub fn registers_needed(k: usize) -> usize {
+        2 * grid_cells(k)
+    }
+}
+
+// Local state: (pc, r, c). pc:
+//   0 — write X := id            (X of current cell)
+//   1 — read Y
+//   2 — after read Y: if true → move right; else write Y := true
+//   3 — read X
+//   4 — after read X: if X == id → decide cell index; else move down
+impl Protocol for GridRenaming {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        state(0, [Value::from(0usize), Value::from(0usize)])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let pc = pc_of(local)?;
+        let r = index_field(local, 0)?;
+        let c = index_field(local, 1)?;
+        if r + c >= self.k {
+            return Err(ProtocolError::new(format!(
+                "renaming: walked off the grid at ({r},{c}) — more than k={} participants?",
+                self.k
+            )));
+        }
+        let cell = cell_index(r, c, self.k);
+        let x_reg = Value::from(2 * cell);
+        let y_reg = Value::from(2 * cell + 1);
+        let pos = [Value::from(r), Value::from(c)];
+        match pc {
+            0 => Ok(Action::invoke(
+                state(1, pos),
+                self.regs,
+                Op::binary("write", x_reg, ctx.input.clone()),
+            )),
+            1 => Ok(Action::invoke(
+                state(2, pos),
+                self.regs,
+                Op::unary("read", y_reg),
+            )),
+            2 => {
+                let y = need_resp(resp)?;
+                if y.as_bool() == Some(true) {
+                    // RIGHT: restart the splitter at (r, c+1).
+                    Ok(Action::invoke(
+                        state(1, [Value::from(r), Value::from(c + 1)]),
+                        self.regs,
+                        Op::binary(
+                            "write",
+                            Value::from(2 * cell_index(r, c + 1, self.k)),
+                            ctx.input.clone(),
+                        ),
+                    ))
+                } else {
+                    Ok(Action::invoke(
+                        state(3, pos),
+                        self.regs,
+                        Op::binary("write", y_reg, Value::Bool(true)),
+                    ))
+                }
+            }
+            3 => Ok(Action::invoke(
+                state(4, pos),
+                self.regs,
+                Op::unary("read", x_reg),
+            )),
+            4 => {
+                let x = need_resp(resp)?;
+                if *x == ctx.input {
+                    // STOP: the cell index is the new name.
+                    Ok(Action::Decide(Value::from(cell)))
+                } else {
+                    // DOWN: restart the splitter at (r+1, c).
+                    Ok(Action::invoke(
+                        state(1, [Value::from(r + 1), Value::from(c)]),
+                        self.regs,
+                        Op::binary(
+                            "write",
+                            Value::from(2 * cell_index(r + 1, c, self.k)),
+                            ctx.input.clone(),
+                        ),
+                    ))
+                }
+            }
+            pc => Err(ProtocolError::new(format!("renaming: bad pc {pc}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{check_wait_freedom, ExploreOptions, StateGraph, WaitFreedom};
+    use subconsensus_objects::RegisterArray;
+    use subconsensus_sim::{
+        run, FirstOutcome, RandomScheduler, RunOptions, SystemBuilder, SystemSpec,
+    };
+
+    fn renaming_system(k: usize, names: &[i64]) -> SystemSpec {
+        let mut b = SystemBuilder::new();
+        let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+        let p: Arc<dyn subconsensus_sim::Protocol> = Arc::new(GridRenaming::new(regs, k));
+        b.add_processes(p, names.iter().map(|&v| Value::Int(v)));
+        b.build()
+    }
+
+    #[test]
+    fn cell_indexing_is_dense_and_unique() {
+        let k = 4;
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..k {
+            for c in 0..k {
+                if r + c < k {
+                    assert!(seen.insert(cell_index(r, c, k)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), grid_cells(k));
+        assert_eq!(*seen.iter().next_back().unwrap(), grid_cells(k) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn off_grid_cell_panics() {
+        let _ = cell_index(2, 2, 4);
+    }
+
+    #[test]
+    fn solo_participant_stops_at_origin() {
+        let g =
+            StateGraph::explore(&renaming_system(2, &[100]), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        for &t in g.terminals() {
+            assert_eq!(g.config(t).decided_values(), vec![Value::Int(0)]);
+        }
+    }
+
+    #[test]
+    fn two_participants_get_distinct_names_in_range_exhaustively() {
+        let k = 2;
+        let g = StateGraph::explore(
+            &renaming_system(k, &[1000, 2000]),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        for &t in g.terminals() {
+            let cfg = g.config(t);
+            let names: Vec<usize> = cfg
+                .decisions()
+                .into_iter()
+                .map(|d| d.unwrap().as_index().unwrap())
+                .collect();
+            assert_eq!(names.len(), 2);
+            assert_ne!(names[0], names[1], "names must be distinct");
+            for &name in &names {
+                assert!(name < grid_cells(k), "name {name} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn three_participants_random_schedules() {
+        let k = 3;
+        for seed in 0..200 {
+            let spec = renaming_system(k, &[7, 42, 99]);
+            let mut sched = RandomScheduler::seeded(seed);
+            let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+            assert!(out.reached_final);
+            let names: std::collections::BTreeSet<usize> = out
+                .decisions()
+                .into_iter()
+                .map(|d| d.unwrap().as_index().unwrap())
+                .collect();
+            assert_eq!(names.len(), 3, "distinct names (seed {seed})");
+            assert!(names.iter().all(|&n| n < grid_cells(k)));
+        }
+    }
+}

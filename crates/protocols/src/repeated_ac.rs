@@ -1,0 +1,229 @@
+//! Obstruction-free consensus from registers: repeated adopt–commit.
+//!
+//! Registers cannot solve consensus *wait-free* (the paper's baseline), but
+//! they can solve it **obstruction-free**: run adopt–commit instances in a
+//! loop, carrying the adopted value into the next instance; decide on
+//! commit. From any configuration, a process running alone commits within
+//! one full instance (after the first, everyone prefers a single value), so
+//! solo runs always terminate — while an adversary alternating two
+//! processes can keep the loop adopting forever.
+//!
+//! This module makes the wait-free / obstruction-free boundary of the
+//! model section *observable*: the round budget is finite and exhausting it
+//! diverts the process into a [`Sink`](subconsensus_objects::Sink) (an
+//! explicit "never returns" in a finite configuration graph), so the model
+//! checker reports `Hangs` for the adversarial schedules and termination
+//! for all solo extensions.
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::adopt_commit::{AdoptCommit, ADOPT, COMMIT};
+use crate::util::{field, pc_of, state};
+
+/// Repeated adopt–commit over `max_rounds` instances.
+///
+/// Requires `2 · max_rounds` [`RegisterArray`](subconsensus_objects::RegisterArray)`(n)`
+/// objects laid out contiguously from `base` (instance `i` uses
+/// `base + 2i` and `base + 2i + 1`), plus one
+/// [`Sink`](subconsensus_objects::Sink) at `sink` for the
+/// budget-exhausted path.
+#[derive(Clone, Copy, Debug)]
+pub struct RepeatedAdoptCommit {
+    base: ObjId,
+    sink: ObjId,
+    n: usize,
+    max_rounds: usize,
+}
+
+impl RepeatedAdoptCommit {
+    /// Creates the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    pub fn new(base: ObjId, sink: ObjId, n: usize, max_rounds: usize) -> Self {
+        assert!(max_rounds > 0, "need at least one round");
+        RepeatedAdoptCommit {
+            base,
+            sink,
+            n,
+            max_rounds,
+        }
+    }
+
+    /// Returns the number of register arrays required before the sink.
+    pub fn register_arrays_needed(max_rounds: usize) -> usize {
+        2 * max_rounds
+    }
+
+    fn instance(&self, round: usize) -> AdoptCommit {
+        AdoptCommit::new(
+            self.base.offset(2 * round),
+            self.base.offset(2 * round + 1),
+            self.n,
+        )
+    }
+}
+
+// Local state: (pc=0, round, pref, inner_local).
+impl Protocol for RepeatedAdoptCommit {
+    fn start(&self, ctx: &ProcCtx) -> Value {
+        let sub = ProcCtx::new(ctx.pid, ctx.nprocs, ctx.input.clone());
+        let inner = self.instance(0).start(&sub);
+        state(0, [Value::from(0usize), ctx.input.clone(), inner])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let _ = pc_of(local)?;
+        let round = field(local, 0)?
+            .as_index()
+            .ok_or_else(|| ProtocolError::new("repeated-ac: bad round"))?;
+        let pref = field(local, 1)?.clone();
+        let inner_local = field(local, 2)?.clone();
+        let sub = ProcCtx::new(ctx.pid, ctx.nprocs, pref.clone());
+        match self.instance(round).step(&sub, &inner_local, resp)? {
+            Action::Invoke { local: il, obj, op } => Ok(Action::Invoke {
+                local: state(0, [Value::from(round), pref, il]),
+                obj,
+                op,
+            }),
+            Action::Decide(d) => {
+                let verdict = d.index(0).and_then(Value::as_sym);
+                let v = d
+                    .index(1)
+                    .cloned()
+                    .ok_or_else(|| ProtocolError::new("repeated-ac: bad AC decision"))?;
+                match verdict {
+                    Some(COMMIT) => Ok(Action::Decide(v)),
+                    Some(ADOPT) => {
+                        let next = round + 1;
+                        if next >= self.max_rounds {
+                            // Budget exhausted: model divergence explicitly.
+                            return Ok(Action::invoke(
+                                state(0, [Value::from(round), v, Value::Nil]),
+                                self.sink,
+                                Op::new("diverge"),
+                            ));
+                        }
+                        let sub = ProcCtx::new(ctx.pid, ctx.nprocs, v.clone());
+                        let inner = self.instance(next).start(&sub);
+                        // The fresh instance's first step is an Invoke.
+                        self.step(ctx, &state(0, [Value::from(next), v, inner]), None)
+                    }
+                    _ => Err(ProtocolError::new("repeated-ac: unknown AC verdict")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{check_wait_freedom, ExploreOptions, StateGraph, WaitFreedom};
+    use subconsensus_objects::{RegisterArray, Sink};
+    use subconsensus_sim::{
+        run_from, FirstOutcome, Pid, PriorityScheduler, RunOptions, SystemBuilder, SystemSpec,
+    };
+    use subconsensus_tasks::{check_exhaustive, SetConsensusTask};
+
+    fn system(inputs: &[i64], max_rounds: usize) -> SystemSpec {
+        let n = inputs.len();
+        let mut b = SystemBuilder::new();
+        let base = b.add_object_array(
+            RepeatedAdoptCommit::register_arrays_needed(max_rounds),
+            |_| Box::new(RegisterArray::new(n)) as Box<dyn subconsensus_sim::ObjectSpec>,
+        );
+        let sink = b.add_object(Sink::new());
+        let p: Arc<dyn Protocol> = Arc::new(RepeatedAdoptCommit::new(base, sink, n, max_rounds));
+        b.add_processes(p, inputs.iter().map(|&v| Value::Int(v)));
+        b.build()
+    }
+
+    #[test]
+    fn solo_process_commits_in_round_zero() {
+        let spec = system(&[9], 1);
+        let report = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(report.solved(), "{report:?}");
+    }
+
+    #[test]
+    fn identical_inputs_commit_in_round_zero() {
+        let spec = system(&[4, 4], 1);
+        let report = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(report.solved(), "{report:?}");
+    }
+
+    #[test]
+    fn agreement_and_validity_hold_but_wait_freedom_fails() {
+        // Two processes, different inputs, budget 2: everything that decides
+        // agrees (safety exhaustively), but some adversarial schedule
+        // exhausts the budget (the obstruction-freedom boundary).
+        let spec = system(&[1, 2], 2);
+        let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert!(!graph.is_truncated());
+        assert_eq!(check_wait_freedom(&graph), WaitFreedom::Hangs);
+        let report = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            report.safe(),
+            "agreement must hold wherever decisions exist: {report:?}"
+        );
+        assert!(!report.solved());
+    }
+
+    #[test]
+    fn obstruction_freedom_solo_extensions_from_every_reachable_config() {
+        // From every reachable configuration in which a process has not yet
+        // diverged, letting that process run alone terminates it — the
+        // defining property of obstruction-freedom.
+        let spec = system(&[1, 2], 3);
+        let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert!(!graph.is_truncated());
+        // Sample every 7th configuration to keep runtime moderate.
+        for idx in (0..graph.len()).step_by(7) {
+            let config = graph.config(idx).clone();
+            for pid in config.enabled() {
+                let mut solo = PriorityScheduler::new(vec![pid]);
+                // Run until the chosen process decides or hangs; others get
+                // scheduled only if the solo process becomes disabled.
+                let out = run_from(
+                    &spec,
+                    config.clone(),
+                    &mut solo,
+                    &mut FirstOutcome,
+                    &RunOptions::with_max_steps(10_000),
+                )
+                .unwrap();
+                let st = &out.config.proc_state(pid).status;
+                assert!(
+                    !st.is_enabled(),
+                    "config {idx}: {pid} still running after a solo extension"
+                );
+            }
+        }
+        // And at least one process pair exists to make the test meaningful.
+        assert!(graph.len() > 100);
+        let _ = Pid::new(0);
+    }
+}

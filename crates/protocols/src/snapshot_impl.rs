@@ -1,0 +1,340 @@
+//! Wait-free atomic snapshot from single-writer registers (Afek, Attiya,
+//! Dolev, Gafni, Merritt, Shavit).
+//!
+//! The snapshot object is the canonical consensus-number-1 power tool: it is
+//! implementable from registers (this module), so anything separated from
+//! registers is also separated from snapshots. The construction here is the
+//! classic unbounded-sequence-number algorithm:
+//!
+//! * each segment register holds `(value, seq, view)`;
+//! * `scan` repeatedly double-collects; two identical collects are a valid
+//!   view, and a scanner that observes some updater move **twice** may
+//!   borrow that updater's embedded view (the updater's second update
+//!   started after the scanner did, so its embedded scan is fresh);
+//! * `update` performs an embedded `scan`, then writes
+//!   `(new value, seq + 1, scanned view)`.
+//!
+//! Every operation finishes within `n + 2` collects, hence wait-free.
+
+use subconsensus_sim::{ImplStep, Implementation, ObjId, Op, ProcCtx, ProtocolError, Value};
+
+use crate::util::{field, int_field, need_resp, pc_of, state, tup_of};
+
+/// Atomic snapshot with `n` segments over a
+/// [`RegisterArray`](subconsensus_objects::RegisterArray)`(n)`.
+///
+/// High-level operations (validated against the primitive
+/// [`Snapshot`](subconsensus_objects::Snapshot) spec):
+///
+/// * `update(i, v)` → `⊥` — process `i` writes `v` to its own segment
+///   (callers must pass their own pid as `i`: segments are single-writer);
+/// * `scan()` → the vector of all `n` segment values.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotFromRegisters {
+    regs: ObjId,
+    n: usize,
+}
+
+impl SnapshotFromRegisters {
+    /// Creates the implementation over register array `regs` of length `n`.
+    pub fn new(regs: ObjId, n: usize) -> Self {
+        SnapshotFromRegisters { regs, n }
+    }
+
+    /// Completes the operation once a valid view has been obtained: scans
+    /// return it; updates write `(value, seq + 1, view)` to their segment.
+    fn finish(
+        &self,
+        ctx: &ProcCtx,
+        op: &Op,
+        seq: i64,
+        view: Value,
+    ) -> Result<ImplStep, ProtocolError> {
+        match op.name {
+            "scan" => Ok(ImplStep::ret(view, Value::Int(seq))),
+            "update" => {
+                let seg = op
+                    .arg(0)
+                    .and_then(Value::as_index)
+                    .ok_or_else(|| ProtocolError::new("update needs a segment index"))?;
+                if seg != ctx.pid.index() {
+                    return Err(ProtocolError::new(format!(
+                        "update({seg}, _) issued by {}: segments are single-writer",
+                        ctx.pid
+                    )));
+                }
+                let v = op
+                    .arg(1)
+                    .cloned()
+                    .ok_or_else(|| ProtocolError::new("update needs a value"))?;
+                let cell = Value::tup([v, Value::Int(seq + 1), view]);
+                Ok(ImplStep::invoke(
+                    state(2, [Value::Int(seq + 1)]),
+                    self.regs,
+                    Op::binary("write", Value::from(seg), cell),
+                ))
+            }
+            other => Err(ProtocolError::new(format!(
+                "snapshot: unknown operation `{other}`"
+            ))),
+        }
+    }
+}
+
+fn cell_seq(cell: &Value) -> i64 {
+    cell.index(1).and_then(Value::as_int).unwrap_or(0)
+}
+
+fn cell_val(cell: &Value) -> Value {
+    cell.index(0).cloned().unwrap_or(Value::Nil)
+}
+
+fn cell_view(cell: &Value) -> Option<Value> {
+    cell.index(2).cloned()
+}
+
+fn vals_of(collect: &[Value]) -> Value {
+    Value::tup(collect.iter().map(cell_val))
+}
+
+// Local state: (pc, seq, cprev, cpartial, moved)
+//   pc 0 — fresh op: issue the first read.
+//   pc 1 — collecting: the response is the read of cell `cpartial.len()`.
+//   pc 2 — update only: the final write was issued; fields: (new_seq).
+// `cprev` is ⊥ during the very first collect.
+impl Implementation for SnapshotFromRegisters {
+    fn init_memory(&self, _ctx: &ProcCtx) -> Value {
+        Value::Int(0) // own sequence number
+    }
+
+    fn start_op(&self, _ctx: &ProcCtx, _op: &Op, memory: &Value) -> Value {
+        state(
+            0,
+            [
+                memory.clone(),
+                Value::Nil,
+                Value::tup([]),
+                Value::Tup(vec![Value::Int(0); self.n]),
+            ],
+        )
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        op: &Op,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<ImplStep, ProtocolError> {
+        let pc = pc_of(local)?;
+        match pc {
+            0 => {
+                let seq = field(local, 0)?.clone();
+                Ok(ImplStep::invoke(
+                    state(
+                        1,
+                        [
+                            seq,
+                            Value::Nil,
+                            Value::tup([]),
+                            Value::Tup(vec![Value::Int(0); self.n]),
+                        ],
+                    ),
+                    self.regs,
+                    Op::unary("read", Value::from(0usize)),
+                ))
+            }
+            1 => {
+                let seq = int_field(local, 0)?;
+                let cprev = field(local, 1)?.clone();
+                let mut cpartial = tup_of(field(local, 2)?)?.to_vec();
+                let mut moved = tup_of(field(local, 3)?)?.to_vec();
+                cpartial.push(need_resp(resp)?.clone());
+                if cpartial.len() < self.n {
+                    let next = cpartial.len();
+                    return Ok(ImplStep::invoke(
+                        state(
+                            1,
+                            [
+                                Value::Int(seq),
+                                cprev,
+                                Value::Tup(cpartial),
+                                Value::Tup(moved),
+                            ],
+                        ),
+                        self.regs,
+                        Op::unary("read", Value::from(next)),
+                    ));
+                }
+                // A full collect is in hand.
+                let ccur = cpartial;
+                let Some(prev) = cprev.as_tup() else {
+                    // First collect: keep it, collect again.
+                    return Ok(ImplStep::invoke(
+                        state(
+                            1,
+                            [
+                                Value::Int(seq),
+                                Value::Tup(ccur),
+                                Value::tup([]),
+                                Value::Tup(moved),
+                            ],
+                        ),
+                        self.regs,
+                        Op::unary("read", Value::from(0usize)),
+                    ));
+                };
+                let changed: Vec<usize> = (0..self.n)
+                    .filter(|&j| cell_seq(&prev[j]) != cell_seq(&ccur[j]))
+                    .collect();
+                if changed.is_empty() {
+                    // Clean double collect.
+                    return self.finish(ctx, op, seq, vals_of(&ccur));
+                }
+                for &j in &changed {
+                    let m = moved[j].as_int().unwrap_or(0) + 1;
+                    if m >= 2 {
+                        // `j` moved twice: borrow its embedded view.
+                        let view = cell_view(&ccur[j]).ok_or_else(|| {
+                            ProtocolError::new("snapshot: moved cell has no view")
+                        })?;
+                        return self.finish(ctx, op, seq, view);
+                    }
+                    moved[j] = Value::Int(m);
+                }
+                Ok(ImplStep::invoke(
+                    state(
+                        1,
+                        [
+                            Value::Int(seq),
+                            Value::Tup(ccur),
+                            Value::tup([]),
+                            Value::Tup(moved),
+                        ],
+                    ),
+                    self.regs,
+                    Op::unary("read", Value::from(0usize)),
+                ))
+            }
+            2 => {
+                let new_seq = field(local, 0)?.clone();
+                Ok(ImplStep::ret(Value::Nil, new_seq))
+            }
+            pc => Err(ProtocolError::new(format!("snapshot: bad pc {pc}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_objects::{RegisterArray, Snapshot};
+    use subconsensus_sim::{
+        check_linearizable, run_concurrent, BaseObjects, FirstOutcome, Implementation,
+        RandomScheduler, RoundRobin,
+    };
+
+    fn setup(n: usize) -> (BaseObjects, Arc<dyn Implementation>) {
+        let mut bank = BaseObjects::new();
+        let regs = bank.add(RegisterArray::new(n));
+        let im: Arc<dyn Implementation> = Arc::new(SnapshotFromRegisters::new(regs, n));
+        (bank, im)
+    }
+
+    fn upd(i: usize, v: i64) -> Op {
+        Op::binary("update", Value::from(i), Value::Int(v))
+    }
+
+    #[test]
+    fn cell_helpers_tolerate_nil() {
+        assert_eq!(cell_seq(&Value::Nil), 0);
+        assert_eq!(cell_val(&Value::Nil), Value::Nil);
+        assert_eq!(cell_view(&Value::Nil), None);
+    }
+
+    #[test]
+    fn sequential_scan_sees_all_updates() {
+        let (bank, im) = setup(2);
+        let workload = vec![
+            vec![upd(0, 10), Op::new("scan")],
+            vec![upd(1, 20), Op::new("scan")],
+        ];
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut RoundRobin::new(),
+            &mut FirstOutcome,
+            100_000,
+        )
+        .unwrap();
+        assert!(out.reached_final);
+        // The later scans see both values.
+        let spec = Snapshot::new(2);
+        assert!(check_linearizable(&out.history, &spec).unwrap().is_some());
+    }
+
+    #[test]
+    fn own_update_visible_to_own_scan() {
+        let (bank, im) = setup(1);
+        let workload = vec![vec![upd(0, 5), Op::new("scan"), upd(0, 6), Op::new("scan")]];
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut RoundRobin::new(),
+            &mut FirstOutcome,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(out.results[0][1], Value::tup([Value::Int(5)]));
+        assert_eq!(out.results[0][3], Value::tup([Value::Int(6)]));
+    }
+
+    #[test]
+    fn wrong_segment_is_rejected() {
+        let (bank, im) = setup(2);
+        let workload = vec![vec![upd(1, 5)]]; // P0 writing segment 1
+        let err = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut RoundRobin::new(),
+            &mut FirstOutcome,
+            100_000,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("single-writer"));
+    }
+
+    #[test]
+    fn random_interleavings_linearize_against_snapshot_spec() {
+        let spec = Snapshot::new(3);
+        for seed in 0..150 {
+            let (bank, im) = setup(3);
+            let workload = vec![
+                vec![upd(0, 1), Op::new("scan"), upd(0, 2), Op::new("scan")],
+                vec![upd(1, 10), Op::new("scan"), upd(1, 20)],
+                vec![Op::new("scan"), upd(2, 100), Op::new("scan")],
+            ];
+            let mut sched = RandomScheduler::seeded(seed);
+            let out = run_concurrent(
+                &bank,
+                &im,
+                workload,
+                &mut sched,
+                &mut FirstOutcome,
+                1_000_000,
+            )
+            .unwrap();
+            assert!(out.reached_final, "wait-freedom (seed {seed})");
+            let w = check_linearizable(&out.history, &spec).unwrap();
+            assert!(
+                w.is_some(),
+                "history not linearizable (seed {seed}):\n{}",
+                out.history
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Tight `(2k-1)`-renaming from snapshots (Attiya et al.).
+//!
+//! The splitter-grid renaming of [`GridRenaming`](crate::GridRenaming) is
+//! simple but uses a `k(k+1)/2` namespace. The classic snapshot-based
+//! algorithm referenced by the paper lineage ([4, 6]) achieves the optimal
+//! `2k - 1` namespace, *adaptively*: `p` actual participants acquire names
+//! in `{0 .. 2p-2}`.
+//!
+//! Each process repeatedly publishes `(id, proposal)` in its snapshot
+//! segment and scans: on a proposal conflict with another participant it
+//! re-proposes the `r`-th smallest *free* name, where `r` is the rank of
+//! its id among the participants it saw; with no conflict it decides.
+//! Scan containment gives uniqueness; ranks bound the namespace.
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{int_field, need_resp, pc_of, state};
+
+/// Snapshot-based tight renaming over a
+/// [`Snapshot`](subconsensus_objects::Snapshot)`(n)` whose segments hold
+/// `(id, proposal)` pairs. Decides a 0-based name in `{0 .. 2p-2}` for `p`
+/// participants.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotRenaming {
+    snap: ObjId,
+}
+
+impl SnapshotRenaming {
+    /// Creates the protocol over snapshot object `snap` (with one segment
+    /// per potential process).
+    pub fn new(snap: ObjId) -> Self {
+        SnapshotRenaming { snap }
+    }
+}
+
+// Local state: (pc, proposal) — proposals are 1-based internally; the
+// decided name is `proposal - 1`.
+//   pc 0 — publish (id, proposal); pc 1 — scan; pc 2 — analyze.
+impl Protocol for SnapshotRenaming {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        state(0, [Value::Int(1)])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let pc = pc_of(local)?;
+        let proposal = int_field(local, 0)?;
+        match pc {
+            0 => Ok(Action::invoke(
+                state(1, [Value::Int(proposal)]),
+                self.snap,
+                Op::binary(
+                    "update",
+                    Value::from(ctx.pid.index()),
+                    Value::tup([ctx.input.clone(), Value::Int(proposal)]),
+                ),
+            )),
+            1 => Ok(Action::invoke(
+                state(2, [Value::Int(proposal)]),
+                self.snap,
+                Op::new("scan"),
+            )),
+            2 => {
+                let cells = need_resp(resp)?
+                    .as_tup()
+                    .ok_or_else(|| ProtocolError::new("tight-renaming: bad scan"))?;
+                let mut others: Vec<(Value, i64)> = Vec::new();
+                for (seg, cell) in cells.iter().enumerate() {
+                    if cell.is_nil() || seg == ctx.pid.index() {
+                        continue;
+                    }
+                    let id = cell
+                        .index(0)
+                        .cloned()
+                        .ok_or_else(|| ProtocolError::new("tight-renaming: bad cell"))?;
+                    let prop = cell
+                        .index(1)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| ProtocolError::new("tight-renaming: bad proposal"))?;
+                    others.push((id, prop));
+                }
+                let conflict = others.iter().any(|(_, p)| *p == proposal);
+                if !conflict {
+                    return Ok(Action::Decide(Value::Int(proposal - 1)));
+                }
+                // Rank of own id among all participant ids seen (1-based).
+                let mut ids: Vec<&Value> = others.iter().map(|(id, _)| id).collect();
+                ids.push(&ctx.input);
+                ids.sort();
+                let rank = ids
+                    .iter()
+                    .position(|id| **id == ctx.input)
+                    .expect("own id present") as i64
+                    + 1;
+                // r-th smallest positive integer not proposed by others.
+                let taken: std::collections::BTreeSet<i64> =
+                    others.iter().map(|(_, p)| *p).collect();
+                let mut remaining = rank;
+                let mut candidate = 0;
+                while remaining > 0 {
+                    candidate += 1;
+                    if !taken.contains(&candidate) {
+                        remaining -= 1;
+                    }
+                }
+                Ok(Action::invoke(
+                    state(1, [Value::Int(candidate)]),
+                    self.snap,
+                    Op::binary(
+                        "update",
+                        Value::from(ctx.pid.index()),
+                        Value::tup([ctx.input.clone(), Value::Int(candidate)]),
+                    ),
+                ))
+            }
+            pc => Err(ProtocolError::new(format!("tight-renaming: bad pc {pc}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{
+        check_nonblocking, check_wait_freedom, ExploreOptions, StateGraph, WaitFreedom,
+    };
+    use subconsensus_objects::Snapshot;
+    use subconsensus_sim::{
+        run, CrashScheduler, FirstOutcome, Pid, RandomScheduler, RoundRobin, RunOptions,
+        SystemBuilder, SystemSpec,
+    };
+    use subconsensus_tasks::{check_exhaustive, RenamingTask, Task};
+
+    fn system(names: &[i64]) -> SystemSpec {
+        let n = names.len();
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(Snapshot::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(SnapshotRenaming::new(snap));
+        b.add_processes(p, names.iter().map(|&v| Value::Int(v)));
+        b.build()
+    }
+
+    #[test]
+    fn solo_takes_name_zero() {
+        let spec = system(&[777]);
+        let out = run(
+            &spec,
+            &mut RoundRobin::new(),
+            &mut FirstOutcome,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.decisions()[0], Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn two_participants_exhaustive_tight_namespace() {
+        let spec = system(&[100, 200]);
+        let report = check_exhaustive(
+            &spec,
+            &RenamingTask::new(3), // 2k-1 = 3
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(report.solved(), "{report:?}");
+        // Also confirm the graph is wait-free + non-blocking.
+        let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        assert!(check_nonblocking(&g));
+    }
+
+    #[test]
+    fn random_schedules_stay_in_2k_minus_1() {
+        for names in [vec![5i64, 3, 9], vec![1, 2, 3, 4]] {
+            let k = names.len();
+            let spec = system(&names);
+            let task = RenamingTask::new(2 * k - 1);
+            let inputs: Vec<Value> = names.iter().map(|&v| Value::Int(v)).collect();
+            for seed in 0..300 {
+                let mut sched = RandomScheduler::seeded(seed);
+                let out =
+                    run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+                assert!(out.reached_final, "seed {seed}");
+                task.check(&inputs, &out.decisions())
+                    .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptivity_fewer_participants_smaller_names() {
+        // 4 slots but only 2 participants: names within {0..2·2-2} = {0..2}.
+        let n = 4;
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(Snapshot::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(SnapshotRenaming::new(snap));
+        b.add_processes(p, (0..n).map(|i| Value::Int(50 + i as i64)));
+        let spec = b.build();
+        // Crash P2, P3 before any step.
+        for seed in 0..100 {
+            let mut sched = CrashScheduler::crash_initially(
+                RandomScheduler::seeded(seed),
+                [Pid::new(2), Pid::new(3)],
+            );
+            let out =
+                run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+            for i in [0usize, 1] {
+                let name = out.decisions()[i].as_ref().unwrap().as_index().unwrap();
+                assert!(name <= 2, "adaptive bound violated: name {name} (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_run_crashes_preserve_uniqueness() {
+        let names = [11i64, 22, 33];
+        let spec = system(&names);
+        let task = RenamingTask::new(5);
+        let inputs: Vec<Value> = names.iter().map(|&v| Value::Int(v)).collect();
+        for victim in 0..3 {
+            for budget in 0..5 {
+                let mut sched = CrashScheduler::new(
+                    RoundRobin::new(),
+                    [(Pid::new(victim), budget)].into_iter().collect(),
+                );
+                let out =
+                    run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+                task.check(&inputs, &out.decisions()).unwrap();
+            }
+        }
+    }
+}

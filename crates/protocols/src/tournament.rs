@@ -1,0 +1,200 @@
+//! Tournament-tree leader election / test-and-set from 2-process consensus
+//! objects.
+//!
+//! This is the positive half of the Common2 story the paper engages with:
+//! objects at level 2 of the consensus hierarchy *can* implement one-shot
+//! test-and-set for any number of processes, via a binary tournament whose
+//! internal nodes are 2-bounded consensus objects. Exactly one process wins
+//! (returns 0); everyone else loses (returns 1).
+//!
+//! Each internal node is contested by at most two processes — the winners of
+//! the two subtrees — so a 2-consensus object per node suffices: each
+//! contender proposes its *side* (0 = left subtree, 1 = right subtree) and
+//! advances iff its side wins.
+
+use subconsensus_sim::{Action, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value};
+
+use crate::util::{index_field, need_resp, pc_of, state};
+
+/// Returns the number of internal nodes (= 2-consensus objects) needed by a
+/// tournament over `n` processes: `L - 1` where `L` is `n` rounded up to a
+/// power of two.
+pub fn tournament_nodes(n: usize) -> usize {
+    leaf_base(n) - 1
+}
+
+/// Returns the heap index of the first leaf (`L`, the padded leaf count).
+fn leaf_base(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Returns the range of pids covered by heap node `x` in a tournament with
+/// leaf base `base` (leaves are `base ..= 2*base - 1`, leaf `base + p` is
+/// pid `p`).
+fn pid_range(x: usize, base: usize) -> (usize, usize) {
+    // Depth of x: node x covers leaves x·2^h .. (x+1)·2^h - 1 where
+    // 2^h = base / msb-span. Walk down: multiply until reaching leaf level.
+    let mut lo = x;
+    let mut hi = x;
+    while lo < base {
+        lo *= 2;
+        hi = hi * 2 + 1;
+    }
+    (lo - base, hi - base)
+}
+
+/// One-shot test-and-set (single-winner election) over a contiguous array of
+/// `tournament_nodes(n)` 2-bounded [`Consensus`](subconsensus_objects::Consensus)
+/// objects laid out as a binary heap: node `x ∈ {1 .. L-1}` lives at
+/// `base + (x - 1)`.
+///
+/// Each process decides `0` if it wins the tournament, `1` otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct Tournament {
+    base: ObjId,
+    n: usize,
+}
+
+impl Tournament {
+    /// Creates the protocol for `n` processes over consensus objects starting
+    /// at `base`.
+    pub fn new(base: ObjId, n: usize) -> Self {
+        Tournament { base, n }
+    }
+
+    /// Returns the object holding heap node `x` (`1 ≤ x < L`).
+    fn node_obj(&self, x: usize) -> ObjId {
+        self.base.offset(x - 1)
+    }
+
+    /// Returns `true` if heap node `x` covers no live pid (a bye).
+    fn is_empty_subtree(&self, x: usize) -> bool {
+        let (lo, _hi) = pid_range(x, leaf_base(self.n));
+        lo >= self.n
+    }
+}
+
+// Local state: (pc, node) where node is the heap node whose match the
+// process is about to play (node = current child position; the match is at
+// its parent). pc:
+//   0 — about to contest the parent of `node` (or decide, at the root)
+//   1 — received the match verdict
+impl Protocol for Tournament {
+    fn start(&self, ctx: &ProcCtx) -> Value {
+        // Begin at our leaf.
+        state(0, [Value::from(leaf_base(self.n) + ctx.pid.index())])
+    }
+
+    fn step(
+        &self,
+        _ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let pc = pc_of(local)?;
+        let node = index_field(local, 0)?;
+        match pc {
+            0 => {
+                if node == 1 {
+                    // Reached the root as a winner of every contested match.
+                    return Ok(Action::Decide(Value::Int(0)));
+                }
+                let sibling = node ^ 1;
+                if self.is_empty_subtree(sibling) {
+                    // Bye: advance without touching the object.
+                    return self.step(_ctx, &state(0, [Value::from(node / 2)]), None);
+                }
+                let side = Value::from(node & 1);
+                Ok(Action::invoke(
+                    state(1, [Value::from(node)]),
+                    self.node_obj(node / 2),
+                    Op::unary("propose", Value::tup([Value::Sym("side"), side])),
+                ))
+            }
+            1 => {
+                let verdict = need_resp(resp)?;
+                let my_side = Value::tup([Value::Sym("side"), Value::from(node & 1)]);
+                if *verdict == my_side {
+                    // Won the match: move up.
+                    self.step(_ctx, &state(0, [Value::from(node / 2)]), None)
+                } else {
+                    Ok(Action::Decide(Value::Int(1)))
+                }
+            }
+            pc => Err(ProtocolError::new(format!("tournament: bad pc {pc}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subconsensus_modelcheck::{check_wait_freedom, ExploreOptions, StateGraph, WaitFreedom};
+    use subconsensus_objects::Consensus;
+    use subconsensus_sim::{
+        run, FirstOutcome, ObjectSpec, RandomScheduler, RunOptions, SystemBuilder, SystemSpec,
+    };
+
+    fn tournament_system(n: usize) -> SystemSpec {
+        let mut b = SystemBuilder::new();
+        let base = b.add_object_array(tournament_nodes(n), |_| {
+            Box::new(Consensus::bounded(2)) as Box<dyn ObjectSpec>
+        });
+        let p: Arc<dyn Protocol> = Arc::new(Tournament::new(base, n));
+        b.add_processes(p, (0..n).map(Value::from));
+        b.build()
+    }
+
+    fn winners(decisions: &[Option<Value>]) -> usize {
+        decisions
+            .iter()
+            .filter(|d| **d == Some(Value::Int(0)))
+            .count()
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(tournament_nodes(1), 0);
+        assert_eq!(tournament_nodes(2), 1);
+        assert_eq!(tournament_nodes(3), 3);
+        assert_eq!(tournament_nodes(4), 3);
+        assert_eq!(tournament_nodes(5), 7);
+        assert_eq!(pid_range(1, 4), (0, 3));
+        assert_eq!(pid_range(2, 4), (0, 1));
+        assert_eq!(pid_range(7, 4), (3, 3));
+    }
+
+    #[test]
+    fn solo_process_wins() {
+        let g = StateGraph::explore(&tournament_system(1), &ExploreOptions::default()).unwrap();
+        assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree);
+        for &t in g.terminals() {
+            assert_eq!(winners(&g.config(t).decisions()), 1);
+        }
+    }
+
+    #[test]
+    fn exactly_one_winner_exhaustive_2_and_3() {
+        for n in [2usize, 3] {
+            let g = StateGraph::explore(&tournament_system(n), &ExploreOptions::default()).unwrap();
+            assert_eq!(check_wait_freedom(&g), WaitFreedom::WaitFree, "n = {n}");
+            for &t in g.terminals() {
+                let ds = g.config(t).decisions();
+                assert_eq!(winners(&ds), 1, "exactly one winner, n = {n}");
+                assert!(ds.iter().all(|d| d.is_some()));
+            }
+        }
+    }
+
+    #[test]
+    fn five_processes_random_schedules_single_winner() {
+        for seed in 0..100 {
+            let spec = tournament_system(5);
+            let mut sched = RandomScheduler::seeded(seed);
+            let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+            assert!(out.reached_final);
+            assert_eq!(winners(&out.decisions()), 1, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Internal helpers for writing protocol state machines.
+//!
+//! Protocol-local state is encoded as `(pc, field₀, field₁, …)` tuples; these
+//! helpers keep the encode/decode noise down and turn shape violations into
+//! [`ProtocolError`]s.
+
+use subconsensus_sim::{ProtocolError, Value};
+
+/// Builds a local state `(pc, fields…)`.
+pub(crate) fn state<I: IntoIterator<Item = Value>>(pc: i64, fields: I) -> Value {
+    let mut items = vec![Value::Int(pc)];
+    items.extend(fields);
+    Value::Tup(items)
+}
+
+/// Extracts the program counter of a local state.
+pub(crate) fn pc_of(local: &Value) -> Result<i64, ProtocolError> {
+    local
+        .index(0)
+        .and_then(Value::as_int)
+        .ok_or_else(|| ProtocolError::new(format!("local state {local} has no pc")))
+}
+
+/// Extracts field `i` (0-based, after the pc) of a local state.
+pub(crate) fn field(local: &Value, i: usize) -> Result<&Value, ProtocolError> {
+    local
+        .index(i + 1)
+        .ok_or_else(|| ProtocolError::new(format!("local state {local} has no field {i}")))
+}
+
+/// Extracts field `i` as an integer.
+pub(crate) fn int_field(local: &Value, i: usize) -> Result<i64, ProtocolError> {
+    field(local, i)?
+        .as_int()
+        .ok_or_else(|| ProtocolError::new(format!("field {i} of {local} is not an integer")))
+}
+
+/// Extracts field `i` as a non-negative index.
+pub(crate) fn index_field(local: &Value, i: usize) -> Result<usize, ProtocolError> {
+    field(local, i)?
+        .as_index()
+        .ok_or_else(|| ProtocolError::new(format!("field {i} of {local} is not an index")))
+}
+
+/// Extracts the response to the previous invocation, failing if absent.
+pub(crate) fn need_resp<'a>(resp: Option<&'a Value>) -> Result<&'a Value, ProtocolError> {
+    resp.ok_or_else(|| ProtocolError::new("expected a response from the previous step"))
+}
+
+/// Views a value as a tuple.
+pub(crate) fn tup_of(v: &Value) -> Result<&[Value], ProtocolError> {
+    v.as_tup()
+        .ok_or_else(|| ProtocolError::new(format!("{v} is not a tuple")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = state(3, [Value::Int(7), Value::Sym("x")]);
+        assert_eq!(pc_of(&s).unwrap(), 3);
+        assert_eq!(field(&s, 0).unwrap(), &Value::Int(7));
+        assert_eq!(int_field(&s, 0).unwrap(), 7);
+        assert_eq!(field(&s, 1).unwrap(), &Value::Sym("x"));
+        assert!(field(&s, 2).is_err());
+        assert!(int_field(&s, 1).is_err());
+    }
+
+    #[test]
+    fn bad_shapes_are_errors() {
+        assert!(pc_of(&Value::Nil).is_err());
+        assert!(need_resp(None).is_err());
+        assert_eq!(need_resp(Some(&Value::Int(1))).unwrap(), &Value::Int(1));
+        assert!(tup_of(&Value::Int(1)).is_err());
+        assert!(index_field(&state(0, [Value::Int(-4)]), 0).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests across the protocol library: randomized schedules,
+//! participant subsets and workloads, with the task/linearizability
+//! validators as oracles.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use subconsensus_objects::{RegisterArray, Snapshot};
+use subconsensus_protocols::{
+    grid_cells, GridRenaming, ImmediateSnapshot, SafeAgreement, SnapshotFromRegisters,
+};
+use subconsensus_sim::{
+    check_linearizable, run, run_concurrent, BaseObjects, FirstOutcome, Implementation, Op,
+    Protocol, RandomScheduler, RunOptions, SystemBuilder, Value,
+};
+use subconsensus_tasks::{ImmediateSnapshotTask, RenamingTask, Task};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn renaming_names_distinct_for_any_participants_and_schedule(
+        k in 2usize..5,
+        seed in 0u64..10_000,
+        name_salt in 1i64..1_000_000,
+    ) {
+        let mut b = SystemBuilder::new();
+        let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+        let p: Arc<dyn Protocol> = Arc::new(GridRenaming::new(regs, k));
+        b.add_processes(p, (0..k).map(|i| Value::Int(name_salt + 31 * i as i64)));
+        let spec = b.build();
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+        prop_assert!(out.reached_final);
+        let inputs: Vec<Value> =
+            (0..k).map(|i| Value::Int(name_salt + 31 * i as i64)).collect();
+        RenamingTask::new(grid_cells(k))
+            .check(&inputs, &out.decisions())
+            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+    }
+
+    #[test]
+    fn immediate_snapshot_views_are_well_formed_under_any_schedule(
+        n in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(Snapshot::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(ImmediateSnapshot::new(snap, n));
+        b.add_processes(p, (0..n).map(|i| Value::Int(100 + i as i64)));
+        let spec = b.build();
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+        prop_assert!(out.reached_final);
+        let inputs: Vec<Value> = (0..n).map(|i| Value::Int(100 + i as i64)).collect();
+        ImmediateSnapshotTask::new()
+            .check(&inputs, &out.decisions())
+            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+    }
+
+    #[test]
+    fn safe_agreement_agrees_under_any_fair_schedule(
+        n in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut b = SystemBuilder::new();
+        let snap = b.add_object(Snapshot::new(n));
+        let p: Arc<dyn Protocol> = Arc::new(SafeAgreement::new(snap, n));
+        b.add_processes(p, (0..n).map(|i| Value::Int(100 + i as i64)));
+        let spec = b.build();
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+        prop_assert!(out.reached_final, "fair schedules terminate");
+        prop_assert_eq!(out.decided_values().len(), 1, "agreement");
+    }
+
+    #[test]
+    fn snapshot_linearizes_under_random_small_workloads(
+        n in 2usize..4,
+        seed in 0u64..10_000,
+        plan in prop::collection::vec(0u8..3, 2..7),
+    ) {
+        // Build a workload: each plan entry assigns an op to a process.
+        let mut bank = BaseObjects::new();
+        let regs = bank.add(RegisterArray::new(n));
+        let im: Arc<dyn Implementation> = Arc::new(SnapshotFromRegisters::new(regs, n));
+        let mut workload: Vec<Vec<Op>> = vec![Vec::new(); n];
+        for (step, &kind) in plan.iter().enumerate() {
+            let p = step % n;
+            let op = match kind {
+                0 => Op::new("scan"),
+                _ => Op::binary(
+                    "update",
+                    Value::from(p),
+                    Value::Int(1000 + step as i64),
+                ),
+            };
+            workload[p].push(op);
+        }
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 1_000_000)
+            .unwrap();
+        prop_assert!(out.reached_final);
+        let spec = Snapshot::new(n);
+        prop_assert!(
+            check_linearizable(&out.history, &spec).unwrap().is_some(),
+            "history:\n{}", out.history
+        );
+    }
+}

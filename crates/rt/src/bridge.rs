@@ -1,0 +1,193 @@
+//! Bridging real threads to the simulator's linearizability checker.
+//!
+//! Real-thread executions produce concurrent histories too — this module
+//! records them (behind a mutex, so event order is a total order consistent
+//! with real time) and hands them to
+//! [`check_linearizable`](subconsensus_sim::check_linearizable) against the
+//! simulator-side sequential specification.
+//!
+//! The recorded invocation event is taken *before* the real call starts and
+//! the response event *after* it returns, so recorded intervals contain the
+//! real ones. That widening removes real-time precedence constraints, never
+//! adds them: a rejection is always a genuine linearizability violation,
+//! while borderline acceptances are conservative.
+
+use parking_lot::Mutex;
+use subconsensus_sim::{History, Op, OpId, Pid, Value};
+
+use crate::grouped::Grouped;
+
+/// A thread-safe recorder of one concurrent history.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    inner: Mutex<History>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an invocation by thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thread `tid` already has an operation in flight.
+    pub fn invoke(&self, tid: usize, op: Op) -> OpId {
+        self.inner
+            .lock()
+            .invoke(Pid::new(tid), op)
+            .expect("one op in flight per thread")
+    }
+
+    /// Records the response of operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in flight.
+    pub fn respond(&self, id: OpId, response: Value) {
+        self.inner
+            .lock()
+            .respond(id, response)
+            .expect("response matches an in-flight op");
+    }
+
+    /// Extracts the recorded history.
+    pub fn into_history(self) -> History {
+        self.inner.into_inner()
+    }
+}
+
+/// Runs `threads` real threads, each proposing one value from `values`
+/// against `obj`, while recording the high-level history. Exhausted
+/// proposals (the object's hang analogue) are left pending in the history.
+///
+/// Returns the recorded history for linearizability checking.
+pub fn record_grouped_run<G: Grouped>(obj: &G, values: &[u64]) -> History {
+    let recorder = HistoryRecorder::new();
+    crossbeam::scope(|s| {
+        for (tid, &v) in values.iter().enumerate() {
+            let recorder = &recorder;
+            let obj = &obj;
+            s.spawn(move |_| {
+                let id = recorder.invoke(tid, Op::unary("propose", Value::Int(v as i64)));
+                if let Some(out) = obj.propose(v) {
+                    recorder.respond(id, Value::Int(out.response as i64));
+                }
+            });
+        }
+    })
+    .expect("threads join");
+    recorder.into_history()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouped::{LockFreeGrouped, LockedGrouped, ProposeOutcome, EMPTY};
+    use subconsensus_core::GroupedObject;
+    use subconsensus_sim::check_linearizable;
+
+    #[test]
+    fn lock_free_histories_linearize_against_the_sim_spec() {
+        let reference = GroupedObject::new(2, 4);
+        for round in 0..150 {
+            let obj = LockFreeGrouped::new(2, 4);
+            let values: Vec<u64> = (0..4).map(|t| 100 + round + t * 7).collect();
+            let history = record_grouped_run(&obj, &values);
+            assert!(
+                check_linearizable(&history, &reference).unwrap().is_some(),
+                "round {round}:\n{history}"
+            );
+        }
+    }
+
+    #[test]
+    fn locked_histories_linearize_too() {
+        let reference = GroupedObject::new(3, 6);
+        for round in 0..100 {
+            let obj = LockedGrouped::new(3, 6);
+            let values: Vec<u64> = (0..6).map(|t| 500 + round + t * 11).collect();
+            let history = record_grouped_run(&obj, &values);
+            assert!(
+                check_linearizable(&history, &reference).unwrap().is_some(),
+                "round {round}:\n{history}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_leaves_pending_ops_and_still_linearizes() {
+        let reference = GroupedObject::new(2, 2);
+        for round in 0..60 {
+            let obj = LockFreeGrouped::new(2, 2);
+            let values: Vec<u64> = (0..4).map(|t| 1 + round + t).collect();
+            let history = record_grouped_run(&obj, &values);
+            assert!(!history.is_complete(), "two proposals must be left pending");
+            assert!(
+                check_linearizable(&history, &reference).unwrap().is_some(),
+                "round {round}:\n{history}"
+            );
+        }
+    }
+
+    /// A deliberately wrong object: every proposal gets its own value back.
+    #[derive(Debug)]
+    struct EchoGrouped {
+        tickets: std::sync::atomic::AtomicUsize,
+        cap: usize,
+    }
+
+    impl Grouped for EchoGrouped {
+        fn propose(&self, v: u64) -> Option<ProposeOutcome> {
+            assert_ne!(v, EMPTY);
+            let t = self
+                .tickets
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            if t >= self.cap {
+                return None;
+            }
+            Some(ProposeOutcome {
+                ticket: t,
+                response: v,
+            })
+        }
+
+        fn group_size(&self) -> usize {
+            2
+        }
+
+        fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+
+    #[test]
+    fn the_bridge_catches_a_broken_object() {
+        // Two distinct proposals both get their own value: under the
+        // grouped spec (group 2) one of them must have received the
+        // other's, in every linearization — rejected deterministically.
+        let reference = GroupedObject::new(2, 2);
+        let obj = EchoGrouped {
+            tickets: std::sync::atomic::AtomicUsize::new(0),
+            cap: 2,
+        };
+        let history = record_grouped_run(&obj, &[41, 42]);
+        assert!(
+            check_linearizable(&history, &reference).unwrap().is_none(),
+            "echo object must be rejected:\n{history}"
+        );
+    }
+
+    #[test]
+    fn recorder_rejects_protocol_misuse() {
+        let r = HistoryRecorder::new();
+        let id = r.invoke(0, Op::new("propose"));
+        r.respond(id, Value::Int(1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.respond(id, Value::Int(2));
+        }));
+        assert!(result.is_err(), "double response must panic");
+    }
+}

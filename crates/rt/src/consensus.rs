@@ -1,0 +1,102 @@
+//! Wait-free consensus on hardware compare-and-swap.
+//!
+//! The contrast object for the real-atomics experiments: hardware CAS has
+//! infinite consensus number, so a single `compare_exchange` decides
+//! consensus for any number of threads — whereas the grouped family caps
+//! out at its group size.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::grouped::EMPTY;
+
+/// A sticky consensus cell on one `AtomicU64`.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_rt::CasConsensus;
+///
+/// let c = CasConsensus::new();
+/// assert_eq!(c.propose(7), 7);
+/// assert_eq!(c.propose(9), 7, "the first value sticks");
+/// assert_eq!(c.read(), Some(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct CasConsensus {
+    cell: AtomicU64,
+}
+
+impl CasConsensus {
+    /// Creates an undecided cell.
+    pub fn new() -> Self {
+        CasConsensus {
+            cell: AtomicU64::new(EMPTY),
+        }
+    }
+
+    /// Proposes `v`; returns the decided value (the first proposal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == EMPTY` (the reserved sentinel).
+    pub fn propose(&self, v: u64) -> u64 {
+        assert_ne!(v, EMPTY, "EMPTY is reserved");
+        match self
+            .cell
+            .compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => v,
+            Err(winner) => winner,
+        }
+    }
+
+    /// Returns the decided value, if any.
+    pub fn read(&self) -> Option<u64> {
+        match self.cell.load(Ordering::Acquire) {
+            EMPTY => None,
+            v => Some(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn undecided_reads_none() {
+        assert_eq!(CasConsensus::new().read(), None);
+    }
+
+    #[test]
+    fn concurrent_threads_agree() {
+        for _ in 0..100 {
+            let c = CasConsensus::new();
+            let decisions: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+            crossbeam::scope(|s| {
+                for t in 0..8u64 {
+                    let c = &c;
+                    let decisions = &decisions;
+                    s.spawn(move |_| {
+                        let d = c.propose(100 + t);
+                        decisions.lock().push(d);
+                    });
+                }
+            })
+            .unwrap();
+            let decisions = decisions.into_inner();
+            let distinct: BTreeSet<u64> = decisions.iter().copied().collect();
+            assert_eq!(distinct.len(), 1, "agreement");
+            let d = *distinct.iter().next().unwrap();
+            assert!((100..108).contains(&d), "validity");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "EMPTY is reserved")]
+    fn sentinel_rejected() {
+        CasConsensus::new().propose(crate::grouped::EMPTY);
+    }
+}

@@ -1,0 +1,333 @@
+//! The grouped deterministic object on real hardware atomics.
+//!
+//! Two implementations of the same single-operation object (the
+//! `O_{n,k}`-family stand-in of `subconsensus-core`, here over `u64`
+//! values):
+//!
+//! * [`LockFreeGrouped`] — a fetch-and-add ticket dispenser plus a slot
+//!   array of atomics; lock-free (a proposer may briefly spin waiting for
+//!   its group leader's slot to be published);
+//! * [`LockedGrouped`] — the obvious mutex-protected reference.
+//!
+//! Both return the drawn arrival ticket alongside the response so tests can
+//! verify the arrival-group semantics exactly; both return `None` once the
+//! capacity is exhausted (the real-time analogue of the model's undetectable
+//! hang is *detectable* here on purpose — a spinning thread would be a
+//! resource leak, not an experiment).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Sentinel marking an unpublished slot. Proposals must not use it.
+pub const EMPTY: u64 = u64::MAX;
+
+/// A completed proposal: the arrival ticket drawn and the group leader's
+/// value returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProposeOutcome {
+    /// 0-based arrival position of this proposal.
+    pub ticket: usize,
+    /// The value of the proposal leading this arrival group.
+    pub response: u64,
+}
+
+/// Shared behavior of the two real-atomics grouped objects.
+pub trait Grouped: Send + Sync {
+    /// Proposes `v`; returns the ticket and the group leader's value, or
+    /// `None` if the object is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == EMPTY`.
+    fn propose(&self, v: u64) -> Option<ProposeOutcome>;
+
+    /// Returns the arrival-group size `n`.
+    fn group_size(&self) -> usize;
+
+    /// Returns the total proposal capacity.
+    fn capacity(&self) -> usize;
+}
+
+/// Lock-free grouped object: fetch-and-add tickets + published slots.
+#[derive(Debug)]
+pub struct LockFreeGrouped {
+    group: usize,
+    tickets: AtomicUsize,
+    slots: Vec<AtomicU64>,
+}
+
+impl LockFreeGrouped {
+    /// Creates the object with arrival groups of `group` and the given
+    /// `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group == 0` or `capacity == 0`.
+    pub fn new(group: usize, capacity: usize) -> Self {
+        assert!(group > 0, "group size must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        LockFreeGrouped {
+            group,
+            tickets: AtomicUsize::new(0),
+            slots: (0..capacity).map(|_| AtomicU64::new(EMPTY)).collect(),
+        }
+    }
+
+    /// Creates the `(n, k)` family level: groups of `n`, capacity `n(k+1)`.
+    pub fn for_level(n: usize, k: usize) -> Self {
+        Self::new(n, n * (k + 1))
+    }
+}
+
+impl Grouped for LockFreeGrouped {
+    fn propose(&self, v: u64) -> Option<ProposeOutcome> {
+        assert_ne!(v, EMPTY, "EMPTY is reserved");
+        let ticket = self.tickets.fetch_add(1, Ordering::AcqRel);
+        if ticket >= self.slots.len() {
+            return None; // exhausted
+        }
+        self.slots[ticket].store(v, Ordering::Release);
+        let leader = (ticket / self.group) * self.group;
+        // The leader drew a smaller ticket, so its store is imminent; spin
+        // until published (lock-free, not wait-free).
+        let response = loop {
+            let seen = self.slots[leader].load(Ordering::Acquire);
+            if seen != EMPTY {
+                break seen;
+            }
+            std::hint::spin_loop();
+        };
+        Some(ProposeOutcome { ticket, response })
+    }
+
+    fn group_size(&self) -> usize {
+        self.group
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Mutex-protected reference implementation of the same object.
+#[derive(Debug)]
+pub struct LockedGrouped {
+    group: usize,
+    capacity: usize,
+    proposals: Mutex<Vec<u64>>,
+}
+
+impl LockedGrouped {
+    /// Creates the object with arrival groups of `group` and the given
+    /// `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group == 0` or `capacity == 0`.
+    pub fn new(group: usize, capacity: usize) -> Self {
+        assert!(group > 0, "group size must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        LockedGrouped {
+            group,
+            capacity,
+            proposals: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates the `(n, k)` family level: groups of `n`, capacity `n(k+1)`.
+    pub fn for_level(n: usize, k: usize) -> Self {
+        Self::new(n, n * (k + 1))
+    }
+}
+
+impl Grouped for LockedGrouped {
+    fn propose(&self, v: u64) -> Option<ProposeOutcome> {
+        assert_ne!(v, EMPTY, "EMPTY is reserved");
+        let mut proposals = self.proposals.lock();
+        let ticket = proposals.len();
+        if ticket >= self.capacity {
+            return None;
+        }
+        proposals.push(v);
+        let leader = (ticket / self.group) * self.group;
+        Some(ProposeOutcome {
+            ticket,
+            response: proposals[leader],
+        })
+    }
+
+    fn group_size(&self) -> usize {
+        self.group
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Verifies a set of completed proposals against the grouped semantics:
+/// tickets are distinct, and every response equals the value proposed by
+/// the holder of the group-leader ticket.
+///
+/// `outcomes` pairs each proposal's input value with its outcome. Returns
+/// `Err` with a description of the first inconsistency.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated property.
+pub fn verify_grouped_semantics(
+    group: usize,
+    outcomes: &[(u64, ProposeOutcome)],
+) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut by_ticket: HashMap<usize, u64> = HashMap::new();
+    for (v, o) in outcomes {
+        if by_ticket.insert(o.ticket, *v).is_some() {
+            return Err(format!("ticket {} drawn twice", o.ticket));
+        }
+    }
+    for (_, o) in outcomes {
+        let leader = (o.ticket / group) * group;
+        let Some(&leader_value) = by_ticket.get(&leader) else {
+            return Err(format!(
+                "ticket {}'s leader {leader} missing from outcomes",
+                o.ticket
+            ));
+        };
+        if o.response != leader_value {
+            return Err(format!(
+                "ticket {} got {} but its leader {leader} proposed {leader_value}",
+                o.ticket, o.response
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn exercise_sequential(obj: &dyn Grouped) {
+        let mut outcomes = Vec::new();
+        for i in 0..obj.capacity() as u64 {
+            let v = 100 + i;
+            let o = obj.propose(v).expect("within capacity");
+            outcomes.push((v, o));
+        }
+        assert!(obj.propose(9).is_none(), "exhausted");
+        verify_grouped_semantics(obj.group_size(), &outcomes).unwrap();
+        let distinct: BTreeSet<u64> = outcomes.iter().map(|(_, o)| o.response).collect();
+        assert_eq!(
+            distinct.len(),
+            obj.capacity().div_ceil(obj.group_size()),
+            "one value per group"
+        );
+    }
+
+    #[test]
+    fn lock_free_sequential_semantics() {
+        exercise_sequential(&LockFreeGrouped::for_level(3, 2));
+        exercise_sequential(&LockFreeGrouped::new(2, 5));
+    }
+
+    #[test]
+    fn locked_sequential_semantics() {
+        exercise_sequential(&LockedGrouped::for_level(3, 2));
+        exercise_sequential(&LockedGrouped::new(2, 5));
+    }
+
+    fn exercise_concurrent(obj: &dyn Grouped, threads: usize) {
+        let outcomes: Mutex<Vec<(u64, ProposeOutcome)>> = Mutex::new(Vec::new());
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let outcomes = &outcomes;
+                let obj = &obj;
+                s.spawn(move |_| {
+                    let v = 1000 + t as u64;
+                    if let Some(o) = obj.propose(v) {
+                        outcomes.lock().push((v, o));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let outcomes = outcomes.into_inner();
+        let expected = threads.min(obj.capacity());
+        assert_eq!(outcomes.len(), expected);
+        verify_grouped_semantics(obj.group_size(), &outcomes).unwrap();
+        let distinct: BTreeSet<u64> = outcomes.iter().map(|(_, o)| o.response).collect();
+        assert!(distinct.len() <= expected.div_ceil(obj.group_size()));
+    }
+
+    #[test]
+    fn lock_free_concurrent_semantics() {
+        for _ in 0..50 {
+            exercise_concurrent(&LockFreeGrouped::for_level(2, 3), 8);
+            exercise_concurrent(&LockFreeGrouped::for_level(4, 1), 6);
+        }
+    }
+
+    #[test]
+    fn locked_concurrent_semantics() {
+        for _ in 0..50 {
+            exercise_concurrent(&LockedGrouped::for_level(2, 3), 8);
+        }
+    }
+
+    #[test]
+    fn overflow_threads_observe_exhaustion() {
+        let obj = LockFreeGrouped::new(2, 2);
+        assert!(obj.propose(1).is_some());
+        assert!(obj.propose(2).is_some());
+        assert!(obj.propose(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "EMPTY is reserved")]
+    fn empty_sentinel_rejected() {
+        let obj = LockFreeGrouped::new(2, 2);
+        let _ = obj.propose(EMPTY);
+    }
+
+    #[test]
+    fn verifier_catches_bad_data() {
+        // Response disagrees with leader value.
+        let bad = [
+            (
+                10u64,
+                ProposeOutcome {
+                    ticket: 0,
+                    response: 10,
+                },
+            ),
+            (
+                20u64,
+                ProposeOutcome {
+                    ticket: 1,
+                    response: 20,
+                },
+            ),
+        ];
+        assert!(verify_grouped_semantics(2, &bad).is_err());
+        let dup = [
+            (
+                10u64,
+                ProposeOutcome {
+                    ticket: 0,
+                    response: 10,
+                },
+            ),
+            (
+                20u64,
+                ProposeOutcome {
+                    ticket: 0,
+                    response: 10,
+                },
+            ),
+        ];
+        assert!(verify_grouped_semantics(2, &dup).is_err());
+    }
+}

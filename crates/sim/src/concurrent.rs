@@ -1,0 +1,421 @@
+//! Driving an [`Implementation`] under a scheduler and recording the
+//! concurrent history.
+
+use std::sync::Arc;
+
+use crate::error::SimError;
+use crate::history::{History, OpId};
+use crate::ids::{ObjId, Pid};
+use crate::implementation::{ImplStep, Implementation};
+use crate::object::ObjectSpec;
+use crate::op::Op;
+use crate::protocol::ProcCtx;
+use crate::sched::{OutcomeChooser, Scheduler};
+use crate::value::Value;
+
+/// A bank of base objects for a concurrent run.
+#[derive(Debug, Default)]
+pub struct BaseObjects {
+    specs: Vec<Box<dyn ObjectSpec>>,
+}
+
+impl BaseObjects {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an object and returns its id.
+    pub fn add(&mut self, spec: impl ObjectSpec + 'static) -> ObjId {
+        self.add_boxed(Box::new(spec))
+    }
+
+    /// Registers an already-boxed object and returns its id.
+    pub fn add_boxed(&mut self, spec: Box<dyn ObjectSpec>) -> ObjId {
+        let id = ObjId::new(self.specs.len());
+        self.specs.push(spec);
+        id
+    }
+
+    /// Registers `n` objects produced by `make`; returns the first id of the
+    /// contiguous range.
+    pub fn add_array<F>(&mut self, n: usize, mut make: F) -> ObjId
+    where
+        F: FnMut(usize) -> Box<dyn ObjectSpec>,
+    {
+        let base = ObjId::new(self.specs.len());
+        for i in 0..n {
+            self.specs.push(make(i));
+        }
+        base
+    }
+
+    /// Returns the number of registered objects.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` if no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    /// About to start high-level op `op_idx` (if any are left).
+    Starting,
+    /// Inside a high-level op, with op-local state and the response to the
+    /// previous base invocation.
+    Mid {
+        hl_id: OpId,
+        local: Value,
+        resp: Option<Value>,
+    },
+    /// All high-level ops finished.
+    Done,
+    /// A base operation hung; the current high-level op stays pending.
+    Hung,
+}
+
+#[derive(Debug)]
+struct ProcRun {
+    ops: Vec<Op>,
+    op_idx: usize,
+    memory: Value,
+    phase: Phase,
+    results: Vec<Value>,
+}
+
+/// The result of a concurrent run.
+#[derive(Clone, Debug)]
+pub struct ConcurrentOutcome {
+    /// The recorded high-level history.
+    pub history: History,
+    /// Per-process high-level responses, in program order.
+    pub results: Vec<Vec<Value>>,
+    /// Number of scheduled steps.
+    pub steps: usize,
+    /// Whether every process finished its workload (or hung).
+    pub reached_final: bool,
+    /// Final states of the base objects.
+    pub final_states: Vec<Value>,
+}
+
+/// Drives `implementation` over a per-process workload of high-level
+/// operations against `objects`, interleaved by `scheduler`, and records the
+/// concurrent [`History`].
+///
+/// Scheduling granularity: each scheduled step is either one atomic base
+/// operation, or one operation boundary (recording the invocation of the next
+/// high-level op, or its response). Operation boundaries are where the
+/// adversary gets to place invocation/response events relative to other
+/// processes' steps.
+///
+/// # Errors
+///
+/// Propagates [`SimError`]s raised by object specs or the implementation.
+pub fn run_concurrent(
+    objects: &BaseObjects,
+    implementation: &Arc<dyn Implementation>,
+    workload: Vec<Vec<Op>>,
+    scheduler: &mut dyn Scheduler,
+    chooser: &mut dyn OutcomeChooser,
+    max_steps: usize,
+) -> Result<ConcurrentOutcome, SimError> {
+    let nprocs = workload.len();
+    let mut obj_states: Vec<Value> = objects.specs.iter().map(|o| o.initial_state()).collect();
+    let mut procs: Vec<ProcRun> = workload
+        .into_iter()
+        .enumerate()
+        .map(|(i, ops)| {
+            let ctx = ProcCtx::new(Pid::new(i), nprocs, Value::Nil);
+            ProcRun {
+                ops,
+                op_idx: 0,
+                memory: implementation.init_memory(&ctx),
+                phase: Phase::Starting,
+                results: Vec::new(),
+            }
+        })
+        .collect();
+    let mut history = History::new();
+    let mut steps = 0;
+
+    let enabled = |procs: &[ProcRun]| -> Vec<Pid> {
+        procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| match p.phase {
+                Phase::Starting => p.op_idx < p.ops.len(),
+                Phase::Mid { .. } => true,
+                Phase::Done | Phase::Hung => false,
+            })
+            .map(|(i, _)| Pid::new(i))
+            .collect()
+    };
+
+    while steps < max_steps {
+        let en = enabled(&procs);
+        if en.is_empty() {
+            return Ok(ConcurrentOutcome {
+                history,
+                results: procs.into_iter().map(|p| p.results).collect(),
+                steps,
+                reached_final: true,
+                final_states: obj_states,
+            });
+        }
+        let Some(pid) = scheduler.next_pid(&en) else {
+            return Ok(ConcurrentOutcome {
+                history,
+                results: procs.into_iter().map(|p| p.results).collect(),
+                steps,
+                reached_final: false,
+                final_states: obj_states,
+            });
+        };
+        steps += 1;
+        let ctx = ProcCtx::new(pid, nprocs, Value::Nil);
+        let p = &mut procs[pid.index()];
+        match std::mem::replace(&mut p.phase, Phase::Done) {
+            Phase::Starting => {
+                // Operation boundary: record the invocation.
+                let op = p.ops[p.op_idx].clone();
+                let hl_id = history
+                    .invoke(pid, op.clone())
+                    .expect("runner keeps at most one op in flight per pid");
+                let local = implementation.start_op(&ctx, &op, &p.memory);
+                p.phase = Phase::Mid {
+                    hl_id,
+                    local,
+                    resp: None,
+                };
+            }
+            Phase::Mid { hl_id, local, resp } => {
+                let op = p.ops[p.op_idx].clone();
+                let action = implementation
+                    .step(&ctx, &op, &local, resp.as_ref())
+                    .map_err(|source| SimError::Protocol { pid, source })?;
+                match action {
+                    ImplStep::Return { response, memory } => {
+                        history
+                            .respond(hl_id, response.clone())
+                            .expect("runner responds to its own invocation");
+                        p.results.push(response);
+                        p.memory = memory;
+                        p.op_idx += 1;
+                        p.phase = Phase::Starting;
+                    }
+                    ImplStep::Invoke {
+                        local,
+                        obj,
+                        op: base_op,
+                    } => {
+                        let spec = objects
+                            .specs
+                            .get(obj.index())
+                            .ok_or(SimError::UnknownObject { pid, obj })?;
+                        let outcomes = spec
+                            .apply(&obj_states[obj.index()], &base_op)
+                            .map_err(|source| SimError::Object { obj, pid, source })?;
+                        if outcomes.is_empty() {
+                            return Err(SimError::NoOutcomes { obj, pid });
+                        }
+                        let idx = if outcomes.len() == 1 {
+                            0
+                        } else {
+                            chooser.choose(outcomes.len())
+                        };
+                        let out = outcomes
+                            .into_iter()
+                            .nth(idx)
+                            .expect("chooser index in range");
+                        obj_states[obj.index()] = out.state;
+                        match out.response {
+                            Some(r) => {
+                                p.phase = Phase::Mid {
+                                    hl_id,
+                                    local,
+                                    resp: Some(r),
+                                };
+                            }
+                            None => {
+                                p.phase = Phase::Hung;
+                            }
+                        }
+                    }
+                }
+            }
+            done_or_hung => {
+                p.phase = done_or_hung;
+                return Err(SimError::ProcessNotEnabled(pid));
+            }
+        }
+    }
+    Ok(ConcurrentOutcome {
+        history,
+        results: procs.into_iter().map(|p| p.results).collect(),
+        steps,
+        reached_final: false,
+        final_states: obj_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{ObjectError, ProtocolError};
+    use crate::object::Outcome;
+    use crate::sched::{FirstOutcome, RandomScheduler, RoundRobin};
+
+    /// A base register.
+    #[derive(Debug)]
+    struct Reg;
+
+    impl ObjectSpec for Reg {
+        fn type_name(&self) -> &'static str {
+            "reg"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            match op.name {
+                "read" => Ok(vec![Outcome::ret(state.clone(), state.clone())]),
+                "write" => Ok(vec![Outcome::ret(
+                    op.arg(0).cloned().unwrap_or(Value::Nil),
+                    Value::Nil,
+                )]),
+                _ => Err(ObjectError::UnknownOp {
+                    object: "reg",
+                    op: op.clone(),
+                }),
+            }
+        }
+    }
+
+    /// High-level register implemented directly on one base register.
+    #[derive(Debug)]
+    struct PassThrough {
+        reg: ObjId,
+    }
+
+    impl Implementation for PassThrough {
+        fn start_op(&self, _ctx: &ProcCtx, _op: &Op, _memory: &Value) -> Value {
+            Value::Int(0)
+        }
+
+        fn step(
+            &self,
+            _ctx: &ProcCtx,
+            op: &Op,
+            local: &Value,
+            resp: Option<&Value>,
+        ) -> Result<ImplStep, ProtocolError> {
+            match local.as_int() {
+                Some(0) => Ok(ImplStep::invoke(Value::Int(1), self.reg, op.clone())),
+                Some(1) => Ok(ImplStep::ret(
+                    resp.cloned().ok_or_else(|| ProtocolError::new("no resp"))?,
+                    Value::Nil,
+                )),
+                _ => Err(ProtocolError::new("bad pc")),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_workload_produces_complete_history() {
+        let mut bank = BaseObjects::new();
+        let reg = bank.add(Reg);
+        let im: Arc<dyn Implementation> = Arc::new(PassThrough { reg });
+        let workload = vec![
+            vec![Op::unary("write", Value::Int(5)), Op::new("read")],
+            vec![Op::new("read")],
+        ];
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut RoundRobin::new(),
+            &mut FirstOutcome,
+            10_000,
+        )
+        .unwrap();
+        assert!(out.reached_final);
+        assert!(out.history.is_complete());
+        assert_eq!(out.history.num_ops(), 3);
+        assert_eq!(out.results[0].len(), 2);
+        // P0's read must see its own write in program order.
+        assert_eq!(out.results[0][1], Value::Int(5));
+        assert_eq!(out.final_states[0], Value::Int(5));
+    }
+
+    #[test]
+    fn random_interleavings_complete() {
+        let mut bank = BaseObjects::new();
+        let reg = bank.add(Reg);
+        let im: Arc<dyn Implementation> = Arc::new(PassThrough { reg });
+        for seed in 0..20 {
+            let workload = vec![
+                vec![Op::unary("write", Value::Int(1)), Op::new("read")],
+                vec![Op::unary("write", Value::Int(2)), Op::new("read")],
+            ];
+            let mut sched = RandomScheduler::seeded(seed);
+            let out = run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 10_000)
+                .unwrap();
+            assert!(out.reached_final);
+            // Every read returns one of the two written values.
+            let r0 = &out.results[0][1];
+            assert!(r0 == &Value::Int(1) || r0 == &Value::Int(2));
+        }
+    }
+
+    /// Hangs on its only op.
+    #[derive(Debug)]
+    struct Pit;
+
+    impl ObjectSpec for Pit {
+        fn type_name(&self) -> &'static str {
+            "pit"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, state: &Value, _op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            Ok(vec![Outcome::hang(state.clone())])
+        }
+    }
+
+    #[test]
+    fn hanging_base_op_leaves_pending_history() {
+        let mut bank = BaseObjects::new();
+        let pit = bank.add(Pit);
+        let im: Arc<dyn Implementation> = Arc::new(PassThrough { reg: pit });
+        let out = run_concurrent(
+            &bank,
+            &im,
+            vec![vec![Op::new("read")]],
+            &mut RoundRobin::new(),
+            &mut FirstOutcome,
+            10_000,
+        )
+        .unwrap();
+        assert!(out.reached_final, "hung process counts as finished");
+        assert!(!out.history.is_complete());
+        assert_eq!(out.results[0].len(), 0);
+    }
+
+    #[test]
+    fn bank_array_allocation() {
+        let mut bank = BaseObjects::new();
+        assert!(bank.is_empty());
+        let base = bank.add_array(3, |_| Box::new(Reg) as Box<dyn ObjectSpec>);
+        assert_eq!(base, ObjId::new(0));
+        assert_eq!(bank.len(), 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ObjId, Pid};
+use crate::op::Op;
+
+/// An error raised by an [`ObjectSpec`](crate::ObjectSpec) when an operation
+/// cannot be interpreted.
+///
+/// These errors indicate *mis-use* of an object (wrong operation name, wrong
+/// arity, ill-typed arguments or a corrupted state value); legal-but-hanging
+/// operations are expressed with [`Outcome::hang`](crate::Outcome::hang)
+/// instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectError {
+    /// The operation name is not supported by this object.
+    UnknownOp {
+        /// The object type that rejected the operation.
+        object: &'static str,
+        /// The rejected operation.
+        op: Op,
+    },
+    /// The operation has the wrong number of arguments.
+    BadArity {
+        /// The object type that rejected the operation.
+        object: &'static str,
+        /// The rejected operation.
+        op: Op,
+        /// The number of arguments the operation requires.
+        expected: usize,
+    },
+    /// An argument or the stored state had an unexpected shape.
+    TypeMismatch {
+        /// The object type that rejected the operation.
+        object: &'static str,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The operation is illegal in the current state (e.g. re-using a
+    /// one-shot index).
+    IllegalOp {
+        /// The object type that rejected the operation.
+        object: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::UnknownOp { object, op } => {
+                write!(f, "object type `{object}` does not support operation `{op}`")
+            }
+            ObjectError::BadArity { object, op, expected } => write!(
+                f,
+                "operation `{op}` on object type `{object}` requires {expected} argument(s), got {}",
+                op.args.len()
+            ),
+            ObjectError::TypeMismatch { object, detail } => {
+                write!(f, "type mismatch on object type `{object}`: {detail}")
+            }
+            ObjectError::IllegalOp { object, detail } => {
+                write!(f, "illegal operation on object type `{object}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ObjectError {}
+
+/// An error raised by a [`Protocol`](crate::Protocol) or
+/// [`Implementation`](crate::Implementation) step function.
+///
+/// Protocol state machines are written by hand; this error signals an
+/// internal inconsistency (e.g. a response of an unexpected shape) rather
+/// than a property violation of the algorithm under study.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    message: String,
+}
+
+impl ProtocolError {
+    /// Creates a protocol error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ProtocolError {
+            message: message.into(),
+        }
+    }
+
+    /// Returns the error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// A top-level simulation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An object rejected an operation.
+    Object {
+        /// The object that rejected the operation.
+        obj: ObjId,
+        /// The pid whose step triggered the rejection.
+        pid: Pid,
+        /// The underlying object error.
+        source: ObjectError,
+    },
+    /// A protocol step function failed.
+    Protocol {
+        /// The failing process.
+        pid: Pid,
+        /// The underlying protocol error.
+        source: ProtocolError,
+    },
+    /// A protocol invoked an operation on an object id that does not exist.
+    UnknownObject {
+        /// The failing process.
+        pid: Pid,
+        /// The unknown object id.
+        obj: ObjId,
+    },
+    /// A step was requested for a process that cannot take one.
+    ProcessNotEnabled(Pid),
+    /// An object spec returned zero outcomes for a legal operation.
+    NoOutcomes {
+        /// The object that produced no outcome.
+        obj: ObjId,
+        /// The pid whose step triggered the evaluation.
+        pid: Pid,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Object { obj, pid, source } => {
+                write!(f, "step of {pid} on {obj} failed: {source}")
+            }
+            SimError::Protocol { pid, source } => write!(f, "step of {pid} failed: {source}"),
+            SimError::UnknownObject { pid, obj } => {
+                write!(f, "{pid} invoked an operation on unknown object {obj}")
+            }
+            SimError::ProcessNotEnabled(pid) => {
+                write!(f, "{pid} is not enabled (decided, hung or crashed)")
+            }
+            SimError::NoOutcomes { obj, pid } => {
+                write!(f, "object {obj} produced no outcome for a step of {pid}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Object { source, .. } => Some(source),
+            SimError::Protocol { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn object_error_messages() {
+        let e = ObjectError::UnknownOp {
+            object: "register",
+            op: Op::new("pop"),
+        };
+        assert!(e.to_string().contains("register"));
+        assert!(e.to_string().contains("pop"));
+
+        let e = ObjectError::BadArity {
+            object: "register",
+            op: Op::unary("write", Value::Nil),
+            expected: 2,
+        };
+        assert!(e.to_string().contains("requires 2"));
+        assert!(e.to_string().contains("got 1"));
+    }
+
+    #[test]
+    fn sim_error_sources_chain() {
+        let source = ObjectError::TypeMismatch {
+            object: "counter",
+            detail: "x".into(),
+        };
+        let e = SimError::Object {
+            obj: ObjId::new(0),
+            pid: Pid::new(1),
+            source,
+        };
+        assert!(e.source().is_some());
+        let e = SimError::ProcessNotEnabled(Pid::new(0));
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("P0"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ObjectError>();
+        assert_send_sync::<ProtocolError>();
+        assert_send_sync::<SimError>();
+    }
+}

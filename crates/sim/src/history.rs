@@ -1,0 +1,294 @@
+//! Concurrent histories of an implemented object, for linearizability
+//! checking.
+
+use std::fmt;
+
+use crate::ids::Pid;
+use crate::op::Op;
+use crate::value::Value;
+
+/// Identifier of a high-level operation inside a [`History`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// One event of a concurrent history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryEvent {
+    /// A process invoked a high-level operation.
+    Invoke {
+        /// The operation identifier (unique within the history).
+        id: OpId,
+        /// The invoking process.
+        pid: Pid,
+        /// The invoked operation.
+        op: Op,
+    },
+    /// A previously invoked operation returned.
+    Respond {
+        /// The operation identifier of the matching invocation.
+        id: OpId,
+        /// The responding process.
+        pid: Pid,
+        /// The response value.
+        response: Value,
+    },
+}
+
+/// A complete description of one high-level operation extracted from a
+/// history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The operation identifier.
+    pub id: OpId,
+    /// The invoking process.
+    pub pid: Pid,
+    /// The operation.
+    pub op: Op,
+    /// The response, or `None` if the operation is pending at the end of the
+    /// history.
+    pub response: Option<Value>,
+    /// Index of the invocation event in the history.
+    pub invoked_at: usize,
+    /// Index of the response event, or `None` if pending.
+    pub responded_at: Option<usize>,
+}
+
+impl OpRecord {
+    /// Returns `true` if the operation completed within the history.
+    pub fn is_complete(&self) -> bool {
+        self.responded_at.is_some()
+    }
+}
+
+/// A concurrent history: a well-formed sequence of invocation and response
+/// events over one implemented object.
+///
+/// Well-formedness (each process has at most one operation in flight,
+/// responses match prior invocations) is enforced at construction.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_sim::{History, Op, Pid, Value};
+///
+/// let mut h = History::new();
+/// let a = h.invoke(Pid::new(0), Op::unary("write", Value::Int(1))).unwrap();
+/// let b = h.invoke(Pid::new(1), Op::new("read")).unwrap();
+/// h.respond(a, Value::Nil).unwrap();
+/// h.respond(b, Value::Int(1)).unwrap();
+/// assert_eq!(h.records().len(), 2);
+/// assert!(h.is_complete());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct History {
+    events: Vec<HistoryEvent>,
+    // One record per OpId, kept in sync with `events`.
+    records: Vec<OpRecord>,
+    // In-flight operation of each pid, if any.
+    inflight: std::collections::HashMap<Pid, OpId>,
+}
+
+/// Error raised when appending an ill-formed event to a [`History`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryError {
+    /// The process already has an operation in flight.
+    AlreadyInflight(Pid),
+    /// The response does not match an in-flight operation.
+    NoMatchingInvoke(OpId),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::AlreadyInflight(pid) => {
+                write!(f, "{pid} already has an operation in flight")
+            }
+            HistoryError::NoMatchingInvoke(id) => {
+                write!(
+                    f,
+                    "response for {id} does not match an in-flight invocation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an invocation by `pid` and returns its operation id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::AlreadyInflight`] if `pid` has an incomplete
+    /// operation.
+    pub fn invoke(&mut self, pid: Pid, op: Op) -> Result<OpId, HistoryError> {
+        if self.inflight.contains_key(&pid) {
+            return Err(HistoryError::AlreadyInflight(pid));
+        }
+        let id = OpId(self.records.len());
+        self.records.push(OpRecord {
+            id,
+            pid,
+            op: op.clone(),
+            response: None,
+            invoked_at: self.events.len(),
+            responded_at: None,
+        });
+        self.events.push(HistoryEvent::Invoke { id, pid, op });
+        self.inflight.insert(pid, id);
+        Ok(id)
+    }
+
+    /// Appends the response of operation `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::NoMatchingInvoke`] if `id` is not in flight.
+    pub fn respond(&mut self, id: OpId, response: Value) -> Result<(), HistoryError> {
+        let rec = self
+            .records
+            .get(id.0)
+            .filter(|r| r.responded_at.is_none())
+            .ok_or(HistoryError::NoMatchingInvoke(id))?;
+        let pid = rec.pid;
+        if self.inflight.get(&pid) != Some(&id) {
+            return Err(HistoryError::NoMatchingInvoke(id));
+        }
+        self.inflight.remove(&pid);
+        let at = self.events.len();
+        self.events.push(HistoryEvent::Respond {
+            id,
+            pid,
+            response: response.clone(),
+        });
+        let rec = &mut self.records[id.0];
+        rec.response = Some(response);
+        rec.responded_at = Some(at);
+        Ok(())
+    }
+
+    /// Returns the events in order.
+    pub fn events(&self) -> &[HistoryEvent] {
+        &self.events
+    }
+
+    /// Returns one record per operation, in invocation order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Returns the number of operations (complete + pending).
+    pub fn num_ops(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if every invoked operation has responded.
+    pub fn is_complete(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Returns `true` if operation `a` completed before operation `b` was
+    /// invoked (the real-time order that linearizability must respect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn precedes(&self, a: OpId, b: OpId) -> bool {
+        match self.records[a.0].responded_at {
+            Some(ra) => ra < self.records[b.0].invoked_at,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                HistoryEvent::Invoke { id, pid, op } => {
+                    writeln!(f, "{i:>4}  {pid}  invoke {id}: {op}")?
+                }
+                HistoryEvent::Respond { id, pid, response } => {
+                    writeln!(f, "{i:>4}  {pid}  respond {id} -> {response}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formedness_is_enforced() {
+        let mut h = History::new();
+        let a = h.invoke(Pid::new(0), Op::new("read")).unwrap();
+        assert_eq!(
+            h.invoke(Pid::new(0), Op::new("read")),
+            Err(HistoryError::AlreadyInflight(Pid::new(0)))
+        );
+        h.respond(a, Value::Nil).unwrap();
+        assert_eq!(
+            h.respond(a, Value::Nil),
+            Err(HistoryError::NoMatchingInvoke(a))
+        );
+        assert_eq!(
+            h.respond(OpId(99), Value::Nil),
+            Err(HistoryError::NoMatchingInvoke(OpId(99)))
+        );
+    }
+
+    #[test]
+    fn precedes_tracks_real_time_order() {
+        let mut h = History::new();
+        let a = h.invoke(Pid::new(0), Op::new("a")).unwrap();
+        h.respond(a, Value::Nil).unwrap();
+        let b = h.invoke(Pid::new(1), Op::new("b")).unwrap();
+        assert!(h.precedes(a, b));
+        assert!(!h.precedes(b, a));
+
+        // Concurrent ops do not precede each other.
+        let c = h.invoke(Pid::new(0), Op::new("c")).unwrap();
+        h.respond(b, Value::Nil).unwrap();
+        h.respond(c, Value::Nil).unwrap();
+        assert!(!h.precedes(b, c));
+        assert!(!h.precedes(c, b));
+    }
+
+    #[test]
+    fn pending_ops_are_recorded() {
+        let mut h = History::new();
+        let a = h.invoke(Pid::new(0), Op::new("a")).unwrap();
+        assert!(!h.is_complete());
+        let rec = &h.records()[a.0];
+        assert!(!rec.is_complete());
+        assert_eq!(rec.response, None);
+        assert_eq!(h.num_ops(), 1);
+    }
+
+    #[test]
+    fn display_renders_events() {
+        let mut h = History::new();
+        let a = h
+            .invoke(Pid::new(0), Op::unary("write", Value::Int(1)))
+            .unwrap();
+        h.respond(a, Value::Nil).unwrap();
+        let s = h.to_string();
+        assert!(s.contains("invoke op0"));
+        assert!(s.contains("respond op0"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Newtype identifiers for processes and shared objects.
+
+use std::fmt;
+
+/// The identifier of a simulated process.
+///
+/// Processes are numbered densely from `0` in the order they are added to a
+/// [`SystemBuilder`](crate::SystemBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_sim::Pid;
+/// let p = Pid::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "P2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(usize);
+
+impl Pid {
+    /// Creates a process identifier from its dense index.
+    pub const fn new(index: usize) -> Self {
+        Pid(index)
+    }
+
+    /// Returns the dense index of this process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Enumerates the first `n` process identifiers, `P0 .. P(n-1)`.
+    pub fn all(n: usize) -> impl Iterator<Item = Pid> {
+        (0..n).map(Pid)
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for Pid {
+    fn from(index: usize) -> Self {
+        Pid(index)
+    }
+}
+
+/// The identifier of a shared base object.
+///
+/// Objects are numbered densely from `0` in the order they are added to a
+/// [`SystemBuilder`](crate::SystemBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_sim::ObjId;
+/// assert_eq!(ObjId::new(0).to_string(), "O0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(usize);
+
+impl ObjId {
+    /// Creates an object identifier from its dense index.
+    pub const fn new(index: usize) -> Self {
+        ObjId(index)
+    }
+
+    /// Returns the dense index of this object.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the identifier `offset` slots after this one.
+    ///
+    /// Convenient for protocols that are handed a contiguous block of objects
+    /// (e.g. an array of registers) identified by its first element.
+    pub const fn offset(self, offset: usize) -> Self {
+        ObjId(self.0 + offset)
+    }
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+impl From<usize> for ObjId {
+    fn from(index: usize) -> Self {
+        ObjId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_roundtrip_and_display() {
+        let p = Pid::new(5);
+        assert_eq!(p.index(), 5);
+        assert_eq!(p.to_string(), "P5");
+        assert_eq!(format!("{p:?}"), "P5");
+        assert_eq!(Pid::from(5usize), p);
+    }
+
+    #[test]
+    fn pid_all_enumerates_in_order() {
+        let pids: Vec<Pid> = Pid::all(3).collect();
+        assert_eq!(pids, vec![Pid::new(0), Pid::new(1), Pid::new(2)]);
+    }
+
+    #[test]
+    fn objid_offset() {
+        let base = ObjId::new(4);
+        assert_eq!(base.offset(0), base);
+        assert_eq!(base.offset(3).index(), 7);
+        assert_eq!(base.to_string(), "O4");
+    }
+}

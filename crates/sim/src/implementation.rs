@@ -1,0 +1,163 @@
+//! Implementations of high-level objects from base objects.
+//!
+//! Where a [`Protocol`](crate::Protocol) solves a one-shot *task* (each
+//! process decides once), an [`Implementation`] realizes a long-lived
+//! *object*: each process performs a sequence of high-level operations, and
+//! each high-level operation is executed as a series of atomic steps on base
+//! objects. The [`ConcurrentRunner`](crate::ConcurrentRunner) drives
+//! implementations under a scheduler and records the resulting concurrent
+//! [`History`](crate::History) for linearizability checking.
+
+use std::fmt;
+
+use crate::error::ProtocolError;
+use crate::ids::ObjId;
+use crate::op::Op;
+use crate::protocol::ProcCtx;
+use crate::value::Value;
+
+/// The action an implementation takes on one step of a high-level operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImplStep {
+    /// Perform one atomic operation on a base object.
+    Invoke {
+        /// Local state to hold while the base operation is in flight.
+        local: Value,
+        /// Target base object.
+        obj: ObjId,
+        /// Base operation.
+        op: Op,
+    },
+    /// Complete the current high-level operation.
+    Return {
+        /// The high-level response.
+        response: Value,
+        /// The per-process memory to carry into the next high-level
+        /// operation (e.g. a cached sequence number).
+        memory: Value,
+    },
+}
+
+impl ImplStep {
+    /// Convenience constructor for [`ImplStep::Invoke`].
+    pub fn invoke(local: Value, obj: ObjId, op: Op) -> Self {
+        ImplStep::Invoke { local, obj, op }
+    }
+
+    /// Convenience constructor for [`ImplStep::Return`].
+    pub fn ret(response: Value, memory: Value) -> Self {
+        ImplStep::Return { response, memory }
+    }
+}
+
+/// A deterministic, linearizable implementation of a high-level object from
+/// base objects.
+///
+/// Per-process state comes in two flavors:
+///
+/// * **memory** — persists across high-level operations of the same process
+///   (initialized by [`Implementation::init_memory`], updated by each
+///   [`ImplStep::Return`]);
+/// * **local** — scoped to one high-level operation (initialized by
+///   [`Implementation::start_op`], threaded through [`Implementation::step`]).
+///
+/// Both are explicit [`Value`]s so that executions remain hashable.
+pub trait Implementation: fmt::Debug + Send + Sync {
+    /// Returns the initial per-process memory (defaults to [`Value::Nil`]).
+    fn init_memory(&self, _ctx: &ProcCtx) -> Value {
+        Value::Nil
+    }
+
+    /// Begins a high-level operation: returns the initial op-local state.
+    fn start_op(&self, ctx: &ProcCtx, op: &Op, memory: &Value) -> Value;
+
+    /// Takes one step of the current high-level operation.
+    ///
+    /// `resp` is the response to the previous base invocation (`None` on the
+    /// first step of the operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on an internal inconsistency.
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        op: &Op,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<ImplStep, ProtocolError>;
+}
+
+impl Implementation for std::sync::Arc<dyn Implementation> {
+    fn init_memory(&self, ctx: &ProcCtx) -> Value {
+        self.as_ref().init_memory(ctx)
+    }
+
+    fn start_op(&self, ctx: &ProcCtx, op: &Op, memory: &Value) -> Value {
+        self.as_ref().start_op(ctx, op, memory)
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        op: &Op,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<ImplStep, ProtocolError> {
+        self.as_ref().step(ctx, op, local, resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Pid;
+
+    /// Trivial implementation: every op returns its own first argument and
+    /// counts ops in memory.
+    #[derive(Debug)]
+    struct Echo;
+
+    impl Implementation for Echo {
+        fn init_memory(&self, _ctx: &ProcCtx) -> Value {
+            Value::Int(0)
+        }
+
+        fn start_op(&self, _ctx: &ProcCtx, _op: &Op, _memory: &Value) -> Value {
+            Value::Nil
+        }
+
+        fn step(
+            &self,
+            _ctx: &ProcCtx,
+            op: &Op,
+            _local: &Value,
+            _resp: Option<&Value>,
+        ) -> Result<ImplStep, ProtocolError> {
+            Ok(ImplStep::ret(
+                op.arg(0).cloned().unwrap_or(Value::Nil),
+                Value::Int(1),
+            ))
+        }
+    }
+
+    #[test]
+    fn arc_impl_delegates() {
+        let e: std::sync::Arc<dyn Implementation> = std::sync::Arc::new(Echo);
+        let ctx = ProcCtx::new(Pid::new(0), 1, Value::Nil);
+        assert_eq!(e.init_memory(&ctx), Value::Int(0));
+        assert_eq!(e.start_op(&ctx, &Op::new("x"), &Value::Int(0)), Value::Nil);
+        let s = e
+            .step(&ctx, &Op::unary("x", Value::Int(9)), &Value::Nil, None)
+            .unwrap();
+        assert_eq!(s, ImplStep::ret(Value::Int(9), Value::Int(1)));
+    }
+
+    #[test]
+    fn step_constructors() {
+        let s = ImplStep::invoke(Value::Nil, ObjId::new(1), Op::new("read"));
+        assert!(matches!(s, ImplStep::Invoke { .. }));
+        let r = ImplStep::ret(Value::Int(1), Value::Nil);
+        assert!(matches!(r, ImplStep::Return { .. }));
+    }
+}

@@ -1,0 +1,411 @@
+//! Linearizability checking (Wing & Gong search with memoized pruning).
+//!
+//! Given a concurrent [`History`] over one implemented object and the
+//! sequential [`ObjectSpec`] of that object, [`check_linearizable`] searches
+//! for a linearization: a sequential ordering of all completed operations
+//! (plus any subset of the pending ones) that respects real-time order and
+//! the sequential specification.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::error::ObjectError;
+use crate::history::{History, OpId};
+use crate::object::ObjectSpec;
+use crate::value::Value;
+
+/// The maximum number of operations per history the checker supports
+/// (operation sets are tracked in a `u128` bitmask).
+pub const MAX_OPS: usize = 128;
+
+/// Error raised by the linearizability checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinearizeError {
+    /// The history has more than [`MAX_OPS`] operations.
+    TooManyOps(usize),
+    /// The sequential spec rejected an operation that appears in the history.
+    Object(ObjectError),
+}
+
+impl fmt::Display for LinearizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizeError::TooManyOps(n) => {
+                write!(
+                    f,
+                    "history has {n} operations, checker supports at most {MAX_OPS}"
+                )
+            }
+            LinearizeError::Object(e) => write!(f, "sequential spec rejected an operation: {e}"),
+        }
+    }
+}
+
+impl Error for LinearizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LinearizeError::Object(e) => Some(e),
+            LinearizeError::TooManyOps(_) => None,
+        }
+    }
+}
+
+impl From<ObjectError> for LinearizeError {
+    fn from(e: ObjectError) -> Self {
+        LinearizeError::Object(e)
+    }
+}
+
+/// Checks whether `history` is linearizable with respect to `spec`, starting
+/// from the spec's initial state.
+///
+/// Returns a witness linearization (the order in which operations take
+/// effect; pending operations that never took effect are omitted) or `None`
+/// if the history is not linearizable.
+///
+/// Completed operations must take effect and return exactly their recorded
+/// response. Pending operations may take effect with any legal outcome
+/// (including a hanging one) or may be dropped entirely.
+///
+/// # Errors
+///
+/// Returns [`LinearizeError::TooManyOps`] for histories longer than
+/// [`MAX_OPS`] operations, and propagates [`ObjectError`]s from the spec.
+///
+/// # Examples
+///
+/// ```
+/// # use subconsensus_sim::{History, Op, Pid, Value};
+/// # use subconsensus_sim::{check_linearizable, ObjectError, ObjectSpec, Outcome};
+/// #[derive(Debug)]
+/// struct Reg;
+/// impl ObjectSpec for Reg {
+///     fn type_name(&self) -> &'static str { "reg" }
+///     fn initial_state(&self) -> Value { Value::Nil }
+///     fn apply(&self, s: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+///         Ok(match op.name {
+///             "read" => vec![Outcome::ret(s.clone(), s.clone())],
+///             _ => vec![Outcome::ret(op.arg(0).cloned().unwrap(), Value::Nil)],
+///         })
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut h = History::new();
+/// let w = h.invoke(Pid::new(0), Op::unary("write", Value::Int(1)))?;
+/// let r = h.invoke(Pid::new(1), Op::new("read"))?;
+/// h.respond(r, Value::Int(1))?; // read overlaps the write and sees it: OK
+/// h.respond(w, Value::Nil)?;
+/// assert!(check_linearizable(&h, &Reg)?.is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_linearizable(
+    history: &History,
+    spec: &dyn ObjectSpec,
+) -> Result<Option<Vec<OpId>>, LinearizeError> {
+    let records = history.records();
+    let n = records.len();
+    if n > MAX_OPS {
+        return Err(LinearizeError::TooManyOps(n));
+    }
+    let complete_mask: u128 = records
+        .iter()
+        .filter(|r| r.is_complete())
+        .fold(0u128, |m, r| m | (1u128 << r.id.0));
+
+    // done-set bitmask + object state → already explored and failed.
+    let mut failed: HashSet<(u128, Value)> = HashSet::new();
+    let mut order: Vec<OpId> = Vec::new();
+
+    fn search(
+        history: &History,
+        spec: &dyn ObjectSpec,
+        complete_mask: u128,
+        done: u128,
+        state: &Value,
+        failed: &mut HashSet<(u128, Value)>,
+        order: &mut Vec<OpId>,
+    ) -> Result<bool, LinearizeError> {
+        if done & complete_mask == complete_mask {
+            return Ok(true);
+        }
+        if failed.contains(&(done, state.clone())) {
+            return Ok(false);
+        }
+        let records = history.records();
+        // Candidate ops: not yet linearized and minimal in the real-time
+        // order among remaining ops (no remaining op completed before their
+        // invocation).
+        'cand: for rec in records {
+            let bit = 1u128 << rec.id.0;
+            if done & bit != 0 {
+                continue;
+            }
+            for other in records {
+                let obit = 1u128 << other.id.0;
+                if obit == bit || done & obit != 0 {
+                    continue;
+                }
+                if history.precedes(other.id, rec.id) {
+                    continue 'cand;
+                }
+            }
+            let outcomes = spec.apply(state, &rec.op)?;
+            for out in outcomes {
+                let effect_ok = match (&rec.response, &out.response) {
+                    // Completed op must reproduce its recorded response.
+                    (Some(expected), Some(got)) => expected == got,
+                    // Completed op cannot map to a hanging outcome.
+                    (Some(_), None) => false,
+                    // Pending op may take effect with any outcome.
+                    (None, _) => true,
+                };
+                if !effect_ok {
+                    continue;
+                }
+                order.push(rec.id);
+                if search(
+                    history,
+                    spec,
+                    complete_mask,
+                    done | bit,
+                    &out.state,
+                    failed,
+                    order,
+                )? {
+                    return Ok(true);
+                }
+                order.pop();
+            }
+        }
+        failed.insert((done, state.clone()));
+        Ok(false)
+    }
+
+    let init = spec.initial_state();
+    if search(
+        history,
+        spec,
+        complete_mask,
+        0,
+        &init,
+        &mut failed,
+        &mut order,
+    )? {
+        Ok(Some(order))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Convenience wrapper returning a plain boolean.
+///
+/// # Errors
+///
+/// Same as [`check_linearizable`].
+pub fn is_linearizable(history: &History, spec: &dyn ObjectSpec) -> Result<bool, LinearizeError> {
+    Ok(check_linearizable(history, spec)?.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Pid;
+    use crate::object::Outcome;
+    use crate::op::Op;
+
+    /// Sequential read/write register spec.
+    #[derive(Debug)]
+    struct Reg;
+
+    impl ObjectSpec for Reg {
+        fn type_name(&self) -> &'static str {
+            "reg"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            match op.name {
+                "read" => Ok(vec![Outcome::ret(state.clone(), state.clone())]),
+                "write" => Ok(vec![Outcome::ret(
+                    op.arg(0).cloned().unwrap_or(Value::Nil),
+                    Value::Nil,
+                )]),
+                _ => Err(ObjectError::UnknownOp {
+                    object: "reg",
+                    op: op.clone(),
+                }),
+            }
+        }
+    }
+
+    /// FIFO queue spec: enq(v) / deq() -> v or ⊥.
+    #[derive(Debug)]
+    struct Queue;
+
+    impl ObjectSpec for Queue {
+        fn type_name(&self) -> &'static str {
+            "queue"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::tup([])
+        }
+
+        fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            let items = state.as_tup().unwrap_or(&[]).to_vec();
+            match op.name {
+                "enq" => {
+                    let mut items = items;
+                    items.push(op.arg(0).cloned().unwrap_or(Value::Nil));
+                    Ok(vec![Outcome::ret(Value::Tup(items), Value::Nil)])
+                }
+                "deq" => {
+                    if items.is_empty() {
+                        Ok(vec![Outcome::ret(state.clone(), Value::Nil)])
+                    } else {
+                        let head = items[0].clone();
+                        Ok(vec![Outcome::ret(Value::Tup(items[1..].to_vec()), head)])
+                    }
+                }
+                _ => Err(ObjectError::UnknownOp {
+                    object: "queue",
+                    op: op.clone(),
+                }),
+            }
+        }
+    }
+
+    fn seq_history(ops: &[(&'static str, Option<i64>, Value)]) -> History {
+        // Sequential: each op completes before the next is invoked, all by P0.
+        let mut h = History::new();
+        for (name, arg, resp) in ops {
+            let op = match arg {
+                Some(a) => Op::unary(name, Value::Int(*a)),
+                None => Op::new(name),
+            };
+            let id = h.invoke(Pid::new(0), op).unwrap();
+            h.respond(id, resp.clone()).unwrap();
+        }
+        h
+    }
+
+    #[test]
+    fn sequential_correct_history_is_linearizable() {
+        let h = seq_history(&[
+            ("write", Some(1), Value::Nil),
+            ("read", None, Value::Int(1)),
+        ]);
+        let w = check_linearizable(&h, &Reg).unwrap().unwrap();
+        assert_eq!(w, vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn sequential_wrong_history_is_not_linearizable() {
+        let h = seq_history(&[
+            ("write", Some(1), Value::Nil),
+            ("read", None, Value::Int(2)),
+        ]);
+        assert_eq!(check_linearizable(&h, &Reg).unwrap(), None);
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // P0: write(1) ... P1's read overlaps it and returns ⊥ (old value):
+        // legal, the read linearizes before the write.
+        let mut h = History::new();
+        let w = h
+            .invoke(Pid::new(0), Op::unary("write", Value::Int(1)))
+            .unwrap();
+        let r = h.invoke(Pid::new(1), Op::new("read")).unwrap();
+        h.respond(r, Value::Nil).unwrap();
+        h.respond(w, Value::Nil).unwrap();
+        let order = check_linearizable(&h, &Reg).unwrap().unwrap();
+        assert_eq!(order, vec![OpId(1), OpId(0)]);
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // write(1) completes strictly before the read is invoked, so the
+        // read must not return ⊥.
+        let mut h = History::new();
+        let w = h
+            .invoke(Pid::new(0), Op::unary("write", Value::Int(1)))
+            .unwrap();
+        h.respond(w, Value::Nil).unwrap();
+        let r = h.invoke(Pid::new(1), Op::new("read")).unwrap();
+        h.respond(r, Value::Nil).unwrap();
+        assert_eq!(check_linearizable(&h, &Reg).unwrap(), None);
+    }
+
+    #[test]
+    fn pending_op_may_take_effect() {
+        // P0's write never returns, but P1 reads 1: linearizable only if the
+        // pending write is allowed to take effect.
+        let mut h = History::new();
+        let _w = h
+            .invoke(Pid::new(0), Op::unary("write", Value::Int(1)))
+            .unwrap();
+        let r = h.invoke(Pid::new(1), Op::new("read")).unwrap();
+        h.respond(r, Value::Int(1)).unwrap();
+        let order = check_linearizable(&h, &Reg).unwrap().unwrap();
+        assert_eq!(order, vec![OpId(0), OpId(1)]);
+    }
+
+    #[test]
+    fn pending_op_may_be_dropped() {
+        let mut h = History::new();
+        let _w = h
+            .invoke(Pid::new(0), Op::unary("write", Value::Int(1)))
+            .unwrap();
+        let r = h.invoke(Pid::new(1), Op::new("read")).unwrap();
+        h.respond(r, Value::Nil).unwrap();
+        let order = check_linearizable(&h, &Reg).unwrap().unwrap();
+        assert_eq!(order, vec![OpId(1)], "the pending write is dropped");
+    }
+
+    #[test]
+    fn queue_fifo_violation_detected() {
+        // enq(1); enq(2) sequentially, then deq() -> 2 violates FIFO.
+        let h = seq_history(&[
+            ("enq", Some(1), Value::Nil),
+            ("enq", Some(2), Value::Nil),
+            ("deq", None, Value::Int(2)),
+        ]);
+        assert_eq!(check_linearizable(&h, &Queue).unwrap(), None);
+        let ok = seq_history(&[
+            ("enq", Some(1), Value::Nil),
+            ("enq", Some(2), Value::Nil),
+            ("deq", None, Value::Int(1)),
+        ]);
+        assert!(check_linearizable(&ok, &Queue).unwrap().is_some());
+    }
+
+    #[test]
+    fn concurrent_enqueues_allow_either_order() {
+        let mut h = History::new();
+        let e1 = h
+            .invoke(Pid::new(0), Op::unary("enq", Value::Int(1)))
+            .unwrap();
+        let e2 = h
+            .invoke(Pid::new(1), Op::unary("enq", Value::Int(2)))
+            .unwrap();
+        h.respond(e1, Value::Nil).unwrap();
+        h.respond(e2, Value::Nil).unwrap();
+        let d = h.invoke(Pid::new(0), Op::new("deq")).unwrap();
+        h.respond(d, Value::Int(2)).unwrap();
+        assert!(check_linearizable(&h, &Queue).unwrap().is_some());
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h = History::new();
+        assert_eq!(check_linearizable(&h, &Reg).unwrap(), Some(vec![]));
+        assert!(is_linearizable(&h, &Reg).unwrap());
+    }
+}

@@ -1,0 +1,111 @@
+//! Operations applied to shared objects.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A single operation (invocation) on a shared object.
+///
+/// An operation is a symbolic name plus a vector of [`Value`] arguments. The
+/// interpretation of the name and arguments is entirely up to the
+/// [`ObjectSpec`](crate::ObjectSpec) of the target object.
+///
+/// `Op` is a passive, compound data structure, so its fields are public.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_sim::{Op, Value};
+///
+/// let w = Op::binary("write", Value::Int(0), Value::Int(42));
+/// assert_eq!(w.name, "write");
+/// assert_eq!(w.args.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Op {
+    /// The operation name, interpreted by the target object's spec.
+    pub name: &'static str,
+    /// The operation arguments.
+    pub args: Vec<Value>,
+}
+
+impl Op {
+    /// Creates a nullary operation.
+    pub fn new(name: &'static str) -> Self {
+        Op {
+            name,
+            args: Vec::new(),
+        }
+    }
+
+    /// Creates a unary operation.
+    pub fn unary(name: &'static str, arg: Value) -> Self {
+        Op {
+            name,
+            args: vec![arg],
+        }
+    }
+
+    /// Creates a binary operation.
+    pub fn binary(name: &'static str, a: Value, b: Value) -> Self {
+        Op {
+            name,
+            args: vec![a, b],
+        }
+    }
+
+    /// Creates an operation with an arbitrary argument list.
+    pub fn with_args<I: IntoIterator<Item = Value>>(name: &'static str, args: I) -> Self {
+        Op {
+            name,
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// Returns argument `i`, if present.
+    pub fn arg(&self, i: usize) -> Option<&Value> {
+        self.args.get(i)
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Op::new("scan").args.len(), 0);
+        assert_eq!(Op::unary("read", Value::Int(1)).args, vec![Value::Int(1)]);
+        let b = Op::binary("write", Value::Int(0), Value::Nil);
+        assert_eq!(b.arg(1), Some(&Value::Nil));
+        assert_eq!(b.arg(2), None);
+        let w = Op::with_args("f", [Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(w.args.len(), 3);
+    }
+
+    #[test]
+    fn display_shows_call_syntax() {
+        let op = Op::binary("write", Value::Int(2), Value::Sym("x"));
+        assert_eq!(op.to_string(), "write(2, x)");
+        assert_eq!(Op::new("scan").to_string(), "scan()");
+    }
+}

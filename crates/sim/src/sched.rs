@@ -1,0 +1,336 @@
+//! Schedulers: the adversary that decides which process steps next.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::Pid;
+
+/// A scheduler picks, at each point of the execution, which enabled process
+/// takes the next step — this is the *adversary* of the asynchronous model.
+///
+/// `next_pid` receives the (non-empty, ascending) list of currently enabled
+/// processes and returns one of them, or `None` to stop the execution early
+/// (modeling a fail-stop of all remaining processes).
+pub trait Scheduler: fmt::Debug {
+    /// Picks the next process to step among `enabled`, or `None` to stop.
+    fn next_pid(&mut self, enabled: &[Pid]) -> Option<Pid>;
+}
+
+/// Chooses among the possible outcomes of a nondeterministic object step.
+///
+/// Deterministic objects — the subject of the paper — always produce a single
+/// outcome, in which case the chooser is never consulted.
+pub trait OutcomeChooser: fmt::Debug {
+    /// Returns an index in `0..count` (`count` ≥ 2).
+    fn choose(&mut self, count: usize) -> usize;
+}
+
+/// Schedules enabled processes in cyclic pid order.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_sim::{Pid, RoundRobin, Scheduler};
+/// let mut s = RoundRobin::new();
+/// let ps = [Pid::new(0), Pid::new(2)];
+/// assert_eq!(s.next_pid(&ps), Some(Pid::new(0)));
+/// assert_eq!(s.next_pid(&ps), Some(Pid::new(2)));
+/// assert_eq!(s.next_pid(&ps), Some(Pid::new(0)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at pid 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Option<Pid> {
+        if enabled.is_empty() {
+            return None;
+        }
+        // First enabled pid with index >= self.next, else wrap to the first.
+        let pick = enabled
+            .iter()
+            .copied()
+            .find(|p| p.index() >= self.next)
+            .unwrap_or(enabled[0]);
+        self.next = pick.index() + 1;
+        Some(pick)
+    }
+}
+
+/// Schedules uniformly at random from a seed; doubles as a random
+/// [`OutcomeChooser`].
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed (same seed ⇒ same schedule).
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Option<Pid> {
+        if enabled.is_empty() {
+            return None;
+        }
+        Some(enabled[self.rng.gen_range(0..enabled.len())])
+    }
+}
+
+impl OutcomeChooser for RandomScheduler {
+    fn choose(&mut self, count: usize) -> usize {
+        self.rng.gen_range(0..count)
+    }
+}
+
+/// Always schedules the enabled process of highest priority.
+///
+/// With priority order `[p, q, r]` this produces the classic "solo run of
+/// `p`, then `q` runs solo, …" adversary.
+#[derive(Clone, Debug)]
+pub struct PriorityScheduler {
+    order: Vec<Pid>,
+}
+
+impl PriorityScheduler {
+    /// Creates a scheduler with the given priority order (first = highest).
+    pub fn new(order: Vec<Pid>) -> Self {
+        PriorityScheduler { order }
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Option<Pid> {
+        self.order
+            .iter()
+            .copied()
+            .find(|p| enabled.contains(p))
+            .or_else(|| enabled.first().copied())
+    }
+}
+
+/// Replays a fixed schedule, then stops.
+///
+/// Entries whose process is no longer enabled are skipped; when the recorded
+/// schedule is exhausted, `None` is returned (remaining processes fail-stop).
+#[derive(Clone, Debug)]
+pub struct ReplayScheduler {
+    seq: Vec<Pid>,
+    pos: usize,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler that replays `seq`.
+    pub fn new(seq: Vec<Pid>) -> Self {
+        ReplayScheduler { seq, pos: 0 }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Option<Pid> {
+        while self.pos < self.seq.len() {
+            let pid = self.seq[self.pos];
+            self.pos += 1;
+            if enabled.contains(&pid) {
+                return Some(pid);
+            }
+        }
+        None
+    }
+}
+
+/// Wraps an inner scheduler and fail-stops selected processes after a given
+/// number of their own steps.
+///
+/// A crashed process is simply never scheduled again, which is exactly the
+/// fail-stop model: no other process can distinguish a crashed process from a
+/// very slow one.
+#[derive(Clone, Debug)]
+pub struct CrashScheduler<S> {
+    inner: S,
+    budget: HashMap<Pid, usize>,
+    taken: HashMap<Pid, usize>,
+}
+
+impl<S: Scheduler> CrashScheduler<S> {
+    /// Creates a crash adversary over `inner`; `budget` maps each process to
+    /// the number of steps it takes before crashing (processes absent from
+    /// the map never crash).
+    pub fn new(inner: S, budget: HashMap<Pid, usize>) -> Self {
+        CrashScheduler {
+            inner,
+            budget,
+            taken: HashMap::new(),
+        }
+    }
+
+    /// Convenience: crash `pid` before it takes any step at all.
+    pub fn crash_initially(inner: S, pids: impl IntoIterator<Item = Pid>) -> Self {
+        Self::new(inner, pids.into_iter().map(|p| (p, 0)).collect())
+    }
+}
+
+impl<S: Scheduler> Scheduler for CrashScheduler<S> {
+    fn next_pid(&mut self, enabled: &[Pid]) -> Option<Pid> {
+        let alive: Vec<Pid> = enabled
+            .iter()
+            .copied()
+            .filter(|p| {
+                let taken = self.taken.get(p).copied().unwrap_or(0);
+                self.budget.get(p).is_none_or(|b| taken < *b)
+            })
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let pick = self.inner.next_pid(&alive)?;
+        *self.taken.entry(pick).or_insert(0) += 1;
+        Some(pick)
+    }
+}
+
+/// An [`OutcomeChooser`] that always picks the first outcome.
+///
+/// Useful as the chooser for purely deterministic systems, where it is never
+/// actually consulted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstOutcome;
+
+impl OutcomeChooser for FirstOutcome {
+    fn choose(&mut self, _count: usize) -> usize {
+        0
+    }
+}
+
+/// Replays a fixed list of outcome choices (then falls back to 0).
+#[derive(Clone, Debug)]
+pub struct ReplayChooser {
+    seq: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplayChooser {
+    /// Creates a chooser replaying `seq`.
+    pub fn new(seq: Vec<usize>) -> Self {
+        ReplayChooser { seq, pos: 0 }
+    }
+}
+
+impl OutcomeChooser for ReplayChooser {
+    fn choose(&mut self, count: usize) -> usize {
+        let c = self.seq.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        c.min(count - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ix: &[usize]) -> Vec<Pid> {
+        ix.iter().map(|&i| Pid::new(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_disabled() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.next_pid(&pids(&[0, 1, 2])), Some(Pid::new(0)));
+        assert_eq!(s.next_pid(&pids(&[0, 1, 2])), Some(Pid::new(1)));
+        // P2 became disabled: wrap around.
+        assert_eq!(s.next_pid(&pids(&[0, 1])), Some(Pid::new(0)));
+        assert_eq!(s.next_pid(&pids(&[])), None);
+    }
+
+    #[test]
+    fn random_is_reproducible_across_seeds() {
+        let mut a = RandomScheduler::seeded(7);
+        let mut b = RandomScheduler::seeded(7);
+        let enabled = pids(&[0, 1, 2, 3]);
+        for _ in 0..50 {
+            assert_eq!(a.next_pid(&enabled), b.next_pid(&enabled));
+        }
+        let mut c = RandomScheduler::seeded(8);
+        let seq_a: Vec<_> = (0..50).map(|_| a.next_pid(&enabled)).collect();
+        let seq_c: Vec<_> = (0..50).map(|_| c.next_pid(&enabled)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should (a.s.) differ");
+    }
+
+    #[test]
+    fn priority_prefers_head_of_order() {
+        let mut s = PriorityScheduler::new(pids(&[2, 0, 1]));
+        assert_eq!(s.next_pid(&pids(&[0, 1, 2])), Some(Pid::new(2)));
+        assert_eq!(s.next_pid(&pids(&[0, 1])), Some(Pid::new(0)));
+        // Unknown pids fall back to the first enabled.
+        assert_eq!(s.next_pid(&pids(&[5])), Some(Pid::new(5)));
+    }
+
+    #[test]
+    fn replay_skips_disabled_then_stops() {
+        let mut s = ReplayScheduler::new(pids(&[1, 1, 0]));
+        assert_eq!(s.next_pid(&pids(&[0, 1])), Some(Pid::new(1)));
+        // P1 disabled now: skip the second 1, take 0.
+        assert_eq!(s.next_pid(&pids(&[0])), Some(Pid::new(0)));
+        assert_eq!(s.next_pid(&pids(&[0])), None);
+    }
+
+    #[test]
+    fn crash_scheduler_respects_budgets() {
+        let mut budget = HashMap::new();
+        budget.insert(Pid::new(0), 2);
+        let mut s = CrashScheduler::new(RoundRobin::new(), budget);
+        let enabled = pids(&[0, 1]);
+        let mut p0_steps = 0;
+        for _ in 0..10 {
+            if let Some(p) = s.next_pid(&enabled) {
+                if p == Pid::new(0) {
+                    p0_steps += 1;
+                }
+            }
+        }
+        assert_eq!(p0_steps, 2, "P0 must crash after its budget");
+    }
+
+    #[test]
+    fn crash_initially_never_schedules() {
+        let mut s = CrashScheduler::crash_initially(RoundRobin::new(), [Pid::new(1)]);
+        for _ in 0..5 {
+            assert_eq!(s.next_pid(&pids(&[0, 1])), Some(Pid::new(0)));
+        }
+        assert_eq!(s.next_pid(&pids(&[1])), None);
+    }
+
+    #[test]
+    fn choosers() {
+        let mut f = FirstOutcome;
+        assert_eq!(f.choose(5), 0);
+        let mut r = ReplayChooser::new(vec![3, 99]);
+        assert_eq!(r.choose(5), 3);
+        assert_eq!(r.choose(2), 1, "out-of-range choices clamp");
+        assert_eq!(r.choose(2), 0, "exhausted replay falls back to 0");
+    }
+
+    #[test]
+    fn random_chooser_in_range() {
+        let mut r = RandomScheduler::seeded(3);
+        for _ in 0..100 {
+            assert!(r.choose(4) < 4);
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Systems and configurations.
+//!
+//! A [`SystemSpec`] is the immutable description of a finite asynchronous
+//! system: the shared base objects and the protocol + input of every process.
+//! A [`Config`] is one point of the execution: the state of every object and
+//! of every process. Configurations are plain hashable values; taking a step
+//! is a *pure* function from a configuration to its successor
+//! configuration(s), which serves both the runners and the model checker.
+
+use std::sync::Arc;
+
+use crate::error::SimError;
+use crate::ids::{ObjId, Pid};
+use crate::object::ObjectSpec;
+use crate::op::Op;
+use crate::protocol::{Action, ProcCtx, Protocol};
+use crate::value::Value;
+
+/// The execution status of a process inside a [`Config`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProcStatus {
+    /// The process has not yet taken its first step.
+    Fresh,
+    /// The process has taken at least one step and may take more.
+    Running,
+    /// The process decided the given value and halted.
+    Decided(Value),
+    /// The process is stuck forever inside an operation that hung.
+    Hung,
+}
+
+impl ProcStatus {
+    /// Returns `true` if the process may still take steps.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, ProcStatus::Fresh | ProcStatus::Running)
+    }
+
+    /// Returns the decided value, if any.
+    pub fn decision(&self) -> Option<&Value> {
+        match self {
+            ProcStatus::Decided(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The state of one process inside a [`Config`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ProcState {
+    /// The protocol-local state.
+    pub local: Value,
+    /// The response to the most recent invocation, if any.
+    pub resp: Option<Value>,
+    /// The execution status.
+    pub status: ProcStatus,
+}
+
+/// A configuration: the state of every shared object and every process.
+///
+/// Configurations are cheap to clone, hash and compare, which the model
+/// checker exploits for visited-set deduplication. Object states are held
+/// behind [`Arc`]s so cloning a configuration is shallow — a step on one
+/// object replaces one `Arc` and shares the rest, which keeps systems with
+/// hundreds of objects (e.g. the Algorithm-3 tables of the `wrn`
+/// extension) cheap to explore.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Config {
+    objects: Vec<Arc<Value>>,
+    procs: Vec<ProcState>,
+}
+
+impl Config {
+    /// Returns the state of object `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range for the system this configuration
+    /// belongs to.
+    pub fn object_state(&self, obj: ObjId) -> &Value {
+        &self.objects[obj.index()]
+    }
+
+    /// Returns the state of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn proc_state(&self, pid: Pid) -> &ProcState {
+        &self.procs[pid.index()]
+    }
+
+    /// Returns the pids that may still take a step.
+    pub fn enabled(&self) -> Vec<Pid> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status.is_enabled())
+            .map(|(i, _)| Pid::new(i))
+            .collect()
+    }
+
+    /// Returns `true` if no process can take a step (everyone decided or
+    /// hung).
+    pub fn is_final(&self) -> bool {
+        self.procs.iter().all(|p| !p.status.is_enabled())
+    }
+
+    /// Returns each process's decision (`None` for undecided processes).
+    pub fn decisions(&self) -> Vec<Option<Value>> {
+        self.procs
+            .iter()
+            .map(|p| p.status.decision().cloned())
+            .collect()
+    }
+
+    /// Returns the sorted, deduplicated set of values decided so far.
+    pub fn decided_values(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .procs
+            .iter()
+            .filter_map(|p| p.status.decision().cloned())
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Returns the number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// A human-readable summary of what one step did, for traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepInfo {
+    /// The process applied `op` to `obj` and received `resp` (`None` = the
+    /// operation hung).
+    Invoked {
+        /// The target object.
+        obj: ObjId,
+        /// The applied operation.
+        op: Op,
+        /// The response, or `None` if the operation hung.
+        resp: Option<Value>,
+    },
+    /// The process decided.
+    Decided(Value),
+}
+
+/// The immutable description of a system: objects, protocols and inputs.
+#[derive(Clone)]
+pub struct SystemSpec {
+    objects: Arc<Vec<Box<dyn ObjectSpec>>>,
+    protocols: Vec<Arc<dyn Protocol>>,
+    inputs: Vec<Value>,
+}
+
+impl std::fmt::Debug for SystemSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemSpec")
+            .field(
+                "objects",
+                &self
+                    .objects
+                    .iter()
+                    .map(|o| o.type_name())
+                    .collect::<Vec<_>>(),
+            )
+            .field("nprocs", &self.protocols.len())
+            .field("inputs", &self.inputs)
+            .finish()
+    }
+}
+
+impl SystemSpec {
+    /// Returns the number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.protocols.len()
+    }
+
+    /// Returns the number of shared objects.
+    pub fn nobjects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns the object spec registered under `obj`, if any.
+    pub fn object(&self, obj: ObjId) -> Option<&dyn ObjectSpec> {
+        self.objects
+            .get(obj.index())
+            .map(|b| b.as_ref() as &dyn ObjectSpec)
+    }
+
+    /// Returns the per-process context of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn ctx(&self, pid: Pid) -> ProcCtx {
+        ProcCtx::new(pid, self.nprocs(), self.inputs[pid.index()].clone())
+    }
+
+    /// Builds the initial configuration.
+    pub fn initial_config(&self) -> Config {
+        let objects = self.objects.iter().map(|o| Arc::new(o.initial_state())).collect();
+        let procs = (0..self.nprocs())
+            .map(|i| {
+                let pid = Pid::new(i);
+                ProcState {
+                    local: self.protocols[i].start(&self.ctx(pid)),
+                    resp: None,
+                    status: ProcStatus::Fresh,
+                }
+            })
+            .collect();
+        Config { objects, procs }
+    }
+
+    /// Computes every successor configuration of scheduling `pid` in
+    /// `config`, together with a trace summary of the step.
+    ///
+    /// Deterministic systems produce exactly one successor; a step whose
+    /// operation targets a nondeterministic object produces one successor
+    /// per outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessNotEnabled`] if `pid` cannot take a step,
+    /// and propagates protocol and object errors.
+    pub fn successors(
+        &self,
+        config: &Config,
+        pid: Pid,
+    ) -> Result<Vec<(Config, StepInfo)>, SimError> {
+        let i = pid.index();
+        let proc = config
+            .procs
+            .get(i)
+            .ok_or(SimError::ProcessNotEnabled(pid))?;
+        if !proc.status.is_enabled() {
+            return Err(SimError::ProcessNotEnabled(pid));
+        }
+        let ctx = self.ctx(pid);
+        let action = self.protocols[i]
+            .step(&ctx, &proc.local, proc.resp.as_ref())
+            .map_err(|source| SimError::Protocol { pid, source })?;
+        match action {
+            Action::Decide(v) => {
+                let mut next = config.clone();
+                next.procs[i].status = ProcStatus::Decided(v.clone());
+                next.procs[i].resp = None;
+                Ok(vec![(next, StepInfo::Decided(v))])
+            }
+            Action::Invoke { local, obj, op } => {
+                let spec = self
+                    .objects
+                    .get(obj.index())
+                    .ok_or(SimError::UnknownObject { pid, obj })?;
+                let outcomes = spec
+                    .apply(&config.objects[obj.index()], &op)
+                    .map_err(|source| SimError::Object { obj, pid, source })?;
+                if outcomes.is_empty() {
+                    return Err(SimError::NoOutcomes { obj, pid });
+                }
+                let mut succs = Vec::with_capacity(outcomes.len());
+                for out in outcomes {
+                    let mut next = config.clone();
+                    next.objects[obj.index()] = Arc::new(out.state);
+                    let p = &mut next.procs[i];
+                    p.local = local.clone();
+                    match out.response {
+                        Some(resp) => {
+                            p.resp = Some(resp.clone());
+                            p.status = ProcStatus::Running;
+                            succs.push((
+                                next,
+                                StepInfo::Invoked {
+                                    obj,
+                                    op: op.clone(),
+                                    resp: Some(resp),
+                                },
+                            ));
+                        }
+                        None => {
+                            p.resp = None;
+                            p.status = ProcStatus::Hung;
+                            succs.push((
+                                next,
+                                StepInfo::Invoked {
+                                    obj,
+                                    op: op.clone(),
+                                    resp: None,
+                                },
+                            ));
+                        }
+                    }
+                }
+                Ok(succs)
+            }
+        }
+    }
+}
+
+/// Incremental builder for [`SystemSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use subconsensus_sim::{Action, ProcCtx, Protocol, ProtocolError, SystemBuilder, Value};
+///
+/// #[derive(Debug)]
+/// struct DecideInput;
+/// impl Protocol for DecideInput {
+///     fn start(&self, _ctx: &ProcCtx) -> Value { Value::Nil }
+///     fn step(&self, ctx: &ProcCtx, _l: &Value, _r: Option<&Value>)
+///         -> Result<Action, ProtocolError> {
+///         Ok(Action::Decide(ctx.input.clone()))
+///     }
+/// }
+///
+/// let mut b = SystemBuilder::new();
+/// b.add_process(Arc::new(DecideInput), Value::Int(3));
+/// let spec = b.build();
+/// assert_eq!(spec.nprocs(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    objects: Vec<Box<dyn ObjectSpec>>,
+    protocols: Vec<Arc<dyn Protocol>>,
+    inputs: Vec<Value>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a shared object and returns its id.
+    pub fn add_object(&mut self, spec: impl ObjectSpec + 'static) -> ObjId {
+        self.add_boxed_object(Box::new(spec))
+    }
+
+    /// Registers an already-boxed shared object and returns its id.
+    pub fn add_boxed_object(&mut self, spec: Box<dyn ObjectSpec>) -> ObjId {
+        let id = ObjId::new(self.objects.len());
+        self.objects.push(spec);
+        id
+    }
+
+    /// Registers `n` copies of an object produced by `make` and returns the
+    /// id of the first; the copies occupy a contiguous id range.
+    pub fn add_object_array<F>(&mut self, n: usize, mut make: F) -> ObjId
+    where
+        F: FnMut(usize) -> Box<dyn ObjectSpec>,
+    {
+        let base = ObjId::new(self.objects.len());
+        for i in 0..n {
+            self.objects.push(make(i));
+        }
+        base
+    }
+
+    /// Adds a process running `protocol` with task input `input`; returns its
+    /// pid.
+    pub fn add_process(&mut self, protocol: Arc<dyn Protocol>, input: Value) -> Pid {
+        let pid = Pid::new(self.protocols.len());
+        self.protocols.push(protocol);
+        self.inputs.push(input);
+        pid
+    }
+
+    /// Adds one process per input, all running the same `protocol`.
+    pub fn add_processes<I>(&mut self, protocol: Arc<dyn Protocol>, inputs: I)
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        for input in inputs {
+            self.add_process(Arc::clone(&protocol), input);
+        }
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SystemSpec {
+        SystemSpec {
+            objects: Arc::new(self.objects),
+            protocols: self.protocols,
+            inputs: self.inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{ObjectError, ProtocolError};
+    use crate::object::Outcome;
+
+    /// A register supporting `read()` / `write(v)`.
+    #[derive(Debug)]
+    struct Reg;
+
+    impl ObjectSpec for Reg {
+        fn type_name(&self) -> &'static str {
+            "reg"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            match op.name {
+                "read" => Ok(vec![Outcome::ret(state.clone(), state.clone())]),
+                "write" => {
+                    let v = op.arg(0).cloned().unwrap_or(Value::Nil);
+                    Ok(vec![Outcome::ret(v, Value::Nil)])
+                }
+                _ => Err(ObjectError::UnknownOp {
+                    object: "reg",
+                    op: op.clone(),
+                }),
+            }
+        }
+    }
+
+    /// An object whose only operation hangs.
+    #[derive(Debug)]
+    struct Tarpit;
+
+    impl ObjectSpec for Tarpit {
+        fn type_name(&self) -> &'static str {
+            "tarpit"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, state: &Value, _op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            Ok(vec![Outcome::hang(state.clone())])
+        }
+    }
+
+    /// Writes input, reads, decides what it read.
+    #[derive(Debug)]
+    struct WriteReadDecide {
+        reg: ObjId,
+    }
+
+    impl Protocol for WriteReadDecide {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Int(0)
+        }
+
+        fn step(
+            &self,
+            ctx: &ProcCtx,
+            local: &Value,
+            resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            match local.as_int() {
+                Some(0) => Ok(Action::invoke(
+                    Value::Int(1),
+                    self.reg,
+                    Op::unary("write", ctx.input.clone()),
+                )),
+                Some(1) => Ok(Action::invoke(Value::Int(2), self.reg, Op::new("read"))),
+                Some(2) => {
+                    let read = resp
+                        .cloned()
+                        .ok_or_else(|| ProtocolError::new("missing resp"))?;
+                    Ok(Action::Decide(read))
+                }
+                _ => Err(ProtocolError::new("corrupt pc")),
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct Toucher {
+        obj: ObjId,
+    }
+
+    impl Protocol for Toucher {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Nil
+        }
+
+        fn step(
+            &self,
+            _ctx: &ProcCtx,
+            _local: &Value,
+            _resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            Ok(Action::invoke(Value::Nil, self.obj, Op::new("touch")))
+        }
+    }
+
+    fn solo_system() -> SystemSpec {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        b.add_process(Arc::new(WriteReadDecide { reg }), Value::Int(42));
+        b.build()
+    }
+
+    #[test]
+    fn solo_run_by_hand() {
+        let spec = solo_system();
+        let c0 = spec.initial_config();
+        assert_eq!(c0.enabled(), vec![Pid::new(0)]);
+        assert!(!c0.is_final());
+
+        let (c1, info) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        match info {
+            StepInfo::Invoked { op, resp, .. } => {
+                assert_eq!(op.name, "write");
+                assert_eq!(resp, Some(Value::Nil));
+            }
+            StepInfo::Decided(_) => panic!("expected invoke"),
+        }
+        assert_eq!(c1.object_state(ObjId::new(0)), &Value::Int(42));
+
+        let (c2, _) = spec.successors(&c1, Pid::new(0)).unwrap().pop().unwrap();
+        let (c3, info) = spec.successors(&c2, Pid::new(0)).unwrap().pop().unwrap();
+        assert_eq!(info, StepInfo::Decided(Value::Int(42)));
+        assert!(c3.is_final());
+        assert_eq!(c3.decided_values(), vec![Value::Int(42)]);
+        assert_eq!(c3.decisions(), vec![Some(Value::Int(42))]);
+    }
+
+    #[test]
+    fn stepping_a_decided_process_is_an_error() {
+        let spec = solo_system();
+        let mut c = spec.initial_config();
+        for _ in 0..3 {
+            c = spec.successors(&c, Pid::new(0)).unwrap().pop().unwrap().0;
+        }
+        let err = spec.successors(&c, Pid::new(0)).unwrap_err();
+        assert_eq!(err, SimError::ProcessNotEnabled(Pid::new(0)));
+    }
+
+    #[test]
+    fn hanging_outcome_hangs_the_process() {
+        let mut b = SystemBuilder::new();
+        let pit = b.add_object(Tarpit);
+        b.add_process(Arc::new(Toucher { obj: pit }), Value::Nil);
+        let spec = b.build();
+        let c0 = spec.initial_config();
+        let (c1, info) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        assert_eq!(
+            info,
+            StepInfo::Invoked {
+                obj: pit,
+                op: Op::new("touch"),
+                resp: None
+            }
+        );
+        assert_eq!(c1.proc_state(Pid::new(0)).status, ProcStatus::Hung);
+        assert!(c1.is_final());
+        assert!(c1.decided_values().is_empty());
+    }
+
+    #[test]
+    fn unknown_object_is_reported() {
+        let mut b = SystemBuilder::new();
+        b.add_process(Arc::new(Toucher { obj: ObjId::new(9) }), Value::Nil);
+        let spec = b.build();
+        let c0 = spec.initial_config();
+        let err = spec.successors(&c0, Pid::new(0)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnknownObject {
+                pid: Pid::new(0),
+                obj: ObjId::new(9)
+            }
+        );
+    }
+
+    #[test]
+    fn object_array_allocates_contiguous_ids() {
+        let mut b = SystemBuilder::new();
+        let base = b.add_object_array(3, |_| Box::new(Reg));
+        assert_eq!(base, ObjId::new(0));
+        let next = b.add_object(Reg);
+        assert_eq!(next, ObjId::new(3));
+        let spec = b.build();
+        assert_eq!(spec.nobjects(), 4);
+        assert_eq!(spec.object(ObjId::new(2)).unwrap().type_name(), "reg");
+        assert!(spec.object(ObjId::new(4)).is_none());
+    }
+
+    #[test]
+    fn configs_hash_and_compare() {
+        use std::collections::HashSet;
+        let spec = solo_system();
+        let c0 = spec.initial_config();
+        let c0b = spec.initial_config();
+        assert_eq!(c0, c0b);
+        let mut set = HashSet::new();
+        set.insert(c0.clone());
+        assert!(set.contains(&c0b));
+        let (c1, _) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        assert!(!set.contains(&c1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Execution traces: what happened, step by step.
+
+use std::fmt;
+
+use crate::ids::Pid;
+use crate::system::StepInfo;
+
+/// One recorded step of an execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position of the step in the execution (0-based).
+    pub index: usize,
+    /// The process that took the step.
+    pub pid: Pid,
+    /// What the step did.
+    pub info: StepInfo,
+}
+
+/// A linear record of an execution, suitable for debugging and for replaying
+/// a schedule via [`ReplayScheduler`](crate::ReplayScheduler).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, pid: Pid, info: StepInfo) {
+        let index = self.events.len();
+        self.events.push(TraceEvent { index, pid, info });
+    }
+
+    /// Returns the recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Returns the number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Extracts the schedule (the sequence of pids) for replay.
+    pub fn schedule(&self) -> Vec<Pid> {
+        self.events.iter().map(|e| e.pid).collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            match &e.info {
+                StepInfo::Invoked {
+                    obj,
+                    op,
+                    resp: Some(r),
+                } => writeln!(f, "{:>4}  {}  {obj}.{op} -> {r}", e.index, e.pid)?,
+                StepInfo::Invoked {
+                    obj,
+                    op,
+                    resp: None,
+                } => writeln!(f, "{:>4}  {}  {obj}.{op} -> HANGS", e.index, e.pid)?,
+                StepInfo::Decided(v) => writeln!(f, "{:>4}  {}  decide {v}", e.index, e.pid)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjId;
+    use crate::op::Op;
+    use crate::value::Value;
+
+    #[test]
+    fn push_and_schedule() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(
+            Pid::new(1),
+            StepInfo::Invoked {
+                obj: ObjId::new(0),
+                op: Op::new("read"),
+                resp: Some(Value::Nil),
+            },
+        );
+        t.push(Pid::new(0), StepInfo::Decided(Value::Int(3)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schedule(), vec![Pid::new(1), Pid::new(0)]);
+        assert_eq!(t.events()[1].index, 1);
+    }
+
+    #[test]
+    fn display_renders_all_event_kinds() {
+        let mut t = Trace::new();
+        t.push(
+            Pid::new(0),
+            StepInfo::Invoked {
+                obj: ObjId::new(2),
+                op: Op::new("touch"),
+                resp: None,
+            },
+        );
+        t.push(Pid::new(1), StepInfo::Decided(Value::Sym("ok")));
+        let s = t.to_string();
+        assert!(s.contains("HANGS"));
+        assert!(s.contains("decide ok"));
+        assert!(s.contains("O2.touch()"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The universal value domain shared by objects, operations and protocols.
+//!
+//! Everything that flows through the simulator — object states, operation
+//! arguments, responses, and protocol-local state — is a [`Value`]. Using a
+//! single hashable, totally ordered value domain is what makes whole system
+//! configurations hashable, which in turn is what lets the model checker
+//! deduplicate visited configurations.
+
+use std::fmt;
+
+/// A dynamically typed simulator value.
+///
+/// `Value` is deliberately small and Lisp-like: the distinguished bottom
+/// element [`Value::Nil`] (written `⊥` in the paper), booleans, integers,
+/// interned symbols, and tuples. Arrays of registers, snapshots, and protocol
+/// program counters are all encoded as tuples.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_sim::Value;
+///
+/// let v = Value::tup([Value::Int(3), Value::Nil]);
+/// assert_eq!(v.index(0).and_then(Value::as_int), Some(3));
+/// assert!(v.index(1).is_some_and(Value::is_nil));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The distinguished empty value, written `⊥` in the paper.
+    Nil,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An interned symbolic constant (e.g. `"opened"`, `"closed"`).
+    Sym(&'static str),
+    /// A tuple of values; also used to encode arrays and records.
+    Tup(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a tuple value from an iterator of elements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subconsensus_sim::Value;
+    /// assert_eq!(Value::tup([]), Value::Tup(vec![]));
+    /// ```
+    pub fn tup<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Value::Tup(items.into_iter().collect())
+    }
+
+    /// Builds a tuple of `len` copies of [`Value::Nil`] — the initial state of
+    /// most register arrays.
+    pub fn nil_tup(len: usize) -> Self {
+        Value::Tup(vec![Value::Nil; len])
+    }
+
+    /// Returns `true` if this value is [`Value::Nil`].
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Returns the integer payload, if this value is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this value is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol payload, if this value is a [`Value::Sym`].
+    pub fn as_sym(&self) -> Option<&'static str> {
+        match self {
+            Value::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the tuple elements, if this value is a [`Value::Tup`].
+    pub fn as_tup(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tup(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload as a `usize`, if this value is a
+    /// non-negative [`Value::Int`].
+    pub fn as_index(&self) -> Option<usize> {
+        self.as_int().and_then(|i| usize::try_from(i).ok())
+    }
+
+    /// Returns element `i` of a tuple value, or `None` if this value is not a
+    /// tuple or the index is out of bounds.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        self.as_tup().and_then(|items| items.get(i))
+    }
+
+    /// Returns the number of elements if this value is a tuple, else `None`.
+    pub fn len(&self) -> Option<usize> {
+        self.as_tup().map(<[Value]>::len)
+    }
+
+    /// Returns a copy of this tuple value with element `i` replaced by `v`.
+    ///
+    /// Returns `None` if this value is not a tuple or `i` is out of bounds.
+    /// This is the workhorse of register-array updates.
+    pub fn with_index(&self, i: usize, v: Value) -> Option<Value> {
+        let items = self.as_tup()?;
+        if i >= items.len() {
+            return None;
+        }
+        let mut items = items.to_vec();
+        items[i] = v;
+        Some(Value::Tup(items))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Nil
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(s: &'static str) -> Self {
+        Value::Sym(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Tup(items)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "⊥"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Tup(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_default_and_bottom() {
+        assert_eq!(Value::default(), Value::Nil);
+        assert!(Value::Nil.is_nil());
+        assert!(!Value::Int(0).is_nil());
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Sym("opened").as_sym(), Some("opened"));
+        assert_eq!(Value::Nil.as_int(), None);
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn as_index_rejects_negative() {
+        assert_eq!(Value::Int(-1).as_index(), None);
+        assert_eq!(Value::Int(3).as_index(), Some(3));
+    }
+
+    #[test]
+    fn tuple_indexing() {
+        let t = Value::tup([Value::Int(1), Value::Sym("x")]);
+        assert_eq!(t.index(0), Some(&Value::Int(1)));
+        assert_eq!(t.index(2), None);
+        assert_eq!(t.len(), Some(2));
+        assert_eq!(Value::Int(0).len(), None);
+    }
+
+    #[test]
+    fn with_index_replaces_functionally() {
+        let t = Value::nil_tup(3);
+        let t2 = t.with_index(1, Value::Int(9)).unwrap();
+        assert_eq!(t2.index(1), Some(&Value::Int(9)));
+        // Original untouched.
+        assert_eq!(t.index(1), Some(&Value::Nil));
+        assert_eq!(t.with_index(3, Value::Nil), None);
+        assert_eq!(Value::Int(0).with_index(0, Value::Nil), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Value::tup([Value::Nil, Value::Int(2), Value::Sym("ok")]);
+        assert_eq!(t.to_string(), "(⊥ 2 ok)");
+        assert_eq!(format!("{t:?}"), "(⊥ 2 ok)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Sym("s"));
+        assert_eq!(Value::from(vec![Value::Nil]), Value::tup([Value::Nil]));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::Int(2), Value::Nil, Value::Sym("a"), Value::Int(1)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Nil);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the linearizability checker: histories obtained
+//! by *sequentially applying* a spec are always accepted; corrupting a
+//! response in a sequential history is always rejected.
+
+use proptest::prelude::*;
+use subconsensus_sim::{
+    check_linearizable, History, ObjectError, ObjectSpec, Op, Outcome, Pid, Value,
+};
+
+/// A FIFO queue spec for reference.
+#[derive(Debug)]
+struct Queue;
+
+impl ObjectSpec for Queue {
+    fn type_name(&self) -> &'static str {
+        "queue"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::tup([])
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let items = state.as_tup().unwrap_or(&[]).to_vec();
+        match op.name {
+            "enq" => {
+                let mut items = items;
+                items.push(op.arg(0).cloned().unwrap_or(Value::Nil));
+                Ok(vec![Outcome::ret(Value::Tup(items), Value::Nil)])
+            }
+            _ => {
+                if items.is_empty() {
+                    Ok(vec![Outcome::ret(state.clone(), Value::Nil)])
+                } else {
+                    Ok(vec![Outcome::ret(
+                        Value::Tup(items[1..].to_vec()),
+                        items[0].clone(),
+                    )])
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum QOp {
+    Enq(i64),
+    Deq,
+}
+
+fn qop_strategy() -> impl Strategy<Value = QOp> {
+    prop_oneof![(0i64..5).prop_map(QOp::Enq), Just(QOp::Deq)]
+}
+
+/// Builds the sequential history of applying `ops` round-robin across
+/// `nprocs` processes, with responses computed by the spec itself.
+fn sequential_history(ops: &[QOp], nprocs: usize) -> History {
+    let spec = Queue;
+    let mut state = spec.initial_state();
+    let mut h = History::new();
+    for (i, qop) in ops.iter().enumerate() {
+        let op = match qop {
+            QOp::Enq(v) => Op::unary("enq", Value::Int(*v)),
+            QOp::Deq => Op::new("deq"),
+        };
+        let pid = Pid::new(i % nprocs);
+        let id = h.invoke(pid, op.clone()).unwrap();
+        let out = spec.apply(&state, &op).unwrap().remove(0);
+        state = out.state;
+        h.respond(id, out.response.unwrap()).unwrap();
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_histories_always_linearize(
+        ops in prop::collection::vec(qop_strategy(), 0..10),
+        nprocs in 1usize..4,
+    ) {
+        let h = sequential_history(&ops, nprocs);
+        prop_assert!(check_linearizable(&h, &Queue).unwrap().is_some());
+    }
+
+    #[test]
+    fn corrupting_a_nonempty_dequeue_is_rejected(
+        prefix in prop::collection::vec((0i64..5).prop_map(QOp::Enq), 1..6),
+    ) {
+        // enq…enq deq — then lie about the dequeued value.
+        let mut ops = prefix.clone();
+        ops.push(QOp::Deq);
+        let spec = Queue;
+        let mut state = spec.initial_state();
+        let mut h = History::new();
+        for (i, qop) in ops.iter().enumerate() {
+            let op = match qop {
+                QOp::Enq(v) => Op::unary("enq", Value::Int(*v)),
+                QOp::Deq => Op::new("deq"),
+            };
+            let id = h.invoke(Pid::new(i % 2), op.clone()).unwrap();
+            let out = spec.apply(&state, &op).unwrap().remove(0);
+            state = out.state;
+            let resp = match qop {
+                // Lie: report a value that was never enqueued.
+                QOp::Deq => Value::Int(999),
+                QOp::Enq(_) => out.response.unwrap(),
+            };
+            h.respond(id, resp).unwrap();
+        }
+        prop_assert!(check_linearizable(&h, &Queue).unwrap().is_none());
+    }
+
+    #[test]
+    fn dropping_the_final_response_keeps_linearizability(
+        ops in prop::collection::vec(qop_strategy(), 1..8),
+    ) {
+        // Rebuild the sequential history but leave the last op pending:
+        // pending ops may take effect or be dropped, so this must stay
+        // linearizable.
+        let spec = Queue;
+        let mut state = spec.initial_state();
+        let mut h = History::new();
+        let last = ops.len() - 1;
+        for (i, qop) in ops.iter().enumerate() {
+            let op = match qop {
+                QOp::Enq(v) => Op::unary("enq", Value::Int(*v)),
+                QOp::Deq => Op::new("deq"),
+            };
+            let id = h.invoke(Pid::new(i % 3), op.clone()).unwrap();
+            let out = spec.apply(&state, &op).unwrap().remove(0);
+            state = out.state;
+            if i != last {
+                h.respond(id, out.response.unwrap()).unwrap();
+            }
+        }
+        prop_assert!(check_linearizable(&h, &Queue).unwrap().is_some());
+    }
+}

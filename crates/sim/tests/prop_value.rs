@@ -1,0 +1,78 @@
+//! Property-based tests for the universal value domain.
+
+use proptest::prelude::*;
+use subconsensus_sim::Value;
+
+/// Strategy producing arbitrary (bounded-depth) values.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        prop_oneof![Just("a"), Just("b"), Just("opened")].prop_map(Value::Sym),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::Tup)
+    })
+}
+
+proptest! {
+    #[test]
+    fn ordering_is_total_and_consistent(a in value_strategy(), b in value_strategy()) {
+        use std::cmp::Ordering;
+        let ord = a.cmp(&b);
+        prop_assert_eq!(b.cmp(&a), ord.reverse());
+        prop_assert_eq!(ord == Ordering::Equal, a == b);
+    }
+
+    #[test]
+    fn hash_respects_equality(a in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let b = a.clone();
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        prop_assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn with_index_then_index_roundtrips(
+        items in prop::collection::vec(value_strategy(), 1..6),
+        replacement in value_strategy(),
+        idx in 0usize..6,
+    ) {
+        let t = Value::Tup(items.clone());
+        match t.with_index(idx, replacement.clone()) {
+            Some(updated) => {
+                prop_assert!(idx < items.len());
+                prop_assert_eq!(updated.index(idx), Some(&replacement));
+                // All other positions unchanged.
+                for (i, orig) in items.iter().enumerate() {
+                    if i != idx {
+                        prop_assert_eq!(updated.index(i), Some(orig));
+                    }
+                }
+            }
+            None => prop_assert!(idx >= items.len()),
+        }
+    }
+
+    #[test]
+    fn display_is_stable_under_clone(a in value_strategy()) {
+        prop_assert_eq!(a.to_string(), a.clone().to_string());
+    }
+
+    #[test]
+    fn accessors_partition_the_variants(a in value_strategy()) {
+        let hits = [
+            a.is_nil(),
+            a.as_bool().is_some(),
+            a.as_int().is_some(),
+            a.as_sym().is_some(),
+            a.as_tup().is_some(),
+        ];
+        prop_assert_eq!(hits.iter().filter(|h| **h).count(), 1);
+    }
+}

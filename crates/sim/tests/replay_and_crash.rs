@@ -1,0 +1,173 @@
+//! Determinism, replay and crash-adversary integration tests for the
+//! simulator: a recorded schedule replays to the identical outcome, and
+//! fail-stop subsets behave like never-scheduled processes.
+
+use std::sync::Arc;
+
+use subconsensus_sim::{
+    run, Action, CrashScheduler, FirstOutcome, ObjId, ObjectError, ObjectSpec, Op, Outcome, Pid,
+    ProcCtx, Protocol, ProtocolError, RandomScheduler, ReplayScheduler, RoundRobin, RunOptions,
+    SystemBuilder, SystemSpec, Value,
+};
+
+/// A register object.
+#[derive(Debug)]
+struct Reg;
+
+impl ObjectSpec for Reg {
+    fn type_name(&self) -> &'static str {
+        "reg"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Nil
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "read" => Ok(vec![Outcome::ret(state.clone(), state.clone())]),
+            "write" => Ok(vec![Outcome::ret(
+                op.arg(0).cloned().unwrap_or(Value::Nil),
+                Value::Nil,
+            )]),
+            _ => Err(ObjectError::UnknownOp {
+                object: "reg",
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+/// Write own input, read, decide what was read.
+#[derive(Debug)]
+struct WriteReadDecide {
+    reg: ObjId,
+}
+
+impl Protocol for WriteReadDecide {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        Value::Int(0)
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        match local.as_int() {
+            Some(0) => Ok(Action::invoke(
+                Value::Int(1),
+                self.reg,
+                Op::unary("write", ctx.input.clone()),
+            )),
+            Some(1) => Ok(Action::invoke(Value::Int(2), self.reg, Op::new("read"))),
+            _ => Ok(Action::Decide(resp.cloned().unwrap_or(Value::Nil))),
+        }
+    }
+}
+
+fn race(nprocs: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let reg = b.add_object(Reg);
+    let p: Arc<dyn Protocol> = Arc::new(WriteReadDecide { reg });
+    b.add_processes(p, (0..nprocs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+#[test]
+fn recorded_schedules_replay_to_identical_outcomes() {
+    let spec = race(3);
+    for seed in 0..50 {
+        let mut sched = RandomScheduler::seeded(seed);
+        let original = run(
+            &spec,
+            &mut sched,
+            &mut FirstOutcome,
+            &RunOptions::default().traced(),
+        )
+        .unwrap();
+        assert!(original.reached_final);
+
+        let mut replay = ReplayScheduler::new(original.trace.schedule());
+        let replayed = run(
+            &spec,
+            &mut replay,
+            &mut FirstOutcome,
+            &RunOptions::default().traced(),
+        )
+        .unwrap();
+        assert_eq!(original.decisions(), replayed.decisions(), "seed {seed}");
+        assert_eq!(
+            original.trace, replayed.trace,
+            "seed {seed}: step-identical"
+        );
+        assert_eq!(
+            original.config, replayed.config,
+            "seed {seed}: same final config"
+        );
+    }
+}
+
+#[test]
+fn crashed_subsets_leave_survivors_unharmed() {
+    let n = 4;
+    let spec = race(n);
+    // Crash every proper subset of processes initially: survivors decide.
+    for mask in 0u32..(1 << n) - 1 {
+        let crashed: Vec<Pid> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(Pid::new)
+            .collect();
+        let mut sched = CrashScheduler::crash_initially(RoundRobin::new(), crashed.clone());
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+        for i in 0..n {
+            let pid = Pid::new(i);
+            if crashed.contains(&pid) {
+                assert_eq!(out.decisions()[i], None, "crashed {pid} must not decide");
+            } else {
+                assert!(out.decisions()[i].is_some(), "survivor {pid} must decide");
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_run_crashes_are_prefix_consistent() {
+    // Crashing P0 after s steps produces the same decisions for P0 as some
+    // prefix-truncated run: in particular, if P0 decided before crashing
+    // the decision persists.
+    let spec = race(2);
+    for budget in 0..=3 {
+        let mut sched = CrashScheduler::new(
+            RoundRobin::new(),
+            [(Pid::new(0), budget)].into_iter().collect(),
+        );
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+        if budget >= 3 {
+            assert!(out.decisions()[0].is_some(), "3 steps suffice to decide");
+        } else {
+            assert_eq!(out.decisions()[0], None);
+        }
+        assert!(out.decisions()[1].is_some(), "P1 always finishes");
+    }
+}
+
+#[test]
+fn crash_scheduler_composes_with_random_inner() {
+    let spec = race(3);
+    for seed in 0..30 {
+        let mut sched = CrashScheduler::new(
+            RandomScheduler::seeded(seed),
+            [(Pid::new(2), 2usize)].into_iter().collect(),
+        );
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+        assert!(out.decisions()[0].is_some());
+        assert!(out.decisions()[1].is_some());
+        assert_eq!(
+            out.decisions()[2],
+            None,
+            "P2 crashed after 2 of its 3 steps"
+        );
+    }
+}

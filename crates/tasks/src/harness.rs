@@ -1,0 +1,261 @@
+//! Solvability harness: does this protocol solve this task?
+//!
+//! Two modes:
+//!
+//! * [`check_exhaustive`] — explore *every* schedule and nondeterministic
+//!   outcome with the model checker (small systems); verifies both
+//!   termination (wait-freedom) and the task relation on every final
+//!   configuration. This is a *proof* for the given system size and inputs.
+//! * [`check_random`] — run many seeded random schedules (larger systems);
+//!   verifies the task relation on each run. This is a test, not a proof.
+//!
+//! Both also exercise **crash schedules**: prefixes where a subset of
+//! processes stops taking steps, under which the surviving processes must
+//! still decide correctly (fail-stop = never scheduled again, which the
+//! exhaustive graph already covers: every reachable configuration extends
+//! with any subset active).
+
+use subconsensus_modelcheck::{check_wait_freedom, ExploreOptions, StateGraph, WaitFreedom};
+use subconsensus_sim::{run, Pid, RandomScheduler, RunOptions, SimError, SystemSpec, Value};
+
+use crate::task::{Task, Violation};
+
+/// The result of an exhaustive solvability check.
+#[derive(Clone, Debug)]
+pub struct ExhaustiveReport {
+    /// Termination verdict over all schedules.
+    pub wait_freedom: WaitFreedom,
+    /// First task violation found among final configurations, if any.
+    pub violation: Option<Violation>,
+    /// Number of distinct configurations explored.
+    pub configs: usize,
+    /// Number of final configurations.
+    pub terminals: usize,
+    /// Whether the exploration hit its bound (in which case the verdict is
+    /// only partial).
+    pub truncated: bool,
+}
+
+impl ExhaustiveReport {
+    /// `true` iff the protocol wait-free solves the task on this system:
+    /// every schedule terminates with every process decided, and every final
+    /// configuration satisfies the task.
+    pub fn solved(&self) -> bool {
+        !self.truncated && self.wait_freedom.is_wait_free() && self.violation.is_none()
+    }
+
+    /// `true` iff every final configuration satisfies the task relation,
+    /// regardless of termination (useful for protocols over objects that
+    /// may hang some process by design).
+    pub fn safe(&self) -> bool {
+        !self.truncated && self.violation.is_none()
+    }
+}
+
+/// Exhaustively checks whether `spec` wait-free solves `task`.
+///
+/// The inputs judged by the task are read from the system itself (the input
+/// of each process as registered in the builder).
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]) raised during exploration.
+pub fn check_exhaustive(
+    spec: &SystemSpec,
+    task: &dyn Task,
+    opts: &ExploreOptions,
+) -> Result<ExhaustiveReport, SimError> {
+    let inputs: Vec<Value> = (0..spec.nprocs())
+        .map(|i| spec.ctx(Pid::new(i)).input)
+        .collect();
+    let graph = StateGraph::explore(spec, opts)?;
+    let wait_freedom = check_wait_freedom(&graph);
+    let mut violation = None;
+    for &t in graph.terminals() {
+        let outputs = graph.config(t).decisions();
+        if let Err(v) = task.check(&inputs, &outputs) {
+            violation = Some(v);
+            break;
+        }
+    }
+    // Also check every *partial* configuration: decisions made so far must
+    // already satisfy the task (decisions are irrevocable).
+    if violation.is_none() {
+        for i in 0..graph.len() {
+            let outputs = graph.config(i).decisions();
+            if let Err(v) = task.check(&inputs, &outputs) {
+                violation = Some(v);
+                break;
+            }
+        }
+    }
+    Ok(ExhaustiveReport {
+        wait_freedom,
+        violation,
+        configs: graph.len(),
+        terminals: graph.terminals().len(),
+        truncated: graph.is_truncated(),
+    })
+}
+
+/// The result of a randomized solvability check.
+#[derive(Clone, Debug)]
+pub struct RandomReport {
+    /// Number of runs executed.
+    pub runs: usize,
+    /// Number of runs that reached a final configuration.
+    pub completed: usize,
+    /// First violation found, with the seed that produced it.
+    pub violation: Option<(u64, Violation)>,
+}
+
+impl RandomReport {
+    /// `true` iff every run terminated and satisfied the task.
+    pub fn solved(&self) -> bool {
+        self.completed == self.runs && self.violation.is_none()
+    }
+}
+
+/// Runs `spec` under `seeds` random schedules and checks `task` on each
+/// outcome.
+///
+/// # Errors
+///
+/// Propagates simulator errors raised during the runs.
+pub fn check_random(
+    spec: &SystemSpec,
+    task: &dyn Task,
+    seeds: std::ops::Range<u64>,
+    max_steps: usize,
+) -> Result<RandomReport, SimError> {
+    let inputs: Vec<Value> = (0..spec.nprocs())
+        .map(|i| spec.ctx(Pid::new(i)).input)
+        .collect();
+    let mut completed = 0;
+    let mut violation = None;
+    let mut runs = 0;
+    for seed in seeds {
+        runs += 1;
+        let mut sched = RandomScheduler::seeded(seed);
+        let mut chooser = RandomScheduler::seeded(seed.wrapping_add(0x9e37_79b9));
+        let out = run(
+            spec,
+            &mut sched,
+            &mut chooser,
+            &RunOptions::with_max_steps(max_steps),
+        )?;
+        if out.reached_final {
+            completed += 1;
+        }
+        if violation.is_none() {
+            if let Err(v) = task.check(&inputs, &out.decisions()) {
+                violation = Some((seed, v));
+            }
+        }
+    }
+    Ok(RandomReport {
+        runs,
+        completed,
+        violation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{SetConsensusTask, TestAndSetTask};
+    use std::sync::Arc;
+    use subconsensus_objects::{Consensus, RegisterArray, SetConsensus};
+    use subconsensus_protocols::{tournament_nodes, ProposeDecide, Tournament, WriteReadMin};
+    use subconsensus_sim::{ObjectSpec, Protocol, SystemBuilder};
+
+    fn propose_system(obj: Box<dyn ObjectSpec>, inputs: &[i64]) -> SystemSpec {
+        let mut b = SystemBuilder::new();
+        let o = b.add_boxed_object(obj);
+        let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(o));
+        b.add_processes(p, inputs.iter().map(|&v| Value::Int(v)));
+        b.build()
+    }
+
+    #[test]
+    fn consensus_object_solves_consensus_exhaustively() {
+        let spec = propose_system(Box::new(Consensus::unbounded()), &[1, 2, 3]);
+        let r = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(r.solved(), "{r:?}");
+        assert!(r.terminals > 0);
+    }
+
+    #[test]
+    fn set_consensus_object_solves_k_but_not_k_minus_1() {
+        let spec = propose_system(Box::new(SetConsensus::new(3, 2).unwrap()), &[1, 2, 3]);
+        let two =
+            check_exhaustive(&spec, &SetConsensusTask::new(2), &ExploreOptions::default()).unwrap();
+        assert!(two.solved(), "{two:?}");
+        let one = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(!one.solved());
+        assert!(
+            one.violation.is_some(),
+            "2 values must be decidable somewhere"
+        );
+    }
+
+    #[test]
+    fn broken_register_consensus_flagged_by_harness() {
+        let mut b = SystemBuilder::new();
+        let regs = b.add_object(RegisterArray::new(2));
+        let p: Arc<dyn Protocol> = Arc::new(WriteReadMin::new(regs));
+        b.add_processes(p, [Value::Int(1), Value::Int(2)]);
+        let spec = b.build();
+        let r = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(!r.solved());
+        assert!(r.violation.unwrap().detail.contains("agreement"));
+    }
+
+    #[test]
+    fn tournament_solves_test_and_set_exhaustively_and_randomly() {
+        let n = 3;
+        let mut b = SystemBuilder::new();
+        let base = b.add_object_array(tournament_nodes(n), |_| {
+            Box::new(Consensus::bounded(2)) as Box<dyn ObjectSpec>
+        });
+        let p: Arc<dyn Protocol> = Arc::new(Tournament::new(base, n));
+        b.add_processes(p, (0..n).map(Value::from));
+        let spec = b.build();
+
+        let r =
+            check_exhaustive(&spec, &TestAndSetTask::new(), &ExploreOptions::default()).unwrap();
+        assert!(r.solved(), "{r:?}");
+
+        let rr = check_random(&spec, &TestAndSetTask::new(), 0..100, 100_000).unwrap();
+        assert!(rr.solved(), "{rr:?}");
+        assert_eq!(rr.runs, 100);
+    }
+
+    #[test]
+    fn truncated_exploration_is_not_a_proof() {
+        let spec = propose_system(Box::new(Consensus::unbounded()), &[1, 2, 3]);
+        let r = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::with_max_configs(3),
+        )
+        .unwrap();
+        assert!(r.truncated);
+        assert!(!r.solved());
+    }
+}

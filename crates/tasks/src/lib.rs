@@ -1,0 +1,25 @@
+//! Task specifications and a solvability harness.
+//!
+//! A **task** specifies what combinations of output values may be produced
+//! given each process's input (the simulator checks *termination*
+//! separately). This crate provides the tasks the paper's results are
+//! phrased in — consensus, `k`-set consensus, (strong) `k`-set election,
+//! renaming, test-and-set — plus a harness that decides, exhaustively for
+//! small systems and statistically for larger ones, whether a protocol
+//! solves a task:
+//!
+//! * [`check_exhaustive`] — model-checks every schedule and every
+//!   nondeterministic object outcome;
+//! * [`check_random`] — samples seeded random schedules.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod harness;
+mod task;
+
+pub use harness::{check_exhaustive, check_random, ExhaustiveReport, RandomReport};
+pub use task::{
+    ImmediateSnapshotTask, RenamingTask, SetConsensusTask, SetElectionTask, Task, TestAndSetTask,
+    Violation,
+};

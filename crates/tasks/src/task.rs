@@ -1,0 +1,521 @@
+//! Task specifications.
+//!
+//! A *task* specifies which combinations of output values are allowed, given
+//! the input value of each process and the set of processes producing
+//! outputs. Termination (every process that takes enough steps decides) is
+//! checked separately by the harness; a [`Task`] only judges the
+//! input/output relation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use subconsensus_sim::Value;
+
+/// A violation of a task specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The task that was violated.
+    pub task: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task `{}` violated: {}", self.task, self.detail)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// A one-shot distributed task.
+///
+/// `inputs[i]` is the input of process `i`; `outputs[i]` is its decision, or
+/// `None` if it produced none (crashed, hung, or was not scheduled). A task
+/// judges only the produced outputs.
+pub trait Task: fmt::Debug {
+    /// A short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks one complete outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Violation`] describing the first property broken.
+    fn check(&self, inputs: &[Value], outputs: &[Option<Value>]) -> Result<(), Violation>;
+}
+
+fn distinct_outputs(outputs: &[Option<Value>]) -> BTreeSet<&Value> {
+    outputs.iter().flatten().collect()
+}
+
+/// The `k`-set consensus task: validity (every output is some process's
+/// input) + `k`-agreement (at most `k` distinct outputs). `k = 1` is
+/// consensus.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_tasks::{SetConsensusTask, Task};
+/// use subconsensus_sim::Value;
+///
+/// let task = SetConsensusTask::consensus();
+/// let inputs = [Value::Int(1), Value::Int(2)];
+/// assert!(task.check(&inputs, &[Some(Value::Int(1)), Some(Value::Int(1))]).is_ok());
+/// assert!(task.check(&inputs, &[Some(Value::Int(1)), Some(Value::Int(2))]).is_err());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetConsensusTask {
+    k: usize,
+}
+
+impl SetConsensusTask {
+    /// Creates the `k`-set consensus task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-set consensus requires k ≥ 1");
+        SetConsensusTask { k }
+    }
+
+    /// The consensus task (`k = 1`).
+    pub fn consensus() -> Self {
+        Self::new(1)
+    }
+
+    /// Returns the agreement bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Task for SetConsensusTask {
+    fn name(&self) -> &'static str {
+        if self.k == 1 {
+            "consensus"
+        } else {
+            "k-set-consensus"
+        }
+    }
+
+    fn check(&self, inputs: &[Value], outputs: &[Option<Value>]) -> Result<(), Violation> {
+        for (i, out) in outputs.iter().enumerate() {
+            if let Some(v) = out {
+                if !inputs.contains(v) {
+                    return Err(Violation {
+                        task: self.name(),
+                        detail: format!("validity: P{i} decided {v}, which nobody proposed"),
+                    });
+                }
+            }
+        }
+        let distinct = distinct_outputs(outputs);
+        if distinct.len() > self.k {
+            return Err(Violation {
+                task: self.name(),
+                detail: format!(
+                    "{}-agreement: {} distinct outputs {:?}",
+                    self.k,
+                    distinct.len(),
+                    distinct
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The `k`-set election task: every output is the *input of a process that
+/// produced an output or took part* (outputs name participants), with at
+/// most `k` distinct outputs.
+///
+/// Inputs are interpreted as (unique) identifiers that processes propose;
+/// the election variant additionally requires each output to be the
+/// identifier of a *participant* — which here means any process with an
+/// input, since the harness only builds participating processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetElectionTask {
+    k: usize,
+    strong: bool,
+}
+
+impl SetElectionTask {
+    /// Creates the `k`-set election task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-set election requires k ≥ 1");
+        SetElectionTask { k, strong: false }
+    }
+
+    /// Creates the **strong** `k`-set election task, which adds
+    /// *self-election*: if some process outputs identifier `id`, the process
+    /// whose input is `id` must itself output `id` (if it outputs at all).
+    pub fn strong(k: usize) -> Self {
+        assert!(k > 0, "k-set election requires k ≥ 1");
+        SetElectionTask { k, strong: true }
+    }
+
+    /// Returns the agreement bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Task for SetElectionTask {
+    fn name(&self) -> &'static str {
+        if self.strong {
+            "strong-k-set-election"
+        } else {
+            "k-set-election"
+        }
+    }
+
+    fn check(&self, inputs: &[Value], outputs: &[Option<Value>]) -> Result<(), Violation> {
+        for (i, out) in outputs.iter().enumerate() {
+            if let Some(v) = out {
+                if !inputs.contains(v) {
+                    return Err(Violation {
+                        task: self.name(),
+                        detail: format!("P{i} elected {v}, not a participant identifier"),
+                    });
+                }
+            }
+        }
+        let distinct = distinct_outputs(outputs);
+        if distinct.len() > self.k {
+            return Err(Violation {
+                task: self.name(),
+                detail: format!("{}-agreement: {} distinct leaders", self.k, distinct.len()),
+            });
+        }
+        if self.strong {
+            for (i, out) in outputs.iter().enumerate() {
+                if let Some(v) = out {
+                    // Find the process whose input is v.
+                    if let Some(j) = inputs.iter().position(|inp| inp == v) {
+                        if let Some(vj) = &outputs[j] {
+                            if vj != v {
+                                return Err(Violation {
+                                    task: self.name(),
+                                    detail: format!(
+                                        "self-election: P{i} elected {v} but P{j} elected {vj}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The one-shot renaming task: outputs are pairwise distinct names in
+/// `{0 .. namespace-1}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RenamingTask {
+    namespace: usize,
+}
+
+impl RenamingTask {
+    /// Creates the renaming task with target namespace `{0..namespace-1}`.
+    pub fn new(namespace: usize) -> Self {
+        RenamingTask { namespace }
+    }
+
+    /// Returns the namespace size.
+    pub fn namespace(&self) -> usize {
+        self.namespace
+    }
+}
+
+impl Task for RenamingTask {
+    fn name(&self) -> &'static str {
+        "renaming"
+    }
+
+    fn check(&self, _inputs: &[Value], outputs: &[Option<Value>]) -> Result<(), Violation> {
+        let mut seen = BTreeSet::new();
+        for (i, out) in outputs.iter().enumerate() {
+            if let Some(v) = out {
+                let name = v.as_index().ok_or_else(|| Violation {
+                    task: "renaming",
+                    detail: format!("P{i} decided non-name {v}"),
+                })?;
+                if name >= self.namespace {
+                    return Err(Violation {
+                        task: "renaming",
+                        detail: format!("P{i} took name {name} outside 0..{}", self.namespace),
+                    });
+                }
+                if !seen.insert(name) {
+                    return Err(Violation {
+                        task: "renaming",
+                        detail: format!("name {name} taken twice"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The one-shot immediate-snapshot task (Borowsky–Gafni): each output is a
+/// *view* — a sorted tuple of input values — satisfying
+///
+/// * **validity** — every element of a view is some process's input;
+/// * **self-inclusion** — a process's view contains its own input;
+/// * **containment** — any two views are `⊆`-comparable;
+/// * **immediacy** — if process `j`'s input appears in `i`'s view then
+///   `j`'s view (when produced) is a subset of `i`'s view.
+///
+/// Inputs are assumed pairwise distinct (the harness builds them so), which
+/// lets views be compared as value sets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImmediateSnapshotTask;
+
+impl ImmediateSnapshotTask {
+    /// Creates the task.
+    pub fn new() -> Self {
+        ImmediateSnapshotTask
+    }
+}
+
+fn view_set(v: &Value) -> Option<BTreeSet<&Value>> {
+    v.as_tup().map(|items| items.iter().collect())
+}
+
+impl Task for ImmediateSnapshotTask {
+    fn name(&self) -> &'static str {
+        "immediate-snapshot"
+    }
+
+    fn check(&self, inputs: &[Value], outputs: &[Option<Value>]) -> Result<(), Violation> {
+        let fail = |detail: String| Violation {
+            task: "immediate-snapshot",
+            detail,
+        };
+        let views: Vec<(usize, BTreeSet<&Value>)> = outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|v| (i, v)))
+            .map(|(i, v)| {
+                view_set(v)
+                    .map(|s| (i, s))
+                    .ok_or_else(|| fail(format!("P{i} decided non-view {v}")))
+            })
+            .collect::<Result<_, _>>()?;
+        for (i, view) in &views {
+            for elem in view {
+                if !inputs.contains(elem) {
+                    return Err(fail(format!("validity: P{i} saw non-input {elem}")));
+                }
+            }
+            if !view.contains(&inputs[*i]) {
+                return Err(fail(format!(
+                    "self-inclusion: P{i}'s view misses its input"
+                )));
+            }
+        }
+        for (i, vi) in &views {
+            for (j, vj) in &views {
+                if i < j && !vi.is_subset(vj) && !vj.is_subset(vi) {
+                    return Err(fail(format!("containment: P{i} and P{j} incomparable")));
+                }
+            }
+        }
+        for (i, vi) in &views {
+            for (j, vj) in &views {
+                if vi.contains(&inputs[*j]) && !vj.is_subset(vi) {
+                    return Err(fail(format!(
+                        "immediacy: P{i} saw P{j}'s input but P{j}'s view is not contained"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The one-shot test-and-set task: every output is 0 (winner) or 1 (loser);
+/// at most one winner; and if **all** processes produce outputs, exactly one
+/// winner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TestAndSetTask;
+
+impl TestAndSetTask {
+    /// Creates the task.
+    pub fn new() -> Self {
+        TestAndSetTask
+    }
+}
+
+impl Task for TestAndSetTask {
+    fn name(&self) -> &'static str {
+        "test-and-set"
+    }
+
+    fn check(&self, _inputs: &[Value], outputs: &[Option<Value>]) -> Result<(), Violation> {
+        let mut winners = 0usize;
+        let mut produced = 0usize;
+        for (i, out) in outputs.iter().enumerate() {
+            if let Some(v) = out {
+                produced += 1;
+                match v.as_int() {
+                    Some(0) => winners += 1,
+                    Some(1) => {}
+                    _ => {
+                        return Err(Violation {
+                            task: "test-and-set",
+                            detail: format!("P{i} decided {v}, expected 0 or 1"),
+                        })
+                    }
+                }
+            }
+        }
+        if winners > 1 {
+            return Err(Violation {
+                task: "test-and-set",
+                detail: format!("{winners} winners"),
+            });
+        }
+        if produced == outputs.len() && winners == 0 {
+            return Err(Violation {
+                task: "test-and-set",
+                detail: "everyone decided but nobody won".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn outs(vs: &[Option<i64>]) -> Vec<Option<Value>> {
+        vs.iter().map(|v| v.map(Value::Int)).collect()
+    }
+
+    #[test]
+    fn set_consensus_validity_and_agreement() {
+        let t = SetConsensusTask::new(2);
+        assert_eq!(t.k(), 2);
+        let inputs = vals(&[1, 2, 3]);
+        assert!(t
+            .check(&inputs, &outs(&[Some(1), Some(2), Some(1)]))
+            .is_ok());
+        assert!(t
+            .check(&inputs, &outs(&[Some(1), Some(2), Some(3)]))
+            .is_err());
+        assert!(t.check(&inputs, &outs(&[Some(9), None, None])).is_err());
+        assert!(t.check(&inputs, &outs(&[None, None, None])).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_panics() {
+        let _ = SetConsensusTask::new(0);
+    }
+
+    #[test]
+    fn consensus_is_one_set_consensus() {
+        let t = SetConsensusTask::consensus();
+        assert_eq!(t.name(), "consensus");
+        assert_eq!(t.k(), 1);
+        let inputs = vals(&[5, 6]);
+        assert!(t.check(&inputs, &outs(&[Some(5), Some(6)])).is_err());
+    }
+
+    #[test]
+    fn election_requires_participant_ids() {
+        let t = SetElectionTask::new(1);
+        let inputs = vals(&[10, 20]);
+        assert!(t.check(&inputs, &outs(&[Some(10), Some(10)])).is_ok());
+        assert!(t.check(&inputs, &outs(&[Some(30), None])).is_err());
+    }
+
+    #[test]
+    fn strong_election_self_property() {
+        let t = SetElectionTask::strong(2);
+        let inputs = vals(&[10, 20, 30]);
+        // P0 elects 20, but P1 (whose id is 20) elected 30: violation.
+        assert!(t
+            .check(&inputs, &outs(&[Some(20), Some(30), Some(30)]))
+            .is_err());
+        // P1 itself elects 20: fine.
+        assert!(t
+            .check(&inputs, &outs(&[Some(20), Some(20), Some(20)]))
+            .is_ok());
+        // P1 produced no output: vacuously fine.
+        assert!(t.check(&inputs, &outs(&[Some(20), None, Some(20)])).is_ok());
+    }
+
+    #[test]
+    fn renaming_uniqueness_and_range() {
+        let t = RenamingTask::new(3);
+        assert_eq!(t.namespace(), 3);
+        let inputs = vals(&[100, 200]);
+        assert!(t.check(&inputs, &outs(&[Some(0), Some(2)])).is_ok());
+        assert!(t.check(&inputs, &outs(&[Some(0), Some(0)])).is_err());
+        assert!(t.check(&inputs, &outs(&[Some(3), None])).is_err());
+        assert!(t.check(&inputs, &[Some(Value::Sym("x")), None]).is_err());
+    }
+
+    #[test]
+    fn immediate_snapshot_properties() {
+        let t = ImmediateSnapshotTask::new();
+        let inputs = vals(&[1, 2, 3]);
+        let view = |vs: &[i64]| Some(Value::tup(vs.iter().map(|&v| Value::Int(v))));
+        // A legal ordered outcome: {1} ⊆ {1,2} ⊆ {1,2,3}.
+        assert!(t
+            .check(&inputs, &[view(&[1]), view(&[1, 2]), view(&[1, 2, 3])])
+            .is_ok());
+        // Validity violation: 9 is not an input.
+        assert!(t.check(&inputs, &[view(&[1, 9]), None, None]).is_err());
+        // Self-inclusion violation: P0's view lacks 1.
+        assert!(t.check(&inputs, &[view(&[2]), None, None]).is_err());
+        // Containment violation: {1,2} vs {1,3} incomparable.
+        assert!(t
+            .check(&inputs, &[view(&[1, 2]), None, view(&[1, 3])])
+            .is_err());
+        // Immediacy violation: P0 saw P1's input but P1's view ⊄ P0's.
+        assert!(t
+            .check(&inputs, &[view(&[1, 2]), view(&[1, 2, 3]), None])
+            .is_err());
+        // Non-view output rejected.
+        assert!(t
+            .check(&inputs, &[Some(Value::Int(1)), None, None])
+            .is_err());
+        // Pending processes are fine.
+        assert!(t.check(&inputs, &[None, None, None]).is_ok());
+    }
+
+    #[test]
+    fn test_and_set_single_winner() {
+        let t = TestAndSetTask::new();
+        let inputs = vals(&[0, 1, 2]);
+        assert!(t
+            .check(&inputs, &outs(&[Some(0), Some(1), Some(1)]))
+            .is_ok());
+        assert!(t
+            .check(&inputs, &outs(&[Some(0), Some(0), Some(1)]))
+            .is_err());
+        assert!(t
+            .check(&inputs, &outs(&[Some(1), Some(1), Some(1)]))
+            .is_err());
+        // Partial outcomes may have no winner yet.
+        assert!(t.check(&inputs, &outs(&[Some(1), None, None])).is_ok());
+        assert!(t.check(&inputs, &outs(&[Some(2), None, None])).is_err());
+    }
+}

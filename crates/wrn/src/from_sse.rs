@@ -1,0 +1,273 @@
+//! Algorithm 5: a linearizable `1sWRN_k` from `(k, k-1)`-strong set
+//! election, snapshots and a doorway — the direction that proves
+//! `1sWRN_k` is *no stronger* than `(k, k-1)`-set consensus.
+//!
+//! Together with Algorithm 2 (`1sWRN_k` solves `(k, k-1)`-set consensus)
+//! this establishes the equivalence `1sWRN_k ≡ (k, k-1)-SC`, and hence the
+//! infinite hierarchy of deterministic objects strictly between registers
+//! and 2-consensus — the resolution of the PODC 2016 paper's open question.
+
+use subconsensus_sim::{
+    ImplStep, Implementation, ObjId, ObjectError, ObjectSpec, Op, Outcome, ProcCtx, ProtocolError,
+    Value,
+};
+
+/// The `(k, k-1)`-strong-set-election object: each of up to `k` distinct
+/// identifiers invokes once; at most `k-1` distinct identifiers are ever
+/// returned; and **self-election** holds — if anyone is handed `j`, then
+/// `j`'s own invocation returned `j`.
+///
+/// Nondeterministic (like the set-consensus object it is implemented from
+/// in the literature); used here as the agreement substrate of Algorithm 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrongSetElection {
+    k: usize,
+}
+
+const SSE: &str = "strong-set-election";
+
+impl StrongSetElection {
+    /// Creates the object for identifiers `{0 .. k-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "strong set election requires k ≥ 2");
+        StrongSetElection { k }
+    }
+}
+
+impl ObjectSpec for StrongSetElection {
+    fn type_name(&self) -> &'static str {
+        SSE
+    }
+
+    /// State: `(elected, invoked)` — the set of self-elected ids and the
+    /// used-id flags.
+    fn initial_state(&self) -> Value {
+        Value::tup([Value::tup([]), Value::Tup(vec![Value::Bool(false); self.k])])
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        if op.name != "invoke" {
+            return Err(ObjectError::UnknownOp {
+                object: SSE,
+                op: op.clone(),
+            });
+        }
+        if op.args.len() != 1 {
+            return Err(ObjectError::BadArity {
+                object: SSE,
+                op: op.clone(),
+                expected: 1,
+            });
+        }
+        let i = op.args[0]
+            .as_index()
+            .ok_or_else(|| ObjectError::TypeMismatch {
+                object: SSE,
+                detail: format!("identifier argument of `{op}` must be a non-negative integer"),
+            })?;
+        if i >= self.k {
+            return Err(ObjectError::IllegalOp {
+                object: SSE,
+                detail: format!("identifier {i} out of range 0..{}", self.k),
+            });
+        }
+        let corrupt = || ObjectError::TypeMismatch {
+            object: SSE,
+            detail: format!("state {state} is not (elected, invoked)"),
+        };
+        let elected: Vec<usize> = state
+            .index(0)
+            .and_then(Value::as_tup)
+            .ok_or_else(corrupt)?
+            .iter()
+            .map(|v| v.as_index().ok_or_else(corrupt))
+            .collect::<Result<_, _>>()?;
+        let invoked = state.index(1).cloned().ok_or_else(corrupt)?;
+        if invoked.index(i).and_then(Value::as_bool) == Some(true) {
+            // Illegal re-invocation: hang undetectably.
+            return Ok(vec![Outcome::hang(state.clone())]);
+        }
+        let invoked = invoked
+            .with_index(i, Value::Bool(true))
+            .ok_or_else(corrupt)?;
+        let mut outcomes = Vec::new();
+        if elected.len() < self.k - 1 {
+            // Branch: elect self.
+            let mut e = elected.clone();
+            e.push(i);
+            e.sort_unstable();
+            let next = Value::tup([Value::tup(e.into_iter().map(Value::from)), invoked.clone()]);
+            outcomes.push(Outcome::ret(next, Value::from(i)));
+        }
+        for &j in &elected {
+            // Branch: defer to an already self-elected identifier.
+            let next = Value::tup([
+                Value::tup(elected.iter().copied().map(Value::from)),
+                invoked.clone(),
+            ]);
+            outcomes.push(Outcome::ret(next, Value::from(j)));
+        }
+        Ok(outcomes)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+/// Algorithm 5: the linearizable `1sWRN_k` implementation.
+///
+/// Base objects: a snapshot `R` (announced values), a snapshot `O`
+/// (announced views), a multi-writer doorway register (initially
+/// `"opened"`), and one [`StrongSetElection`] instance.
+///
+/// High-level operation: `wrn(i, v)` with each index used at most once
+/// (callers must pass distinct indices — the one-shot discipline).
+/// Histories are checked against [`OneShotWrn`](crate::OneShotWrn).
+#[derive(Clone, Copy, Debug)]
+pub struct WrnFromSse {
+    r: ObjId,
+    o: ObjId,
+    doorway: ObjId,
+    sse: ObjId,
+    k: usize,
+}
+
+impl WrnFromSse {
+    /// Creates the implementation. `r` and `o` must be
+    /// [`Snapshot`](subconsensus_objects::Snapshot)`(k)` objects, `doorway`
+    /// a register initialized to `Sym("opened")`, `sse` a
+    /// [`StrongSetElection`]`(k)`.
+    pub fn new(r: ObjId, o: ObjId, doorway: ObjId, sse: ObjId, k: usize) -> Self {
+        WrnFromSse {
+            r,
+            o,
+            doorway,
+            sse,
+            k,
+        }
+    }
+
+    fn parse(&self, op: &Op) -> Result<(usize, Value), ProtocolError> {
+        if op.name != "wrn" {
+            return Err(ProtocolError::new(format!(
+                "wrn-from-sse: unknown op `{}`",
+                op.name
+            )));
+        }
+        let i = op
+            .arg(0)
+            .and_then(Value::as_index)
+            .filter(|&i| i < self.k)
+            .ok_or_else(|| ProtocolError::new("wrn-from-sse: bad index"))?;
+        let v = op
+            .arg(1)
+            .cloned()
+            .filter(|v| !v.is_nil())
+            .ok_or_else(|| ProtocolError::new("wrn-from-sse: bad value"))?;
+        Ok((i, v))
+    }
+}
+
+// Local state: (pc, SR) — SR is ⊥ until the R-snapshot is taken.
+//   0 — announce: R.update(i, v)
+//   1 — read the doorway
+//   2 — doorway value received: close it, or go scan
+//   3 — doorway closed (write acked): SSE.invoke(i)
+//   4 — SSE verdict received
+//   5 — R.scan issued; response is SR
+//   6 — O.update(i, SR) acked; issue O.scan
+//   7 — SO received: decide ⊥ or SR[(i+1) mod k]
+impl Implementation for WrnFromSse {
+    fn start_op(&self, _ctx: &ProcCtx, _op: &Op, _memory: &Value) -> Value {
+        Value::tup([Value::Int(0), Value::Nil])
+    }
+
+    fn step(
+        &self,
+        _ctx: &ProcCtx,
+        op: &Op,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<ImplStep, ProtocolError> {
+        let (i, v) = self.parse(op)?;
+        let pc = local
+            .index(0)
+            .and_then(Value::as_int)
+            .ok_or_else(|| ProtocolError::new("wrn-from-sse: bad pc"))?;
+        let sr = local.index(1).cloned().unwrap_or(Value::Nil);
+        let at = |pc: i64, sr: Value| Value::tup([Value::Int(pc), sr]);
+        let need = |r: Option<&Value>| -> Result<Value, ProtocolError> {
+            r.cloned()
+                .ok_or_else(|| ProtocolError::new("wrn-from-sse: missing response"))
+        };
+        match pc {
+            0 => Ok(ImplStep::invoke(
+                at(1, sr),
+                self.r,
+                Op::binary("update", Value::from(i), v),
+            )),
+            1 => Ok(ImplStep::invoke(at(2, sr), self.doorway, Op::new("read"))),
+            2 => {
+                if need(resp)? == Value::Sym("opened") {
+                    Ok(ImplStep::invoke(
+                        at(3, sr),
+                        self.doorway,
+                        Op::unary("write", Value::Sym("closed")),
+                    ))
+                } else {
+                    Ok(ImplStep::invoke(at(5, sr), self.r, Op::new("scan")))
+                }
+            }
+            3 => Ok(ImplStep::invoke(
+                at(4, sr),
+                self.sse,
+                Op::unary("invoke", Value::from(i)),
+            )),
+            4 => {
+                if need(resp)?.as_index() == Some(i) {
+                    // Won the election: the invocation linearizes first.
+                    Ok(ImplStep::ret(Value::Nil, Value::Nil))
+                } else {
+                    Ok(ImplStep::invoke(at(5, sr), self.r, Op::new("scan")))
+                }
+            }
+            5 => {
+                let sr = need(resp)?;
+                Ok(ImplStep::invoke(
+                    at(6, sr.clone()),
+                    self.o,
+                    Op::binary("update", Value::from(i), sr),
+                ))
+            }
+            6 => Ok(ImplStep::invoke(at(7, sr), self.o, Op::new("scan"))),
+            7 => {
+                let so = need(resp)?;
+                let succ = (i + 1) % self.k;
+                for j in 0..self.k {
+                    let view = so
+                        .index(j)
+                        .ok_or_else(|| ProtocolError::new("wrn-from-sse: bad SO"))?;
+                    if view.is_nil() {
+                        continue;
+                    }
+                    let saw_me = view.index(i) == Some(&v);
+                    let saw_succ_empty = view.index(succ).is_some_and(Value::is_nil);
+                    if saw_me && saw_succ_empty {
+                        return Ok(ImplStep::ret(Value::Nil, Value::Nil));
+                    }
+                }
+                let out = sr
+                    .index(succ)
+                    .cloned()
+                    .ok_or_else(|| ProtocolError::new("wrn-from-sse: bad SR"))?;
+                Ok(ImplStep::ret(out, Value::Nil))
+            }
+            _ => Err(ProtocolError::new("wrn-from-sse: bad pc")),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! **Extension crate** — the resolution of the paper's open question.
+//!
+//! *Deterministic Objects: Life Beyond Consensus* (PODC 2016) establishes
+//! its hierarchy for consensus levels `n ≥ 2` and leaves the case `n = 1`
+//! open: *is every deterministic object of consensus number 1 equivalent to
+//! read-write registers?* The answer — **no**, there is an infinite
+//! hierarchy of deterministic objects strictly between registers and
+//! 2-consensus — came from the follow-up work of Daian, Losa, Afek and
+//! Gafni (DISC 2018) via the *Write-and-Read-Next* objects. This crate
+//! implements that resolution inside the same framework, as the paper's
+//! future work:
+//!
+//! * [`Wrn`] / [`OneShotWrn`] — the deterministic `WRN_k` objects;
+//! * [`WrnPropose`] (Algorithm 2), [`WrnPartitionPropose`] (Algorithm 6),
+//!   [`WrnManyProcs`] / [`WrnManyProcsOneShot`] (Algorithm 3, multi-use and
+//!   one-shot forms) — set-consensus from `WRN_k`;
+//! * [`RelaxedWrn`] (Algorithm 4) — the flag-principle relaxed object from
+//!   the one-shot variant;
+//! * [`StrongSetElection`] + [`WrnFromSse`] (Algorithm 5) — the converse
+//!   construction proving `1sWRN_k ≡ (k, k-1)-set consensus`, checked
+//!   against the [`OneShotWrn`] sequential spec by the linearizability
+//!   checker;
+//! * [`wrn_power`] / [`wrn_hierarchy`] — the tie-in to the core power
+//!   calculus: the `WRN` hierarchy *is* the sub-consensus chain
+//!   `(2,1)-SC ≻ (3,2)-SC ≻ …` of `subconsensus_core::sc_chain`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod from_sse;
+mod object;
+mod protocols;
+
+pub use from_sse::{StrongSetElection, WrnFromSse};
+pub use object::{OneShotWrn, Wrn};
+pub use protocols::{
+    RelaxedWrn, WrnManyProcs, WrnManyProcsOneShot, WrnPartitionPropose, WrnPropose,
+};
+
+use subconsensus_core::ScPower;
+
+/// The synchronization power of `1sWRN_k`: `(k, k-1)`-set consensus
+/// (Theorems 1–2 of the resolution).
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_wrn::wrn_power;
+/// assert_eq!(wrn_power(3).to_string(), "(3, 2)-SC");
+/// ```
+pub fn wrn_power(k: usize) -> ScPower {
+    assert!(k >= 2, "WRN_k requires k ≥ 2");
+    ScPower::new(k, k - 1)
+}
+
+/// The strict `WRN` hierarchy between registers and 2-consensus:
+/// `1sWRN_k` is strictly stronger than `1sWRN_{k'}` for `k < k'`, verified
+/// through the core counting characterization.
+///
+/// Returns the pairs `(k, k+1)` with their refuting bounds, for
+/// `k ∈ {2 .. k_max - 1}` — exactly `subconsensus_core::sc_chain` viewed
+/// through WRN glasses.
+pub fn wrn_hierarchy(k_max: usize) -> Vec<subconsensus_core::ChainLink> {
+    subconsensus_core::sc_chain(k_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_core::{implementable, strictly_stronger};
+
+    #[test]
+    fn wrn_power_is_strictly_between_registers_and_2_consensus() {
+        for k in 3..10 {
+            let p = wrn_power(k);
+            // Stronger than registers: solves (k, k-1) which registers
+            // cannot (registers only solve trivial (n, n) tasks).
+            assert!(p.k < p.n);
+            // Weaker than 2-consensus.
+            assert!(!implementable(ScPower::consensus(2), p), "k = {k}");
+            assert!(
+                implementable(p, ScPower::consensus(2)),
+                "2-consensus builds it"
+            );
+        }
+    }
+
+    #[test]
+    fn wrn2_is_2_consensus_power() {
+        // WRN₂ is a swap: consensus number 2.
+        assert_eq!(wrn_power(2), ScPower::consensus(2));
+    }
+
+    #[test]
+    fn hierarchy_is_strict_and_matches_core_chain() {
+        let chain = wrn_hierarchy(8);
+        assert_eq!(chain.len(), 6);
+        for (idx, link) in chain.iter().enumerate() {
+            let k = idx + 2;
+            assert_eq!(link.stronger, wrn_power(k));
+            assert_eq!(link.weaker, wrn_power(k + 1));
+            assert!(strictly_stronger(link.stronger, link.weaker));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn wrn_power_rejects_k1() {
+        let _ = wrn_power(1);
+    }
+}

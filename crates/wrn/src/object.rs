@@ -1,0 +1,281 @@
+//! The Write-and-Read-Next objects `WRN_k` and `1sWRN_k`.
+//!
+//! `WRN_k` has a single operation `wrn(i, v)` with index `i ∈ {0..k-1}` and
+//! value `v ≠ ⊥`: atomically write `v` into cell `i` and return the current
+//! content of cell `(i+1) mod k` (or `⊥` if that cell was never written).
+//!
+//! `1sWRN_k` (one-shot) additionally makes re-using an index illegal: a
+//! second invocation with the same index hangs the system undetectably.
+//!
+//! For `k = 2`, `WRN_2` behaves like a swap-flavored object of consensus
+//! number 2; for `k ≥ 3` the consensus number drops to **1** while the
+//! object still exceeds registers — the deterministic life between
+//! registers and 2-consensus that the PODC 2016 paper left open.
+
+use subconsensus_sim::{ObjectError, ObjectSpec, Op, Outcome, Value};
+
+const WRN: &str = "wrn";
+const ONE_SHOT: &str = "one-shot-wrn";
+
+fn parse_wrn(object: &'static str, k: usize, op: &Op) -> Result<(usize, Value), ObjectError> {
+    if op.name != "wrn" {
+        return Err(ObjectError::UnknownOp {
+            object,
+            op: op.clone(),
+        });
+    }
+    if op.args.len() != 2 {
+        return Err(ObjectError::BadArity {
+            object,
+            op: op.clone(),
+            expected: 2,
+        });
+    }
+    let i = op.args[0]
+        .as_index()
+        .ok_or_else(|| ObjectError::TypeMismatch {
+            object,
+            detail: format!("index argument of `{op}` must be a non-negative integer"),
+        })?;
+    if i >= k {
+        return Err(ObjectError::IllegalOp {
+            object,
+            detail: format!("index {i} out of range 0..{k}"),
+        });
+    }
+    let v = op.args[1].clone();
+    if v.is_nil() {
+        return Err(ObjectError::IllegalOp {
+            object,
+            detail: "cannot write ⊥".into(),
+        });
+    }
+    Ok((i, v))
+}
+
+/// The multi-use `WRN_k` object.
+///
+/// # Examples
+///
+/// ```
+/// use subconsensus_wrn::Wrn;
+/// use subconsensus_sim::{ObjectSpec, Op, Value};
+///
+/// let w = Wrn::new(3);
+/// let s0 = w.initial_state();
+/// // wrn(0, a): cell 1 is still empty.
+/// let o = w.apply(&s0, &Op::binary("wrn", Value::Int(0), Value::Sym("a"))).unwrap().remove(0);
+/// assert_eq!(o.response, Some(Value::Nil));
+/// // wrn(2, c): reads cell 0 = a.
+/// let o = w.apply(&o.state, &Op::binary("wrn", Value::Int(2), Value::Sym("c"))).unwrap().remove(0);
+/// assert_eq!(o.response, Some(Value::Sym("a")));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Wrn {
+    k: usize,
+}
+
+impl Wrn {
+    /// Creates a `WRN_k` object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "WRN_k requires k ≥ 2");
+        Wrn { k }
+    }
+
+    /// Returns the arity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl ObjectSpec for Wrn {
+    fn type_name(&self) -> &'static str {
+        WRN
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::nil_tup(self.k)
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let (i, v) = parse_wrn(WRN, self.k, op)?;
+        let next = state
+            .with_index(i, v)
+            .ok_or_else(|| ObjectError::TypeMismatch {
+                object: WRN,
+                detail: format!("state {state} is not a {}-cell array", self.k),
+            })?;
+        let read = next
+            .index((i + 1) % self.k)
+            .cloned()
+            .expect("index in range");
+        Ok(vec![Outcome::ret(next, read)])
+    }
+}
+
+/// The one-shot `1sWRN_k` object: each index may be used at most once; a
+/// repeated index hangs the system undetectably.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OneShotWrn {
+    k: usize,
+}
+
+impl OneShotWrn {
+    /// Creates a `1sWRN_k` object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "1sWRN_k requires k ≥ 2");
+        OneShotWrn { k }
+    }
+
+    /// Returns the arity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl ObjectSpec for OneShotWrn {
+    fn type_name(&self) -> &'static str {
+        ONE_SHOT
+    }
+
+    /// State: `(cells, used)` — the cell array plus a used-flags array.
+    fn initial_state(&self) -> Value {
+        Value::tup([
+            Value::nil_tup(self.k),
+            Value::Tup(vec![Value::Bool(false); self.k]),
+        ])
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let (i, v) = parse_wrn(ONE_SHOT, self.k, op)?;
+        let corrupt = || ObjectError::TypeMismatch {
+            object: ONE_SHOT,
+            detail: format!("state {state} is not (cells, used)"),
+        };
+        let cells = state.index(0).cloned().ok_or_else(corrupt)?;
+        let used = state.index(1).cloned().ok_or_else(corrupt)?;
+        if used.index(i).and_then(Value::as_bool) == Some(true) {
+            // Illegal re-use: hang undetectably (state unchanged).
+            return Ok(vec![Outcome::hang(state.clone())]);
+        }
+        let cells = cells.with_index(i, v).ok_or_else(corrupt)?;
+        let used = used.with_index(i, Value::Bool(true)).ok_or_else(corrupt)?;
+        let read = cells.index((i + 1) % self.k).cloned().expect("in range");
+        Ok(vec![Outcome::ret(Value::tup([cells, used]), read)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subconsensus_sim::audit_determinism;
+
+    fn wrn_op(i: usize, v: i64) -> Op {
+        Op::binary("wrn", Value::from(i), Value::Int(v))
+    }
+
+    #[test]
+    fn ring_semantics() {
+        let w = Wrn::new(3);
+        let mut s = w.initial_state();
+        // Fill 0, 1, 2 in order; each reads its successor.
+        let expected = [Value::Nil, Value::Nil, Value::Int(10)];
+        for (i, exp) in expected.iter().enumerate() {
+            let o = w
+                .apply(&s, &wrn_op(i, 10 * (i as i64 + 1)))
+                .unwrap()
+                .remove(0);
+            assert_eq!(&o.response.unwrap(), exp, "index {i}");
+            s = o.state;
+        }
+        // Re-writing index 1 now reads cell 2.
+        let o = w.apply(&s, &wrn_op(1, 99)).unwrap().remove(0);
+        assert_eq!(o.response, Some(Value::Int(30)));
+    }
+
+    #[test]
+    fn last_writer_reads_first_value_in_a_full_round() {
+        // If all k indices are used in order i = k-1, ..., 1, 0 the last
+        // one (index 0) reads index 1's value.
+        let k = 4;
+        let w = Wrn::new(k);
+        let mut s = w.initial_state();
+        for i in (1..k).rev() {
+            s = w.apply(&s, &wrn_op(i, i as i64)).unwrap().remove(0).state;
+        }
+        let o = w.apply(&s, &wrn_op(0, 100)).unwrap().remove(0);
+        assert_eq!(o.response, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn misuse_rejected() {
+        let w = Wrn::new(3);
+        let s = w.initial_state();
+        assert!(w.apply(&s, &Op::new("read")).is_err());
+        assert!(w.apply(&s, &Op::unary("wrn", Value::Int(0))).is_err());
+        assert!(w.apply(&s, &wrn_op(3, 1)).is_err());
+        assert!(w
+            .apply(&s, &Op::binary("wrn", Value::Int(0), Value::Nil))
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn tiny_k_panics() {
+        let _ = Wrn::new(1);
+    }
+
+    #[test]
+    fn wrn_is_deterministic() {
+        let ops = [wrn_op(0, 1), wrn_op(1, 2), wrn_op(2, 3)];
+        assert_eq!(audit_determinism(&Wrn::new(3), &ops, 4).unwrap(), None);
+        assert_eq!(
+            audit_determinism(&OneShotWrn::new(3), &ops, 4).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn one_shot_reuse_hangs() {
+        let w = OneShotWrn::new(3);
+        let s0 = w.initial_state();
+        let o1 = w.apply(&s0, &wrn_op(1, 5)).unwrap().remove(0);
+        assert!(!o1.is_hang());
+        let o2 = w.apply(&o1.state, &wrn_op(1, 6)).unwrap().remove(0);
+        assert!(o2.is_hang(), "re-using an index hangs");
+        assert_eq!(o2.state, o1.state, "and leaves the object unchanged");
+        // Other indices still work.
+        let o3 = w.apply(&o1.state, &wrn_op(0, 7)).unwrap().remove(0);
+        assert_eq!(o3.response, Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn one_shot_matches_multi_use_on_fresh_indices() {
+        let k = 3;
+        let multi = Wrn::new(k);
+        let oneshot = OneShotWrn::new(k);
+        let mut sm = multi.initial_state();
+        let mut so = oneshot.initial_state();
+        for (i, v) in [(2usize, 4i64), (0, 5), (1, 6)] {
+            let om = multi.apply(&sm, &wrn_op(i, v)).unwrap().remove(0);
+            let oo = oneshot.apply(&so, &wrn_op(i, v)).unwrap().remove(0);
+            assert_eq!(om.response, oo.response, "index {i}");
+            sm = om.state;
+            so = oo.state;
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Wrn::new(5).k(), 5);
+        assert_eq!(OneShotWrn::new(4).k(), 4);
+    }
+}

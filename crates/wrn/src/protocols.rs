@@ -1,0 +1,496 @@
+//! The follow-up paper's algorithms over `WRN_k` objects.
+//!
+//! * [`WrnPropose`] — Algorithm 2: `(k-1)`-set consensus for `k` processes
+//!   with ids `{0..k-1}` from a single `WRN_k`.
+//! * [`WrnPartitionPropose`] — Algorithm 6: `m`-set consensus for `n`
+//!   processes from `⌈n/k⌉` objects (`m/n ≥ (k-1)/k`).
+//! * [`WrnManyProcs`] — Algorithm 3: `(k-1)`-set consensus for `k`
+//!   *participants out of a huge namespace*: rename (splitter grid), then
+//!   sweep a table of `WRN_k` objects indexed by all functions from the
+//!   bounded namespace onto `{0..k-1}`.
+//! * [`RelaxedWrn`] — Algorithm 4: the flag-principle relaxed `WRN_k` from
+//!   a `1sWRN_k` and counters.
+
+use subconsensus_protocols::GridRenaming;
+use subconsensus_sim::{
+    Action, ImplStep, Implementation, ObjId, Op, ProcCtx, Protocol, ProtocolError, Value,
+};
+
+/// Algorithm 2: process `i` (its pid) performs `wrn(i, input)` on one
+/// `WRN_k` object and decides the response, falling back to its own input
+/// on `⊥`.
+///
+/// For `k` processes with distinct inputs this solves `(k-1)`-set
+/// consensus: the first invoker decides its own value, the last invoker
+/// decides its successor's, and nobody decides the last invoker's value.
+#[derive(Clone, Copy, Debug)]
+pub struct WrnPropose {
+    obj: ObjId,
+}
+
+impl WrnPropose {
+    /// Creates the protocol over the `WRN_k` (or `1sWRN_k`) object `obj`.
+    pub fn new(obj: ObjId) -> Self {
+        WrnPropose { obj }
+    }
+}
+
+impl Protocol for WrnPropose {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        Value::Int(0)
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        match local.as_int() {
+            Some(0) => Ok(Action::invoke(
+                Value::Int(1),
+                self.obj,
+                Op::binary("wrn", Value::from(ctx.pid.index()), ctx.input.clone()),
+            )),
+            Some(1) => {
+                let t = resp.ok_or_else(|| ProtocolError::new("missing wrn response"))?;
+                Ok(Action::Decide(if t.is_nil() {
+                    ctx.input.clone()
+                } else {
+                    t.clone()
+                }))
+            }
+            _ => Err(ProtocolError::new("wrn-propose: bad pc")),
+        }
+    }
+}
+
+/// Algorithm 6: process `i` performs `wrn(i mod k, input)` on object
+/// `base + ⌊i/k⌋`; decide the response or the input on `⊥`.
+///
+/// `n` processes with `⌈n/k⌉` `WRN_k` objects decide at most
+/// `⌈n/k⌉ · (k-1) + min(n mod k, …)` values — e.g. `WRN_3` objects solve
+/// `(12, 8)`-set consensus.
+#[derive(Clone, Copy, Debug)]
+pub struct WrnPartitionPropose {
+    base: ObjId,
+    k: usize,
+}
+
+impl WrnPartitionPropose {
+    /// Creates the protocol over a contiguous array of `WRN_k` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(base: ObjId, k: usize) -> Self {
+        assert!(k >= 2, "WRN_k requires k ≥ 2");
+        WrnPartitionPropose { base, k }
+    }
+}
+
+impl Protocol for WrnPartitionPropose {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        Value::Int(0)
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let me = ctx.pid.index();
+        match local.as_int() {
+            Some(0) => Ok(Action::invoke(
+                Value::Int(1),
+                self.base.offset(me / self.k),
+                Op::binary("wrn", Value::from(me % self.k), ctx.input.clone()),
+            )),
+            Some(1) => {
+                let t = resp.ok_or_else(|| ProtocolError::new("missing wrn response"))?;
+                Ok(Action::Decide(if t.is_nil() {
+                    ctx.input.clone()
+                } else {
+                    t.clone()
+                }))
+            }
+            _ => Err(ProtocolError::new("wrn-partition: bad pc")),
+        }
+    }
+}
+
+/// Algorithm 3: `(k-1)`-set consensus for at most `k` participants whose
+/// identifiers come from an arbitrary (huge) namespace.
+///
+/// Phase 1 renames the participant into the bounded namespace
+/// `{0 .. M-1}`, `M = k(k+1)/2`, with the register-only splitter grid.
+/// Phase 2 sweeps `W[ℓ]` for `ℓ = 0 .. k^M - 1`, where iteration `ℓ`
+/// interprets `ℓ` as the function `f_ℓ : {0..M-1} → {0..k-1}` (base-`k`
+/// digits) and performs `W[ℓ].wrn(f_ℓ(name), input)`. The first non-`⊥`
+/// response is decided; a participant that sees only `⊥` decides its own
+/// input. Correctness hinges on the iteration `ℓ*` whose function maps the
+/// (at most `k`) acquired names *onto* `{0..k-1}` — the enumeration
+/// guarantees it exists.
+#[derive(Clone, Copy, Debug)]
+pub struct WrnManyProcs {
+    renaming: GridRenaming,
+    wrns: ObjId,
+    k: usize,
+}
+
+impl WrnManyProcs {
+    /// Number of grid-renaming names (and function-domain size) for `k`.
+    pub fn namespace(k: usize) -> usize {
+        k * (k + 1) / 2
+    }
+
+    /// Number of `WRN_k` objects required: `k^namespace(k)`.
+    pub fn wrn_objects_needed(k: usize) -> usize {
+        k.pow(Self::namespace(k) as u32)
+    }
+
+    /// Creates the protocol: `regs` is the splitter-grid register array
+    /// (length [`GridRenaming::registers_needed`]`(k)`), `wrns` the first of
+    /// [`Self::wrn_objects_needed`]`(k)` contiguous `WRN_k` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(regs: ObjId, wrns: ObjId, k: usize) -> Self {
+        assert!(k >= 2, "WRN_k requires k ≥ 2");
+        WrnManyProcs {
+            renaming: GridRenaming::new(regs, k),
+            wrns,
+            k,
+        }
+    }
+
+    /// `f_ℓ(name)`: digit `name` of `ℓ` in base `k`.
+    fn f(&self, ell: usize, name: usize) -> usize {
+        (ell / self.k.pow(name as u32)) % self.k
+    }
+}
+
+// Local state is a 2-phase tagged value:
+//   ("rename", inner_local)       — delegating to the splitter grid
+//   ("sweep", name, ell)          — iterating the WRN table
+impl Protocol for WrnManyProcs {
+    fn start(&self, ctx: &ProcCtx) -> Value {
+        Value::tup([Value::Sym("rename"), self.renaming.start(ctx)])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let tag = local
+            .index(0)
+            .and_then(Value::as_sym)
+            .ok_or_else(|| ProtocolError::new("wrn-many: bad local state"))?;
+        match tag {
+            "rename" => {
+                let inner = local
+                    .index(1)
+                    .ok_or_else(|| ProtocolError::new("wrn-many: missing inner state"))?;
+                match self.renaming.step(ctx, inner, resp)? {
+                    Action::Invoke { local: il, obj, op } => Ok(Action::Invoke {
+                        local: Value::tup([Value::Sym("rename"), il]),
+                        obj,
+                        op,
+                    }),
+                    Action::Decide(name_v) => {
+                        let name = name_v
+                            .as_index()
+                            .ok_or_else(|| ProtocolError::new("wrn-many: bad name"))?;
+                        // Enter the sweep at iteration 0.
+                        self.sweep_invoke(ctx, name, 0)
+                    }
+                }
+            }
+            "sweep" => {
+                let name = local
+                    .index(1)
+                    .and_then(Value::as_index)
+                    .ok_or_else(|| ProtocolError::new("wrn-many: bad name"))?;
+                let ell = local
+                    .index(2)
+                    .and_then(Value::as_index)
+                    .ok_or_else(|| ProtocolError::new("wrn-many: bad iteration"))?;
+                let t = resp.ok_or_else(|| ProtocolError::new("missing wrn response"))?;
+                if !t.is_nil() {
+                    return Ok(Action::Decide(t.clone()));
+                }
+                let next = ell + 1;
+                if next >= Self::wrn_objects_needed(self.k) {
+                    return Ok(Action::Decide(ctx.input.clone()));
+                }
+                self.sweep_invoke(ctx, name, next)
+            }
+            _ => Err(ProtocolError::new("wrn-many: unknown phase")),
+        }
+    }
+}
+
+impl WrnManyProcs {
+    fn sweep_invoke(
+        &self,
+        ctx: &ProcCtx,
+        name: usize,
+        ell: usize,
+    ) -> Result<Action, ProtocolError> {
+        let i = self.f(ell, name);
+        Ok(Action::Invoke {
+            local: Value::tup([Value::Sym("sweep"), Value::from(name), Value::from(ell)]),
+            obj: self.wrns.offset(ell),
+            op: Op::binary("wrn", Value::from(i), ctx.input.clone()),
+        })
+    }
+}
+
+/// Algorithm 3 over **one-shot** objects: the sweep of [`WrnManyProcs`]
+/// with every `W[ℓ].wrn` replaced by the relaxed flag-principle access of
+/// Algorithm 4 (inc counter, read, forward to the `1sWRN_k` only on
+/// reading exactly 1).
+///
+/// This is the paper lineage's final form: it shows the construction needs
+/// only *one-shot* WRN objects. Racing participants mapped to the same
+/// index by `f_ℓ` may both be diverted to `⊥` — harmless, because the
+/// decisive iteration `ℓ*` maps all acquired names injectively onto
+/// `{0..k-1}` and there every underlying `1sWRN` access goes through
+/// (Claim 21).
+///
+/// Object layout (per iteration `ℓ`): counter array `counters + ℓ`
+/// ([`CounterArray`](subconsensus_objects::CounterArray)`(k)`) and one-shot
+/// object `wrns + ℓ` ([`OneShotWrn`](crate::OneShotWrn)).
+#[derive(Clone, Copy, Debug)]
+pub struct WrnManyProcsOneShot {
+    renaming: GridRenaming,
+    counters: ObjId,
+    wrns: ObjId,
+    k: usize,
+}
+
+impl WrnManyProcsOneShot {
+    /// Creates the protocol; `regs` as in [`WrnManyProcs::new`], `counters`
+    /// the first of [`WrnManyProcs::wrn_objects_needed`]`(k)` counter
+    /// arrays, `wrns` the first of as many `1sWRN_k` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(regs: ObjId, counters: ObjId, wrns: ObjId, k: usize) -> Self {
+        assert!(k >= 2, "WRN_k requires k ≥ 2");
+        WrnManyProcsOneShot {
+            renaming: GridRenaming::new(regs, k),
+            counters,
+            wrns,
+            k,
+        }
+    }
+
+    fn f(&self, ell: usize, name: usize) -> usize {
+        (ell / self.k.pow(name as u32)) % self.k
+    }
+
+    /// Enters iteration `ell`: increment the flag counter for our index.
+    fn enter(&self, name: usize, ell: usize) -> Action {
+        let i = self.f(ell, name);
+        Action::Invoke {
+            local: Value::tup([
+                Value::Sym("sweep"),
+                Value::from(name),
+                Value::from(ell),
+                Value::Int(0), // sub-pc: inc issued
+            ]),
+            obj: self.counters.offset(ell),
+            op: Op::unary("inc", Value::from(i)),
+        }
+    }
+
+    fn advance(&self, ctx: &ProcCtx, name: usize, ell: usize) -> Result<Action, ProtocolError> {
+        let next = ell + 1;
+        if next >= WrnManyProcs::wrn_objects_needed(self.k) {
+            return Ok(Action::Decide(ctx.input.clone()));
+        }
+        Ok(self.enter(name, next))
+    }
+}
+
+impl Protocol for WrnManyProcsOneShot {
+    fn start(&self, ctx: &ProcCtx) -> Value {
+        Value::tup([Value::Sym("rename"), self.renaming.start(ctx)])
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        let tag = local
+            .index(0)
+            .and_then(Value::as_sym)
+            .ok_or_else(|| ProtocolError::new("wrn-many-1s: bad local state"))?;
+        match tag {
+            "rename" => {
+                let inner = local
+                    .index(1)
+                    .ok_or_else(|| ProtocolError::new("wrn-many-1s: missing inner state"))?;
+                match self.renaming.step(ctx, inner, resp)? {
+                    Action::Invoke { local: il, obj, op } => Ok(Action::Invoke {
+                        local: Value::tup([Value::Sym("rename"), il]),
+                        obj,
+                        op,
+                    }),
+                    Action::Decide(name_v) => {
+                        let name = name_v
+                            .as_index()
+                            .ok_or_else(|| ProtocolError::new("wrn-many-1s: bad name"))?;
+                        Ok(self.enter(name, 0))
+                    }
+                }
+            }
+            "sweep" => {
+                let name = local
+                    .index(1)
+                    .and_then(Value::as_index)
+                    .ok_or_else(|| ProtocolError::new("wrn-many-1s: bad name"))?;
+                let ell = local
+                    .index(2)
+                    .and_then(Value::as_index)
+                    .ok_or_else(|| ProtocolError::new("wrn-many-1s: bad iteration"))?;
+                let sub = local
+                    .index(3)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| ProtocolError::new("wrn-many-1s: bad sub-pc"))?;
+                let i = self.f(ell, name);
+                let at = |sub: i64| {
+                    Value::tup([
+                        Value::Sym("sweep"),
+                        Value::from(name),
+                        Value::from(ell),
+                        Value::Int(sub),
+                    ])
+                };
+                match sub {
+                    // inc acked: read the counter.
+                    0 => Ok(Action::Invoke {
+                        local: at(1),
+                        obj: self.counters.offset(ell),
+                        op: Op::unary("read", Value::from(i)),
+                    }),
+                    // counter read: gate.
+                    1 => {
+                        let c = resp
+                            .and_then(Value::as_int)
+                            .ok_or_else(|| ProtocolError::new("wrn-many-1s: bad counter"))?;
+                        if c == 1 {
+                            Ok(Action::Invoke {
+                                local: at(2),
+                                obj: self.wrns.offset(ell),
+                                op: Op::binary("wrn", Value::from(i), ctx.input.clone()),
+                            })
+                        } else {
+                            // Relaxed: give up on this iteration (⊥).
+                            self.advance(ctx, name, ell)
+                        }
+                    }
+                    // wrn response received.
+                    2 => {
+                        let t = resp
+                            .ok_or_else(|| ProtocolError::new("wrn-many-1s: missing wrn resp"))?;
+                        if t.is_nil() {
+                            self.advance(ctx, name, ell)
+                        } else {
+                            Ok(Action::Decide(t.clone()))
+                        }
+                    }
+                    _ => Err(ProtocolError::new("wrn-many-1s: bad sub-pc")),
+                }
+            }
+            _ => Err(ProtocolError::new("wrn-many-1s: unknown phase")),
+        }
+    }
+}
+
+/// Algorithm 4: the *relaxed* `WRN_k` implemented from one `1sWRN_k` and a
+/// per-index counter (the flag principle).
+///
+/// High-level operation `wrn(i, v)`: increment counter `i`, read it; on
+/// exactly 1, forward to the one-shot object (provably safe — Claim 19);
+/// otherwise give up and return `⊥`. Racing invocations on the same index
+/// may all return `⊥`, the documented relaxation; when all indices are used
+/// by distinct processes the relaxed object behaves exactly like `WRN_k`
+/// (Claim 21).
+#[derive(Clone, Copy, Debug)]
+pub struct RelaxedWrn {
+    one_shot: ObjId,
+    counters: ObjId,
+}
+
+impl RelaxedWrn {
+    /// Creates the implementation over a `1sWRN_k` (`one_shot`) and a
+    /// [`CounterArray`](subconsensus_objects::CounterArray)`(k)`
+    /// (`counters`).
+    pub fn new(one_shot: ObjId, counters: ObjId) -> Self {
+        RelaxedWrn { one_shot, counters }
+    }
+}
+
+// Local: pc 0 = inc, 1 = read, 2 = gate, 3 = forward response.
+impl Implementation for RelaxedWrn {
+    fn start_op(&self, _ctx: &ProcCtx, _op: &Op, _memory: &Value) -> Value {
+        Value::Int(0)
+    }
+
+    fn step(
+        &self,
+        _ctx: &ProcCtx,
+        op: &Op,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<ImplStep, ProtocolError> {
+        if op.name != "wrn" {
+            return Err(ProtocolError::new(format!(
+                "relaxed-wrn: unknown op `{}`",
+                op.name
+            )));
+        }
+        let i = op
+            .arg(0)
+            .cloned()
+            .ok_or_else(|| ProtocolError::new("relaxed-wrn: missing index"))?;
+        match local.as_int() {
+            Some(0) => Ok(ImplStep::invoke(
+                Value::Int(1),
+                self.counters,
+                Op::unary("inc", i),
+            )),
+            Some(1) => Ok(ImplStep::invoke(
+                Value::Int(2),
+                self.counters,
+                Op::unary("read", i),
+            )),
+            Some(2) => {
+                let c = resp
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| ProtocolError::new("relaxed-wrn: bad counter"))?;
+                if c == 1 {
+                    Ok(ImplStep::invoke(Value::Int(3), self.one_shot, op.clone()))
+                } else {
+                    Ok(ImplStep::ret(Value::Nil, Value::Nil))
+                }
+            }
+            Some(3) => {
+                let r = resp
+                    .cloned()
+                    .ok_or_else(|| ProtocolError::new("relaxed-wrn: missing response"))?;
+                Ok(ImplStep::ret(r, Value::Nil))
+            }
+            _ => Err(ProtocolError::new("relaxed-wrn: bad pc")),
+        }
+    }
+}

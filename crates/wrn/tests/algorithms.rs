@@ -1,0 +1,441 @@
+//! End-to-end validation of the WRN algorithms (the resolution of the
+//! paper's open question), mirroring the claims of the follow-up work:
+//!
+//! * Algorithm 2 solves `(k-1)`-set consensus for `k` processes — tightly;
+//! * Algorithm 6 solves `m`-set consensus for `n` processes;
+//! * Algorithm 3 handles `k` participants out of a huge namespace;
+//! * Algorithm 4 (relaxed WRN) admits solo-index uses exactly (Claims
+//!   19–21);
+//! * Algorithm 5 is a linearizable `1sWRN_k` from strong set election;
+//! * `WRN_k` (`k ≥ 3`) cannot solve 2-process consensus (Section 6), shown
+//!   for the natural protocol by exhaustive model checking.
+
+use std::sync::Arc;
+
+use subconsensus_modelcheck::{
+    check_wait_freedom, max_distinct_decisions, ExploreOptions, StateGraph, WaitFreedom,
+};
+use subconsensus_objects::{CounterArray, Register, RegisterArray, Snapshot};
+use subconsensus_protocols::GridRenaming;
+use subconsensus_sim::{
+    check_linearizable, run, run_concurrent, BaseObjects, FirstOutcome, Implementation, ObjectSpec,
+    Op, Protocol, RandomScheduler, RoundRobin, RunOptions, SystemBuilder, SystemSpec, Value,
+};
+use subconsensus_tasks::{check_exhaustive, check_random, SetConsensusTask};
+use subconsensus_wrn::{
+    OneShotWrn, RelaxedWrn, StrongSetElection, Wrn, WrnFromSse, WrnManyProcs, WrnPartitionPropose,
+    WrnPropose,
+};
+
+fn algorithm2_system(k: usize, one_shot: bool) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = if one_shot {
+        b.add_boxed_object(Box::new(OneShotWrn::new(k)))
+    } else {
+        b.add_boxed_object(Box::new(Wrn::new(k)))
+    };
+    let p: Arc<dyn Protocol> = Arc::new(WrnPropose::new(obj));
+    b.add_processes(p, (0..k).map(|i| Value::Int(100 + i as i64)));
+    b.build()
+}
+
+#[test]
+fn algorithm2_solves_k_minus_1_set_consensus_exhaustively() {
+    for k in [3usize, 4] {
+        for one_shot in [false, true] {
+            let spec = algorithm2_system(k, one_shot);
+            let report = check_exhaustive(
+                &spec,
+                &SetConsensusTask::new(k - 1),
+                &ExploreOptions::default(),
+            )
+            .unwrap();
+            assert!(report.solved(), "k={k} one_shot={one_shot}: {report:?}");
+        }
+    }
+}
+
+#[test]
+fn algorithm2_bound_is_tight_and_k_minus_2_fails() {
+    let k = 4;
+    let spec = algorithm2_system(k, false);
+    let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    assert_eq!(max_distinct_decisions(&graph), k - 1, "tight");
+    let report = check_exhaustive(
+        &spec,
+        &SetConsensusTask::new(k - 2),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    assert!(!report.solved(), "(k-2)-agreement must fail somewhere");
+}
+
+#[test]
+fn algorithm2_claims_first_and_last_invoker() {
+    // Claim 4: the first process to invoke decides its own value.
+    // Claim 5: the last process decides its successor's value.
+    let k = 3;
+    let spec = algorithm2_system(k, false);
+    // Sequential order P2, P0, P1: P2 first (decides own), P1 last
+    // (successor of 1 is 2 → decides P2's value).
+    let order = [2usize, 2, 0, 0, 1, 1].map(subconsensus_sim::Pid::new);
+    let mut sched = subconsensus_sim::ReplayScheduler::new(order.to_vec());
+    let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+    let d = out.decisions();
+    assert_eq!(d[2], Some(Value::Int(102)), "first invoker keeps its value");
+    assert_eq!(
+        d[1],
+        Some(Value::Int(102)),
+        "last invoker adopts its successor"
+    );
+    assert_eq!(
+        d[0],
+        Some(Value::Int(100)),
+        "P0 ran before P1, so it saw ⊥ and kept its own"
+    );
+    // Corollary 8: P1 (the last invoker) proposed 101, and indeed nobody
+    // decided 101 — at most k-1 = 2 distinct values.
+    assert!(!d.contains(&Some(Value::Int(101))));
+}
+
+#[test]
+fn algorithm6_set_consensus_ratio() {
+    // WRN₃ objects: 6 processes → at most 4 distinct (2 objects × 2 values).
+    let k = 3;
+    let n = 6usize;
+    let mut b = SystemBuilder::new();
+    let base = b.add_object_array(n.div_ceil(k), |_| {
+        Box::new(Wrn::new(k)) as Box<dyn ObjectSpec>
+    });
+    let p: Arc<dyn Protocol> = Arc::new(WrnPartitionPropose::new(base, k));
+    b.add_processes(p, (0..n).map(|i| Value::Int(i as i64 + 1)));
+    let spec = b.build();
+    let report = check_random(&spec, &SetConsensusTask::new(4), 0..400, 100_000).unwrap();
+    assert!(report.solved(), "{report:?}");
+
+    // The paper's (12, 8) instance, statistically.
+    let n = 12usize;
+    let mut b = SystemBuilder::new();
+    let base = b.add_object_array(n.div_ceil(k), |_| {
+        Box::new(Wrn::new(k)) as Box<dyn ObjectSpec>
+    });
+    let p: Arc<dyn Protocol> = Arc::new(WrnPartitionPropose::new(base, k));
+    b.add_processes(p, (0..n).map(|i| Value::Int(i as i64 + 1)));
+    let spec = b.build();
+    let report = check_random(&spec, &SetConsensusTask::new(8), 0..200, 100_000).unwrap();
+    assert!(report.solved(), "{report:?}");
+}
+
+fn algorithm3_system(k: usize, names: &[i64]) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+    let wrns = b.add_object_array(WrnManyProcs::wrn_objects_needed(k), |_| {
+        Box::new(Wrn::new(k)) as Box<dyn ObjectSpec>
+    });
+    let p: Arc<dyn Protocol> = Arc::new(WrnManyProcs::new(regs, wrns, k));
+    b.add_processes(p, names.iter().map(|&v| Value::Int(v)));
+    b.build()
+}
+
+#[test]
+fn algorithm3_two_participants_out_of_many_exhaustive() {
+    // k = 2: (2-1)-set consensus = consensus for 2 participants with huge
+    // names, from WRN₂ objects (consensus number 2 — consistent).
+    let spec = algorithm3_system(2, &[123_456, 987_654]);
+    let report = check_exhaustive(
+        &spec,
+        &SetConsensusTask::consensus(),
+        &ExploreOptions::with_max_configs(2_000_000),
+    )
+    .unwrap();
+    assert!(report.solved(), "{report:?}");
+}
+
+#[test]
+fn algorithm3_three_participants_random() {
+    // k = 3: 729 WRN₃ objects; (3-1)-set consensus for 3 participants out
+    // of a huge namespace.
+    let spec = algorithm3_system(3, &[1_000_003, 2_000_017, 3_000_029]);
+    let report = check_random(&spec, &SetConsensusTask::new(2), 0..150, 500_000).unwrap();
+    assert!(report.solved(), "{report:?}");
+}
+
+#[test]
+fn algorithm4_relaxed_wrn_claims() {
+    let k = 3;
+    // Distinct indices: behaves exactly like WRN (Claim 21).
+    let mk = || {
+        let mut bank = BaseObjects::new();
+        let os = bank.add(OneShotWrn::new(k));
+        let counters = bank.add(CounterArray::new(k));
+        let im: Arc<dyn Implementation> = Arc::new(RelaxedWrn::new(os, counters));
+        (bank, im)
+    };
+    let (bank, im) = mk();
+    let workload: Vec<Vec<Op>> = (0..k)
+        .map(|i| vec![Op::binary("wrn", Value::from(i), Value::Int(10 + i as i64))])
+        .collect();
+    let out = run_concurrent(
+        &bank,
+        &im,
+        workload,
+        &mut RoundRobin::new(),
+        &mut FirstOutcome,
+        100_000,
+    )
+    .unwrap();
+    assert!(out.reached_final);
+    // Sequential round-robin: every process sees one full step each in
+    // turn; each 1sWRN is invoked (Claim 21): nobody gets a spurious ⊥
+    // before its own write — P0 reads cell 1 (⊥ at that time or not).
+    assert_eq!(out.results.iter().map(Vec::len).sum::<usize>(), k);
+
+    // Racing the same index: at most one forwards; others get ⊥ (Claims
+    // 19–20: the one-shot object is never used twice on an index).
+    for seed in 0..100 {
+        let (bank, im) = mk();
+        let workload = vec![
+            vec![Op::binary("wrn", Value::from(1usize), Value::Int(7))],
+            vec![Op::binary("wrn", Value::from(1usize), Value::Int(8))],
+        ];
+        let mut sched = RandomScheduler::seeded(seed);
+        let out =
+            run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 100_000).unwrap();
+        assert!(
+            out.reached_final,
+            "legality: the 1sWRN never hangs (seed {seed})"
+        );
+        let non_nil = out.results.iter().flatten().filter(|r| !r.is_nil()).count();
+        assert!(
+            non_nil <= 1,
+            "at most one racer passes the gate (seed {seed})"
+        );
+    }
+}
+
+fn algorithm5_fixture(k: usize) -> (BaseObjects, Arc<dyn Implementation>) {
+    let mut bank = BaseObjects::new();
+    let r = bank.add(Snapshot::new(k));
+    let o = bank.add(Snapshot::new(k));
+    let doorway = bank.add(Register::with_initial(Value::Sym("opened")));
+    let sse = bank.add(StrongSetElection::new(k));
+    let im: Arc<dyn Implementation> = Arc::new(WrnFromSse::new(r, o, doorway, sse, k));
+    (bank, im)
+}
+
+#[test]
+fn algorithm5_linearizes_against_one_shot_wrn() {
+    for k in [3usize, 4] {
+        let reference = OneShotWrn::new(k);
+        for seed in 0..200 {
+            let (bank, im) = algorithm5_fixture(k);
+            let workload: Vec<Vec<Op>> = (0..k)
+                .map(|i| vec![Op::binary("wrn", Value::from(i), Value::Int(50 + i as i64))])
+                .collect();
+            let mut sched = RandomScheduler::seeded(seed);
+            let mut chooser = RandomScheduler::seeded(seed + 31);
+            let out =
+                run_concurrent(&bank, &im, workload, &mut sched, &mut chooser, 500_000).unwrap();
+            assert!(out.reached_final, "wait-freedom (k={k} seed {seed})");
+            let w = check_linearizable(&out.history, &reference).unwrap();
+            assert!(
+                w.is_some(),
+                "k={k} seed {seed}: history not linearizable against 1sWRN:\n{}",
+                out.history
+            );
+        }
+    }
+}
+
+#[test]
+fn algorithm5_claim23_someone_returns_bot() {
+    // Claim 23: in every complete execution some invocation returns ⊥.
+    let k = 3;
+    for seed in 0..100 {
+        let (bank, im) = algorithm5_fixture(k);
+        let workload: Vec<Vec<Op>> = (0..k)
+            .map(|i| vec![Op::binary("wrn", Value::from(i), Value::Int(70 + i as i64))])
+            .collect();
+        let mut sched = RandomScheduler::seeded(seed);
+        let mut chooser = RandomScheduler::seeded(seed * 3 + 1);
+        let out = run_concurrent(&bank, &im, workload, &mut sched, &mut chooser, 500_000).unwrap();
+        assert!(
+            out.results.iter().flatten().any(Value::is_nil),
+            "seed {seed}: some invocation must return ⊥"
+        );
+    }
+}
+
+#[test]
+fn wrn3_cannot_solve_2_process_consensus() {
+    // Section 6 (Lemma 38) for the natural one-step protocol, exhaustively:
+    // with k ≥ 3, both index assignments (same index, adjacent indices and
+    // non-adjacent ones) admit disagreeing or invalid schedules.
+    let k = 3;
+    for (i0, i1) in [(0usize, 1usize), (0, 2), (1, 1)] {
+        #[derive(Debug)]
+        struct Fixed {
+            obj: subconsensus_sim::ObjId,
+            index: usize,
+        }
+        impl Protocol for Fixed {
+            fn start(&self, _ctx: &subconsensus_sim::ProcCtx) -> Value {
+                Value::Int(0)
+            }
+            fn step(
+                &self,
+                ctx: &subconsensus_sim::ProcCtx,
+                local: &Value,
+                resp: Option<&Value>,
+            ) -> Result<subconsensus_sim::Action, subconsensus_sim::ProtocolError> {
+                match local.as_int() {
+                    Some(0) => Ok(subconsensus_sim::Action::invoke(
+                        Value::Int(1),
+                        self.obj,
+                        Op::binary("wrn", Value::from(self.index), ctx.input.clone()),
+                    )),
+                    _ => {
+                        let t = resp.unwrap();
+                        Ok(subconsensus_sim::Action::Decide(if t.is_nil() {
+                            ctx.input.clone()
+                        } else {
+                            t.clone()
+                        }))
+                    }
+                }
+            }
+        }
+        let mut b = SystemBuilder::new();
+        let obj = b.add_object(Wrn::new(k));
+        b.add_process(Arc::new(Fixed { obj, index: i0 }), Value::Int(1));
+        b.add_process(Arc::new(Fixed { obj, index: i1 }), Value::Int(2));
+        let spec = b.build();
+        let report = check_exhaustive(
+            &spec,
+            &SetConsensusTask::consensus(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            !report.solved(),
+            "indices ({i0},{i1}): one WRN₃ step must not give 2-consensus"
+        );
+    }
+}
+
+#[test]
+fn wrn2_admits_a_consensus_protocol_but_wrn3_does_not() {
+    // The sharpest boundary of the extension, machine-checked over the
+    // whole one-step protocol class: WRN₂ (a swap flavor, consensus number
+    // 2) admits a binary-consensus protocol; WRN₃ admits none.
+    use subconsensus_core::{search_binary_consensus, wrn_class};
+    let two = search_binary_consensus(|| Box::new(Wrn::new(2)), &wrn_class(2, 1)).unwrap();
+    assert!(two.witness.is_some(), "WRN₂ has consensus number 2");
+    let three = search_binary_consensus(|| Box::new(Wrn::new(3)), &wrn_class(3, 1)).unwrap();
+    assert!(three.witness.is_none(), "WRN₃ is sub-consensus");
+}
+
+#[test]
+fn sse_object_properties_exhaustive() {
+    // Drive the SSE object with 3 distinct ids over all schedules and
+    // nondeterminism: at most k-1 = 2 leaders, validity, self-election.
+    let k = 3;
+    #[derive(Debug)]
+    struct Invoke {
+        obj: subconsensus_sim::ObjId,
+    }
+    impl Protocol for Invoke {
+        fn start(&self, _ctx: &subconsensus_sim::ProcCtx) -> Value {
+            Value::Int(0)
+        }
+        fn step(
+            &self,
+            ctx: &subconsensus_sim::ProcCtx,
+            local: &Value,
+            resp: Option<&Value>,
+        ) -> Result<subconsensus_sim::Action, subconsensus_sim::ProtocolError> {
+            match local.as_int() {
+                Some(0) => Ok(subconsensus_sim::Action::invoke(
+                    Value::Int(1),
+                    self.obj,
+                    Op::unary("invoke", Value::from(ctx.pid.index())),
+                )),
+                _ => Ok(subconsensus_sim::Action::Decide(resp.unwrap().clone())),
+            }
+        }
+    }
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(StrongSetElection::new(k));
+    let p: Arc<dyn Protocol> = Arc::new(Invoke { obj });
+    b.add_processes(p, (0..k).map(Value::from));
+    let spec = b.build();
+    let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    assert_eq!(check_wait_freedom(&graph), WaitFreedom::WaitFree);
+    for &t in graph.terminals() {
+        let cfg = graph.config(t);
+        let decisions: Vec<usize> = cfg
+            .decisions()
+            .into_iter()
+            .map(|d| d.unwrap().as_index().unwrap())
+            .collect();
+        let distinct: std::collections::BTreeSet<usize> = decisions.iter().copied().collect();
+        assert!(distinct.len() <= k - 1, "k-1 agreement");
+        for (i, &d) in decisions.iter().enumerate() {
+            assert!(d < k, "validity");
+            assert_eq!(decisions[d], d, "self-election: P{i} elected {d}");
+        }
+    }
+}
+
+#[test]
+fn algorithm3_one_shot_variant_two_participants_exhaustive() {
+    // The paper lineage's final form: Algorithm 3 over 1sWRN₂ objects with
+    // relaxed flag-gated access — exhaustive for k = 2.
+    use subconsensus_wrn::WrnManyProcsOneShot;
+    let k = 2;
+    let objs = WrnManyProcs::wrn_objects_needed(k);
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+    let counters = b.add_object_array(objs, |_| {
+        Box::new(CounterArray::new(k)) as Box<dyn ObjectSpec>
+    });
+    let wrns = b.add_object_array(objs, |_| {
+        Box::new(OneShotWrn::new(k)) as Box<dyn ObjectSpec>
+    });
+    let p: Arc<dyn Protocol> = Arc::new(WrnManyProcsOneShot::new(regs, counters, wrns, k));
+    b.add_processes(p, [Value::Int(111_111), Value::Int(222_222)]);
+    let report = check_exhaustive(
+        &b.build(),
+        &SetConsensusTask::consensus(),
+        &ExploreOptions::with_max_configs(5_000_000),
+    )
+    .unwrap();
+    assert!(report.solved(), "{report:?}");
+}
+
+#[test]
+fn algorithm3_one_shot_variant_three_participants_random() {
+    use subconsensus_wrn::WrnManyProcsOneShot;
+    let k = 3;
+    let objs = WrnManyProcs::wrn_objects_needed(k);
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+    let counters = b.add_object_array(objs, |_| {
+        Box::new(CounterArray::new(k)) as Box<dyn ObjectSpec>
+    });
+    let wrns = b.add_object_array(objs, |_| {
+        Box::new(OneShotWrn::new(k)) as Box<dyn ObjectSpec>
+    });
+    let p: Arc<dyn Protocol> = Arc::new(WrnManyProcsOneShot::new(regs, counters, wrns, k));
+    b.add_processes(
+        p,
+        [
+            Value::Int(5_000_011),
+            Value::Int(6_000_083),
+            Value::Int(7_000_177),
+        ],
+    );
+    let spec = b.build();
+    let report = check_random(&spec, &SetConsensusTask::new(2), 0..100, 1_000_000).unwrap();
+    assert!(report.solved(), "{report:?}");
+}

@@ -1,0 +1,63 @@
+//! Extension demo: life strictly between registers and 2-consensus.
+//!
+//! The PODC 2016 paper left open whether any deterministic object of
+//! consensus number 1 exceeds registers. The answer (follow-up work,
+//! implemented in `subconsensus-wrn`) is the Write-and-Read-Next family:
+//! `WRN_k` has consensus number 1 for `k ≥ 3`, yet solves `(k, k-1)`-set
+//! consensus — and the family forms an infinite strict hierarchy.
+//!
+//! Run with: `cargo run --example wrn_extension`
+
+use std::sync::Arc;
+
+use subconsensus::sim::{run, Protocol, RandomScheduler, RunOptions, SystemBuilder, Value};
+use subconsensus::wrn::{wrn_hierarchy, wrn_power, Wrn, WrnPropose};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 4;
+    println!(
+        "── WRN_{k}: deterministic, consensus number 1, power {} ──\n",
+        wrn_power(k)
+    );
+
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(Wrn::new(k));
+    let p: Arc<dyn Protocol> = Arc::new(WrnPropose::new(obj));
+    b.add_processes(p, (0..k).map(|i| Value::Int(100 + i as i64)));
+    let spec = b.build();
+
+    for seed in 0..6 {
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(
+            &spec,
+            &mut sched,
+            &mut subconsensus::sim::FirstOutcome,
+            &RunOptions::default(),
+        )?;
+        let decisions: Vec<String> = out
+            .decisions()
+            .iter()
+            .map(|d| d.as_ref().map_or("-".into(), ToString::to_string))
+            .collect();
+        println!(
+            "   seed {seed}: decisions = [{}], distinct = {} (bound {})",
+            decisions.join(", "),
+            out.decided_values().len(),
+            k - 1
+        );
+        assert!(out.decided_values().len() <= k - 1);
+    }
+
+    println!("\n── the infinite WRN hierarchy (strictly decreasing powers) ──\n");
+    for link in wrn_hierarchy(9) {
+        println!(
+            "   1sWRN_{:<2} ≻ 1sWRN_{:<2}   i.e. {link}",
+            link.stronger.n, link.weaker.n
+        );
+    }
+    println!(
+        "\nEvery member sits strictly between read-write registers and 2-consensus:\n\
+         the deterministic sub-consensus life the paper asked about."
+    );
+    Ok(())
+}

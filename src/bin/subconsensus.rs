@@ -1,0 +1,201 @@
+//! `subconsensus` — command-line front end to the reproduction.
+//!
+//! ```text
+//! subconsensus hierarchy [K_MAX]                 the sub-consensus chain
+//! subconsensus consensus-number N K PROCS        E1: exhaustive check of O_{n,k}
+//! subconsensus set-consensus N K [SEEDS]         E2: worst-case distinct decisions
+//! subconsensus characterize N K M J              E3: Theorem-41 verdict + bound
+//! subconsensus wrn K [SEEDS]                     E8: Algorithm 2 over WRN_k
+//! subconsensus adversary                         broken register consensus, replayed
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use subconsensus::core::{
+    grouped_consensus_check, implementable, partition_bound, sc_chain, GroupedObject, ScPower,
+};
+use subconsensus::objects::RegisterArray;
+use subconsensus::protocols::{ProposeDecide, WriteReadMin};
+use subconsensus::sim::{
+    run, FirstOutcome, Protocol, RandomScheduler, ReplayScheduler, RunOptions, SystemBuilder, Value,
+};
+use subconsensus::wrn::{Wrn, WrnPropose};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         subconsensus hierarchy [K_MAX]\n  \
+         subconsensus consensus-number N K PROCS\n  \
+         subconsensus set-consensus N K [SEEDS]\n  \
+         subconsensus characterize N K M J\n  \
+         subconsensus wrn K [SEEDS]\n  \
+         subconsensus adversary"
+    );
+    ExitCode::from(2)
+}
+
+fn parse<T: std::str::FromStr>(arg: Option<&String>) -> Option<T> {
+    arg.and_then(|s| s.parse().ok())
+}
+
+fn cmd_hierarchy(k_max: usize) -> ExitCode {
+    println!("the sub-consensus chain up to k = {k_max}:");
+    for link in sc_chain(k_max.max(3)) {
+        println!("  {link}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_consensus_number(n: usize, k: usize, procs: usize) -> ExitCode {
+    match grouped_consensus_check(n, k, procs) {
+        Ok(r) => {
+            println!(
+                "O_{{{n},{k}}} with {procs} processes: consensus {} (worst-case {} distinct \
+                 decisions, {} configurations explored)",
+                if r.solves_consensus {
+                    "SOLVED wait-free"
+                } else {
+                    "NOT solved"
+                },
+                r.max_distinct,
+                r.configs
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_set_consensus(n: usize, k: usize, seeds: u64) -> ExitCode {
+    let procs = n * (k + 1);
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    let spec = b.build();
+    let mut worst = 0;
+    for seed in 0..seeds {
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run");
+        worst = worst.max(out.decided_values().len());
+    }
+    println!(
+        "O_{{{n},{k}}}: {procs} processes, {seeds} schedules — worst case {worst} distinct \
+         decisions (bound {})",
+        k + 1
+    );
+    if worst <= k + 1 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_characterize(n: usize, k: usize, m: usize, j: usize) -> ExitCode {
+    if k == 0 || k > n || j == 0 || j > m {
+        eprintln!("error: require 0 < K ≤ N and 0 < J ≤ M");
+        return ExitCode::from(2);
+    }
+    let target = ScPower::new(n, k);
+    let source = ScPower::new(m, j);
+    let bound = partition_bound(n, m, j);
+    let yes = implementable(target, source);
+    println!(
+        "({n}, {k})-set consensus from ({m}, {j})-set-consensus objects + registers: {}",
+        if yes { "IMPLEMENTABLE" } else { "IMPOSSIBLE" }
+    );
+    println!("  partition bound: {m}-blocks force ≥ {bound} distinct values among {n} processes");
+    ExitCode::SUCCESS
+}
+
+fn cmd_wrn(k: usize, seeds: u64) -> ExitCode {
+    if k < 2 {
+        eprintln!("error: WRN_k requires k ≥ 2");
+        return ExitCode::from(2);
+    }
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(Wrn::new(k));
+    let p: Arc<dyn Protocol> = Arc::new(WrnPropose::new(obj));
+    b.add_processes(p, (0..k).map(|i| Value::Int(100 + i as i64)));
+    let spec = b.build();
+    let mut worst = 0;
+    for seed in 0..seeds {
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run");
+        worst = worst.max(out.decided_values().len());
+    }
+    println!(
+        "WRN_{k} (consensus number {}): {k} processes, {seeds} schedules — worst case \
+         {worst} distinct decisions (bound {})",
+        if k >= 3 { 1 } else { 2 },
+        k - 1
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_adversary() -> ExitCode {
+    use subconsensus::modelcheck::{ExploreOptions, StateGraph};
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(2));
+    let p: Arc<dyn Protocol> = Arc::new(WriteReadMin::new(regs));
+    b.add_processes(p, [Value::Int(1), Value::Int(2)]);
+    let spec = b.build();
+    let graph = StateGraph::explore(&spec, &ExploreOptions::default()).expect("explore");
+    match graph.witness_schedule(|c| c.is_final() && c.decided_values().len() == 2) {
+        Some(schedule) => {
+            let shown: Vec<String> = schedule.iter().map(ToString::to_string).collect();
+            println!("registers cannot solve consensus; a disagreeing schedule:");
+            println!("  {}", shown.join(" → "));
+            let mut replay = ReplayScheduler::new(schedule);
+            let out = run(
+                &spec,
+                &mut replay,
+                &mut FirstOutcome,
+                &RunOptions::default().traced(),
+            )
+            .expect("replay");
+            print!("{}", out.trace);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unexpected: no disagreeing schedule found");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("hierarchy") => cmd_hierarchy(parse(args.get(1)).unwrap_or(10)),
+        Some("consensus-number") => {
+            match (parse(args.get(1)), parse(args.get(2)), parse(args.get(3))) {
+                (Some(n), Some(k), Some(procs)) => cmd_consensus_number(n, k, procs),
+                _ => usage(),
+            }
+        }
+        Some("set-consensus") => match (parse(args.get(1)), parse(args.get(2))) {
+            (Some(n), Some(k)) => cmd_set_consensus(n, k, parse(args.get(3)).unwrap_or(500)),
+            _ => usage(),
+        },
+        Some("characterize") => match (
+            parse(args.get(1)),
+            parse(args.get(2)),
+            parse(args.get(3)),
+            parse(args.get(4)),
+        ) {
+            (Some(n), Some(k), Some(m), Some(j)) => cmd_characterize(n, k, m, j),
+            _ => usage(),
+        },
+        Some("wrn") => match parse(args.get(1)) {
+            Some(k) => cmd_wrn(k, parse(args.get(2)).unwrap_or(500)),
+            None => usage(),
+        },
+        Some("adversary") => cmd_adversary(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,56 @@
+//! # subconsensus
+//!
+//! An executable reproduction of **“Deterministic Objects: Life Beyond
+//! Consensus”** (Afek, Ellen, Gafni — PODC 2016): deterministic shared
+//! objects whose synchronization power the consensus hierarchy fails to
+//! capture, together with the full shared-memory substrate they live in.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`sim`] — the asynchronous shared-memory simulator (objects,
+//!   protocols, schedulers, histories, linearizability checking);
+//! * [`objects`] — the object zoo (registers … compare-and-swap,
+//!   set-consensus objects);
+//! * [`protocols`] — executable wait-free algorithms (snapshot, renaming,
+//!   adopt–commit, tournament, universal construction, …);
+//! * [`tasks`] — task specifications and the solvability harness;
+//! * [`core`] — the paper's contribution: the deterministic grouped family
+//!   and the hierarchy analytics;
+//! * [`modelcheck`] — exhaustive exploration, agreement bounds, valency;
+//! * [`rt`] — the same objects on real hardware atomics;
+//! * [`wrn`] — extension: the resolution of the paper's open question at
+//!   consensus level 1 (Write-and-Read-Next objects).
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use subconsensus::core::GroupedObject;
+//! use subconsensus::protocols::ProposeDecide;
+//! use subconsensus::sim::{run, FirstOutcome, Protocol, RoundRobin, RunOptions, SystemBuilder, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Four processes solve 2-set consensus with one deterministic O_{2,1}.
+//! let mut b = SystemBuilder::new();
+//! let obj = b.add_object(GroupedObject::for_level(2, 1));
+//! let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+//! b.add_processes(p, (1..=4).map(|v| Value::Int(v)));
+//! let out = run(&b.build(), &mut RoundRobin::new(), &mut FirstOutcome, &RunOptions::default())?;
+//! assert!(out.decided_values().len() <= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use subconsensus_core as core;
+pub use subconsensus_modelcheck as modelcheck;
+pub use subconsensus_objects as objects;
+pub use subconsensus_protocols as protocols;
+pub use subconsensus_rt as rt;
+pub use subconsensus_sim as sim;
+pub use subconsensus_tasks as tasks;
+pub use subconsensus_wrn as wrn;

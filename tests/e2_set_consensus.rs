@@ -1,0 +1,99 @@
+//! Integration test for experiment E2: the deterministic grouped family
+//! solves `(n(k+1), k+1)`-set consensus — exhaustively for small levels,
+//! statistically for larger ones — and the bound is *tight*.
+
+use std::sync::Arc;
+
+use subconsensus::core::GroupedObject;
+use subconsensus::modelcheck::{max_distinct_decisions, ExploreOptions, StateGraph};
+use subconsensus::protocols::ProposeDecide;
+use subconsensus::sim::{Protocol, SystemBuilder, SystemSpec, Value};
+use subconsensus::tasks::{check_exhaustive, check_random, SetConsensusTask};
+
+fn grouped_system(n: usize, k: usize, procs: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+#[test]
+fn exhaustive_small_levels_solve_k_plus_1_set_consensus() {
+    for (n, k) in [(2usize, 0usize), (2, 1), (3, 0)] {
+        let procs = n * (k + 1); // full capacity
+        let spec = grouped_system(n, k, procs);
+        let task = SetConsensusTask::new(k + 1);
+        let report = check_exhaustive(&spec, &task, &ExploreOptions::default()).unwrap();
+        assert!(
+            report.solved(),
+            "O_{{{n},{k}}} must solve {}-set consensus: {report:?}",
+            k + 1
+        );
+    }
+}
+
+#[test]
+fn exhaustive_bound_is_tight() {
+    // Some schedule really does produce k+1 distinct values, so (k)-set
+    // consensus is NOT solved by the same protocol.
+    for (n, k) in [(2usize, 1usize), (3, 1)] {
+        let procs = n * (k + 1);
+        let spec = grouped_system(n, k, procs);
+        let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert_eq!(
+            max_distinct_decisions(&graph),
+            k + 1,
+            "tightness for n={n}, k={k}"
+        );
+        let weaker = SetConsensusTask::new(k);
+        let report = check_exhaustive(&spec, &weaker, &ExploreOptions::default()).unwrap();
+        assert!(
+            !report.solved(),
+            "the k-agreement bound must be violated somewhere"
+        );
+    }
+}
+
+#[test]
+fn random_larger_levels_respect_the_bound() {
+    for (n, k) in [(3usize, 2usize), (4, 1), (2, 4)] {
+        let procs = n * (k + 1);
+        let spec = grouped_system(n, k, procs);
+        let task = SetConsensusTask::new(k + 1);
+        let report = check_random(&spec, &task, 0..400, 100_000).unwrap();
+        assert!(report.solved(), "n={n} k={k}: {report:?}");
+    }
+}
+
+#[test]
+fn fewer_participants_get_proportionally_stronger_agreement() {
+    // With only p ≤ capacity participants, at most ⌈p/n⌉ groups form.
+    let n = 2;
+    let k = 2; // capacity 6
+    for procs in 1..=6 {
+        let spec = grouped_system(n, k, procs);
+        let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert_eq!(
+            max_distinct_decisions(&graph),
+            procs.div_ceil(n),
+            "graded agreement for {procs} participants"
+        );
+    }
+}
+
+#[test]
+fn overflow_participants_hang_instead_of_deciding() {
+    // One more participant than capacity: every schedule hangs exactly one.
+    let n = 2;
+    let k = 0; // capacity 2
+    let spec = grouped_system(n, k, 3);
+    let task = SetConsensusTask::new(1);
+    let report = check_exhaustive(&spec, &task, &ExploreOptions::default()).unwrap();
+    assert!(!report.solved());
+    assert!(report.safe(), "whoever decides still agrees: {report:?}");
+    assert_eq!(
+        report.wait_freedom,
+        subconsensus::modelcheck::WaitFreedom::Hangs
+    );
+}

@@ -1,0 +1,129 @@
+//! Integration test for experiment E3: the Theorem-41 counting
+//! characterization agrees with executed constructions.
+//!
+//! Positive direction: wherever the predicate says `(N, K)-SC` is
+//! implementable from `(m, j)`-set-consensus objects, the partition
+//! protocol actually achieves ≤ K distinct decisions — exhaustively over
+//! all schedules *and* all nondeterministic object outcomes for small
+//! sizes, statistically for larger ones.
+//!
+//! Tightness: the partition bound itself is attained by some execution.
+
+use std::sync::Arc;
+
+use subconsensus::core::{implementable, partition_bound, witness_partition, ScPower};
+use subconsensus::modelcheck::{max_distinct_decisions, ExploreOptions, StateGraph};
+use subconsensus::objects::{Consensus, SetConsensus};
+use subconsensus::protocols::PartitionPropose;
+use subconsensus::sim::{ObjectSpec, Protocol, SystemBuilder, SystemSpec, Value};
+use subconsensus::tasks::{check_random, SetConsensusTask};
+
+/// Builds the partition system: `procs` processes over `⌈procs/m⌉` copies of
+/// an `(m, j)` agreement object.
+fn partition_system(procs: usize, m: usize, j: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let blocks = procs.div_ceil(m);
+    let base = b.add_object_array(blocks, |_| {
+        if j == 1 {
+            Box::new(Consensus::bounded(m)) as Box<dyn ObjectSpec>
+        } else {
+            Box::new(SetConsensus::new(m, j).expect("0 < j < m")) as Box<dyn ObjectSpec>
+        }
+    });
+    let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, m));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+#[test]
+fn exhaustive_grid_matches_predicate() {
+    // Small grid, fully exhaustive (including set-consensus object
+    // nondeterminism).
+    let cases = [
+        // (procs, m, j)
+        (4usize, 2usize, 1usize),
+        (3, 2, 1),
+        (3, 3, 2),
+        (4, 3, 2),
+        (5, 2, 1),
+    ];
+    for (procs, m, j) in cases {
+        let bound = partition_bound(procs, m, j);
+        let spec = partition_system(procs, m, j);
+        let graph = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert!(!graph.is_truncated(), "({procs},{m},{j}) truncated");
+        let worst = max_distinct_decisions(&graph);
+        assert_eq!(
+            worst, bound,
+            "({procs} procs from ({m},{j})-objects): worst case must equal the partition bound"
+        );
+        // Predicate consistency: the construction solves (procs, bound) and
+        // the predicate agrees; (procs, bound - 1) is not implementable.
+        assert!(
+            implementable(
+                ScPower::new(procs, bound),
+                ScPower::new(m, j.min(m.saturating_sub(1)).max(1))
+            ) || j >= m
+        );
+        if bound > 1 {
+            assert!(!implementable(
+                ScPower::new(procs, bound - 1),
+                ScPower::new(m, j)
+            ));
+        }
+    }
+}
+
+#[test]
+fn random_larger_grid_respects_predicate() {
+    for (procs, m, j) in [(8usize, 3usize, 2usize), (9, 4, 2), (10, 5, 3), (7, 3, 1)] {
+        let bound = partition_bound(procs, m, j);
+        let spec = partition_system(procs, m, j);
+        let task = SetConsensusTask::new(bound);
+        let report = check_random(&spec, &task, 0..300, 200_000).unwrap();
+        assert!(report.solved(), "({procs},{m},{j}): {report:?}");
+    }
+}
+
+#[test]
+fn witness_partitions_realize_the_bound_arithmetically() {
+    for n in 1..=20 {
+        for m in 1..=8 {
+            for j in 1..=m {
+                let blocks = witness_partition(n, m);
+                let realized: usize = blocks.iter().map(|&b| j.min(b)).sum();
+                assert_eq!(
+                    realized,
+                    partition_bound(n, m, j),
+                    "witness must meet the bound for ({n},{m},{j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predicate_grid_sanity_against_known_landmarks() {
+    // Herlihy: n-consensus is universal for n processes — in particular it
+    // builds every (n', k) with n' ≤ n.
+    for n in 2..=6 {
+        for np in 1..=n {
+            for k in 1..=np {
+                assert!(implementable(ScPower::new(np, k), ScPower::consensus(n)));
+            }
+        }
+    }
+    // Chaudhuri: k-set consensus for n > k processes is not implementable
+    // from registers — here: from (anything strictly weaker at the size).
+    // (2,1) not from (3,2), (4,3), ...
+    for k in 2..=6 {
+        assert!(!implementable(
+            ScPower::consensus(2),
+            ScPower::new(k + 1, k)
+        ));
+    }
+    // The paper lineage's concrete example: WRN₃-power objects
+    // ((3,2)-SC-equivalent) implement (12, 8)-set consensus.
+    assert!(implementable(ScPower::new(12, 8), ScPower::new(3, 2)));
+    assert!(!implementable(ScPower::new(12, 7), ScPower::new(3, 2)));
+}

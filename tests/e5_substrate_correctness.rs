@@ -1,0 +1,258 @@
+//! Integration test for experiment E5 / substrate correctness: the
+//! register-level substrates (renaming, snapshot) and the consensus-level
+//! substrates (tournament, universal construction) compose correctly under
+//! adversarial and random schedules.
+
+use std::sync::Arc;
+
+use subconsensus::modelcheck::ExploreOptions;
+use subconsensus::objects::{CompareAndSwap, Consensus, Queue, RegisterArray, Snapshot, Stack};
+use subconsensus::protocols::{
+    grid_cells, tournament_nodes, GridRenaming, SnapshotFromRegisters, Tournament,
+    UniversalConstruction,
+};
+use subconsensus::sim::{
+    check_linearizable, run_concurrent, BaseObjects, CrashScheduler, FirstOutcome, Implementation,
+    ObjectSpec, Op, Pid, Protocol, RandomScheduler, RoundRobin, SystemBuilder, Value,
+};
+use subconsensus::tasks::{check_exhaustive, check_random, RenamingTask, Task, TestAndSetTask};
+
+#[test]
+fn renaming_solves_the_renaming_task() {
+    // Exhaustive for 2 participants, random for 4.
+    let k = 2;
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+    let p: Arc<dyn Protocol> = Arc::new(GridRenaming::new(regs, k));
+    b.add_processes(p, [Value::Int(1001), Value::Int(2002)]);
+    let report = check_exhaustive(
+        &b.build(),
+        &RenamingTask::new(grid_cells(k)),
+        &ExploreOptions::default(),
+    )
+    .unwrap();
+    assert!(report.solved(), "{report:?}");
+
+    let k = 4;
+    let mut b = SystemBuilder::new();
+    let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+    let p: Arc<dyn Protocol> = Arc::new(GridRenaming::new(regs, k));
+    b.add_processes(p, (0..k).map(|i| Value::Int(1000 + i as i64 * 7)));
+    let report = check_random(
+        &b.build(),
+        &RenamingTask::new(grid_cells(k)),
+        0..300,
+        100_000,
+    )
+    .unwrap();
+    assert!(report.solved(), "{report:?}");
+}
+
+#[test]
+fn renaming_survives_crashes() {
+    // Fail-stop one participant mid-protocol: survivors still acquire
+    // distinct names in range.
+    let k = 3;
+    for crash_after in 0..6 {
+        let mut b = SystemBuilder::new();
+        let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
+        let p: Arc<dyn Protocol> = Arc::new(GridRenaming::new(regs, k));
+        b.add_processes(p, [Value::Int(5), Value::Int(6), Value::Int(7)]);
+        let spec = b.build();
+        let mut sched = CrashScheduler::new(
+            RoundRobin::new(),
+            [(Pid::new(1), crash_after)].into_iter().collect(),
+        );
+        let out = subconsensus::sim::run(
+            &spec,
+            &mut sched,
+            &mut FirstOutcome,
+            &subconsensus::sim::RunOptions::default(),
+        )
+        .unwrap();
+        let task = RenamingTask::new(grid_cells(k));
+        let inputs: Vec<Value> = vec![Value::Int(5), Value::Int(6), Value::Int(7)];
+        task.check(&inputs, &out.decisions()).unwrap();
+        // Both survivors decided.
+        assert!(out.decisions()[0].is_some());
+        assert!(out.decisions()[2].is_some());
+    }
+}
+
+#[test]
+fn snapshot_from_registers_linearizes_with_four_processes() {
+    let n = 4;
+    let spec = Snapshot::new(n);
+    for seed in 0..60 {
+        let mut bank = BaseObjects::new();
+        let regs = bank.add(RegisterArray::new(n));
+        let im: Arc<dyn Implementation> = Arc::new(SnapshotFromRegisters::new(regs, n));
+        let upd = |i: usize, v: i64| Op::binary("update", Value::from(i), Value::Int(v));
+        let workload = vec![
+            vec![upd(0, 1), Op::new("scan"), upd(0, 2)],
+            vec![Op::new("scan"), upd(1, 10), Op::new("scan")],
+            vec![upd(2, 100), upd(2, 200), Op::new("scan")],
+            vec![Op::new("scan"), Op::new("scan")],
+        ];
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut sched,
+            &mut FirstOutcome,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(out.reached_final, "seed {seed}");
+        assert!(
+            check_linearizable(&out.history, &spec).unwrap().is_some(),
+            "seed {seed}:\n{}",
+            out.history
+        );
+    }
+}
+
+#[test]
+fn tournament_is_crash_tolerant() {
+    // If the would-be winner crashes before finishing, the survivors still
+    // produce at most one winner (and possibly none — TAS task allows it
+    // only when not everyone decided).
+    let n = 4;
+    for crash_after in 0..4 {
+        for victim in 0..n {
+            let mut b = SystemBuilder::new();
+            let base = b.add_object_array(tournament_nodes(n), |_| {
+                Box::new(Consensus::bounded(2)) as Box<dyn ObjectSpec>
+            });
+            let p: Arc<dyn Protocol> = Arc::new(Tournament::new(base, n));
+            b.add_processes(p, (0..n).map(Value::from));
+            let spec = b.build();
+            let mut sched = CrashScheduler::new(
+                RoundRobin::new(),
+                [(Pid::new(victim), crash_after)].into_iter().collect(),
+            );
+            let out = subconsensus::sim::run(
+                &spec,
+                &mut sched,
+                &mut FirstOutcome,
+                &subconsensus::sim::RunOptions::default(),
+            )
+            .unwrap();
+            let inputs: Vec<Value> = (0..n).map(Value::from).collect();
+            TestAndSetTask::new()
+                .check(&inputs, &out.decisions())
+                .unwrap();
+        }
+    }
+}
+
+#[test]
+fn universal_stack_and_cas_linearize() {
+    for seed in 0..60 {
+        // Stack from 3-consensus for 3 processes.
+        let mut bank = BaseObjects::new();
+        let announce = bank.add(RegisterArray::new(3));
+        let slots = bank.add_array(32, |_| {
+            Box::new(Consensus::bounded(3)) as Box<dyn ObjectSpec>
+        });
+        let inner: Arc<dyn ObjectSpec> = Arc::new(Stack::new());
+        let im: Arc<dyn Implementation> =
+            Arc::new(UniversalConstruction::new(inner, announce, slots, 32, 3));
+        let workload = vec![
+            vec![Op::unary("push", Value::Int(1)), Op::new("pop")],
+            vec![Op::unary("push", Value::Int(2)), Op::new("pop")],
+            vec![
+                Op::unary("push", Value::Int(3)),
+                Op::new("pop"),
+                Op::new("pop"),
+            ],
+        ];
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut sched,
+            &mut FirstOutcome,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(
+            check_linearizable(&out.history, &Stack::new())
+                .unwrap()
+                .is_some(),
+            "stack seed {seed}:\n{}",
+            out.history
+        );
+
+        // Compare-and-swap from 2-consensus for 2 processes.
+        let mut bank = BaseObjects::new();
+        let announce = bank.add(RegisterArray::new(2));
+        let slots = bank.add_array(16, |_| {
+            Box::new(Consensus::bounded(2)) as Box<dyn ObjectSpec>
+        });
+        let inner: Arc<dyn ObjectSpec> = Arc::new(CompareAndSwap::new());
+        let im: Arc<dyn Implementation> =
+            Arc::new(UniversalConstruction::new(inner, announce, slots, 16, 2));
+        let workload = vec![
+            vec![
+                Op::binary("cas", Value::Nil, Value::Int(1)),
+                Op::binary("cas", Value::Int(1), Value::Int(3)),
+            ],
+            vec![
+                Op::binary("cas", Value::Nil, Value::Int(2)),
+                Op::new("read"),
+            ],
+        ];
+        let mut sched = RandomScheduler::seeded(seed);
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut sched,
+            &mut FirstOutcome,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(
+            check_linearizable(&out.history, &CompareAndSwap::new())
+                .unwrap()
+                .is_some(),
+            "cas seed {seed}:\n{}",
+            out.history
+        );
+    }
+}
+
+#[test]
+fn universal_queue_sequential_consistency_of_per_process_results() {
+    // Program order within each process must be respected by the
+    // implementation's own responses.
+    let mut bank = BaseObjects::new();
+    let announce = bank.add(RegisterArray::new(2));
+    let slots = bank.add_array(16, |_| {
+        Box::new(Consensus::bounded(2)) as Box<dyn ObjectSpec>
+    });
+    let inner: Arc<dyn ObjectSpec> = Arc::new(Queue::new());
+    let im: Arc<dyn Implementation> =
+        Arc::new(UniversalConstruction::new(inner, announce, slots, 16, 2));
+    let workload = vec![
+        vec![Op::unary("enq", Value::Int(7)), Op::new("deq")],
+        vec![],
+    ];
+    let out = run_concurrent(
+        &bank,
+        &im,
+        workload,
+        &mut RoundRobin::new(),
+        &mut FirstOutcome,
+        100_000,
+    )
+    .unwrap();
+    assert_eq!(
+        out.results[0][1],
+        Value::Int(7),
+        "own enqueue visible to own dequeue"
+    );
+}

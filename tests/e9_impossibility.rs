@@ -1,0 +1,82 @@
+//! Integration test for experiment E9: bounded-exhaustive impossibility —
+//! every protocol in a bounded class is enumerated and model-checked.
+
+use subconsensus::core::{
+    search_binary_consensus, set_consensus_32_class, tree_count, wrn_class, ProtocolClass,
+};
+use subconsensus::objects::{Consensus, SetConsensus, Swap};
+use subconsensus::sim::{Op, Value};
+use subconsensus::wrn::Wrn;
+
+#[test]
+fn consensus_and_swap_objects_admit_protocols() {
+    // Positive controls: objects of consensus number ≥ 2 admit a protocol
+    // in the one-step class.
+    let out = search_binary_consensus(
+        || Box::new(Consensus::unbounded()),
+        &set_consensus_32_class(1),
+    )
+    .unwrap();
+    assert!(out.witness.is_some());
+
+    // Swap at depth 1: swap your value in; ⊥ back means you were first
+    // (decide own), otherwise decide what you got — the classic protocol,
+    // which the search must rediscover among the 18 trees per role.
+    let swap_class = ProtocolClass {
+        ops: vec![Op::unary("swap", Value::Int(0)), Op::unary("swap", Value::Int(1))],
+        responses: vec![Value::Nil, Value::Int(0), Value::Int(1)],
+        max_depth: 1,
+    };
+    let out = search_binary_consensus(|| Box::new(Swap::new()), &swap_class).unwrap();
+    assert!(
+        out.witness.is_some(),
+        "swap has consensus number 2: a 1-step protocol exists ({} trees)",
+        out.trees
+    );
+    assert_eq!(out.trees, 2 + 2 * 8);
+}
+
+#[test]
+fn sub_consensus_objects_admit_no_one_step_protocol() {
+    let out = search_binary_consensus(
+        || Box::new(SetConsensus::new(3, 2).unwrap()),
+        &set_consensus_32_class(1),
+    )
+    .unwrap();
+    assert_eq!(out.witness, None);
+
+    let out = search_binary_consensus(|| Box::new(Wrn::new(3)), &wrn_class(3, 1)).unwrap();
+    assert_eq!(out.witness, None);
+
+    let out = search_binary_consensus(|| Box::new(Wrn::new(4)), &wrn_class(4, 1)).unwrap();
+    assert_eq!(out.witness, None, "WRN₄ likewise");
+}
+
+#[test]
+fn wrn2_is_the_boundary() {
+    let out = search_binary_consensus(|| Box::new(Wrn::new(2)), &wrn_class(2, 1)).unwrap();
+    assert!(out.witness.is_some(), "WRN₂ has consensus number 2");
+}
+
+#[test]
+fn tree_counts_are_as_documented() {
+    assert_eq!(tree_count(&set_consensus_32_class(1), 1), 10);
+    assert_eq!(tree_count(&set_consensus_32_class(2), 2), 202);
+    assert_eq!(tree_count(&wrn_class(3, 1), 1), 50);
+}
+
+// The depth-2 (3,2)-SC impossibility takes ~10 s in release and minutes in
+// debug; it is exercised by `examples/impossibility_search.rs --deep` and
+// recorded in EXPERIMENTS.md E9. Gate it here behind an env var so
+// `cargo test --release -- --ignored` style runs can include it.
+#[test]
+#[ignore = "slow: ~10 s in release; run with --ignored"]
+fn depth_two_set_consensus_impossibility() {
+    let out = search_binary_consensus(
+        || Box::new(SetConsensus::new(3, 2).unwrap()),
+        &set_consensus_32_class(2),
+    )
+    .unwrap();
+    assert_eq!(out.witness, None);
+    assert_eq!(out.trees, 202);
+}
