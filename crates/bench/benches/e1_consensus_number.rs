@@ -3,8 +3,9 @@
 //! Regenerates the E1 table (exhaustive consensus checks per level and
 //! process count) and benchmarks the model-checking kernel behind it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subconsensus_bench::grouped_system;
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_core::grouped_consensus_check;
 use subconsensus_modelcheck::{ExploreOptions, StateGraph};
 

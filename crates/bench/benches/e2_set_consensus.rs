@@ -4,8 +4,9 @@
 //! adversarial schedules vs. the `k+1` bound — and benchmarks full protocol
 //! runs at several sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subconsensus_bench::grouped_system;
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_sim::{run, RandomScheduler, RunOptions};
 
 fn worst_case_distinct(n: usize, k: usize, seeds: u64) -> usize {

@@ -3,8 +3,9 @@
 //! Regenerates the predicate/execution consistency table and benchmarks the
 //! partition construction and the exhaustive cross-check.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
 use subconsensus_bench::partition_system;
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_core::{implementable, partition_bound, ScPower};
 use subconsensus_modelcheck::{max_distinct_decisions, ExploreOptions, StateGraph};
 use subconsensus_sim::{run, RandomScheduler, RunOptions};

@@ -5,7 +5,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_core::{sc_chain, CapacityGate, GroupedObject};
 use subconsensus_objects::FetchAdd;
 use subconsensus_sim::{

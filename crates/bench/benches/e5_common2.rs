@@ -4,7 +4,8 @@
 //! universal-construction queue, with a one-time linearizability
 //! verification before timing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_bench::{tournament_system, universal_queue};
 use subconsensus_objects::Queue;
 use subconsensus_sim::{

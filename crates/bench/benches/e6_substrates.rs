@@ -6,7 +6,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_bench::{grouped_system, renaming_system};
 use subconsensus_modelcheck::{ExploreOptions, StateGraph};
 use subconsensus_objects::RegisterArray;
@@ -118,14 +119,18 @@ fn bench(c: &mut Criterion) {
             Arc::new(subconsensus_protocols::ImmediateSnapshot::new(snap, n));
         b.add_processes(p, (0..n).map(|i| Value::Int(i as i64)));
         let spec = b.build();
-        g.bench_with_input(BenchmarkId::new("immediate_snapshot", n), &spec, |b, spec| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut sched = RandomScheduler::seeded(seed);
-                run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("immediate_snapshot", n),
+            &spec,
+            |b, spec| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sched = RandomScheduler::seeded(seed);
+                    run(spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).expect("run")
+                })
+            },
+        );
 
         // Safe agreement.
         let mut b = SystemBuilder::new();
@@ -145,8 +150,7 @@ fn bench(c: &mut Criterion) {
         // Tight renaming.
         let mut b = SystemBuilder::new();
         let snap = b.add_object(subconsensus_objects::Snapshot::new(n));
-        let p: Arc<dyn Protocol> =
-            Arc::new(subconsensus_protocols::SnapshotRenaming::new(snap));
+        let p: Arc<dyn Protocol> = Arc::new(subconsensus_protocols::SnapshotRenaming::new(snap));
         b.add_processes(p, (0..n).map(|i| Value::Int(100 + i as i64)));
         let spec = b.build();
         g.bench_with_input(BenchmarkId::new("tight_renaming", n), &spec, |b, spec| {

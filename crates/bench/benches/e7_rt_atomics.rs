@@ -6,7 +6,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_rt::{CasConsensus, Grouped, LockFreeGrouped, LockedGrouped};
 
 /// Runs `threads` threads, each proposing `per_thread` values across many
@@ -15,18 +16,17 @@ fn contend<G: Grouped, F: Fn() -> G + Sync>(make: F, threads: usize, rounds: usi
     let completed = AtomicU64::new(0);
     for _ in 0..rounds {
         let obj = make();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let obj = &obj;
                 let completed = &completed;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     if obj.propose(1 + t as u64).is_some() {
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                 });
             }
-        })
-        .expect("scope");
+        });
     }
     completed.load(Ordering::Relaxed)
 }
@@ -61,13 +61,12 @@ fn bench(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let c = CasConsensus::new();
-                    crossbeam::scope(|s| {
+                    std::thread::scope(|s| {
                         for t in 0..threads {
                             let c = &c;
-                            s.spawn(move |_| c.propose(1 + t as u64));
+                            s.spawn(move || c.propose(1 + t as u64));
                         }
-                    })
-                    .expect("scope");
+                    });
                     c.read()
                 })
             },

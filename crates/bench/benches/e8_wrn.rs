@@ -7,7 +7,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{criterion_group, criterion_main};
 use subconsensus_objects::{Register, RegisterArray, Snapshot};
 use subconsensus_protocols::GridRenaming;
 use subconsensus_sim::{

@@ -1,0 +1,69 @@
+//! Experiment E9: model-checker exploration throughput.
+//!
+//! Times `StateGraph::explore` on the E1 (grouped family) and E4
+//! (partitioned agreement) fixtures across thread counts, and writes a
+//! machine-readable `BENCH_modelcheck.json` at the repo root with
+//! configs/sec, peak configuration counts and thread counts, so perf
+//! regressions are diffable across commits.
+
+use std::path::Path;
+
+use subconsensus_bench::harness::{BenchmarkId, Criterion};
+use subconsensus_bench::{grouped_system, partition_system};
+use subconsensus_modelcheck::{ExploreOptions, StateGraph};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    println!("\nE9 — state-graph exploration throughput (identical graphs per thread count)\n");
+
+    let fixtures = [
+        ("e1_grouped_n2_k1_p3", grouped_system(2, 1, 3)),
+        ("e4_partition_p3_m2_j1", partition_system(3, 2, 1)),
+    ];
+
+    let mut c = Criterion::new();
+    // (fixture name, threads, peak configs, edges) per measurement, in
+    // the same order the harness records them.
+    let mut meta = Vec::new();
+    for (name, spec) in &fixtures {
+        let base = StateGraph::explore(spec, &ExploreOptions::default()).expect("explore");
+        assert!(!base.is_truncated(), "{name} must fit in the default bound");
+        let stats = base.stats();
+        let mut g = c.benchmark_group("e9_explore");
+        g.sample_size(10);
+        for threads in THREADS {
+            let opts = ExploreOptions::default().with_threads(threads);
+            g.bench_with_input(BenchmarkId::new(*name, threads), &opts, |b, opts| {
+                b.iter(|| StateGraph::explore(spec, opts).expect("explore"))
+            });
+            meta.push((*name, threads, stats.configs, stats.edges));
+        }
+        g.finish();
+    }
+
+    // Hand-formatted JSON (no serde in the offline build).
+    let mut kernels = String::new();
+    for (m, (name, threads, configs, edges)) in c.measurements().iter().zip(&meta) {
+        let secs = m.median_ns / 1e9;
+        let configs_per_sec = if secs > 0.0 {
+            *configs as f64 / secs
+        } else {
+            0.0
+        };
+        if !kernels.is_empty() {
+            kernels.push_str(",\n");
+        }
+        kernels.push_str(&format!(
+            "    {{\"fixture\": \"{name}\", \"threads\": {threads}, \
+             \"peak_configs\": {configs}, \"edges\": {edges}, \
+             \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}}}",
+            m.median_ns, configs_per_sec
+        ));
+    }
+    let json =
+        format!("{{\n  \"bench\": \"modelcheck_explore\",\n  \"kernels\": [\n{kernels}\n  ]\n}}\n");
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_modelcheck.json");
+    std::fs::write(&out, &json).expect("write BENCH_modelcheck.json");
+    println!("\nwrote {}", out.display());
+}

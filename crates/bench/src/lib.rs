@@ -1,7 +1,10 @@
-//! Shared fixtures for the experiment benchmarks (`benches/e1 … e7`).
+//! Shared fixtures for the experiment benchmarks (`benches/e1 … e9`).
 //!
 //! Each bench regenerates one table of `EXPERIMENTS.md` (printed once at
-//! startup) and then measures the kernels behind it with criterion.
+//! startup) and then measures the kernels behind it with the in-tree
+//! [`harness`] (a std-only stand-in for the criterion API).
+
+pub mod harness;
 
 use std::sync::Arc;
 

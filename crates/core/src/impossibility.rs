@@ -184,6 +184,28 @@ pub fn search_binary_consensus<F>(
 where
     F: Fn() -> Box<dyn ObjectSpec>,
 {
+    search_binary_consensus_with(
+        make_object,
+        class,
+        &ExploreOptions::with_max_configs(200_000),
+    )
+}
+
+/// Like [`search_binary_consensus`], but with explicit exploration
+/// options — notably `threads`, which parallelizes each per-pair
+/// model check.
+///
+/// # Errors
+///
+/// Propagates simulator errors raised during exploration.
+pub fn search_binary_consensus_with<F>(
+    make_object: F,
+    class: &ProtocolClass,
+    opts: &ExploreOptions,
+) -> Result<SearchOutcome, SimError>
+where
+    F: Fn() -> Box<dyn ObjectSpec>,
+{
     let class = Arc::new(class.clone());
     let trees: Vec<Arc<Tree>> = enumerate_trees(&class, class.max_depth)
         .into_iter()
@@ -206,7 +228,8 @@ where
                     continue;
                 }
                 checks += 1;
-                mat[a * t + b] = pair_correct(&make_object, &class, &trees[a], &trees[b], x, y)?;
+                mat[a * t + b] =
+                    pair_correct(&make_object, &class, &trees[a], &trees[b], x, y, opts)?;
             }
         }
         cache.insert((x, y), mat);
@@ -251,6 +274,7 @@ fn pair_correct<F>(
     t1: &Arc<Tree>,
     x: bool,
     y: bool,
+    opts: &ExploreOptions,
 ) -> Result<bool, SimError>
 where
     F: Fn() -> Box<dyn ObjectSpec>,
@@ -274,7 +298,7 @@ where
         Value::Int(i64::from(y)),
     );
     let spec = b.build();
-    let graph = match StateGraph::explore(&spec, &ExploreOptions::with_max_configs(200_000)) {
+    let graph = match StateGraph::explore(&spec, opts) {
         Ok(g) => g,
         // A tree may misuse the object (e.g. re-walk past a decision on an
         // unclassified response); such protocols simply do not solve

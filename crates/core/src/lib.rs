@@ -59,8 +59,8 @@ pub use hierarchy::{
     grouped_task_bound, level_power, sc_chain, strictly_stronger, ChainLink, GroupedConsensusCheck,
 };
 pub use impossibility::{
-    search_binary_consensus, set_consensus_32_class, tree_count, wrn_class, ProtocolClass,
-    SearchOutcome, SolvabilityWitness,
+    search_binary_consensus, search_binary_consensus_with, set_consensus_32_class, tree_count,
+    wrn_class, ProtocolClass, SearchOutcome, SolvabilityWitness,
 };
 pub use power::{
     compare_power, implementable, partition_bound, witness_partition, PowerOrder, ScPower,

@@ -1,8 +1,12 @@
-//! Property-based tests for the deterministic grouped family.
+//! Randomized tests for the deterministic grouped family.
+//!
+//! Formerly `proptest`-based; rewritten over the in-tree seeded
+//! [`SmallRng`] so the workspace builds with no external dependencies.
 
-use proptest::prelude::*;
 use subconsensus_core::GroupedObject;
-use subconsensus_sim::{ObjectSpec, Op, Value};
+use subconsensus_sim::{ObjectSpec, Op, SmallRng, Value};
+
+const CASES: u64 = 256;
 
 /// Applies a sequence of proposals, returning (responses, hang-count).
 fn drive(obj: &GroupedObject, proposals: &[i64]) -> (Vec<Value>, usize) {
@@ -23,80 +27,97 @@ fn drive(obj: &GroupedObject, proposals: &[i64]) -> (Vec<Value>, usize) {
     (responses, hangs)
 }
 
-proptest! {
-    #[test]
-    fn grading_invariant(
-        group in 1usize..6,
-        extra_cap in 0usize..12,
-        raw in prop::collection::vec(1i64..1000, 1..20),
-    ) {
+fn arb_proposals(rng: &mut SmallRng, min: usize, max: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..min + rng.gen_index(max - min))
+        .map(|_| rng.gen_range_i64(lo, hi))
+        .collect()
+}
+
+#[test]
+fn grading_invariant() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let group = 1 + rng.gen_index(5);
+        let extra_cap = rng.gen_index(12);
+        let raw = arb_proposals(&mut rng, 1, 20, 1, 1000);
         // Make proposal values unique so distinct responses = touched groups.
-        let proposals: Vec<i64> =
-            raw.iter().enumerate().map(|(i, v)| v + 1000 * i as i64).collect();
+        let proposals: Vec<i64> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 1000 * i as i64)
+            .collect();
         let capacity = group + extra_cap;
         let obj = GroupedObject::new(group, capacity);
         let (responses, hangs) = drive(&obj, &proposals);
 
         // Exactly min(len, capacity) proposals answered; the rest hang.
         let answered = proposals.len().min(capacity);
-        prop_assert_eq!(responses.len(), answered);
-        prop_assert_eq!(hangs, proposals.len() - answered);
+        assert_eq!(responses.len(), answered, "case {case}");
+        assert_eq!(hangs, proposals.len() - answered, "case {case}");
 
         // The p-th answered proposal receives the group leader's value.
         for (p, resp) in responses.iter().enumerate() {
             let leader = (p / group) * group;
-            prop_assert_eq!(resp.as_int().unwrap(), proposals[leader]);
+            assert_eq!(resp.as_int().unwrap(), proposals[leader], "case {case}");
         }
 
         // Distinct responses = number of touched groups (the grading).
         let distinct: std::collections::BTreeSet<&Value> = responses.iter().collect();
-        prop_assert_eq!(distinct.len(), answered.div_ceil(group));
+        assert_eq!(distinct.len(), answered.div_ceil(group), "case {case}");
     }
+}
 
-    #[test]
-    fn determinism_same_inputs_same_outputs(
-        group in 1usize..5,
-        k in 0usize..4,
-        proposals in prop::collection::vec(1i64..100, 1..15),
-    ) {
+#[test]
+fn determinism_same_inputs_same_outputs() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let group = 1 + rng.gen_index(4);
+        let k = rng.gen_index(4);
+        let proposals = arb_proposals(&mut rng, 1, 15, 1, 100);
         let obj = GroupedObject::for_level(group, k);
         let a = drive(&obj, &proposals);
         let b = drive(&obj, &proposals);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn first_group_always_agrees_on_first_proposal(
-        group in 2usize..6,
-        k in 0usize..3,
-        proposals in prop::collection::vec(1i64..100, 2..12),
-    ) {
+#[test]
+fn first_group_always_agrees_on_first_proposal() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let group = 2 + rng.gen_index(4);
+        let k = rng.gen_index(3);
+        let proposals = arb_proposals(&mut rng, 2, 12, 1, 100);
         let obj = GroupedObject::for_level(group, k);
         let (responses, _) = drive(&obj, &proposals);
         for resp in responses.iter().take(group) {
-            prop_assert_eq!(resp.as_int().unwrap(), proposals[0]);
+            assert_eq!(resp.as_int().unwrap(), proposals[0], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn validity_every_response_was_proposed(
-        group in 1usize..5,
-        cap in 1usize..12,
-        proposals in prop::collection::vec(1i64..50, 1..20),
-    ) {
+#[test]
+fn validity_every_response_was_proposed() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let group = 1 + rng.gen_index(4);
+        let cap = 1 + rng.gen_index(11);
+        let proposals = arb_proposals(&mut rng, 1, 20, 1, 50);
         let obj = GroupedObject::new(group, cap);
         let (responses, _) = drive(&obj, &proposals);
         for r in &responses {
-            prop_assert!(proposals.contains(&r.as_int().unwrap()));
+            assert!(proposals.contains(&r.as_int().unwrap()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn state_hash_stable_for_model_checking(
-        group in 1usize..4,
-        cap in 1usize..8,
-        proposals in prop::collection::vec(1i64..10, 0..10),
-    ) {
+#[test]
+fn state_hash_stable_for_model_checking() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let group = 1 + rng.gen_index(3);
+        let cap = 1 + rng.gen_index(7);
+        let proposals = arb_proposals(&mut rng, 0, 10, 1, 10);
         // Two replays of the same proposal sequence produce identical
         // (hash-equal) states — the property the model checker's visited
         // set depends on.
@@ -112,6 +133,6 @@ proptest! {
             }
             s
         };
-        prop_assert_eq!(run_state(&proposals), run_state(&proposals));
+        assert_eq!(run_state(&proposals), run_state(&proposals), "case {case}");
     }
 }

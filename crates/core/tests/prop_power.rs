@@ -1,98 +1,186 @@
-//! Property-based tests for the set-consensus power arithmetic.
+//! Randomized tests for the set-consensus power arithmetic.
+//!
+//! Formerly `proptest`-based; rewritten over the in-tree seeded
+//! [`SmallRng`] so the workspace builds with no external dependencies.
+//! `prop_assume!` filters become plain `continue`s.
 
-use proptest::prelude::*;
 use subconsensus_core::{implementable, partition_bound, witness_partition, ScPower};
+use subconsensus_sim::SmallRng;
 
-fn power_strategy() -> impl Strategy<Value = ScPower> {
-    (1usize..12)
-        .prop_flat_map(|n| (Just(n), 1usize..=n))
-        .prop_map(|(n, k)| ScPower::new(n, k))
+const CASES: u64 = 512;
+
+fn arb_power(rng: &mut SmallRng) -> ScPower {
+    let n = 1 + rng.gen_index(11);
+    let k = 1 + rng.gen_index(n);
+    ScPower::new(n, k)
 }
 
-proptest! {
-    #[test]
-    fn bound_is_at_most_n_and_at_least_min_j_n(n in 1usize..50, m in 1usize..10, j in 1usize..10) {
-        prop_assume!(j <= m);
+#[test]
+fn bound_is_at_most_n_and_at_least_min_j_n() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 1 + rng.gen_index(49);
+        let m = 1 + rng.gen_index(9);
+        let j = 1 + rng.gen_index(9);
+        if j > m {
+            continue;
+        }
         let b = partition_bound(n, m, j);
-        prop_assert!(b <= n);
-        prop_assert!(b >= j.min(n));
+        assert!(b <= n, "case {case}");
+        assert!(b >= j.min(n), "case {case}");
     }
+}
 
-    #[test]
-    fn bound_monotone_in_n(n in 1usize..40, m in 1usize..10, j in 1usize..10) {
-        prop_assume!(j <= m);
-        prop_assert!(partition_bound(n, m, j) <= partition_bound(n + 1, m, j));
-    }
-
-    #[test]
-    fn bound_monotone_in_j(n in 1usize..40, m in 2usize..10, j in 1usize..9) {
-        prop_assume!(j + 1 <= m);
-        prop_assert!(partition_bound(n, m, j) <= partition_bound(n, m, j + 1));
-    }
-
-    #[test]
-    fn bound_antimonotone_in_m(n in 1usize..40, m in 1usize..9, j in 1usize..9) {
-        prop_assume!(j <= m);
-        // A bigger object (more accesses, same agreement) never forces more
-        // values.
-        prop_assert!(partition_bound(n, m + 1, j) <= partition_bound(n, m, j));
-    }
-
-    #[test]
-    fn bound_is_subadditive_over_process_splits(
-        n1 in 1usize..25, n2 in 1usize..25, m in 1usize..10, j in 1usize..10,
-    ) {
-        prop_assume!(j <= m);
-        prop_assert!(
-            partition_bound(n1 + n2, m, j)
-                <= partition_bound(n1, m, j) + partition_bound(n2, m, j)
+#[test]
+fn bound_monotone_in_n() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 1 + rng.gen_index(39);
+        let m = 1 + rng.gen_index(9);
+        let j = 1 + rng.gen_index(9);
+        if j > m {
+            continue;
+        }
+        assert!(
+            partition_bound(n, m, j) <= partition_bound(n + 1, m, j),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn implementability_is_reflexive_and_transitive(
-        a in power_strategy(), b in power_strategy(), c in power_strategy(),
-    ) {
-        prop_assert!(implementable(a, a));
+#[test]
+fn bound_monotone_in_j() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 1 + rng.gen_index(39);
+        let m = 2 + rng.gen_index(8);
+        let j = 1 + rng.gen_index(8);
+        if j + 1 > m {
+            continue;
+        }
+        assert!(
+            partition_bound(n, m, j) <= partition_bound(n, m, j + 1),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn bound_antimonotone_in_m() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 1 + rng.gen_index(39);
+        let m = 1 + rng.gen_index(8);
+        let j = 1 + rng.gen_index(8);
+        if j > m {
+            continue;
+        }
+        // A bigger object (more accesses, same agreement) never forces more
+        // values.
+        assert!(
+            partition_bound(n, m + 1, j) <= partition_bound(n, m, j),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn bound_is_subadditive_over_process_splits() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n1 = 1 + rng.gen_index(24);
+        let n2 = 1 + rng.gen_index(24);
+        let m = 1 + rng.gen_index(9);
+        let j = 1 + rng.gen_index(9);
+        if j > m {
+            continue;
+        }
+        assert!(
+            partition_bound(n1 + n2, m, j) <= partition_bound(n1, m, j) + partition_bound(n2, m, j),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn implementability_is_reflexive_and_transitive() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = arb_power(&mut rng);
+        let b = arb_power(&mut rng);
+        let c = arb_power(&mut rng);
+        assert!(implementable(a, a), "case {case}");
         if implementable(b, a) && implementable(c, b) {
-            prop_assert!(implementable(c, a), "{a} -> {b} -> {c}");
+            assert!(implementable(c, a), "case {case}: {a} -> {b} -> {c}");
         }
     }
+}
 
-    #[test]
-    fn weakening_the_target_preserves_implementability(
-        a in power_strategy(), b in power_strategy(),
-    ) {
+#[test]
+fn weakening_the_target_preserves_implementability() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = arb_power(&mut rng);
+        let b = arb_power(&mut rng);
         if implementable(b, a) && b.k < b.n {
             // Asking for one more allowed value is easier.
-            prop_assert!(implementable(ScPower::new(b.n, b.k + 1), a));
+            assert!(
+                implementable(ScPower::new(b.n, b.k + 1), a),
+                "case {case}: {a} -> {b}"
+            );
         }
     }
+}
 
-    #[test]
-    fn witness_partition_is_exact(n in 1usize..60, m in 1usize..12) {
+#[test]
+fn witness_partition_is_exact() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 1 + rng.gen_index(59);
+        let m = 1 + rng.gen_index(11);
         let blocks = witness_partition(n, m);
-        prop_assert_eq!(blocks.iter().sum::<usize>(), n);
-        prop_assert!(blocks.iter().all(|&b| 0 < b && b <= m));
-        // Greedy is optimal: no partition forces fewer values. Check a few
-        // random alternative partitions do not beat it.
+        assert_eq!(blocks.iter().sum::<usize>(), n, "case {case}");
+        assert!(blocks.iter().all(|&b| 0 < b && b <= m), "case {case}");
+        // Greedy is optimal: no partition forces fewer values. Check the
+        // realized count matches the bound for every agreement level.
         for j in 1..=m {
             let bound = partition_bound(n, m, j);
             let realized: usize = blocks.iter().map(|&b| j.min(b)).sum();
-            prop_assert_eq!(realized, bound);
+            assert_eq!(realized, bound, "case {case}, j={j}");
         }
     }
+}
 
-    #[test]
-    fn consensus_universality_on_the_grid(n in 1usize..10, np in 1usize..10, k in 1usize..10) {
-        prop_assume!(k <= np && np <= n);
+#[test]
+fn consensus_universality_on_the_grid() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 1 + rng.gen_index(9);
+        let np = 1 + rng.gen_index(9);
+        let k = 1 + rng.gen_index(9);
+        if !(k <= np && np <= n) {
+            continue;
+        }
         // n-consensus implements every (n', k) with n' ≤ n.
-        prop_assert!(implementable(ScPower::new(np, k), ScPower::consensus(n)));
+        assert!(
+            implementable(ScPower::new(np, k), ScPower::consensus(n)),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn nothing_weak_builds_consensus(m in 3usize..12, j in 2usize..11) {
-        prop_assume!(j < m);
-        prop_assert!(!implementable(ScPower::consensus(2), ScPower::new(m, j)));
+#[test]
+fn nothing_weak_builds_consensus() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let m = 3 + rng.gen_index(9);
+        let j = 2 + rng.gen_index(9);
+        if j >= m {
+            continue;
+        }
+        assert!(
+            !implementable(ScPower::consensus(2), ScPower::new(m, j)),
+            "case {case}: ({m},{j})"
+        );
     }
 }

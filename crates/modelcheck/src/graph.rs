@@ -1,6 +1,20 @@
 //! Exhaustive construction of the reachable configuration graph.
+//!
+//! Exploration is a level-synchronized BFS: each depth level of the graph
+//! is expanded *read-only* (optionally across threads), then the results
+//! are merged sequentially in ascending node order. Because the merge
+//! order is independent of how the level was split, the graph — node
+//! indices, edges, terminals — is identical for every thread count.
+//!
+//! The visited set is a fingerprint index (`u64` hash → candidate node
+//! indices) rather than a `HashMap<Config, usize>`: configurations are
+//! stored once in the node arena, and every fingerprint hit is verified
+//! by full equality before deduplicating, so hash collisions can never
+//! merge distinct configurations.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use subconsensus_sim::{Config, Pid, SimError, SystemSpec};
 
@@ -9,12 +23,16 @@ use subconsensus_sim::{Config, Pid, SimError, SystemSpec};
 pub struct ExploreOptions {
     /// Stop after visiting this many distinct configurations.
     pub max_configs: usize,
+    /// Worker threads for level expansion (`0` and `1` both mean
+    /// sequential). The produced graph is identical for every value.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
     fn default() -> Self {
         ExploreOptions {
             max_configs: 1_000_000,
+            threads: 1,
         }
     }
 }
@@ -22,8 +40,128 @@ impl Default for ExploreOptions {
 impl ExploreOptions {
     /// Options with the given configuration bound.
     pub fn with_max_configs(max_configs: usize) -> Self {
-        ExploreOptions { max_configs }
+        ExploreOptions {
+            max_configs,
+            ..Self::default()
+        }
     }
+
+    /// Returns these options with the given worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Content hash of a configuration, used as the dedup index key.
+fn fingerprint(config: &Config) -> u64 {
+    let mut h = DefaultHasher::new();
+    config.hash(&mut h);
+    h.finish()
+}
+
+/// Finds `config` among the fingerprint bucket's candidates, verifying by
+/// full equality (never trusting the hash alone).
+fn lookup(
+    index: &HashMap<u64, Vec<usize>>,
+    configs: &[Config],
+    fp: u64,
+    config: &Config,
+) -> Option<usize> {
+    index
+        .get(&fp)?
+        .iter()
+        .copied()
+        .find(|&j| configs[j] == *config)
+}
+
+/// A successor resolved by a level-expansion worker.
+enum StepResult {
+    /// The successor already had a node index before this level's merge.
+    Existing(usize),
+    /// A configuration unseen at expansion time, with its fingerprint;
+    /// the merge re-checks it against nodes added earlier in the level.
+    Fresh(Config, u64),
+}
+
+/// The full expansion of one frontier node, successors in stable
+/// (pid, outcome) order.
+struct NodeExpansion {
+    steps: Vec<(Pid, StepResult)>,
+    terminal: bool,
+}
+
+/// Expands `nodes` against a read-only snapshot of the graph.
+fn expand_chunk(
+    spec: &SystemSpec,
+    configs: &[Config],
+    index: &HashMap<u64, Vec<usize>>,
+    nodes: &[usize],
+) -> Result<Vec<NodeExpansion>, SimError> {
+    let mut out = Vec::with_capacity(nodes.len());
+    for &i in nodes {
+        let config = &configs[i];
+        let enabled = config.enabled_set();
+        if enabled.is_empty() {
+            out.push(NodeExpansion {
+                steps: Vec::new(),
+                terminal: true,
+            });
+            continue;
+        }
+        let mut steps = Vec::new();
+        for pid in enabled {
+            for (next, _info) in spec.successors(config, pid)? {
+                let fp = fingerprint(&next);
+                let step = match lookup(index, configs, fp, &next) {
+                    Some(j) => StepResult::Existing(j),
+                    None => StepResult::Fresh(next, fp),
+                };
+                steps.push((pid, step));
+            }
+        }
+        out.push(NodeExpansion {
+            steps,
+            terminal: false,
+        });
+    }
+    Ok(out)
+}
+
+/// Below this frontier size a level is always expanded sequentially:
+/// spawning scoped threads costs more than stepping a handful of nodes,
+/// and the merge produces the same graph either way.
+const PARALLEL_THRESHOLD: usize = 32;
+
+/// Expands one BFS level, splitting it across `threads` workers. Results
+/// are returned in the same order as `level` regardless of the split.
+fn expand_level(
+    spec: &SystemSpec,
+    configs: &[Config],
+    index: &HashMap<u64, Vec<usize>>,
+    level: &[usize],
+    threads: usize,
+) -> Result<Vec<NodeExpansion>, SimError> {
+    let threads = threads.clamp(1, level.len().max(1));
+    if threads <= 1 || level.len() < PARALLEL_THRESHOLD {
+        return expand_chunk(spec, configs, index, level);
+    }
+    let chunk_size = level.len().div_ceil(threads);
+    let results: Vec<Result<Vec<NodeExpansion>, SimError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = level
+            .chunks(chunk_size)
+            .map(|chunk| s.spawn(move || expand_chunk(spec, configs, index, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("exploration worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(level.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
 }
 
 /// One outgoing edge of the configuration graph.
@@ -80,7 +218,10 @@ pub struct StateGraph {
 }
 
 impl StateGraph {
-    /// Exhaustively explores `spec` from its initial configuration.
+    /// Exhaustively explores `spec` from its initial configuration,
+    /// breadth-first. With `opts.threads > 1` each depth level is expanded
+    /// in parallel; the merge order makes the resulting graph identical
+    /// node-for-node to the sequential one.
     ///
     /// If the bound in `opts` is hit, the returned graph is marked
     /// [`truncated`](Self::is_truncated) and all analyses on it are partial.
@@ -90,41 +231,50 @@ impl StateGraph {
     /// Propagates any [`SimError`] raised while stepping.
     pub fn explore(spec: &SystemSpec, opts: &ExploreOptions) -> Result<Self, SimError> {
         let init = spec.initial_config();
-        let mut configs = vec![init.clone()];
-        let mut index: HashMap<Config, usize> = HashMap::new();
-        index.insert(init, 0);
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        index.entry(fingerprint(&init)).or_default().push(0);
+        let mut configs = vec![init];
         let mut edges: Vec<Vec<Edge>> = vec![Vec::new()];
         let mut terminals = Vec::new();
         let mut truncated = false;
 
-        let mut frontier = vec![0usize];
-        while let Some(i) = frontier.pop() {
-            let enabled = configs[i].enabled();
-            if enabled.is_empty() {
-                terminals.push(i);
-                continue;
-            }
-            for pid in enabled {
-                let succs = spec.successors(&configs[i], pid)?;
-                for (next, _info) in succs {
-                    let j = match index.get(&next) {
-                        Some(&j) => j,
-                        None => {
-                            if configs.len() >= opts.max_configs {
-                                truncated = true;
-                                continue;
+        let mut level = vec![0usize];
+        while !level.is_empty() {
+            let expansions = expand_level(spec, &configs, &index, &level, opts.threads)?;
+            let mut next_level = Vec::new();
+            for (&i, exp) in level.iter().zip(expansions) {
+                if exp.terminal {
+                    terminals.push(i);
+                    continue;
+                }
+                for (pid, step) in exp.steps {
+                    let j = match step {
+                        StepResult::Existing(j) => j,
+                        StepResult::Fresh(next, fp) => {
+                            // An earlier node of this level may have already
+                            // produced the same configuration after the
+                            // worker's snapshot; re-check before inserting.
+                            match lookup(&index, &configs, fp, &next) {
+                                Some(j) => j,
+                                None => {
+                                    if configs.len() >= opts.max_configs {
+                                        truncated = true;
+                                        continue;
+                                    }
+                                    let j = configs.len();
+                                    configs.push(next);
+                                    index.entry(fp).or_default().push(j);
+                                    edges.push(Vec::new());
+                                    next_level.push(j);
+                                    j
+                                }
                             }
-                            let j = configs.len();
-                            configs.push(next.clone());
-                            index.insert(next, j);
-                            edges.push(Vec::new());
-                            frontier.push(j);
-                            j
                         }
                     };
                     edges[i].push(Edge { pid, to: j });
                 }
             }
+            level = next_level;
         }
         terminals.sort_unstable();
         Ok(StateGraph {
@@ -475,5 +625,62 @@ mod tests {
         let g = StateGraph::explore(&race_spec(2), &ExploreOptions::default()).unwrap();
         let pids: std::collections::HashSet<_> = g.edges(0).iter().map(|e| e.pid).collect();
         assert_eq!(pids.len(), 2, "both processes can step initially");
+    }
+
+    #[test]
+    fn parallel_exploration_is_node_for_node_identical() {
+        let spec = race_spec(3);
+        let base = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        assert!(base.len() > 100, "a nontrivial graph");
+        for threads in [2usize, 3, 4, 8] {
+            let opts = ExploreOptions::default().with_threads(threads);
+            let g = StateGraph::explore(&spec, &opts).unwrap();
+            assert_eq!(g.len(), base.len(), "{threads} threads");
+            for i in 0..base.len() {
+                assert_eq!(g.config(i), base.config(i), "node {i} at {threads} threads");
+                assert_eq!(
+                    g.edges(i),
+                    base.edges(i),
+                    "edges of {i} at {threads} threads"
+                );
+            }
+            assert_eq!(g.terminals(), base.terminals(), "{threads} threads");
+            assert_eq!(g.is_truncated(), base.is_truncated());
+        }
+    }
+
+    #[test]
+    fn truncated_parallel_exploration_matches_sequential() {
+        let spec = race_spec(3);
+        let seq = ExploreOptions::with_max_configs(40);
+        let par = ExploreOptions::with_max_configs(40).with_threads(4);
+        let a = StateGraph::explore(&spec, &seq).unwrap();
+        let b = StateGraph::explore(&spec, &par).unwrap();
+        assert!(a.is_truncated() && b.is_truncated());
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.config(i), b.config(i));
+            assert_eq!(a.edges(i), b.edges(i));
+        }
+        assert_eq!(a.terminals(), b.terminals());
+    }
+
+    #[test]
+    fn colliding_fingerprints_never_merge_distinct_configs() {
+        // Cram every distinct configuration of a real graph into a single
+        // fingerprint bucket (the worst possible hash) and verify lookup
+        // still resolves each to exactly itself — dedup relies on full
+        // equality, never the fingerprint alone.
+        let g = StateGraph::explore(&race_spec(2), &ExploreOptions::default()).unwrap();
+        let configs: Vec<Config> = (0..g.len()).map(|i| g.config(i).clone()).collect();
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        index.insert(0, (0..configs.len()).collect());
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(lookup(&index, &configs, 0, c), Some(i));
+        }
+        // A configuration outside the arena is never claimed found, even
+        // when the bucket lists every node.
+        let foreign = race_spec(3).initial_config();
+        assert_eq!(lookup(&index, &configs, 0, &foreign), None);
     }
 }

@@ -108,7 +108,9 @@ impl Protocol for ApproximateAgreement {
                     .collect::<Result<_, _>>()?;
                 let lo = *seen.iter().min().expect("own estimate present");
                 let hi = *seen.iter().max().expect("own estimate present");
-                let mid = lo.midpoint(hi);
+                // `i64::midpoint` needs Rust 1.87; stay on MSRV 1.75.
+                // `lo <= hi`, so `lo + (hi - lo) / 2` cannot overflow.
+                let mid = lo + (hi - lo) / 2;
                 let next_round = round + 1;
                 if next_round >= self.rounds {
                     return Ok(Action::Decide(Value::Int(mid)));

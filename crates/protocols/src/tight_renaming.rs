@@ -207,11 +207,13 @@ mod tests {
                 RandomScheduler::seeded(seed),
                 [Pid::new(2), Pid::new(3)],
             );
-            let out =
-                run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
+            let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
             for i in [0usize, 1] {
                 let name = out.decisions()[i].as_ref().unwrap().as_index().unwrap();
-                assert!(name <= 2, "adaptive bound violated: name {name} (seed {seed})");
+                assert!(
+                    name <= 2,
+                    "adaptive bound violated: name {name} (seed {seed})"
+                );
             }
         }
     }

@@ -43,7 +43,7 @@ pub(crate) fn index_field(local: &Value, i: usize) -> Result<usize, ProtocolErro
 }
 
 /// Extracts the response to the previous invocation, failing if absent.
-pub(crate) fn need_resp<'a>(resp: Option<&'a Value>) -> Result<&'a Value, ProtocolError> {
+pub(crate) fn need_resp(resp: Option<&Value>) -> Result<&Value, ProtocolError> {
     resp.ok_or_else(|| ProtocolError::new("expected a response from the previous step"))
 }
 

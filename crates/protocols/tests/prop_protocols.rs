@@ -1,29 +1,31 @@
-//! Property-based tests across the protocol library: randomized schedules,
+//! Randomized tests across the protocol library: randomized schedules,
 //! participant subsets and workloads, with the task/linearizability
 //! validators as oracles.
+//!
+//! Formerly `proptest`-based; rewritten over the in-tree seeded
+//! [`SmallRng`] so the workspace builds with no external dependencies.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use subconsensus_objects::{RegisterArray, Snapshot};
 use subconsensus_protocols::{
     grid_cells, GridRenaming, ImmediateSnapshot, SafeAgreement, SnapshotFromRegisters,
 };
 use subconsensus_sim::{
     check_linearizable, run, run_concurrent, BaseObjects, FirstOutcome, Implementation, Op,
-    Protocol, RandomScheduler, RunOptions, SystemBuilder, Value,
+    Protocol, RandomScheduler, RunOptions, SmallRng, SystemBuilder, Value,
 };
 use subconsensus_tasks::{ImmediateSnapshotTask, RenamingTask, Task};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn renaming_names_distinct_for_any_participants_and_schedule(
-        k in 2usize..5,
-        seed in 0u64..10_000,
-        name_salt in 1i64..1_000_000,
-    ) {
+#[test]
+fn renaming_names_distinct_for_any_participants_and_schedule() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let k = 2 + rng.gen_index(3);
+        let seed = rng.next_u64() % 10_000;
+        let name_salt = rng.gen_range_i64(1, 1_000_000);
         let mut b = SystemBuilder::new();
         let regs = b.add_object(RegisterArray::new(GridRenaming::registers_needed(k)));
         let p: Arc<dyn Protocol> = Arc::new(GridRenaming::new(regs, k));
@@ -31,19 +33,22 @@ proptest! {
         let spec = b.build();
         let mut sched = RandomScheduler::seeded(seed);
         let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
-        prop_assert!(out.reached_final);
-        let inputs: Vec<Value> =
-            (0..k).map(|i| Value::Int(name_salt + 31 * i as i64)).collect();
+        assert!(out.reached_final, "case {case}");
+        let inputs: Vec<Value> = (0..k)
+            .map(|i| Value::Int(name_salt + 31 * i as i64))
+            .collect();
         RenamingTask::new(grid_cells(k))
             .check(&inputs, &out.decisions())
-            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+            .unwrap_or_else(|v| panic!("case {case}: {v}"));
     }
+}
 
-    #[test]
-    fn immediate_snapshot_views_are_well_formed_under_any_schedule(
-        n in 2usize..5,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn immediate_snapshot_views_are_well_formed_under_any_schedule() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 2 + rng.gen_index(3);
+        let seed = rng.next_u64() % 10_000;
         let mut b = SystemBuilder::new();
         let snap = b.add_object(Snapshot::new(n));
         let p: Arc<dyn Protocol> = Arc::new(ImmediateSnapshot::new(snap, n));
@@ -51,18 +56,20 @@ proptest! {
         let spec = b.build();
         let mut sched = RandomScheduler::seeded(seed);
         let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
-        prop_assert!(out.reached_final);
+        assert!(out.reached_final, "case {case}");
         let inputs: Vec<Value> = (0..n).map(|i| Value::Int(100 + i as i64)).collect();
         ImmediateSnapshotTask::new()
             .check(&inputs, &out.decisions())
-            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+            .unwrap_or_else(|v| panic!("case {case}: {v}"));
     }
+}
 
-    #[test]
-    fn safe_agreement_agrees_under_any_fair_schedule(
-        n in 2usize..5,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn safe_agreement_agrees_under_any_fair_schedule() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 2 + rng.gen_index(3);
+        let seed = rng.next_u64() % 10_000;
         let mut b = SystemBuilder::new();
         let snap = b.add_object(Snapshot::new(n));
         let p: Arc<dyn Protocol> = Arc::new(SafeAgreement::new(snap, n));
@@ -70,16 +77,20 @@ proptest! {
         let spec = b.build();
         let mut sched = RandomScheduler::seeded(seed);
         let out = run(&spec, &mut sched, &mut FirstOutcome, &RunOptions::default()).unwrap();
-        prop_assert!(out.reached_final, "fair schedules terminate");
-        prop_assert_eq!(out.decided_values().len(), 1, "agreement");
+        assert!(out.reached_final, "case {case}: fair schedules terminate");
+        assert_eq!(out.decided_values().len(), 1, "case {case}: agreement");
     }
+}
 
-    #[test]
-    fn snapshot_linearizes_under_random_small_workloads(
-        n in 2usize..4,
-        seed in 0u64..10_000,
-        plan in prop::collection::vec(0u8..3, 2..7),
-    ) {
+#[test]
+fn snapshot_linearizes_under_random_small_workloads() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 2 + rng.gen_index(2);
+        let seed = rng.next_u64() % 10_000;
+        let plan: Vec<u8> = (0..2 + rng.gen_index(5))
+            .map(|_| rng.gen_index(3) as u8)
+            .collect();
         // Build a workload: each plan entry assigns an op to a process.
         let mut bank = BaseObjects::new();
         let regs = bank.add(RegisterArray::new(n));
@@ -89,22 +100,26 @@ proptest! {
             let p = step % n;
             let op = match kind {
                 0 => Op::new("scan"),
-                _ => Op::binary(
-                    "update",
-                    Value::from(p),
-                    Value::Int(1000 + step as i64),
-                ),
+                _ => Op::binary("update", Value::from(p), Value::Int(1000 + step as i64)),
             };
             workload[p].push(op);
         }
         let mut sched = RandomScheduler::seeded(seed);
-        let out = run_concurrent(&bank, &im, workload, &mut sched, &mut FirstOutcome, 1_000_000)
-            .unwrap();
-        prop_assert!(out.reached_final);
+        let out = run_concurrent(
+            &bank,
+            &im,
+            workload,
+            &mut sched,
+            &mut FirstOutcome,
+            1_000_000,
+        )
+        .unwrap();
+        assert!(out.reached_final, "case {case}");
         let spec = Snapshot::new(n);
-        prop_assert!(
+        assert!(
             check_linearizable(&out.history, &spec).unwrap().is_some(),
-            "history:\n{}", out.history
+            "case {case}, history:\n{}",
+            out.history
         );
     }
 }

@@ -12,7 +12,8 @@
 //! adds them: a rejection is always a genuine linearizability violation,
 //! while borderline acceptances are conservative.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use subconsensus_sim::{History, Op, OpId, Pid, Value};
 
 use crate::grouped::Grouped;
@@ -37,6 +38,7 @@ impl HistoryRecorder {
     pub fn invoke(&self, tid: usize, op: Op) -> OpId {
         self.inner
             .lock()
+            .expect("history lock poisoned")
             .invoke(Pid::new(tid), op)
             .expect("one op in flight per thread")
     }
@@ -49,13 +51,14 @@ impl HistoryRecorder {
     pub fn respond(&self, id: OpId, response: Value) {
         self.inner
             .lock()
+            .expect("history lock poisoned")
             .respond(id, response)
             .expect("response matches an in-flight op");
     }
 
     /// Extracts the recorded history.
     pub fn into_history(self) -> History {
-        self.inner.into_inner()
+        self.inner.into_inner().expect("history lock poisoned")
     }
 }
 
@@ -66,19 +69,18 @@ impl HistoryRecorder {
 /// Returns the recorded history for linearizability checking.
 pub fn record_grouped_run<G: Grouped>(obj: &G, values: &[u64]) -> History {
     let recorder = HistoryRecorder::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (tid, &v) in values.iter().enumerate() {
             let recorder = &recorder;
             let obj = &obj;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let id = recorder.invoke(tid, Op::unary("propose", Value::Int(v as i64)));
                 if let Some(out) = obj.propose(v) {
                     recorder.respond(id, Value::Int(out.response as i64));
                 }
             });
         }
-    })
-    .expect("threads join");
+    });
     recorder.into_history()
 }
 

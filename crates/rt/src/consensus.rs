@@ -62,8 +62,8 @@ impl CasConsensus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
     use std::collections::BTreeSet;
+    use std::sync::Mutex;
 
     #[test]
     fn undecided_reads_none() {
@@ -75,18 +75,17 @@ mod tests {
         for _ in 0..100 {
             let c = CasConsensus::new();
             let decisions: Mutex<Vec<u64>> = Mutex::new(Vec::new());
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 for t in 0..8u64 {
                     let c = &c;
                     let decisions = &decisions;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let d = c.propose(100 + t);
-                        decisions.lock().push(d);
+                        decisions.lock().unwrap().push(d);
                     });
                 }
-            })
-            .unwrap();
-            let decisions = decisions.into_inner();
+            });
+            let decisions = decisions.into_inner().unwrap();
             let distinct: BTreeSet<u64> = decisions.iter().copied().collect();
             assert_eq!(distinct.len(), 1, "agreement");
             let d = *distinct.iter().next().unwrap();

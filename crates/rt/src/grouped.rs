@@ -16,8 +16,7 @@
 //! resource leak, not an experiment).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Sentinel marking an unpublished slot. Proposals must not use it.
 pub const EMPTY: u64 = u64::MAX;
@@ -144,7 +143,7 @@ impl LockedGrouped {
 impl Grouped for LockedGrouped {
     fn propose(&self, v: u64) -> Option<ProposeOutcome> {
         assert_ne!(v, EMPTY, "EMPTY is reserved");
-        let mut proposals = self.proposals.lock();
+        let mut proposals = self.proposals.lock().expect("proposals lock poisoned");
         let ticket = proposals.len();
         if ticket >= self.capacity {
             return None;
@@ -241,20 +240,19 @@ mod tests {
 
     fn exercise_concurrent(obj: &dyn Grouped, threads: usize) {
         let outcomes: Mutex<Vec<(u64, ProposeOutcome)>> = Mutex::new(Vec::new());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let outcomes = &outcomes;
                 let obj = &obj;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let v = 1000 + t as u64;
                     if let Some(o) = obj.propose(v) {
-                        outcomes.lock().push((v, o));
+                        outcomes.lock().unwrap().push((v, o));
                     }
                 });
             }
-        })
-        .unwrap();
-        let outcomes = outcomes.into_inner();
+        });
+        let outcomes = outcomes.into_inner().unwrap();
         let expected = threads.min(obj.capacity());
         assert_eq!(outcomes.len(), expected);
         verify_grouped_semantics(obj.group_size(), &outcomes).unwrap();

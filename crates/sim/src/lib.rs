@@ -85,6 +85,7 @@ mod linearize;
 mod object;
 mod op;
 mod protocol;
+mod rng;
 mod runner;
 mod sched;
 mod system;
@@ -100,11 +101,14 @@ pub use linearize::{check_linearizable, is_linearizable, LinearizeError, MAX_OPS
 pub use object::{audit_determinism, DeterminismViolation, ObjectSpec, Outcome};
 pub use op::Op;
 pub use protocol::{Action, ProcCtx, Protocol};
+pub use rng::SmallRng;
 pub use runner::{run, run_from, RunOptions, RunOutcome};
 pub use sched::{
     CrashScheduler, FirstOutcome, OutcomeChooser, PriorityScheduler, RandomScheduler,
     ReplayChooser, ReplayScheduler, RoundRobin, Scheduler,
 };
-pub use system::{Config, ProcState, ProcStatus, StepInfo, SystemBuilder, SystemSpec};
+pub use system::{
+    Config, EnabledIter, EnabledSet, ProcState, ProcStatus, StepInfo, SystemBuilder, SystemSpec,
+};
 pub use trace::{Trace, TraceEvent};
 pub use value::Value;

@@ -3,10 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::ids::Pid;
+use crate::rng::SmallRng;
 
 /// A scheduler picks, at each point of the execution, which enabled process
 /// takes the next step — this is the *adversary* of the asynchronous model.
@@ -72,14 +70,14 @@ impl Scheduler for RoundRobin {
 /// [`OutcomeChooser`].
 #[derive(Clone, Debug)]
 pub struct RandomScheduler {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomScheduler {
     /// Creates a random scheduler from a seed (same seed ⇒ same schedule).
     pub fn seeded(seed: u64) -> Self {
         RandomScheduler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 }
@@ -89,13 +87,13 @@ impl Scheduler for RandomScheduler {
         if enabled.is_empty() {
             return None;
         }
-        Some(enabled[self.rng.gen_range(0..enabled.len())])
+        Some(enabled[self.rng.gen_index(enabled.len())])
     }
 }
 
 impl OutcomeChooser for RandomScheduler {
     fn choose(&mut self, count: usize) -> usize {
-        self.rng.gen_range(0..count)
+        self.rng.gen_index(count)
     }
 }
 
@@ -193,7 +191,8 @@ impl<S: Scheduler> Scheduler for CrashScheduler<S> {
             .copied()
             .filter(|p| {
                 let taken = self.taken.get(p).copied().unwrap_or(0);
-                self.budget.get(p).is_none_or(|b| taken < *b)
+                // `Option::is_none_or` needs Rust 1.82; stay on MSRV 1.75.
+                !self.budget.get(p).is_some_and(|b| taken >= *b)
             })
             .collect();
         if alive.is_empty() {

@@ -55,18 +55,86 @@ pub struct ProcState {
     pub status: ProcStatus,
 }
 
+/// A word-sized set of process ids, iterated in ascending order.
+///
+/// The allocation-free replacement for collecting enabled pids into a
+/// `Vec<Pid>` on the model checker's hot path. Capped at 64 processes —
+/// far beyond anything an exhaustive state-space exploration can handle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnabledSet {
+    bits: u64,
+}
+
+impl EnabledSet {
+    /// Returns `true` if no process is in the set.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Returns the number of processes in the set.
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Returns `true` if `pid` is in the set.
+    pub fn contains(self, pid: Pid) -> bool {
+        pid.index() < 64 && self.bits & (1 << pid.index()) != 0
+    }
+
+    /// Iterates the pids in ascending order.
+    pub fn iter(self) -> EnabledIter {
+        EnabledIter { bits: self.bits }
+    }
+}
+
+impl IntoIterator for EnabledSet {
+    type Item = Pid;
+    type IntoIter = EnabledIter;
+
+    fn into_iter(self) -> EnabledIter {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over an [`EnabledSet`].
+#[derive(Clone, Debug)]
+pub struct EnabledIter {
+    bits: u64,
+}
+
+impl Iterator for EnabledIter {
+    type Item = Pid;
+
+    fn next(&mut self) -> Option<Pid> {
+        if self.bits == 0 {
+            return None;
+        }
+        let i = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(Pid::new(i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EnabledIter {}
+
 /// A configuration: the state of every shared object and every process.
 ///
 /// Configurations are cheap to clone, hash and compare, which the model
-/// checker exploits for visited-set deduplication. Object states are held
-/// behind [`Arc`]s so cloning a configuration is shallow — a step on one
-/// object replaces one `Arc` and shares the rest, which keeps systems with
-/// hundreds of objects (e.g. the Algorithm-3 tables of the `wrn`
-/// extension) cheap to explore.
+/// checker exploits for visited-set deduplication. Object *and process*
+/// states are held behind [`Arc`]s so cloning a configuration is shallow —
+/// a step replaces one object `Arc` and one process `Arc` and shares the
+/// rest, which keeps cloning O(objects + procs) pointer bumps regardless
+/// of how large the individual states grow (e.g. the Algorithm-3 tables
+/// of the `wrn` extension).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Config {
     objects: Vec<Arc<Value>>,
-    procs: Vec<ProcState>,
+    procs: Vec<Arc<ProcState>>,
 }
 
 impl Config {
@@ -89,7 +157,35 @@ impl Config {
         &self.procs[pid.index()]
     }
 
+    /// Returns the enabled processes as an allocation-free bitset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has more than 64 processes (well beyond the
+    /// reach of exhaustive exploration).
+    pub fn enabled_set(&self) -> EnabledSet {
+        assert!(
+            self.procs.len() <= 64,
+            "EnabledSet supports at most 64 processes"
+        );
+        let mut bits = 0u64;
+        for (i, p) in self.procs.iter().enumerate() {
+            if p.status.is_enabled() {
+                bits |= 1 << i;
+            }
+        }
+        EnabledSet { bits }
+    }
+
+    /// Iterates the pids that may still take a step, in ascending order,
+    /// without allocating.
+    pub fn enabled_iter(&self) -> EnabledIter {
+        self.enabled_set().iter()
+    }
+
     /// Returns the pids that may still take a step.
+    ///
+    /// Allocates; hot paths should prefer [`Config::enabled_iter`].
     pub fn enabled(&self) -> Vec<Pid> {
         self.procs
             .iter()
@@ -202,15 +298,19 @@ impl SystemSpec {
 
     /// Builds the initial configuration.
     pub fn initial_config(&self) -> Config {
-        let objects = self.objects.iter().map(|o| Arc::new(o.initial_state())).collect();
+        let objects = self
+            .objects
+            .iter()
+            .map(|o| Arc::new(o.initial_state()))
+            .collect();
         let procs = (0..self.nprocs())
             .map(|i| {
                 let pid = Pid::new(i);
-                ProcState {
+                Arc::new(ProcState {
                     local: self.protocols[i].start(&self.ctx(pid)),
                     resp: None,
                     status: ProcStatus::Fresh,
-                }
+                })
             })
             .collect();
         Config { objects, procs }
@@ -221,7 +321,13 @@ impl SystemSpec {
     ///
     /// Deterministic systems produce exactly one successor; a step whose
     /// operation targets a nondeterministic object produces one successor
-    /// per outcome.
+    /// per *distinct* outcome — outcomes yielding identical configurations
+    /// are deduplicated, so the model checker never records parallel edges
+    /// to the same state.
+    ///
+    /// Cloning copies only `Arc` pointers; the stepped process (and the
+    /// touched object, for invocations) get fresh `Arc`s, everything else
+    /// is shared with `config`.
     ///
     /// # Errors
     ///
@@ -247,8 +353,11 @@ impl SystemSpec {
         match action {
             Action::Decide(v) => {
                 let mut next = config.clone();
-                next.procs[i].status = ProcStatus::Decided(v.clone());
-                next.procs[i].resp = None;
+                next.procs[i] = Arc::new(ProcState {
+                    local: proc.local.clone(),
+                    resp: None,
+                    status: ProcStatus::Decided(v.clone()),
+                });
                 Ok(vec![(next, StepInfo::Decided(v))])
             }
             Action::Invoke { local, obj, op } => {
@@ -262,38 +371,34 @@ impl SystemSpec {
                 if outcomes.is_empty() {
                     return Err(SimError::NoOutcomes { obj, pid });
                 }
-                let mut succs = Vec::with_capacity(outcomes.len());
+                let mut succs: Vec<(Config, StepInfo)> = Vec::with_capacity(outcomes.len());
                 for out in outcomes {
                     let mut next = config.clone();
                     next.objects[obj.index()] = Arc::new(out.state);
-                    let p = &mut next.procs[i];
-                    p.local = local.clone();
-                    match out.response {
-                        Some(resp) => {
-                            p.resp = Some(resp.clone());
-                            p.status = ProcStatus::Running;
-                            succs.push((
-                                next,
-                                StepInfo::Invoked {
-                                    obj,
-                                    op: op.clone(),
-                                    resp: Some(resp),
-                                },
-                            ));
-                        }
-                        None => {
-                            p.resp = None;
-                            p.status = ProcStatus::Hung;
-                            succs.push((
-                                next,
-                                StepInfo::Invoked {
-                                    obj,
-                                    op: op.clone(),
-                                    resp: None,
-                                },
-                            ));
-                        }
+                    let (resp, status) = match out.response {
+                        Some(resp) => (Some(resp), ProcStatus::Running),
+                        None => (None, ProcStatus::Hung),
+                    };
+                    next.procs[i] = Arc::new(ProcState {
+                        local: local.clone(),
+                        resp: resp.clone(),
+                        status,
+                    });
+                    // Identical configurations imply identical StepInfo
+                    // (the response is part of the process state), so a
+                    // pairwise config scan over the short outcome list
+                    // suffices to dedup.
+                    if succs.iter().any(|(c, _)| *c == next) {
+                        continue;
                     }
+                    succs.push((
+                        next,
+                        StepInfo::Invoked {
+                            obj,
+                            op: op.clone(),
+                            resp,
+                        },
+                    ));
                 }
                 Ok(succs)
             }
@@ -589,6 +694,85 @@ mod tests {
         assert_eq!(spec.nobjects(), 4);
         assert_eq!(spec.object(ObjId::new(2)).unwrap().type_name(), "reg");
         assert!(spec.object(ObjId::new(4)).is_none());
+    }
+
+    /// A register whose only operation nondeterministically flips to one of
+    /// the given states — with deliberate duplicates among the outcomes.
+    #[derive(Debug)]
+    struct Flaky {
+        states: Vec<Value>,
+    }
+
+    impl ObjectSpec for Flaky {
+        fn type_name(&self) -> &'static str {
+            "flaky"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, _state: &Value, _op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            Ok(self
+                .states
+                .iter()
+                .map(|s| Outcome::ret(s.clone(), Value::Nil))
+                .collect())
+        }
+    }
+
+    #[test]
+    fn enabled_set_matches_enabled_vec() {
+        let spec = solo_system();
+        let mut c = spec.initial_config();
+        for _ in 0..4 {
+            let set = c.enabled_set();
+            assert_eq!(set.iter().collect::<Vec<_>>(), c.enabled());
+            assert_eq!(set.len(), c.enabled().len());
+            assert_eq!(set.is_empty(), c.enabled().is_empty());
+            for p in 0..c.nprocs() {
+                assert_eq!(
+                    set.contains(Pid::new(p)),
+                    c.enabled().contains(&Pid::new(p))
+                );
+            }
+            if c.is_final() {
+                break;
+            }
+            c = spec.successors(&c, Pid::new(0)).unwrap().pop().unwrap().0;
+        }
+        assert!(c.is_final());
+        assert!(c.enabled_set().is_empty());
+        assert_eq!(c.enabled_iter().next(), None);
+    }
+
+    #[test]
+    fn cloning_shares_unstepped_state() {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        let p: Arc<dyn Protocol> = Arc::new(WriteReadDecide { reg });
+        b.add_process(Arc::clone(&p), Value::Int(1));
+        b.add_process(p, Value::Int(2));
+        let spec = b.build();
+        let c0 = spec.initial_config();
+        let (c1, _) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        // P0's state was rebuilt; P1's is pointer-shared with c0.
+        assert!(!Arc::ptr_eq(&c0.procs[0], &c1.procs[0]));
+        assert!(Arc::ptr_eq(&c0.procs[1], &c1.procs[1]));
+    }
+
+    #[test]
+    fn duplicate_outcomes_yield_one_successor() {
+        let mut b = SystemBuilder::new();
+        let obj = b.add_object(Flaky {
+            states: vec![Value::Int(1), Value::Int(2), Value::Int(1)],
+        });
+        b.add_process(Arc::new(Toucher { obj }), Value::Nil);
+        let spec = b.build();
+        let c0 = spec.initial_config();
+        let succs = spec.successors(&c0, Pid::new(0)).unwrap();
+        assert_eq!(succs.len(), 2, "the duplicated outcome must collapse");
+        assert_ne!(succs[0].0, succs[1].0);
     }
 
     #[test]

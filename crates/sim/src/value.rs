@@ -24,9 +24,10 @@ use std::fmt;
 /// assert_eq!(v.index(0).and_then(Value::as_int), Some(3));
 /// assert!(v.index(1).is_some_and(Value::is_nil));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// The distinguished empty value, written `⊥` in the paper.
+    #[default]
     Nil,
     /// A boolean.
     Bool(bool),
@@ -107,6 +108,10 @@ impl Value {
     }
 
     /// Returns the number of elements if this value is a tuple, else `None`.
+    ///
+    /// There is deliberately no `is_empty`: `None` (not a tuple) and
+    /// `Some(true)` (empty tuple) would be too easy to conflate.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> Option<usize> {
         self.as_tup().map(<[Value]>::len)
     }
@@ -123,12 +128,6 @@ impl Value {
         let mut items = items.to_vec();
         items[i] = v;
         Some(Value::Tup(items))
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Nil
     }
 }
 
@@ -253,7 +252,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![Value::Int(2), Value::Nil, Value::Sym("a"), Value::Int(1)];
+        let mut vs = [Value::Int(2), Value::Nil, Value::Sym("a"), Value::Int(1)];
         vs.sort();
         assert_eq!(vs[0], Value::Nil);
     }

@@ -1,10 +1,12 @@
-//! Property-based tests for the linearizability checker: histories obtained
+//! Randomized tests for the linearizability checker: histories obtained
 //! by *sequentially applying* a spec are always accepted; corrupting a
 //! response in a sequential history is always rejected.
+//!
+//! Formerly `proptest`-based; rewritten over the in-tree seeded
+//! [`SmallRng`] so the workspace builds with no external dependencies.
 
-use proptest::prelude::*;
 use subconsensus_sim::{
-    check_linearizable, History, ObjectError, ObjectSpec, Op, Outcome, Pid, Value,
+    check_linearizable, History, ObjectError, ObjectSpec, Op, Outcome, Pid, SmallRng, Value,
 };
 
 /// A FIFO queue spec for reference.
@@ -48,8 +50,19 @@ enum QOp {
     Deq,
 }
 
-fn qop_strategy() -> impl Strategy<Value = QOp> {
-    prop_oneof![(0i64..5).prop_map(QOp::Enq), Just(QOp::Deq)]
+fn arb_qop(rng: &mut SmallRng) -> QOp {
+    if rng.gen_bool() {
+        QOp::Enq(rng.gen_range_i64(0, 5))
+    } else {
+        QOp::Deq
+    }
+}
+
+fn to_op(qop: &QOp) -> Op {
+    match qop {
+        QOp::Enq(v) => Op::unary("enq", Value::Int(*v)),
+        QOp::Deq => Op::new("deq"),
+    }
 }
 
 /// Builds the sequential history of applying `ops` round-robin across
@@ -59,10 +72,7 @@ fn sequential_history(ops: &[QOp], nprocs: usize) -> History {
     let mut state = spec.initial_state();
     let mut h = History::new();
     for (i, qop) in ops.iter().enumerate() {
-        let op = match qop {
-            QOp::Enq(v) => Op::unary("enq", Value::Int(*v)),
-            QOp::Deq => Op::new("deq"),
-        };
+        let op = to_op(qop);
         let pid = Pid::new(i % nprocs);
         let id = h.invoke(pid, op.clone()).unwrap();
         let out = spec.apply(&state, &op).unwrap().remove(0);
@@ -72,33 +82,34 @@ fn sequential_history(ops: &[QOp], nprocs: usize) -> History {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sequential_histories_always_linearize(
-        ops in prop::collection::vec(qop_strategy(), 0..10),
-        nprocs in 1usize..4,
-    ) {
+#[test]
+fn sequential_histories_always_linearize() {
+    for case in 0..64 {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let ops: Vec<QOp> = (0..rng.gen_index(10)).map(|_| arb_qop(&mut rng)).collect();
+        let nprocs = 1 + rng.gen_index(3);
         let h = sequential_history(&ops, nprocs);
-        prop_assert!(check_linearizable(&h, &Queue).unwrap().is_some());
+        assert!(
+            check_linearizable(&h, &Queue).unwrap().is_some(),
+            "case {case}:\n{h}"
+        );
     }
+}
 
-    #[test]
-    fn corrupting_a_nonempty_dequeue_is_rejected(
-        prefix in prop::collection::vec((0i64..5).prop_map(QOp::Enq), 1..6),
-    ) {
+#[test]
+fn corrupting_a_nonempty_dequeue_is_rejected() {
+    for case in 0..64 {
+        let mut rng = SmallRng::seed_from_u64(case);
         // enq…enq deq — then lie about the dequeued value.
-        let mut ops = prefix.clone();
+        let mut ops: Vec<QOp> = (0..1 + rng.gen_index(5))
+            .map(|_| QOp::Enq(rng.gen_range_i64(0, 5)))
+            .collect();
         ops.push(QOp::Deq);
         let spec = Queue;
         let mut state = spec.initial_state();
         let mut h = History::new();
         for (i, qop) in ops.iter().enumerate() {
-            let op = match qop {
-                QOp::Enq(v) => Op::unary("enq", Value::Int(*v)),
-                QOp::Deq => Op::new("deq"),
-            };
+            let op = to_op(qop);
             let id = h.invoke(Pid::new(i % 2), op.clone()).unwrap();
             let out = spec.apply(&state, &op).unwrap().remove(0);
             state = out.state;
@@ -109,13 +120,20 @@ proptest! {
             };
             h.respond(id, resp).unwrap();
         }
-        prop_assert!(check_linearizable(&h, &Queue).unwrap().is_none());
+        assert!(
+            check_linearizable(&h, &Queue).unwrap().is_none(),
+            "case {case}:\n{h}"
+        );
     }
+}
 
-    #[test]
-    fn dropping_the_final_response_keeps_linearizability(
-        ops in prop::collection::vec(qop_strategy(), 1..8),
-    ) {
+#[test]
+fn dropping_the_final_response_keeps_linearizability() {
+    for case in 0..64 {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let ops: Vec<QOp> = (0..1 + rng.gen_index(7))
+            .map(|_| arb_qop(&mut rng))
+            .collect();
         // Rebuild the sequential history but leave the last op pending:
         // pending ops may take effect or be dropped, so this must stay
         // linearizable.
@@ -124,10 +142,7 @@ proptest! {
         let mut h = History::new();
         let last = ops.len() - 1;
         for (i, qop) in ops.iter().enumerate() {
-            let op = match qop {
-                QOp::Enq(v) => Op::unary("enq", Value::Int(*v)),
-                QOp::Deq => Op::new("deq"),
-            };
+            let op = to_op(qop);
             let id = h.invoke(Pid::new(i % 3), op.clone()).unwrap();
             let out = spec.apply(&state, &op).unwrap().remove(0);
             state = out.state;
@@ -135,6 +150,9 @@ proptest! {
                 h.respond(id, out.response.unwrap()).unwrap();
             }
         }
-        prop_assert!(check_linearizable(&h, &Queue).unwrap().is_some());
+        assert!(
+            check_linearizable(&h, &Queue).unwrap().is_some(),
+            "case {case}:\n{h}"
+        );
     }
 }

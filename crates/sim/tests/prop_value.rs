@@ -1,71 +1,97 @@
-//! Property-based tests for the universal value domain.
+//! Randomized property tests for the universal value domain.
+//!
+//! Formerly written with `proptest`; rewritten over the in-tree seeded
+//! [`SmallRng`] so the workspace builds with no external dependencies.
+//! Each test fixes a seed per case, so failures replay deterministically.
 
-use proptest::prelude::*;
-use subconsensus_sim::Value;
+use subconsensus_sim::{SmallRng, Value};
 
-/// Strategy producing arbitrary (bounded-depth) values.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Nil),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        prop_oneof![Just("a"), Just("b"), Just("opened")].prop_map(Value::Sym),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop::collection::vec(inner, 0..4).prop_map(Value::Tup)
-    })
+const CASES: u64 = 512;
+
+/// Generates an arbitrary value of bounded depth.
+fn arb_value(rng: &mut SmallRng, depth: usize) -> Value {
+    let variants = if depth == 0 { 4 } else { 5 };
+    match rng.gen_index(variants) {
+        0 => Value::Nil,
+        1 => Value::Bool(rng.gen_bool()),
+        2 => Value::Int(rng.gen_range_i64(i64::MIN / 2, i64::MAX / 2)),
+        3 => Value::Sym(["a", "b", "opened"][rng.gen_index(3)]),
+        _ => {
+            let len = rng.gen_index(4);
+            Value::Tup((0..len).map(|_| arb_value(rng, depth - 1)).collect())
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn ordering_is_total_and_consistent(a in value_strategy(), b in value_strategy()) {
-        use std::cmp::Ordering;
+#[test]
+fn ordering_is_total_and_consistent() {
+    use std::cmp::Ordering;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = arb_value(&mut rng, 3);
+        let b = arb_value(&mut rng, 3);
         let ord = a.cmp(&b);
-        prop_assert_eq!(b.cmp(&a), ord.reverse());
-        prop_assert_eq!(ord == Ordering::Equal, a == b);
+        assert_eq!(b.cmp(&a), ord.reverse(), "case {case}: {a} vs {b}");
+        assert_eq!(ord == Ordering::Equal, a == b, "case {case}: {a} vs {b}");
     }
+}
 
-    #[test]
-    fn hash_respects_equality(a in value_strategy()) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
+#[test]
+fn hash_respects_equality() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = arb_value(&mut rng, 3);
         let b = a.clone();
         let mut ha = DefaultHasher::new();
         let mut hb = DefaultHasher::new();
         a.hash(&mut ha);
         b.hash(&mut hb);
-        prop_assert_eq!(ha.finish(), hb.finish());
+        assert_eq!(ha.finish(), hb.finish(), "case {case}: {a}");
     }
+}
 
-    #[test]
-    fn with_index_then_index_roundtrips(
-        items in prop::collection::vec(value_strategy(), 1..6),
-        replacement in value_strategy(),
-        idx in 0usize..6,
-    ) {
+#[test]
+fn with_index_then_index_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let items: Vec<Value> = (0..1 + rng.gen_index(5))
+            .map(|_| arb_value(&mut rng, 2))
+            .collect();
+        let replacement = arb_value(&mut rng, 2);
+        let idx = rng.gen_index(6);
         let t = Value::Tup(items.clone());
         match t.with_index(idx, replacement.clone()) {
             Some(updated) => {
-                prop_assert!(idx < items.len());
-                prop_assert_eq!(updated.index(idx), Some(&replacement));
+                assert!(idx < items.len(), "case {case}");
+                assert_eq!(updated.index(idx), Some(&replacement), "case {case}");
                 // All other positions unchanged.
                 for (i, orig) in items.iter().enumerate() {
                     if i != idx {
-                        prop_assert_eq!(updated.index(i), Some(orig));
+                        assert_eq!(updated.index(i), Some(orig), "case {case}");
                     }
                 }
             }
-            None => prop_assert!(idx >= items.len()),
+            None => assert!(idx >= items.len(), "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn display_is_stable_under_clone(a in value_strategy()) {
-        prop_assert_eq!(a.to_string(), a.clone().to_string());
+#[test]
+fn display_is_stable_under_clone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = arb_value(&mut rng, 3);
+        assert_eq!(a.to_string(), a.clone().to_string(), "case {case}");
     }
+}
 
-    #[test]
-    fn accessors_partition_the_variants(a in value_strategy()) {
+#[test]
+fn accessors_partition_the_variants() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = arb_value(&mut rng, 3);
         let hits = [
             a.is_nil(),
             a.as_bool().is_some(),
@@ -73,6 +99,10 @@ proptest! {
             a.as_sym().is_some(),
             a.as_tup().is_some(),
         ];
-        prop_assert_eq!(hits.iter().filter(|h| **h).count(), 1);
+        assert_eq!(
+            hits.iter().filter(|h| **h).count(),
+            1,
+            "case {case}: {a} must match exactly one accessor"
+        );
     }
 }

@@ -38,7 +38,7 @@ fn main() {
                 print!(
                     "{:>9}",
                     if yes {
-                        format!("yes")
+                        "yes".to_string()
                     } else {
                         format!("no:{bound}")
                     }

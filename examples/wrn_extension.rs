@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.decided_values().len(),
             k - 1
         );
-        assert!(out.decided_values().len() <= k - 1);
+        assert!(out.decided_values().len() < k);
     }
 
     println!("\n── the infinite WRN hierarchy (strictly decreasing powers) ──\n");

@@ -23,7 +23,10 @@ fn consensus_and_swap_objects_admit_protocols() {
     // (decide own), otherwise decide what you got — the classic protocol,
     // which the search must rediscover among the 18 trees per role.
     let swap_class = ProtocolClass {
-        ops: vec![Op::unary("swap", Value::Int(0)), Op::unary("swap", Value::Int(1))],
+        ops: vec![
+            Op::unary("swap", Value::Int(0)),
+            Op::unary("swap", Value::Int(1)),
+        ],
         responses: vec![Value::Nil, Value::Int(0), Value::Int(1)],
         max_depth: 1,
     };
