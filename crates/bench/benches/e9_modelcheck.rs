@@ -1,68 +1,199 @@
 //! Experiment E9: model-checker exploration throughput.
 //!
 //! Times `StateGraph::explore` on the E1 (grouped family) and E4
-//! (partitioned agreement) fixtures across thread counts, and writes a
-//! machine-readable `BENCH_modelcheck.json` at the repo root with
-//! configs/sec, peak configuration counts and thread counts, so perf
-//! regressions are diffable across commits.
+//! (partitioned agreement) fixtures across thread counts and with symmetry
+//! reduction on/off, and writes a machine-readable `BENCH_modelcheck.json`
+//! at the repo root with configs/sec, peak configuration counts and the
+//! orbit-quotient reduction ratio, so perf regressions are diffable across
+//! commits. A `meta` block records the hardware thread count, git revision
+//! and harness iteration budgets that produced the numbers.
+//!
+//! `BENCH_SMOKE=1` runs every kernel twice with no warm-up (see
+//! `harness::smoke_mode`) so `scripts/check.sh` can catch bench bit-rot.
 
 use std::path::Path;
 
-use subconsensus_bench::harness::{BenchmarkId, Criterion};
-use subconsensus_bench::{grouped_system, partition_system};
+use subconsensus_bench::harness::{
+    smoke_mode, BenchmarkId, Criterion, SAMPLE_BUDGET, WARMUP_BUDGET,
+};
+use subconsensus_bench::{
+    grouped_system, grouped_system_sym, partition_system, partition_system_sym,
+};
 use subconsensus_modelcheck::{ExploreOptions, StateGraph};
+use subconsensus_sim::SystemSpec;
 
 const THREADS: [usize; 3] = [1, 2, 4];
+const SAMPLE_SIZE: usize = 10;
+
+/// One benched fixture: a system plus the `max_configs` bound its rows run
+/// under (`usize::MAX`-ish default for the small fixtures; a deliberate cap
+/// for the large one, where only the quotient completes).
+struct Fixture {
+    name: &'static str,
+    spec: SystemSpec,
+    max_configs: usize,
+}
+
+/// Static facts of one (fixture, symmetry) graph, computed once outside the
+/// timing loop.
+#[derive(Clone, Copy)]
+struct GraphFacts {
+    peak_configs: usize,
+    edges: usize,
+    truncated: bool,
+}
+
+fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
+    let g = StateGraph::explore(spec, opts).expect("explore");
+    let s = g.stats();
+    GraphFacts {
+        peak_configs: s.configs,
+        edges: s.edges,
+        truncated: s.truncated,
+    }
+}
+
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
 
 fn main() {
-    println!("\nE9 — state-graph exploration throughput (identical graphs per thread count)\n");
+    println!("\nE9 — state-graph exploration throughput (symmetry quotient on/off per fixture)\n");
 
     let fixtures = [
-        ("e1_grouped_n2_k1_p3", grouped_system(2, 1, 3)),
-        ("e4_partition_p3_m2_j1", partition_system(3, 2, 1)),
+        // The headline symmetric fixture: 3 equal-input proposers, one
+        // 6-element orbit group; the quotient must visit ≤ 1/2 of the full
+        // graph (acceptance criterion — the measured ratio lands ≈ 0.37).
+        Fixture {
+            name: "e1_grouped_n2_k1_p3",
+            spec: grouped_system_sym(2, 1, 3),
+            max_configs: ExploreOptions::default().max_configs,
+        },
+        // The PR-1 fixture (distinct inputs): trivial symmetry, kept for
+        // perf continuity across PRs; its on/off rows must coincide.
+        Fixture {
+            name: "e1_grouped_n2_k1_p3_distinct",
+            spec: grouped_system(2, 1, 3),
+            max_configs: ExploreOptions::default().max_configs,
+        },
+        // Pid-dependent protocol, distinct inputs: the automatic-grouping
+        // guard keeps symmetry trivial, ratio 1.0 by construction.
+        Fixture {
+            name: "e4_partition_p3_m2_j1",
+            spec: partition_system(3, 2, 1),
+            max_configs: ExploreOptions::default().max_configs,
+        },
+        // Explicit per-block override: 2 blocks × 2 equal-input processes.
+        Fixture {
+            name: "e4_partition_p4_m2_j1_sym",
+            spec: partition_system_sym(4, 2, 1),
+            max_configs: ExploreOptions::default().max_configs,
+        },
+        // The larger fixture that is only tractable with symmetry on: the
+        // full graph has 6561 configs and truncates at this cap, while the
+        // quotient (8! orbits collapse) completes at 45.
+        Fixture {
+            name: "e1_grouped_n2_k3_p8_sym",
+            spec: grouped_system_sym(2, 3, 8),
+            max_configs: 2_000,
+        },
     ];
 
     let mut c = Criterion::new();
-    // (fixture name, threads, peak configs, edges) per measurement, in
-    // the same order the harness records them.
-    let mut meta = Vec::new();
-    for (name, spec) in &fixtures {
-        let base = StateGraph::explore(spec, &ExploreOptions::default()).expect("explore");
-        assert!(!base.is_truncated(), "{name} must fit in the default bound");
-        let stats = base.stats();
+    // Row metadata in the same order the harness records measurements:
+    // (fixture, threads, symmetry, facts, full_configs if untruncated).
+    let mut rows: Vec<(&str, usize, bool, GraphFacts, Option<usize>)> = Vec::new();
+    for fixture in &fixtures {
+        let base = ExploreOptions::with_max_configs(fixture.max_configs);
+        let full = facts(&fixture.spec, &base);
+        let full_configs = (!full.truncated).then_some(full.peak_configs);
         let mut g = c.benchmark_group("e9_explore");
-        g.sample_size(10);
-        for threads in THREADS {
-            let opts = ExploreOptions::default().with_threads(threads);
-            g.bench_with_input(BenchmarkId::new(*name, threads), &opts, |b, opts| {
-                b.iter(|| StateGraph::explore(spec, opts).expect("explore"))
-            });
-            meta.push((*name, threads, stats.configs, stats.edges));
+        g.sample_size(SAMPLE_SIZE);
+        for symmetry in [false, true] {
+            let sym_facts = facts(&fixture.spec, &base.with_symmetry(symmetry));
+            for threads in THREADS {
+                let opts = base.with_threads(threads).with_symmetry(symmetry);
+                let label = format!("{}{}", fixture.name, if symmetry { "/sym" } else { "" });
+                g.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
+                    b.iter(|| StateGraph::explore(&fixture.spec, opts).expect("explore"))
+                });
+                rows.push((fixture.name, threads, symmetry, sym_facts, full_configs));
+            }
         }
         g.finish();
     }
 
     // Hand-formatted JSON (no serde in the offline build).
     let mut kernels = String::new();
-    for (m, (name, threads, configs, edges)) in c.measurements().iter().zip(&meta) {
+    for (m, (name, threads, symmetry, facts_row, full_configs)) in
+        c.measurements().iter().zip(&rows)
+    {
         let secs = m.median_ns / 1e9;
         let configs_per_sec = if secs > 0.0 {
-            *configs as f64 / secs
+            facts_row.peak_configs as f64 / secs
         } else {
             0.0
+        };
+        // Reduction ratio: quotient size over full size, only meaningful
+        // when the full graph completed under the bound.
+        let ratio = match full_configs {
+            Some(fc) if *symmetry => json_f64(facts_row.peak_configs as f64 / *fc as f64),
+            _ => "null".to_string(),
         };
         if !kernels.is_empty() {
             kernels.push_str(",\n");
         }
         kernels.push_str(&format!(
             "    {{\"fixture\": \"{name}\", \"threads\": {threads}, \
-             \"peak_configs\": {configs}, \"edges\": {edges}, \
-             \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}}}",
-            m.median_ns, configs_per_sec
+             \"symmetry\": {symmetry}, \"peak_configs\": {}, \"edges\": {}, \
+             \"truncated\": {}, \"reduction_ratio\": {ratio}, \
+             \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}, \
+             \"iters_per_sample\": {}, \"samples\": {}}}",
+            facts_row.peak_configs,
+            facts_row.edges,
+            facts_row.truncated,
+            m.median_ns,
+            configs_per_sec,
+            m.iters_per_sample,
+            m.samples,
         ));
     }
-    let json =
-        format!("{{\n  \"bench\": \"modelcheck_explore\",\n  \"kernels\": [\n{kernels}\n  ]\n}}\n");
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let meta = format!(
+        "  \"meta\": {{\n    \"hardware_threads\": {hardware_threads},\n    \
+         \"git_revision\": \"{}\",\n    \"sample_size\": {SAMPLE_SIZE},\n    \
+         \"sample_budget_ms\": {},\n    \"warmup_budget_ms\": {},\n    \
+         \"smoke\": {}\n  }}",
+        git_revision(),
+        SAMPLE_BUDGET.as_millis(),
+        WARMUP_BUDGET.as_millis(),
+        smoke_mode(),
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"modelcheck_explore\",\n{meta},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n"
+    );
+    if smoke_mode() {
+        // Smoke runs exist to exercise the code, not to publish numbers.
+        println!("\nBENCH_SMOKE=1: skipping BENCH_modelcheck.json write");
+        return;
+    }
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_modelcheck.json");
     std::fs::write(&out, &json).expect("write BENCH_modelcheck.json");
     println!("\nwrote {}", out.display());

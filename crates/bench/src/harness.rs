@@ -11,10 +11,20 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// Target measuring time per sample batch.
-const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+/// Target measuring time per sample batch (public so bench reports can
+/// record the harness configuration in their `meta` blocks).
+pub const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
 /// Warm-up budget per benchmark.
-const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+pub const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Returns `true` when `BENCH_SMOKE=1` is set in the environment: every
+/// benchmark runs its routine twice with no warm-up and a single iteration
+/// per sample. The numbers are meaningless, but every bench code path is
+/// exercised — `scripts/check.sh` uses this to fail the gate on bench
+/// bit-rot instead of discovering it at bench time.
+pub fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
 
 /// One timing measurement, exposed for machine-readable reporting.
 #[derive(Clone, Debug)]
@@ -176,6 +186,26 @@ impl Bencher {
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(S) -> R,
     ) {
+        if smoke_mode() {
+            // Exercise the routine, skip the measurement protocol.
+            let mut samples_ns = Vec::with_capacity(2);
+            for _ in 0..2 {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(std::hint::black_box(input)));
+                samples_ns.push(t.elapsed().as_nanos() as f64);
+            }
+            samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            self.measurement = Some(Measurement {
+                label: String::new(),
+                median_ns: samples_ns[1],
+                min_ns: samples_ns[0],
+                max_ns: samples_ns[1],
+                iters_per_sample: 1,
+                samples: 2,
+            });
+            return;
+        }
         // Warm-up and batch sizing: run until the warm-up budget is spent,
         // tracking the per-iteration cost to size the sample batches.
         let warmup_start = Instant::now();
@@ -270,7 +300,8 @@ mod tests {
         c.bench_function("lone", |b| b.iter_with_setup(|| 5u64, |x| x * 2));
         assert_eq!(c.measurements().len(), 2);
         assert_eq!(c.measurements()[0].label, "g/add/2");
-        assert_eq!(c.measurements()[0].samples, 3);
+        let expected_samples = if smoke_mode() { 2 } else { 3 };
+        assert_eq!(c.measurements()[0].samples, expected_samples);
         assert!(c.measurements()[0].median_ns >= 0.0);
         assert_eq!(c.measurements()[1].label, "lone");
     }

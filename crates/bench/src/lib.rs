@@ -15,11 +15,15 @@ use subconsensus_protocols::{
     UniversalConstruction,
 };
 use subconsensus_sim::{
-    BaseObjects, Implementation, ObjectSpec, Op, Protocol, SystemBuilder, SystemSpec, Value,
+    BaseObjects, Implementation, ObjectSpec, Op, Pid, Protocol, SymmetryGroups, SystemBuilder,
+    SystemSpec, Value,
 };
 
 /// `procs` processes proposing distinct values through one
 /// `GroupedObject::for_level(n, k)`.
+///
+/// Distinct inputs mean the automatic symmetry groups are trivial; use
+/// [`grouped_system_sym`] for the orbit-quotient fixtures.
 pub fn grouped_system(n: usize, k: usize, procs: usize) -> SystemSpec {
     let mut b = SystemBuilder::new();
     let obj = b.add_object(GroupedObject::for_level(n, k));
@@ -28,8 +32,26 @@ pub fn grouped_system(n: usize, k: usize, procs: usize) -> SystemSpec {
     b.build()
 }
 
+/// `procs` processes proposing one shared value through one
+/// `GroupedObject::for_level(n, k)` — the symmetric sibling of
+/// [`grouped_system`]: every process runs the same `ProposeDecide` instance
+/// with the same input, so `SystemBuilder::build` groups all of them into a
+/// single symmetry class and symmetry-enabled exploration visits one config
+/// per orbit.
+pub fn grouped_system_sym(n: usize, k: usize, procs: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|_| Value::Int(1)));
+    b.build()
+}
+
 /// `procs` processes over `⌈procs/m⌉` copies of an `(m, j)` agreement
 /// object ((m,1) = bounded consensus).
+///
+/// `PartitionPropose` reads `ctx.pid`, so the automatic symmetry groups are
+/// trivial here; [`partition_system_sym`] declares the per-block symmetry
+/// explicitly.
 pub fn partition_system(procs: usize, m: usize, j: usize) -> SystemSpec {
     let mut b = SystemBuilder::new();
     let blocks = procs.div_ceil(m);
@@ -42,6 +64,34 @@ pub fn partition_system(procs: usize, m: usize, j: usize) -> SystemSpec {
     });
     let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, m));
     b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+/// The symmetric sibling of [`partition_system`]: every process of a block
+/// gets the block index as input, and the per-block symmetry — invisible to
+/// the automatic rule because `PartitionPropose` reads `ctx.pid` to pick
+/// its block object — is declared with an explicit
+/// `SystemBuilder::set_symmetry_groups` override. Processes of one block
+/// are interchangeable: they propose the same value to the same object, and
+/// no object state embeds a pid.
+pub fn partition_system_sym(procs: usize, m: usize, j: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let blocks = procs.div_ceil(m);
+    let base = b.add_object_array(blocks, |_| {
+        if j == 1 {
+            Box::new(Consensus::bounded(m)) as Box<dyn ObjectSpec>
+        } else {
+            Box::new(SetConsensus::new(m, j).expect("0 < j < m")) as Box<dyn ObjectSpec>
+        }
+    });
+    let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, m));
+    b.add_processes(p, (0..procs).map(|i| Value::Int((i / m) as i64 + 1)));
+    b.set_symmetry_groups(SymmetryGroups::new((0..blocks).map(|blk| {
+        (0..procs)
+            .filter(move |i| i / m == blk)
+            .map(Pid::new)
+            .collect::<Vec<_>>()
+    })));
     b.build()
 }
 
@@ -106,7 +156,9 @@ mod tests {
     fn fixtures_build_and_run() {
         for spec in [
             grouped_system(2, 1, 4),
+            grouped_system_sym(2, 1, 4),
             partition_system(6, 3, 2),
+            partition_system_sym(6, 3, 2),
             tournament_system(4),
             renaming_system(3),
         ] {
@@ -119,6 +171,21 @@ mod tests {
             .unwrap();
             assert!(out.reached_final);
         }
+        // The symmetric fixtures carry the symmetry groups they promise.
+        assert_eq!(
+            grouped_system_sym(2, 1, 3).symmetry_groups().groups(),
+            &[vec![Pid::new(0), Pid::new(1), Pid::new(2)]]
+        );
+        assert_eq!(
+            partition_system_sym(4, 2, 1).symmetry_groups().groups(),
+            &[
+                vec![Pid::new(0), Pid::new(1)],
+                vec![Pid::new(2), Pid::new(3)]
+            ]
+        );
+        assert!(grouped_system(2, 1, 3).symmetry_groups().is_trivial());
+        assert!(partition_system(4, 2, 1).symmetry_groups().is_trivial());
+
         let (bank, im, workload) = universal_queue(2, 16, 4);
         let out = subconsensus_sim::run_concurrent(
             &bank,

@@ -149,6 +149,12 @@ impl Protocol for TreeProtocol {
             }),
         }
     }
+
+    // A decision tree never consults `ctx` at all, so two processes running
+    // the same tree with the same input are interchangeable.
+    fn pid_symmetric(&self) -> bool {
+        true
+    }
 }
 
 /// A witness that binary consensus *is* solvable in the class: the four
@@ -192,8 +198,10 @@ where
 }
 
 /// Like [`search_binary_consensus`], but with explicit exploration
-/// options — notably `threads`, which parallelizes each per-pair
-/// model check.
+/// options — notably `threads`, which parallelizes each per-pair model
+/// check, and `symmetry`, which quotients the interleavings of the two
+/// processes whenever a check runs the same tree on both with equal
+/// inputs (the diagonal of every `x == y` matrix).
 ///
 /// # Errors
 ///
@@ -281,22 +289,26 @@ where
 {
     let mut b = SystemBuilder::new();
     let obj = b.add_boxed_object(make_object());
-    b.add_process(
-        Arc::new(TreeProtocol {
-            obj,
-            class: Arc::clone(class),
-            tree: Arc::clone(t0),
-        }),
-        Value::Int(i64::from(x)),
-    );
-    b.add_process(
+    let p0: Arc<dyn Protocol> = Arc::new(TreeProtocol {
+        obj,
+        class: Arc::clone(class),
+        tree: Arc::clone(t0),
+    });
+    // Same tree ⇒ share the protocol instance, so the builder's automatic
+    // symmetry detection (pointer + input equality) groups the two
+    // processes on the diagonal checks and a symmetry-enabled exploration
+    // quotients their interleavings.
+    let p1: Arc<dyn Protocol> = if Arc::ptr_eq(t0, t1) {
+        Arc::clone(&p0)
+    } else {
         Arc::new(TreeProtocol {
             obj,
             class: Arc::clone(class),
             tree: Arc::clone(t1),
-        }),
-        Value::Int(i64::from(y)),
-    );
+        })
+    };
+    b.add_process(p0, Value::Int(i64::from(x)));
+    b.add_process(p1, Value::Int(i64::from(y)));
     let spec = b.build();
     let graph = match StateGraph::explore(&spec, opts) {
         Ok(g) => g,

@@ -26,6 +26,13 @@ pub struct ExploreOptions {
     /// Worker threads for level expansion (`0` and `1` both mean
     /// sequential). The produced graph is identical for every value.
     pub threads: usize,
+    /// Explore the orbit-quotient graph: every successor is canonicalized
+    /// under the system's [process symmetry
+    /// groups](subconsensus_sim::SystemSpec::symmetry_groups) before dedup,
+    /// so only one representative per permutation orbit is visited. A no-op
+    /// for systems with trivial symmetry. See
+    /// [`StateGraph::explore`] for what the quotient preserves.
+    pub symmetry: bool,
 }
 
 impl Default for ExploreOptions {
@@ -33,6 +40,7 @@ impl Default for ExploreOptions {
         ExploreOptions {
             max_configs: 1_000_000,
             threads: 1,
+            symmetry: false,
         }
     }
 }
@@ -49,6 +57,12 @@ impl ExploreOptions {
     /// Returns these options with the given worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns these options with orbit-quotient exploration on or off.
+    pub fn with_symmetry(mut self, symmetry: bool) -> Self {
+        self.symmetry = symmetry;
         self
     }
 }
@@ -91,12 +105,15 @@ struct NodeExpansion {
     terminal: bool,
 }
 
-/// Expands `nodes` against a read-only snapshot of the graph.
+/// Expands `nodes` against a read-only snapshot of the graph. With
+/// `symmetry`, every successor is replaced by its orbit representative
+/// before the dedup lookup.
 fn expand_chunk(
     spec: &SystemSpec,
     configs: &[Config],
     index: &HashMap<u64, Vec<usize>>,
     nodes: &[usize],
+    symmetry: bool,
 ) -> Result<Vec<NodeExpansion>, SimError> {
     let mut out = Vec::with_capacity(nodes.len());
     for &i in nodes {
@@ -112,6 +129,11 @@ fn expand_chunk(
         let mut steps = Vec::new();
         for pid in enabled {
             for (next, _info) in spec.successors(config, pid)? {
+                let next = if symmetry {
+                    spec.canonicalize_config(next)
+                } else {
+                    next
+                };
                 let fp = fingerprint(&next);
                 let step = match lookup(index, configs, fp, &next) {
                     Some(j) => StepResult::Existing(j),
@@ -141,16 +163,17 @@ fn expand_level(
     index: &HashMap<u64, Vec<usize>>,
     level: &[usize],
     threads: usize,
+    symmetry: bool,
 ) -> Result<Vec<NodeExpansion>, SimError> {
     let threads = threads.clamp(1, level.len().max(1));
     if threads <= 1 || level.len() < PARALLEL_THRESHOLD {
-        return expand_chunk(spec, configs, index, level);
+        return expand_chunk(spec, configs, index, level, symmetry);
     }
     let chunk_size = level.len().div_ceil(threads);
     let results: Vec<Result<Vec<NodeExpansion>, SimError>> = std::thread::scope(|s| {
         let handles: Vec<_> = level
             .chunks(chunk_size)
-            .map(|chunk| s.spawn(move || expand_chunk(spec, configs, index, chunk)))
+            .map(|chunk| s.spawn(move || expand_chunk(spec, configs, index, chunk, symmetry)))
             .collect();
         handles
             .into_iter()
@@ -223,6 +246,20 @@ impl StateGraph {
     /// in parallel; the merge order makes the resulting graph identical
     /// node-for-node to the sequential one.
     ///
+    /// With `opts.symmetry`, the result is the **orbit-quotient** graph:
+    /// every configuration is replaced by the canonical representative of
+    /// its orbit under the system's [symmetry
+    /// groups](subconsensus_sim::SystemSpec::symmetry_groups) before dedup,
+    /// so whole orbits collapse to single nodes. Because within-group
+    /// permutations are automorphisms of the full graph, the quotient
+    /// preserves reachability of any permutation-closed property —
+    /// decided-value sets, bivalence, termination, cycles — which is what
+    /// the valency and wait-freedom analyses consume. Edges carry the pid
+    /// that stepped *from the representative*, so a
+    /// [`witness_schedule`](Self::witness_schedule) drawn from a quotient
+    /// graph reaches the predicate only up to a within-group renaming of
+    /// processes when replayed against the concrete system.
+    ///
     /// If the bound in `opts` is hit, the returned graph is marked
     /// [`truncated`](Self::is_truncated) and all analyses on it are partial.
     ///
@@ -230,7 +267,11 @@ impl StateGraph {
     ///
     /// Propagates any [`SimError`] raised while stepping.
     pub fn explore(spec: &SystemSpec, opts: &ExploreOptions) -> Result<Self, SimError> {
-        let init = spec.initial_config();
+        let init = if opts.symmetry {
+            spec.canonicalize_config(spec.initial_config())
+        } else {
+            spec.initial_config()
+        };
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         index.entry(fingerprint(&init)).or_default().push(0);
         let mut configs = vec![init];
@@ -240,7 +281,8 @@ impl StateGraph {
 
         let mut level = vec![0usize];
         while !level.is_empty() {
-            let expansions = expand_level(spec, &configs, &index, &level, opts.threads)?;
+            let expansions =
+                expand_level(spec, &configs, &index, &level, opts.threads, opts.symmetry)?;
             let mut next_level = Vec::new();
             for (&i, exp) in level.iter().zip(expansions) {
                 if exp.terminal {
@@ -271,7 +313,14 @@ impl StateGraph {
                             }
                         }
                     };
-                    edges[i].push(Edge { pid, to: j });
+                    // Canonicalization can map distinct successors of one
+                    // node onto the same representative; keep the edge list
+                    // parallel-free, as in the full graph.
+                    let edge = Edge { pid, to: j };
+                    if opts.symmetry && edges[i].contains(&edge) {
+                        continue;
+                    }
+                    edges[i].push(edge);
                 }
             }
             level = next_level;

@@ -1,4 +1,12 @@
 //! Whole-graph properties: wait-freedom, agreement bounds, terminal reports.
+//!
+//! Every check in this module is graph-generic and permutation-invariant, so
+//! it can be run unchanged on an orbit-quotient graph (explored with
+//! [`ExploreOptions::symmetry`](crate::ExploreOptions)) and returns the same
+//! verdict as on the full graph: terminals quotient onto terminals with the
+//! same decided-value sets, any cycle of the full graph projects onto a
+//! cycle of the quotient (and lifts back), and backward reachability is
+//! preserved because within-group permutations are graph automorphisms.
 
 use std::collections::BTreeSet;
 

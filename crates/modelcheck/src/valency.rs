@@ -23,6 +23,13 @@ impl Valency {
     /// Computes the valence of every node of `graph` by backward fixpoint
     /// propagation from the final configurations (cycles are handled by the
     /// fixpoint, monotonically).
+    ///
+    /// On an orbit-quotient graph (explored with
+    /// [`ExploreOptions::symmetry`](crate::ExploreOptions)) this computes the
+    /// valence of each orbit representative, which equals the valence of
+    /// every member of the orbit: within-group permutations fix the
+    /// decided-value *sets* (processes are renamed, the multiset of decisions
+    /// is not), so valence is constant on orbits.
     pub fn compute(graph: &StateGraph) -> Self {
         let n = graph.len();
         let mut sets: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); n];
@@ -36,17 +43,29 @@ impl Valency {
                 preds[e.to].push(i);
             }
         }
+        // Dirty-bit worklist: a node is queued at most once per time its set
+        // grows, and the popped set is moved out (not cloned) while its
+        // predecessors are updated.
+        let mut queued = vec![false; n];
         let mut work: Vec<usize> = graph.terminals().to_vec();
+        for &t in &work {
+            queued[t] = true;
+        }
         while let Some(j) = work.pop() {
-            // `clone` keeps the borrow checker happy; sets are tiny.
-            let vals = sets[j].clone();
+            queued[j] = false;
+            let vals = std::mem::take(&mut sets[j]);
             for &p in &preds[j] {
+                if p == j {
+                    continue; // self-loop: nothing new to propagate
+                }
                 let before = sets[p].len();
                 sets[p].extend(vals.iter().cloned());
-                if sets[p].len() > before {
+                if sets[p].len() > before && !queued[p] {
+                    queued[p] = true;
                     work.push(p);
                 }
             }
+            sets[j] = vals;
         }
         Valency { sets }
     }
@@ -90,6 +109,11 @@ pub struct CriticalConfig {
 /// hand arguments operate. Returns `None` if the graph has no critical
 /// configuration (e.g. the protocol is not a consensus protocol, or some
 /// successor is itself bivalent everywhere).
+///
+/// On an orbit-quotient graph, a returned configuration witnesses a whole
+/// orbit of critical configurations of the full graph (valence is constant
+/// on orbits and permutations map successors to successors), and `None`
+/// means the full graph has none either.
 pub fn find_critical(graph: &StateGraph, valency: &Valency) -> Option<CriticalConfig> {
     'node: for i in 0..graph.len() {
         if !valency.is_bivalent(i) {

@@ -83,6 +83,12 @@ impl Protocol for ProposeDecide {
             pc => Err(ProtocolError::new(format!("propose-decide: bad pc {pc}"))),
         }
     }
+
+    // Reads only `ctx.input`, never `ctx.pid`: equal-input proposers are
+    // interchangeable, which lets the model checker quotient their orbits.
+    fn pid_symmetric(&self) -> bool {
+        true
+    }
 }
 
 /// Partition propose: process `i` proposes to object `base + ⌊i/group⌋`.
@@ -93,6 +99,12 @@ impl Protocol for ProposeDecide {
 /// decisions is at most (blocks) × (per-object agreement bound). It is also
 /// the shape of the paper lineage's Algorithm 6 (`m`-set consensus for `n`
 /// processes from smaller objects).
+///
+/// Because `step` reads `ctx.pid` (to pick the block object), this protocol
+/// is *not* [`pid_symmetric`](Protocol::pid_symmetric) and gets no automatic
+/// symmetry groups. Processes within one block with equal inputs *are*
+/// interchangeable, though — declare that with
+/// `SystemBuilder::set_symmetry_groups` when exploring partition systems.
 #[derive(Clone, Copy, Debug)]
 pub struct PartitionPropose {
     base: ObjId,

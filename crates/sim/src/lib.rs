@@ -108,7 +108,8 @@ pub use sched::{
     ReplayChooser, ReplayScheduler, RoundRobin, Scheduler,
 };
 pub use system::{
-    Config, EnabledIter, EnabledSet, ProcState, ProcStatus, StepInfo, SystemBuilder, SystemSpec,
+    Config, EnabledIter, EnabledSet, ProcState, ProcStatus, StepInfo, SymmetryGroups,
+    SystemBuilder, SystemSpec,
 };
 pub use trace::{Trace, TraceEvent};
 pub use value::Value;

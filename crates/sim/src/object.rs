@@ -118,6 +118,22 @@ pub trait ObjectSpec: fmt::Debug + Send + Sync {
     fn is_deterministic(&self) -> bool {
         true
     }
+
+    /// Rewrites process identities embedded in an object state under a
+    /// process permutation, for symmetry-reduced exploration.
+    ///
+    /// `perm[old]` is the new index of process `old`. Returns `Some(state)`
+    /// with every embedded pid rewritten, or `None` if the state embeds no
+    /// pids (the default, and the common case: `apply` never learns the
+    /// caller's identity, so pids can only enter object state through
+    /// operation *arguments* chosen by a protocol — which a pid-symmetric
+    /// protocol never does). An object used under an explicit
+    /// `SystemBuilder::set_symmetry_groups` override whose protocols pass
+    /// pids as arguments must implement this, or the quotient is unsound.
+    fn relabel_pids(&self, state: &Value, perm: &[usize]) -> Option<Value> {
+        let _ = (state, perm);
+        None
+    }
 }
 
 impl ObjectSpec for Box<dyn ObjectSpec> {
@@ -135,6 +151,10 @@ impl ObjectSpec for Box<dyn ObjectSpec> {
 
     fn is_deterministic(&self) -> bool {
         self.as_ref().is_deterministic()
+    }
+
+    fn relabel_pids(&self, state: &Value, perm: &[usize]) -> Option<Value> {
+        self.as_ref().relabel_pids(state, perm)
     }
 }
 

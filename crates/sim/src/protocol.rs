@@ -116,6 +116,20 @@ pub trait Protocol: fmt::Debug + Send + Sync {
         local: &Value,
         resp: Option<&Value>,
     ) -> Result<Action, ProtocolError>;
+
+    /// Whether this protocol's behavior is independent of `ctx.pid`.
+    ///
+    /// A pid-symmetric protocol may read `ctx.input` and `ctx.nprocs` but
+    /// must produce the same start state and the same step function for every
+    /// process identity — so two processes running it with equal inputs are
+    /// interchangeable, and the model checker may explore one representative
+    /// per permutation orbit (see `SystemBuilder::build`). This is a
+    /// *declaration*: the default is the conservative `false`, and an
+    /// implementation that reads `ctx.pid` (even just to index an object
+    /// array) must not override it.
+    fn pid_symmetric(&self) -> bool {
+        false
+    }
 }
 
 impl Protocol for std::sync::Arc<dyn Protocol> {
@@ -130,6 +144,10 @@ impl Protocol for std::sync::Arc<dyn Protocol> {
         resp: Option<&Value>,
     ) -> Result<Action, ProtocolError> {
         self.as_ref().step(ctx, local, resp)
+    }
+
+    fn pid_symmetric(&self) -> bool {
+        self.as_ref().pid_symmetric()
     }
 }
 

@@ -17,7 +17,11 @@ use crate::protocol::{Action, ProcCtx, Protocol};
 use crate::value::Value;
 
 /// The execution status of a process inside a [`Config`].
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// The derived total order ([`Ord`]) has no semantic meaning; it exists so
+/// process states can be sorted into a canonical arrangement by
+/// [`Config::canonicalize`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProcStatus {
     /// The process has not yet taken its first step.
     Fresh,
@@ -45,7 +49,11 @@ impl ProcStatus {
 }
 
 /// The state of one process inside a [`Config`].
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// The derived total order ([`Ord`]) is an arbitrary but fixed tie-breaker
+/// used by [`Config::canonicalize`] to pick one representative per
+/// symmetry orbit; it carries no semantic meaning.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcState {
     /// The protocol-local state.
     pub local: Value,
@@ -121,6 +129,88 @@ impl Iterator for EnabledIter {
 }
 
 impl ExactSizeIterator for EnabledIter {}
+
+/// The process symmetry groups of a system: disjoint sets of pids that are
+/// pairwise interchangeable.
+///
+/// Two processes are interchangeable when swapping their entire states in
+/// any configuration yields a configuration with identical future behavior
+/// (up to the same swap). In the oblivious object model this holds whenever
+/// the processes run the same protocol with equal inputs and the protocol's
+/// behavior is independent of `ctx.pid`
+/// ([`Protocol::pid_symmetric`](crate::Protocol::pid_symmetric)): objects
+/// never learn the caller's identity, so such processes cannot be told
+/// apart by anything in the system.
+///
+/// [`SystemBuilder::build`] computes the groups automatically under exactly
+/// that rule; [`SystemBuilder::set_symmetry_groups`] overrides them for
+/// systems whose symmetry the automatic rule cannot see (e.g. per-block
+/// symmetry of a partitioned system where the protocol reads `ctx.pid`
+/// only to select a block-local object).
+///
+/// Only groups of two or more processes are stored — singletons are
+/// trivially symmetric with themselves.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymmetryGroups {
+    groups: Vec<Vec<Pid>>,
+}
+
+impl SymmetryGroups {
+    /// The trivial symmetry (no interchangeable processes).
+    pub fn trivial() -> Self {
+        Self::default()
+    }
+
+    /// Builds symmetry groups from explicit pid sets.
+    ///
+    /// Each group is sorted; groups with fewer than two pids are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pid occurs in more than one group.
+    pub fn new<I, G>(groups: I) -> Self
+    where
+        I: IntoIterator<Item = G>,
+        G: IntoIterator<Item = Pid>,
+    {
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<Vec<Pid>> = Vec::new();
+        for group in groups {
+            let mut g: Vec<Pid> = group.into_iter().collect();
+            g.sort_unstable();
+            for &p in &g {
+                assert!(
+                    seen.insert(p),
+                    "symmetry groups must be disjoint: {p} repeats"
+                );
+            }
+            if g.len() >= 2 {
+                out.push(g);
+            }
+        }
+        SymmetryGroups { groups: out }
+    }
+
+    /// Returns `true` if there is no nontrivial group.
+    pub fn is_trivial(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The nontrivial groups, each sorted ascending.
+    pub fn groups(&self) -> &[Vec<Pid>] {
+        &self.groups
+    }
+
+    /// The number of orbit members one canonical representative stands for:
+    /// the product over groups of `|group|!`. This is the best-case
+    /// state-space reduction factor of an orbit-quotient exploration.
+    pub fn orbit_size_bound(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| (1..=g.len()).product::<usize>())
+            .fold(1usize, usize::saturating_mul)
+    }
+}
 
 /// A configuration: the state of every shared object and every process.
 ///
@@ -225,6 +315,81 @@ impl Config {
     pub fn nprocs(&self) -> usize {
         self.procs.len()
     }
+
+    /// Returns the canonical representative of this configuration's orbit
+    /// under within-group pid permutations: each group's process states are
+    /// sorted into ascending [`ProcState`] order.
+    ///
+    /// Because process states live behind [`Arc`]s, canonicalization is
+    /// pointer swaps — no process state is deep-copied. Two configurations
+    /// related by a within-group permutation canonicalize to the *same*
+    /// configuration, and canonicalization is idempotent.
+    ///
+    /// This covers systems whose object states embed no pids (always true
+    /// when the grouped processes are pid-independent, since oblivious
+    /// objects only learn pids through operation arguments). When explicit
+    /// override groups put pid-*dependent* processes in one group, use
+    /// [`SystemSpec::canonicalize_config`], which additionally relabels
+    /// pids inside object state via
+    /// [`ObjectSpec::relabel_pids`](crate::ObjectSpec::relabel_pids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group mentions a pid outside this configuration.
+    pub fn canonicalize(&self, groups: &SymmetryGroups) -> Config {
+        match self.canonical_perm(groups) {
+            None => self.clone(),
+            Some(perm) => self.permuted(&perm),
+        }
+    }
+
+    /// Computes the pid permutation (`perm[old] = new`) that canonicalizes
+    /// this configuration, or `None` if it is already canonical.
+    pub(crate) fn canonical_perm(&self, groups: &SymmetryGroups) -> Option<Vec<usize>> {
+        let mut perm: Option<Vec<usize>> = None;
+        for group in groups.groups() {
+            let sorted = group
+                .windows(2)
+                .all(|w| self.procs[w[0].index()] <= self.procs[w[1].index()]);
+            if sorted {
+                continue;
+            }
+            let perm = perm.get_or_insert_with(|| (0..self.procs.len()).collect());
+            // Stable sort of the group's old indices by state; ties keep
+            // ascending pid order, so the permutation is deterministic.
+            let mut order: Vec<usize> = group.iter().map(|p| p.index()).collect();
+            order.sort_by(|&a, &b| self.procs[a].cmp(&self.procs[b]));
+            for (slot, &old) in group.iter().zip(&order) {
+                perm[old] = slot.index();
+            }
+        }
+        perm
+    }
+
+    /// Returns this configuration with process states rearranged by `perm`
+    /// (`perm[old_pid] = new_pid`): the state of process `old` becomes the
+    /// state of process `new`. Object states are shared untouched.
+    ///
+    /// Exposed so tests can exercise orbit membership directly; the model
+    /// checker only applies permutations produced by canonicalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..nprocs()`.
+    pub fn permuted(&self, perm: &[usize]) -> Config {
+        assert_eq!(perm.len(), self.procs.len(), "permutation length mismatch");
+        let mut procs = self.procs.clone();
+        let mut hit = vec![false; perm.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            assert!(!hit[new], "not a permutation: target {new} repeats");
+            hit[new] = true;
+            procs[new] = Arc::clone(&self.procs[old]);
+        }
+        Config {
+            objects: self.objects.clone(),
+            procs,
+        }
+    }
 }
 
 /// A human-readable summary of what one step did, for traces.
@@ -250,6 +415,7 @@ pub struct SystemSpec {
     objects: Arc<Vec<Box<dyn ObjectSpec>>>,
     protocols: Vec<Arc<dyn Protocol>>,
     inputs: Vec<Value>,
+    symmetry: Arc<SymmetryGroups>,
 }
 
 impl std::fmt::Debug for SystemSpec {
@@ -265,6 +431,7 @@ impl std::fmt::Debug for SystemSpec {
             )
             .field("nprocs", &self.protocols.len())
             .field("inputs", &self.inputs)
+            .field("symmetry", &self.symmetry)
             .finish()
     }
 }
@@ -294,6 +461,37 @@ impl SystemSpec {
     /// Panics if `pid` is out of range.
     pub fn ctx(&self, pid: Pid) -> ProcCtx {
         ProcCtx::new(pid, self.nprocs(), self.inputs[pid.index()].clone())
+    }
+
+    /// Returns the process symmetry groups of this system.
+    ///
+    /// Computed by [`SystemBuilder::build`] (automatically, or from an
+    /// explicit [`SystemBuilder::set_symmetry_groups`] override).
+    pub fn symmetry_groups(&self) -> &SymmetryGroups {
+        &self.symmetry
+    }
+
+    /// Canonicalizes `config` under this system's symmetry groups,
+    /// additionally relabeling pids embedded in object states through
+    /// [`ObjectSpec::relabel_pids`] when the applied permutation is
+    /// nontrivial.
+    ///
+    /// For the automatic (pid-independent) groups the relabeling step is a
+    /// no-op — oblivious objects only learn pids through operation
+    /// arguments, which pid-independent protocols never pass — so this is
+    /// exactly [`Config::canonicalize`]. Takes `config` by value so the
+    /// already-canonical fast path costs nothing.
+    pub fn canonicalize_config(&self, config: Config) -> Config {
+        let Some(perm) = config.canonical_perm(&self.symmetry) else {
+            return config;
+        };
+        let mut next = config.permuted(&perm);
+        for (i, obj) in self.objects.iter().enumerate() {
+            if let Some(state) = obj.relabel_pids(&next.objects[i], &perm) {
+                next.objects[i] = Arc::new(state);
+            }
+        }
+        next
     }
 
     /// Builds the initial configuration.
@@ -434,6 +632,7 @@ pub struct SystemBuilder {
     objects: Vec<Box<dyn ObjectSpec>>,
     protocols: Vec<Arc<dyn Protocol>>,
     inputs: Vec<Value>,
+    symmetry_override: Option<SymmetryGroups>,
 }
 
 impl SystemBuilder {
@@ -486,12 +685,94 @@ impl SystemBuilder {
         }
     }
 
+    /// Overrides the automatically computed process symmetry groups.
+    ///
+    /// Use this when the automatic rule (same protocol pointer + equal
+    /// input + [`Protocol::pid_symmetric`]) is too conservative — e.g. a
+    /// partitioned system whose protocol reads `ctx.pid` only to pick a
+    /// block-local object is still symmetric *within* each equal-input
+    /// block — or to disable symmetry entirely with
+    /// [`SymmetryGroups::trivial`]. The caller asserts the declared
+    /// processes really are interchangeable (and that objects whose states
+    /// embed pids implement
+    /// [`ObjectSpec::relabel_pids`](crate::ObjectSpec::relabel_pids));
+    /// an unsound override makes orbit-quotient exploration merge
+    /// configurations that are not equivalent.
+    ///
+    /// # Panics
+    ///
+    /// [`SystemBuilder::build`] panics if a group mentions a pid that was
+    /// never added.
+    pub fn set_symmetry_groups(&mut self, groups: SymmetryGroups) {
+        self.symmetry_override = Some(groups);
+    }
+
+    /// Computes the automatic symmetry groups: maximal sets of processes
+    /// sharing one protocol instance (pointer-equal `Arc`) and equal
+    /// inputs, where the protocol declares pid-independence.
+    // `j` indexes three parallel arrays (`grouped`, `protocols`, `inputs`);
+    // an enumerate over one of them would hide that.
+    #[allow(clippy::needless_range_loop)]
+    fn auto_symmetry(&self) -> SymmetryGroups {
+        let n = self.protocols.len();
+        let mut grouped = vec![false; n];
+        let mut groups: Vec<Vec<Pid>> = Vec::new();
+        for i in 0..n {
+            if grouped[i] || !self.protocols[i].pid_symmetric() {
+                continue;
+            }
+            let mut g = vec![Pid::new(i)];
+            for j in (i + 1)..n {
+                if grouped[j] {
+                    continue;
+                }
+                let same_protocol = std::ptr::eq(
+                    Arc::as_ptr(&self.protocols[i]) as *const u8,
+                    Arc::as_ptr(&self.protocols[j]) as *const u8,
+                );
+                if same_protocol && self.inputs[i] == self.inputs[j] {
+                    grouped[j] = true;
+                    g.push(Pid::new(j));
+                }
+            }
+            if g.len() >= 2 {
+                groups.push(g);
+            }
+        }
+        SymmetryGroups { groups }
+    }
+
     /// Finishes the build.
+    ///
+    /// Process symmetry groups are computed here: automatically (processes
+    /// added with one [`SystemBuilder::add_processes`] call sharing a
+    /// protocol instance and input, when the protocol is
+    /// [`pid_symmetric`](Protocol::pid_symmetric)), or from the
+    /// [`SystemBuilder::set_symmetry_groups`] override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an override group mentions a pid that was never added.
     pub fn build(self) -> SystemSpec {
+        let symmetry = match &self.symmetry_override {
+            Some(groups) => {
+                for g in groups.groups() {
+                    for p in g {
+                        assert!(
+                            p.index() < self.protocols.len(),
+                            "symmetry group mentions unknown process {p}"
+                        );
+                    }
+                }
+                groups.clone()
+            }
+            None => self.auto_symmetry(),
+        };
         SystemSpec {
             objects: Arc::new(self.objects),
             protocols: self.protocols,
             inputs: self.inputs,
+            symmetry: Arc::new(symmetry),
         }
     }
 }
@@ -787,5 +1068,258 @@ mod tests {
         assert!(set.contains(&c0b));
         let (c1, _) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
         assert!(!set.contains(&c1));
+    }
+
+    /// Pid-independent version of [`WriteReadDecide`]: same steps, but
+    /// declares symmetry so the builder may group equal-input processes.
+    #[derive(Debug)]
+    struct SymWriteReadDecide {
+        reg: ObjId,
+    }
+
+    impl Protocol for SymWriteReadDecide {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Int(0)
+        }
+
+        fn step(
+            &self,
+            ctx: &ProcCtx,
+            local: &Value,
+            resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            WriteReadDecide { reg: self.reg }.step(ctx, local, resp)
+        }
+
+        fn pid_symmetric(&self) -> bool {
+            true
+        }
+    }
+
+    fn sym_system(inputs: &[i64]) -> SystemSpec {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        let p: Arc<dyn Protocol> = Arc::new(SymWriteReadDecide { reg });
+        b.add_processes(p, inputs.iter().map(|&i| Value::Int(i)));
+        b.build()
+    }
+
+    #[test]
+    fn symmetry_groups_sort_dedup_and_bound() {
+        let g = SymmetryGroups::new([vec![Pid::new(2), Pid::new(0)], vec![Pid::new(1)]]);
+        assert_eq!(g.groups(), &[vec![Pid::new(0), Pid::new(2)]]);
+        assert!(!g.is_trivial());
+        assert_eq!(g.orbit_size_bound(), 2);
+        assert!(SymmetryGroups::trivial().is_trivial());
+        assert_eq!(SymmetryGroups::trivial().orbit_size_bound(), 1);
+        let g3 = SymmetryGroups::new([
+            vec![Pid::new(0), Pid::new(1), Pid::new(2)],
+            vec![Pid::new(3), Pid::new(4)],
+        ]);
+        assert_eq!(g3.orbit_size_bound(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_symmetry_groups_panic() {
+        let _ = SymmetryGroups::new([
+            vec![Pid::new(0), Pid::new(1)],
+            vec![Pid::new(1), Pid::new(2)],
+        ]);
+    }
+
+    #[test]
+    fn builder_groups_equal_input_symmetric_processes() {
+        // All-equal inputs through one declared-symmetric protocol: one group.
+        let spec = sym_system(&[7, 7, 7]);
+        assert_eq!(
+            spec.symmetry_groups().groups(),
+            &[vec![Pid::new(0), Pid::new(1), Pid::new(2)]]
+        );
+        // Inputs split the processes into per-input groups.
+        let spec = sym_system(&[1, 2, 1, 2]);
+        assert_eq!(
+            spec.symmetry_groups().groups(),
+            &[
+                vec![Pid::new(0), Pid::new(2)],
+                vec![Pid::new(1), Pid::new(3)]
+            ]
+        );
+        // All-distinct inputs: trivial.
+        assert!(sym_system(&[1, 2, 3]).symmetry_groups().is_trivial());
+    }
+
+    #[test]
+    fn builder_requires_symmetry_declaration_and_shared_instance() {
+        // Same shape, same inputs, but the protocol does not declare
+        // pid-independence: no grouping.
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        let p: Arc<dyn Protocol> = Arc::new(WriteReadDecide { reg });
+        b.add_processes(p, [Value::Int(7), Value::Int(7)]);
+        assert!(b.build().symmetry_groups().is_trivial());
+
+        // Two separate (if identical-looking) protocol instances: no grouping
+        // — pointer equality is the conservative identity test.
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        b.add_process(Arc::new(SymWriteReadDecide { reg }), Value::Int(7));
+        b.add_process(Arc::new(SymWriteReadDecide { reg }), Value::Int(7));
+        assert!(b.build().symmetry_groups().is_trivial());
+    }
+
+    #[test]
+    fn builder_override_replaces_auto_groups() {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        let p: Arc<dyn Protocol> = Arc::new(SymWriteReadDecide { reg });
+        b.add_processes(p, [Value::Int(7), Value::Int(7)]);
+        b.set_symmetry_groups(SymmetryGroups::trivial());
+        assert!(b.build().symmetry_groups().is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown process")]
+    fn builder_override_validates_pids() {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        b.add_process(Arc::new(SymWriteReadDecide { reg }), Value::Int(7));
+        b.add_process(Arc::new(SymWriteReadDecide { reg }), Value::Int(7));
+        b.set_symmetry_groups(SymmetryGroups::new([vec![Pid::new(0), Pid::new(5)]]));
+        let _ = b.build();
+    }
+
+    #[test]
+    fn canonicalize_merges_orbit_and_is_idempotent() {
+        let spec = sym_system(&[7, 7, 7]);
+        let groups = spec.symmetry_groups().clone();
+        let c0 = spec.initial_config();
+        // Step p0 once vs. step p2 once: same orbit, different configs.
+        let (a, _) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        let (b, _) = spec.successors(&c0, Pid::new(2)).unwrap().pop().unwrap();
+        assert_ne!(a, b);
+        let ca = a.canonicalize(&groups);
+        let cb = b.canonicalize(&groups);
+        assert_eq!(ca, cb, "orbit members must share one representative");
+        assert_eq!(ca.canonicalize(&groups), ca, "canonicalize is idempotent");
+        // The canonical form is untouched object-wise.
+        assert_eq!(
+            ca.object_state(ObjId::new(0)),
+            a.object_state(ObjId::new(0))
+        );
+        // The initial config is symmetric, hence already canonical.
+        assert_eq!(c0.canonicalize(&groups), c0);
+    }
+
+    #[test]
+    fn canonicalize_shares_proc_state_arcs() {
+        let spec = sym_system(&[7, 7]);
+        let c0 = spec.initial_config();
+        let (c1, _) = spec.successors(&c0, Pid::new(1)).unwrap().pop().unwrap();
+        let canon = c1.canonicalize(spec.symmetry_groups());
+        // Pointer swaps only: every proc Arc in `canon` is one of c1's.
+        for p in &canon.procs {
+            assert!(c1.procs.iter().any(|q| Arc::ptr_eq(p, q)));
+        }
+    }
+
+    #[test]
+    fn permuted_rearranges_and_validates() {
+        let spec = sym_system(&[1, 2, 3]);
+        let c0 = spec.initial_config();
+        let (c1, _) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        let rotated = c1.permuted(&[1, 2, 0]);
+        assert_eq!(rotated.proc_state(Pid::new(1)), c1.proc_state(Pid::new(0)));
+        assert_eq!(rotated.proc_state(Pid::new(2)), c1.proc_state(Pid::new(1)));
+        assert_eq!(rotated.proc_state(Pid::new(0)), c1.proc_state(Pid::new(2)));
+        // Identity round-trip.
+        assert_eq!(rotated.permuted(&[2, 0, 1]), c1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permuted_rejects_non_permutations() {
+        let spec = sym_system(&[1, 2]);
+        let _ = spec.initial_config().permuted(&[0, 0]);
+    }
+
+    /// A register that stores the pid passed to its `claim(p)` op — used to
+    /// check that [`SystemSpec::canonicalize_config`] relabels object state.
+    #[derive(Debug)]
+    struct PidCell;
+
+    impl ObjectSpec for PidCell {
+        fn type_name(&self) -> &'static str {
+            "pid-cell"
+        }
+
+        fn initial_state(&self) -> Value {
+            Value::Nil
+        }
+
+        fn apply(&self, _state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+            let v = op.arg(0).cloned().unwrap_or(Value::Nil);
+            // The response must stay pid-free: responses live in process
+            // state, which `relabel_pids` does not rewrite.
+            Ok(vec![Outcome::ret(v, Value::Nil)])
+        }
+
+        fn relabel_pids(&self, state: &Value, perm: &[usize]) -> Option<Value> {
+            let old = state.as_index()?;
+            Some(Value::Int(perm[old] as i64))
+        }
+    }
+
+    /// Claims the cell with its own pid, then decides.
+    #[derive(Debug)]
+    struct ClaimOwnPid {
+        cell: ObjId,
+    }
+
+    impl Protocol for ClaimOwnPid {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Int(0)
+        }
+
+        fn step(
+            &self,
+            ctx: &ProcCtx,
+            local: &Value,
+            _resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            match local.as_int() {
+                Some(0) => Ok(Action::invoke(
+                    Value::Int(1),
+                    self.cell,
+                    Op::unary("claim", Value::Int(ctx.pid.index() as i64)),
+                )),
+                _ => Ok(Action::Decide(Value::Nil)),
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalize_config_relabels_object_pids() {
+        // The protocol reads ctx.pid, so automatic grouping refuses it; an
+        // explicit override plus `relabel_pids` restores the symmetry: after
+        // one `claim`, "p0 claimed 0" and "p1 claimed 1" are the same orbit.
+        let mut b = SystemBuilder::new();
+        let cell = b.add_object(PidCell);
+        let p: Arc<dyn Protocol> = Arc::new(ClaimOwnPid { cell });
+        b.add_processes(p, [Value::Nil, Value::Nil]);
+        assert!(b.symmetry_override.is_none());
+        b.set_symmetry_groups(SymmetryGroups::new([vec![Pid::new(0), Pid::new(1)]]));
+        let spec = b.build();
+
+        let c0 = spec.initial_config();
+        let (a, _) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        let (b_, _) = spec.successors(&c0, Pid::new(1)).unwrap().pop().unwrap();
+        assert_eq!(a.object_state(cell), &Value::Int(0));
+        assert_eq!(b_.object_state(cell), &Value::Int(1));
+        let ca = spec.canonicalize_config(a);
+        let cb = spec.canonicalize_config(b_);
+        assert_eq!(ca, cb, "relabeling must merge the claim orbit");
+        // Without relabeling the configs would differ in the cell state.
+        assert_eq!(ca.object_state(cell), cb.object_state(cell));
     }
 }

@@ -4,6 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Remember whether the caller asked for the bench smoke step, then scrub
+# the flag so the build/test steps run with normal harness behavior.
+RUN_BENCH_SMOKE="${BENCH_SMOKE:-0}"
+unset BENCH_SMOKE
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -16,5 +21,13 @@ cargo test -q
 
 echo "==> workspace tests"
 cargo test -q --workspace
+
+if [[ "$RUN_BENCH_SMOKE" == "1" ]]; then
+  # Smoke-run the model-check bench: two untimed iterations per kernel,
+  # no JSON write (see harness::smoke_mode), so bench bit-rot fails the
+  # gate without touching the published BENCH_modelcheck.json.
+  echo "==> bench smoke (BENCH_SMOKE=1): e9_modelcheck"
+  BENCH_SMOKE=1 cargo bench -p subconsensus-bench --bench e9_modelcheck
+fi
 
 echo "OK"

@@ -1,0 +1,201 @@
+//! E10 (symmetry reduction): the orbit-quotient graph produced by
+//! `ExploreOptions::with_symmetry(true)` must agree with the full graph on
+//! every analysis verdict — initial valence, bivalence, wait-freedom,
+//! agreement bounds, terminal decision sets and critical-configuration
+//! existence — while visiting strictly fewer configurations on the
+//! symmetric fixtures.
+
+use std::sync::Arc;
+
+use subconsensus_core::GroupedObject;
+use subconsensus_modelcheck::{
+    check_wait_freedom, find_critical, max_distinct_decisions, ExploreOptions, StateGraph,
+    TerminalReport, Valency,
+};
+use subconsensus_objects::{Consensus, SetConsensus};
+use subconsensus_protocols::{PartitionPropose, ProposeDecide};
+use subconsensus_sim::{
+    ObjectSpec, Pid, Protocol, SymmetryGroups, SystemBuilder, SystemSpec, Value,
+};
+
+// Local copies of the bench fixtures (the root package does not depend on
+// the bench crate), mirroring `subconsensus_bench::{grouped_system,
+// grouped_system_sym, partition_system, partition_system_sym}`.
+
+fn grouped_system(n: usize, k: usize, procs: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+fn grouped_system_sym(n: usize, k: usize, procs: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..procs).map(|_| Value::Int(1)));
+    b.build()
+}
+
+fn partition_system(procs: usize, m: usize, j: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let blocks = procs.div_ceil(m);
+    let base = b.add_object_array(blocks, |_| {
+        if j == 1 {
+            Box::new(Consensus::bounded(m)) as Box<dyn ObjectSpec>
+        } else {
+            Box::new(SetConsensus::new(m, j).expect("0 < j < m")) as Box<dyn ObjectSpec>
+        }
+    });
+    let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, m));
+    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    b.build()
+}
+
+fn partition_system_sym(procs: usize, m: usize, j: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let blocks = procs.div_ceil(m);
+    let base = b.add_object_array(blocks, |_| {
+        if j == 1 {
+            Box::new(Consensus::bounded(m)) as Box<dyn ObjectSpec>
+        } else {
+            Box::new(SetConsensus::new(m, j).expect("0 < j < m")) as Box<dyn ObjectSpec>
+        }
+    });
+    let p: Arc<dyn Protocol> = Arc::new(PartitionPropose::new(base, m));
+    b.add_processes(p, (0..procs).map(|i| Value::Int((i / m) as i64 + 1)));
+    b.set_symmetry_groups(SymmetryGroups::new((0..blocks).map(|blk| {
+        (0..procs)
+            .filter(move |i| i / m == blk)
+            .map(Pid::new)
+            .collect::<Vec<_>>()
+    })));
+    b.build()
+}
+
+fn explore_pair(spec: &SystemSpec) -> (StateGraph, StateGraph) {
+    let full = StateGraph::explore(spec, &ExploreOptions::default()).expect("full explore");
+    let quot = StateGraph::explore(spec, &ExploreOptions::default().with_symmetry(true))
+        .expect("quotient explore");
+    assert!(!full.is_truncated());
+    assert!(!quot.is_truncated());
+    (full, quot)
+}
+
+/// Every graph-level verdict the repo's analyses produce must be identical
+/// on the full graph and its orbit quotient: the quotiented permutations are
+/// automorphisms, and each checked property is permutation-invariant.
+fn assert_verdicts_agree(full: &StateGraph, quot: &StateGraph, label: &str) {
+    // Wait-freedom (acyclicity + all terminals decide).
+    assert_eq!(
+        check_wait_freedom(full).is_wait_free(),
+        check_wait_freedom(quot).is_wait_free(),
+        "{label}: wait-freedom"
+    );
+    // Agreement bound: worst-case number of distinct decisions.
+    assert_eq!(
+        max_distinct_decisions(full),
+        max_distinct_decisions(quot),
+        "{label}: max distinct decisions"
+    );
+    // Terminal structure. Decision *sets* are pid-free, so the quotient
+    // must reproduce them exactly (not just up to renaming).
+    let rf = TerminalReport::of(full);
+    let rq = TerminalReport::of(quot);
+    assert_eq!(rf.decision_sets, rq.decision_sets, "{label}: decision sets");
+    assert_eq!(
+        rf.all_processes_decide, rq.all_processes_decide,
+        "{label}: all decide"
+    );
+    assert_eq!(rf.any_hung, rq.any_hung, "{label}: hung terminals");
+    assert_eq!(
+        (rf.min_distinct_decisions, rf.max_distinct_decisions),
+        (rq.min_distinct_decisions, rq.max_distinct_decisions),
+        "{label}: decision counts"
+    );
+    // Valency of the initial configuration (node 0 in both graphs): the
+    // reachable decided-value sets coincide, hence so does bivalence.
+    let vf = Valency::compute(full);
+    let vq = Valency::compute(quot);
+    assert_eq!(vf.valence(0), vq.valence(0), "{label}: initial valence");
+    assert_eq!(
+        vf.is_bivalent(0),
+        vq.is_bivalent(0),
+        "{label}: initial bivalence"
+    );
+    // Critical-configuration existence is preserved by the quotient.
+    assert_eq!(
+        find_critical(full, &vf).is_some(),
+        find_critical(quot, &vq).is_some(),
+        "{label}: critical config existence"
+    );
+}
+
+#[test]
+fn quotient_matches_full_verdicts_on_e1_fixtures() {
+    for (label, spec) in [
+        ("e1 sym p3", grouped_system_sym(2, 1, 3)),
+        ("e1 distinct p3", grouped_system(2, 1, 3)),
+        ("e1 sym n3 p3", grouped_system_sym(3, 0, 3)),
+    ] {
+        let (full, quot) = explore_pair(&spec);
+        assert_verdicts_agree(&full, &quot, label);
+    }
+}
+
+#[test]
+fn quotient_matches_full_verdicts_on_e4_fixtures() {
+    for (label, spec) in [
+        ("e4 partition p3", partition_system(3, 2, 1)),
+        ("e4 partition sym p4", partition_system_sym(4, 2, 1)),
+    ] {
+        let (full, quot) = explore_pair(&spec);
+        assert_verdicts_agree(&full, &quot, label);
+    }
+}
+
+#[test]
+fn quotient_shrinks_symmetric_graphs_and_preserves_trivial_ones() {
+    // Acceptance criterion: on the headline symmetric fixture the quotient
+    // visits at most half the configurations of the full graph.
+    let spec = grouped_system_sym(2, 1, 3);
+    let (full, quot) = explore_pair(&spec);
+    assert!(
+        2 * quot.len() <= full.len(),
+        "quotient {} vs full {}: expected ≤ 1/2",
+        quot.len(),
+        full.len()
+    );
+
+    // Distinct inputs ⇒ trivial symmetry ⇒ the quotient IS the full graph.
+    let spec = grouped_system(2, 1, 3);
+    let (full, quot) = explore_pair(&spec);
+    assert_eq!(quot.len(), full.len());
+
+    // Pid-dependent protocol without an override: the automatic-grouping
+    // guard must keep symmetry trivial rather than unsoundly reducing.
+    let spec = partition_system(3, 2, 1);
+    assert!(spec.symmetry_groups().is_trivial());
+    let (full, quot) = explore_pair(&spec);
+    assert_eq!(quot.len(), full.len());
+}
+
+#[test]
+fn large_symmetric_fixture_tractable_only_with_symmetry() {
+    // 8 equal-input proposers: the full graph (6561 configs) blows through
+    // the cap, while the quotient completes comfortably under it.
+    let spec = grouped_system_sym(2, 3, 8);
+    let opts = ExploreOptions::with_max_configs(2_000);
+    let full = StateGraph::explore(&spec, &opts).expect("full explore");
+    assert!(full.is_truncated(), "full graph should exceed the cap");
+    let quot = StateGraph::explore(&spec, &opts.with_symmetry(true)).expect("quotient explore");
+    assert!(
+        !quot.is_truncated(),
+        "quotient should complete under the cap"
+    );
+    assert!(quot.len() <= 100, "quotient stays tiny: {}", quot.len());
+    // The truncated full graph yields no verdicts; the quotient does.
+    assert!(check_wait_freedom(&quot).is_wait_free());
+    assert_eq!(max_distinct_decisions(&quot), 1);
+}
