@@ -2,11 +2,18 @@
 //!
 //! Times `StateGraph::explore` on the E1 (grouped family) and E4
 //! (partitioned agreement) fixtures across thread counts and with symmetry
-//! reduction on/off, and writes a machine-readable `BENCH_modelcheck.json`
-//! at the repo root with configs/sec, peak configuration counts and the
-//! orbit-quotient reduction ratio, so perf regressions are diffable across
-//! commits. A `meta` block records the hardware thread count, git revision
-//! and harness iteration budgets that produced the numbers.
+//! reduction and partial-order reduction on/off, and writes a
+//! machine-readable `BENCH_modelcheck.json` at the repo root with
+//! configs/sec, peak configuration counts, per-config memory and the
+//! reduction ratios, so perf regressions are diffable across commits. A
+//! `meta` block records the hardware thread count, git revision (plus a
+//! `dirty` flag when the worktree differs from it) and harness iteration
+//! budgets that produced the numbers.
+//!
+//! Every (fixture, symmetry, por) combination also prints one `GUARD` line
+//! with its deterministic facts (`peak_configs`, `edges`, `truncated`);
+//! `scripts/bench_guard.sh` compares those against the committed JSON so a
+//! regression that *grows* the explored graph fails CI even in smoke mode.
 //!
 //! `BENCH_SMOKE=1` runs every kernel twice with no warm-up (see
 //! `harness::smoke_mode`) so `scripts/check.sh` can catch bench bit-rot.
@@ -27,20 +34,21 @@ const SAMPLE_SIZE: usize = 10;
 
 /// One benched fixture: a system plus the `max_configs` bound its rows run
 /// under (`usize::MAX`-ish default for the small fixtures; a deliberate cap
-/// for the large one, where only the quotient completes).
+/// for the large ones, where only the reduced explorations complete).
 struct Fixture {
     name: &'static str,
     spec: SystemSpec,
     max_configs: usize,
 }
 
-/// Static facts of one (fixture, symmetry) graph, computed once outside the
-/// timing loop.
+/// Static facts of one (fixture, symmetry, por) graph, computed once
+/// outside the timing loop.
 #[derive(Clone, Copy)]
 struct GraphFacts {
     peak_configs: usize,
     edges: usize,
     truncated: bool,
+    approx_bytes: usize,
 }
 
 fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
@@ -50,6 +58,7 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
         peak_configs: s.configs,
         edges: s.edges,
         truncated: s.truncated,
+        approx_bytes: g.approx_bytes(),
     }
 }
 
@@ -64,6 +73,19 @@ fn git_revision() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// `true` when the worktree (tracked files) differs from the recorded
+/// revision — the JSON then says so instead of attributing the numbers to a
+/// clean commit.
+fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false)
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -73,7 +95,10 @@ fn json_f64(v: f64) -> String {
 }
 
 fn main() {
-    println!("\nE9 — state-graph exploration throughput (symmetry quotient on/off per fixture)\n");
+    println!(
+        "\nE9 — state-graph exploration throughput (symmetry quotient × partial-order \
+         reduction per fixture)\n"
+    );
 
     let fixtures = [
         // The headline symmetric fixture: 3 equal-input proposers, one
@@ -85,14 +110,15 @@ fn main() {
             max_configs: ExploreOptions::default().max_configs,
         },
         // The PR-1 fixture (distinct inputs): trivial symmetry, kept for
-        // perf continuity across PRs; its on/off rows must coincide.
+        // perf continuity across PRs; its symmetry on/off rows coincide.
         Fixture {
             name: "e1_grouped_n2_k1_p3_distinct",
             spec: grouped_system(2, 1, 3),
             max_configs: ExploreOptions::default().max_configs,
         },
         // Pid-dependent protocol, distinct inputs: the automatic-grouping
-        // guard keeps symmetry trivial, ratio 1.0 by construction.
+        // guard keeps symmetry trivial; POR still reduces via the blocks'
+        // declared disjoint footprints.
         Fixture {
             name: "e4_partition_p3_m2_j1",
             spec: partition_system(3, 2, 1),
@@ -112,12 +138,23 @@ fn main() {
             spec: grouped_system_sym(2, 3, 8),
             max_configs: 2_000,
         },
+        // The interleaving-heavy fixture that is only tractable with POR
+        // on: 4 disjoint consensus blocks of 2 distinct-input processes
+        // each. The block interleavings blow the full graph past this cap,
+        // while POR serializes the statically-independent blocks and
+        // completes (symmetry can't help: the inputs are distinct).
+        Fixture {
+            name: "e4_partition_p8_m2_j1",
+            spec: partition_system(8, 2, 1),
+            max_configs: 2_000,
+        },
     ];
 
     let mut c = Criterion::new();
     // Row metadata in the same order the harness records measurements:
-    // (fixture, threads, symmetry, facts, full_configs if untruncated).
-    let mut rows: Vec<(&str, usize, bool, GraphFacts, Option<usize>)> = Vec::new();
+    // (fixture, threads, symmetry, por, facts, full_configs if untruncated).
+    #[allow(clippy::type_complexity)]
+    let mut rows: Vec<(&str, usize, bool, bool, GraphFacts, Option<usize>)> = Vec::new();
     for fixture in &fixtures {
         let base = ExploreOptions::with_max_configs(fixture.max_configs);
         let full = facts(&fixture.spec, &base);
@@ -125,14 +162,38 @@ fn main() {
         let mut g = c.benchmark_group("e9_explore");
         g.sample_size(SAMPLE_SIZE);
         for symmetry in [false, true] {
-            let sym_facts = facts(&fixture.spec, &base.with_symmetry(symmetry));
-            for threads in THREADS {
-                let opts = base.with_threads(threads).with_symmetry(symmetry);
-                let label = format!("{}{}", fixture.name, if symmetry { "/sym" } else { "" });
-                g.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
-                    b.iter(|| StateGraph::explore(&fixture.spec, opts).expect("explore"))
-                });
-                rows.push((fixture.name, threads, symmetry, sym_facts, full_configs));
+            for por in [false, true] {
+                let opts_facts = base.with_symmetry(symmetry).with_por(por);
+                let row_facts = facts(&fixture.spec, &opts_facts);
+                println!(
+                    "GUARD {} {} {} {} {} {}",
+                    fixture.name,
+                    symmetry,
+                    por,
+                    row_facts.peak_configs,
+                    row_facts.edges,
+                    row_facts.truncated
+                );
+                for threads in THREADS {
+                    let opts = opts_facts.with_threads(threads);
+                    let label = format!(
+                        "{}{}{}",
+                        fixture.name,
+                        if symmetry { "/sym" } else { "" },
+                        if por { "/por" } else { "" }
+                    );
+                    g.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
+                        b.iter(|| StateGraph::explore(&fixture.spec, opts).expect("explore"))
+                    });
+                    rows.push((
+                        fixture.name,
+                        threads,
+                        symmetry,
+                        por,
+                        row_facts,
+                        full_configs,
+                    ));
+                }
             }
         }
         g.finish();
@@ -140,7 +201,7 @@ fn main() {
 
     // Hand-formatted JSON (no serde in the offline build).
     let mut kernels = String::new();
-    for (m, (name, threads, symmetry, facts_row, full_configs)) in
+    for (m, (name, threads, symmetry, por, facts_row, full_configs)) in
         c.measurements().iter().zip(&rows)
     {
         let secs = m.median_ns / 1e9;
@@ -149,19 +210,25 @@ fn main() {
         } else {
             0.0
         };
-        // Reduction ratio: quotient size over full size, only meaningful
-        // when the full graph completed under the bound.
+        // Reduction ratio: reduced size over the unreduced (symmetry off,
+        // POR off) size, only meaningful when the full graph completed
+        // under the bound and some reduction is on.
         let ratio = match full_configs {
-            Some(fc) if *symmetry => json_f64(facts_row.peak_configs as f64 / *fc as f64),
+            Some(fc) if *symmetry || *por => json_f64(facts_row.peak_configs as f64 / *fc as f64),
             _ => "null".to_string(),
         };
+        let bytes_per_config = facts_row
+            .approx_bytes
+            .checked_div(facts_row.peak_configs)
+            .unwrap_or(0);
         if !kernels.is_empty() {
             kernels.push_str(",\n");
         }
         kernels.push_str(&format!(
             "    {{\"fixture\": \"{name}\", \"threads\": {threads}, \
-             \"symmetry\": {symmetry}, \"peak_configs\": {}, \"edges\": {}, \
-             \"truncated\": {}, \"reduction_ratio\": {ratio}, \
+             \"symmetry\": {symmetry}, \"por\": {por}, \"peak_configs\": {}, \
+             \"edges\": {}, \"truncated\": {}, \"approx_bytes_per_config\": \
+             {bytes_per_config}, \"reduction_ratio\": {ratio}, \
              \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}, \
              \"iters_per_sample\": {}, \"samples\": {}}}",
             facts_row.peak_configs,
@@ -178,10 +245,12 @@ fn main() {
         .unwrap_or(1);
     let meta = format!(
         "  \"meta\": {{\n    \"hardware_threads\": {hardware_threads},\n    \
-         \"git_revision\": \"{}\",\n    \"sample_size\": {SAMPLE_SIZE},\n    \
+         \"git_revision\": \"{}\",\n    \"dirty\": {},\n    \
+         \"sample_size\": {SAMPLE_SIZE},\n    \
          \"sample_budget_ms\": {},\n    \"warmup_budget_ms\": {},\n    \
          \"smoke\": {}\n  }}",
         git_revision(),
+        git_dirty(),
         SAMPLE_BUDGET.as_millis(),
         WARMUP_BUDGET.as_millis(),
         smoke_mode(),
@@ -190,7 +259,8 @@ fn main() {
         "{{\n  \"bench\": \"modelcheck_explore\",\n{meta},\n  \"kernels\": [\n{kernels}\n  ]\n}}\n"
     );
     if smoke_mode() {
-        // Smoke runs exist to exercise the code, not to publish numbers.
+        // Smoke runs exist to exercise the code (and feed the GUARD lines
+        // above to scripts/bench_guard.sh), not to publish numbers.
         println!("\nBENCH_SMOKE=1: skipping BENCH_modelcheck.json write");
         return;
     }

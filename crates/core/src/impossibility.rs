@@ -155,6 +155,11 @@ impl Protocol for TreeProtocol {
     fn pid_symmetric(&self) -> bool {
         true
     }
+
+    // Every invocation of every tree targets the single shared object.
+    fn obj_footprint(&self, _ctx: &ProcCtx) -> Option<Vec<ObjId>> {
+        Some(vec![self.obj])
+    }
 }
 
 /// A witness that binary consensus *is* solvable in the class: the four
@@ -190,10 +195,13 @@ pub fn search_binary_consensus<F>(
 where
     F: Fn() -> Box<dyn ObjectSpec>,
 {
+    // Partial-order reduction is on by default: every per-pair check only
+    // consumes terminal verdicts (wait-freedom + decision sets), which POR
+    // preserves, and deciding processes collapse to singleton ample sets.
     search_binary_consensus_with(
         make_object,
         class,
-        &ExploreOptions::with_max_configs(200_000),
+        &ExploreOptions::with_max_configs(200_000).with_por(true),
     )
 }
 

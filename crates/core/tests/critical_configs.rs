@@ -68,7 +68,7 @@ fn solo_runs_from_every_configuration_are_univalent() {
     for i in 0..graph.len() {
         for e in graph.edges(i) {
             assert!(
-                valency.valence(e.to).is_subset(valency.valence(i)),
+                valency.valence(e.target()).is_subset(valency.valence(i)),
                 "steps never grow the valence"
             );
         }

@@ -11,12 +11,38 @@
 //! stored once in the node arena, and every fingerprint hit is verified
 //! by full equality before deduplicating, so hash collisions can never
 //! merge distinct configurations.
+//!
+//! # Partial-order reduction
+//!
+//! With [`ExploreOptions::por`], exploration prunes redundant interleavings
+//! of *independent* steps (steps that commute — see
+//! [`SystemSpec::footprints_independent`]) instead of generating them and
+//! letting the dedup index merge their endpoints:
+//!
+//! * **Ample (persistent) sets** shrink the state count: at each new
+//!   configuration only a persistent subset of the enabled processes is
+//!   fired (a deciding process alone, or the smallest statically-closed
+//!   conflict component — see `choose_ample`).
+//! * **Sleep sets** shrink the edge count: each edge carries the set of
+//!   processes whose steps were already explored in a commuting order, so
+//!   permutations of one Mazurkiewicz trace are not re-fired.
+//! * The **cycle proviso** prevents the ignoring problem: any node found to
+//!   close a cycle (an edge to an equal-or-shallower BFS level) is escalated
+//!   to full expansion, so no enabled process is deferred forever.
+//!
+//! The reduced graph preserves the terminal configurations exactly, and with
+//! them every verdict in `properties.rs` plus the root valence; it does
+//! *not* preserve interior valences, so `find_critical` rejects POR graphs.
+//!
+//! The frozen graph stores its adjacency in compressed-sparse-row form
+//! (`u32` node ids, one flat edge array) — per-node memory is two `u32`
+//! offsets instead of a `Vec` header plus allocation slack.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use subconsensus_sim::{Config, Pid, SimError, SystemSpec};
+use subconsensus_sim::{Config, Pid, SimError, StepFootprint, SystemSpec};
 
 /// Options bounding an exploration.
 #[derive(Clone, Copy, Debug)]
@@ -33,6 +59,13 @@ pub struct ExploreOptions {
     /// for systems with trivial symmetry. See
     /// [`StateGraph::explore`] for what the quotient preserves.
     pub symmetry: bool,
+    /// Partial-order reduction: prune redundant interleavings of commuting
+    /// steps with ample sets + sleep sets + the cycle proviso (see the
+    /// module docs). The reduced graph preserves terminal decision sets,
+    /// wait-freedom, non-blocking and the root valence; it is rejected by
+    /// `find_critical`, which needs full expansion. Composes with
+    /// `symmetry` and `threads`.
+    pub por: bool,
 }
 
 impl Default for ExploreOptions {
@@ -41,6 +74,7 @@ impl Default for ExploreOptions {
             max_configs: 1_000_000,
             threads: 1,
             symmetry: false,
+            por: false,
         }
     }
 }
@@ -63,6 +97,12 @@ impl ExploreOptions {
     /// Returns these options with orbit-quotient exploration on or off.
     pub fn with_symmetry(mut self, symmetry: bool) -> Self {
         self.symmetry = symmetry;
+        self
+    }
+
+    /// Returns these options with partial-order reduction on or off.
+    pub fn with_por(mut self, por: bool) -> Self {
+        self.por = por;
         self
     }
 }
@@ -89,6 +129,18 @@ fn lookup(
         .find(|&j| configs[j] == *config)
 }
 
+/// Maps a pid bit mask through a pid permutation (`perm[old] = new`).
+fn permute_mask(mask: u64, perm: &[usize]) -> u64 {
+    let mut out = 0u64;
+    let mut it = mask;
+    while it != 0 {
+        let q = it.trailing_zeros() as usize;
+        it &= it - 1;
+        out |= 1 << perm[q];
+    }
+    out
+}
+
 /// A successor resolved by a level-expansion worker.
 enum StepResult {
     /// The successor already had a node index before this level's merge.
@@ -98,54 +150,211 @@ enum StepResult {
     Fresh(Config, u64),
 }
 
-/// The full expansion of one frontier node, successors in stable
-/// (pid, outcome) order.
+/// The expansion of one work item: successors in stable (pid, outcome)
+/// order, each with the sleep set to install at the successor (all-zero
+/// without POR).
 struct NodeExpansion {
-    steps: Vec<(Pid, StepResult)>,
+    steps: Vec<(Pid, StepResult, u64)>,
+    /// The pids this item actually fired.
+    fired: u64,
+    /// Ample candidates suppressed by the sleep set (first visits only).
+    slept: u64,
     terminal: bool,
 }
 
-/// Expands `nodes` against a read-only snapshot of the graph. With
-/// `symmetry`, every successor is replaced by its orbit representative
-/// before the dedup lookup.
+/// One unit of frontier work.
+///
+/// A `fresh` item is a node's first expansion: the worker picks the ample
+/// set itself and reads the node's entry sleep set from `first_sleep`. A
+/// non-fresh item re-expands an already-visited node with an explicit
+/// `fire` mask (sleep-set wake-ups and cycle-proviso escalations).
+#[derive(Clone, Copy)]
+struct WorkItem {
+    node: usize,
+    fire: u64,
+    sleep: u64,
+    fresh: bool,
+}
+
+/// Picks a persistent ("ample") subset of the enabled pids of one
+/// configuration; only that subset is fired at the node's first visit.
+///
+/// Soundness requires *persistence*: no step outside the set, nor any
+/// future step reachable without the set, may conflict with a step in the
+/// set. Two criteria, tried in order:
+///
+/// 1. **Decide singleton** — an enabled process whose next action is a
+///    decision ([`StepFootprint::Local`]) touches only its own (absorbing)
+///    process state, so it alone is a persistent set.
+/// 2. **Smallest static conflict component** — from the declared
+///    whole-execution object footprints
+///    ([`SystemSpec::static_independent`]): the enabled pids are split into
+///    components closed under "may ever conflict", and the smallest
+///    component (ties: the one containing the lowest pid) is taken. A
+///    process without a declared footprint conflicts with everyone, which
+///    collapses the components into one.
+///
+/// Falls back to the full enabled set (no reduction). The result is
+/// deterministic: it depends only on the configuration and the spec.
+fn choose_ample(spec: &SystemSpec, enabled: u64, fps: &[Option<StepFootprint>]) -> u64 {
+    let mut it = enabled;
+    while it != 0 {
+        let i = it.trailing_zeros() as usize;
+        it &= it - 1;
+        if matches!(fps[i], Some(StepFootprint::Local)) {
+            return 1 << i;
+        }
+    }
+    let mut best = enabled;
+    let mut remaining = enabled;
+    while remaining != 0 {
+        let seed = remaining & remaining.wrapping_neg();
+        let mut comp = seed;
+        loop {
+            let mut grown = comp;
+            let mut others = enabled & !comp;
+            while others != 0 {
+                let q = others.trailing_zeros() as usize;
+                others &= others - 1;
+                if comp & !spec.static_independent(Pid::new(q)) != 0 {
+                    grown |= 1 << q;
+                }
+            }
+            if grown == comp {
+                break;
+            }
+            comp = grown;
+        }
+        if comp.count_ones() < best.count_ones() {
+            best = comp;
+        }
+        remaining &= !comp;
+    }
+    best
+}
+
+/// Expands one work item against a read-only snapshot of the graph.
+fn expand_item(
+    spec: &SystemSpec,
+    configs: &[Config],
+    index: &HashMap<u64, Vec<usize>>,
+    first_sleep: &[u64],
+    item: WorkItem,
+    opts: &ExploreOptions,
+) -> Result<NodeExpansion, SimError> {
+    let config = &configs[item.node];
+    let enabled = config.enabled_set().bits();
+    if enabled == 0 {
+        return Ok(NodeExpansion {
+            steps: Vec::new(),
+            fired: 0,
+            slept: 0,
+            terminal: true,
+        });
+    }
+
+    // Per-pid step footprints: ample selection and successor sleep masks
+    // both need them (POR only).
+    let mut fps: Vec<Option<StepFootprint>> = Vec::new();
+    if opts.por {
+        fps = vec![None; config.nprocs()];
+        let mut it = enabled;
+        while it != 0 {
+            let i = it.trailing_zeros() as usize;
+            it &= it - 1;
+            fps[i] = Some(spec.step_footprint(config, Pid::new(i))?);
+        }
+    }
+
+    let (fire, sleep, slept) = if !opts.por {
+        (enabled, 0, 0)
+    } else if item.fresh {
+        let sleep = first_sleep[item.node] & enabled;
+        let ample = choose_ample(spec, enabled, &fps);
+        let mut fire = ample & !sleep;
+        let mut slept = ample & sleep;
+        if fire == 0 {
+            // Never strand a node with enabled processes: un-sleep the
+            // lowest ample candidate, so every non-terminal node keeps at
+            // least one outgoing edge (`check_nonblocking` depends on it).
+            let low = ample & ample.wrapping_neg();
+            fire = low;
+            slept &= !low;
+        }
+        (fire, sleep, slept)
+    } else {
+        (item.fire, item.sleep, 0)
+    };
+
+    let mut steps = Vec::new();
+    let mut done = 0u64; // earlier siblings fired by this item
+    let mut it = fire;
+    while it != 0 {
+        let i = it.trailing_zeros() as usize;
+        it &= it - 1;
+        let pid = Pid::new(i);
+        // Sleep basis at the successor: the incoming sleep plus this item's
+        // earlier siblings, minus the stepping pid — filtered below to the
+        // pids whose next step is independent of this one.
+        let base = if opts.por {
+            (sleep | done) & enabled & !(1 << i)
+        } else {
+            0
+        };
+        for (next, _info) in spec.successors(config, pid)? {
+            let mut succ_sleep = 0u64;
+            if base != 0 {
+                let me = fps[i].as_ref().expect("enabled pid has a footprint");
+                let mut qs = base;
+                while qs != 0 {
+                    let q = qs.trailing_zeros() as usize;
+                    qs &= qs - 1;
+                    let other = fps[q].as_ref().expect("enabled pid has a footprint");
+                    if spec.footprints_independent(config, me, other) {
+                        succ_sleep |= 1 << q;
+                    }
+                }
+            }
+            let next = if opts.symmetry {
+                let (canon, perm) = spec.canonicalize_config_perm(next);
+                if let Some(perm) = perm {
+                    // The canonical successor renames pids; rename the
+                    // sleep mask with it.
+                    succ_sleep = permute_mask(succ_sleep, &perm);
+                }
+                canon
+            } else {
+                next
+            };
+            let fp = fingerprint(&next);
+            let step = match lookup(index, configs, fp, &next) {
+                Some(j) => StepResult::Existing(j),
+                None => StepResult::Fresh(next, fp),
+            };
+            steps.push((pid, step, succ_sleep));
+        }
+        done |= 1 << i;
+    }
+    Ok(NodeExpansion {
+        steps,
+        fired: fire,
+        slept,
+        terminal: false,
+    })
+}
+
+/// Expands `items` against a read-only snapshot of the graph.
 fn expand_chunk(
     spec: &SystemSpec,
     configs: &[Config],
     index: &HashMap<u64, Vec<usize>>,
-    nodes: &[usize],
-    symmetry: bool,
+    first_sleep: &[u64],
+    items: &[WorkItem],
+    opts: &ExploreOptions,
 ) -> Result<Vec<NodeExpansion>, SimError> {
-    let mut out = Vec::with_capacity(nodes.len());
-    for &i in nodes {
-        let config = &configs[i];
-        let enabled = config.enabled_set();
-        if enabled.is_empty() {
-            out.push(NodeExpansion {
-                steps: Vec::new(),
-                terminal: true,
-            });
-            continue;
-        }
-        let mut steps = Vec::new();
-        for pid in enabled {
-            for (next, _info) in spec.successors(config, pid)? {
-                let next = if symmetry {
-                    spec.canonicalize_config(next)
-                } else {
-                    next
-                };
-                let fp = fingerprint(&next);
-                let step = match lookup(index, configs, fp, &next) {
-                    Some(j) => StepResult::Existing(j),
-                    None => StepResult::Fresh(next, fp),
-                };
-                steps.push((pid, step));
-            }
-        }
-        out.push(NodeExpansion {
-            steps,
-            terminal: false,
-        });
+    let mut out = Vec::with_capacity(items.len());
+    for &item in items {
+        out.push(expand_item(spec, configs, index, first_sleep, item, opts)?);
     }
     Ok(out)
 }
@@ -155,25 +364,28 @@ fn expand_chunk(
 /// and the merge produces the same graph either way.
 const PARALLEL_THRESHOLD: usize = 32;
 
-/// Expands one BFS level, splitting it across `threads` workers. Results
-/// are returned in the same order as `level` regardless of the split.
+/// Expands one BFS level, splitting it across `opts.threads` workers.
+/// Results are returned in the same order as `level` regardless of the
+/// split.
 fn expand_level(
     spec: &SystemSpec,
     configs: &[Config],
     index: &HashMap<u64, Vec<usize>>,
-    level: &[usize],
-    threads: usize,
-    symmetry: bool,
+    first_sleep: &[u64],
+    level: &[WorkItem],
+    opts: &ExploreOptions,
 ) -> Result<Vec<NodeExpansion>, SimError> {
-    let threads = threads.clamp(1, level.len().max(1));
+    let threads = opts.threads.clamp(1, level.len().max(1));
     if threads <= 1 || level.len() < PARALLEL_THRESHOLD {
-        return expand_chunk(spec, configs, index, level, symmetry);
+        return expand_chunk(spec, configs, index, first_sleep, level, opts);
     }
     let chunk_size = level.len().div_ceil(threads);
     let results: Vec<Result<Vec<NodeExpansion>, SimError>> = std::thread::scope(|s| {
         let handles: Vec<_> = level
             .chunks(chunk_size)
-            .map(|chunk| s.spawn(move || expand_chunk(spec, configs, index, chunk, symmetry)))
+            .map(|chunk| {
+                s.spawn(move || expand_chunk(spec, configs, index, first_sleep, chunk, opts))
+            })
             .collect();
         handles
             .into_iter()
@@ -188,12 +400,23 @@ fn expand_level(
 }
 
 /// One outgoing edge of the configuration graph.
+///
+/// Node indices are `u32`: the CSR representation caps a graph at
+/// `u32::MAX` nodes, far beyond what any exhaustive exploration holds in
+/// memory, and halves the edge array's footprint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Edge {
     /// The process whose step produced this edge.
     pub pid: Pid,
     /// Index of the successor configuration.
-    pub to: usize,
+    pub to: u32,
+}
+
+impl Edge {
+    /// The successor node index widened for direct indexing.
+    pub fn target(&self) -> usize {
+        self.to as usize
+    }
 }
 
 /// Summary statistics of a [`StateGraph`].
@@ -229,15 +452,20 @@ impl std::fmt::Display for GraphStats {
 }
 
 /// The reachable configuration graph of a system, with every scheduler choice
-/// and every nondeterministic object outcome expanded.
+/// and every nondeterministic object outcome expanded (unless reduced — see
+/// [`StateGraph::is_por_reduced`]).
 ///
-/// Node `0` is the initial configuration.
+/// Node `0` is the initial configuration. Adjacency is stored in
+/// compressed-sparse-row form: `row_ptr[i]..row_ptr[i + 1]` indexes node
+/// `i`'s slice of one flat edge array.
 #[derive(Clone, Debug)]
 pub struct StateGraph {
     configs: Vec<Config>,
-    edges: Vec<Vec<Edge>>,
+    row_ptr: Vec<u32>,
+    edge_arr: Vec<Edge>,
     terminals: Vec<usize>,
     truncated: bool,
+    por: bool,
 }
 
 impl StateGraph {
@@ -260,6 +488,16 @@ impl StateGraph {
     /// graph reaches the predicate only up to a within-group renaming of
     /// processes when replayed against the concrete system.
     ///
+    /// With `opts.por`, the result is a **partial-order-reduced** subgraph
+    /// (see the module docs): it reaches exactly the same terminal
+    /// configurations, preserving the `properties.rs` verdicts and the
+    /// root valence, through fewer interior configurations and strictly
+    /// fewer redundant interleavings. Interior valences are *not*
+    /// preserved, so `find_critical` rejects such graphs. POR composes
+    /// with `symmetry` (pruning happens first, canonicalization second)
+    /// and with `threads` (all reduction decisions are made in the
+    /// sequential merge, so the graph stays thread-count independent).
+    ///
     /// If the bound in `opts` is hit, the returned graph is marked
     /// [`truncated`](Self::is_truncated) and all analyses on it are partial.
     ///
@@ -275,62 +513,197 @@ impl StateGraph {
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         index.entry(fingerprint(&init)).or_default().push(0);
         let mut configs = vec![init];
-        let mut edges: Vec<Vec<Edge>> = vec![Vec::new()];
+        // Flat (from, edge) buffer, frozen into CSR at the end.
+        let mut edge_buf: Vec<(u32, Edge)> = Vec::new();
         let mut terminals = Vec::new();
         let mut truncated = false;
 
-        let mut level = vec![0usize];
+        // Per-node exploration bookkeeping. `depth` (first-discovery BFS
+        // level) doubles as the cycle proviso's back-edge detector; the
+        // rest is sleep-set state, all-zero without POR.
+        let mut depth: Vec<u32> = vec![0];
+        let mut first_sleep: Vec<u64> = vec![0];
+        let mut explored: Vec<u64> = vec![0]; // pids fired or enqueued-and-merged
+        let mut slept: Vec<u64> = vec![0]; // pids suppressed by sleep sets
+        let mut pending: Vec<u64> = vec![0]; // pids enqueued, not yet merged
+        let mut expanded: Vec<bool> = vec![false];
+        let mut full: Vec<bool> = vec![false]; // escalated by the proviso
+
+        let mut level = vec![WorkItem {
+            node: 0,
+            fire: 0,
+            sleep: 0,
+            fresh: true,
+        }];
+        let mut cur_depth: u32 = 0;
+        let mut scratch: Vec<Edge> = Vec::new();
         while !level.is_empty() {
-            let expansions =
-                expand_level(spec, &configs, &index, &level, opts.threads, opts.symmetry)?;
-            let mut next_level = Vec::new();
-            for (&i, exp) in level.iter().zip(expansions) {
+            let expansions = expand_level(spec, &configs, &index, &first_sleep, &level, opts)?;
+            let mut next_level: Vec<WorkItem> = Vec::new();
+            // POR: edges into already-known nodes; processed only after the
+            // whole level has merged, because the target's own expansion may
+            // merge later in this same level.
+            let mut revisits: Vec<(usize, u64)> = Vec::new();
+            for (item, exp) in level.iter().zip(expansions) {
+                let i = item.node;
                 if exp.terminal {
                     terminals.push(i);
+                    expanded[i] = true;
                     continue;
                 }
-                for (pid, step) in exp.steps {
-                    let j = match step {
-                        StepResult::Existing(j) => j,
+                let mut escalate = false;
+                scratch.clear();
+                for (pid, step, succ_sleep) in exp.steps {
+                    let (j, known) = match step {
+                        StepResult::Existing(j) => (j, true),
                         StepResult::Fresh(next, fp) => {
-                            // An earlier node of this level may have already
+                            // An earlier item of this level may have already
                             // produced the same configuration after the
                             // worker's snapshot; re-check before inserting.
                             match lookup(&index, &configs, fp, &next) {
-                                Some(j) => j,
+                                Some(j) => (j, true),
                                 None => {
                                     if configs.len() >= opts.max_configs {
                                         truncated = true;
                                         continue;
                                     }
                                     let j = configs.len();
+                                    assert!(
+                                        j < u32::MAX as usize,
+                                        "state graph exceeds u32 node ids"
+                                    );
                                     configs.push(next);
                                     index.entry(fp).or_default().push(j);
-                                    edges.push(Vec::new());
-                                    next_level.push(j);
-                                    j
+                                    depth.push(cur_depth + 1);
+                                    first_sleep.push(succ_sleep);
+                                    explored.push(0);
+                                    slept.push(0);
+                                    pending.push(0);
+                                    expanded.push(false);
+                                    full.push(false);
+                                    next_level.push(WorkItem {
+                                        node: j,
+                                        fire: 0,
+                                        sleep: 0,
+                                        fresh: true,
+                                    });
+                                    (j, false)
                                 }
                             }
                         }
                     };
-                    // Canonicalization can map distinct successors of one
-                    // node onto the same representative; keep the edge list
-                    // parallel-free, as in the full graph.
-                    let edge = Edge { pid, to: j };
-                    if opts.symmetry && edges[i].contains(&edge) {
-                        continue;
+                    if opts.por && known {
+                        revisits.push((j, succ_sleep));
+                        // Cycle proviso trigger: an edge into an equal-or-
+                        // shallower node can close a cycle. (Deeper targets
+                        // — including all fresh nodes — cannot be the
+                        // minimal-depth node of a cycle through this edge.)
+                        if depth[j] <= depth[i] {
+                            escalate = true;
+                        }
                     }
-                    edges[i].push(edge);
+                    scratch.push(Edge { pid, to: j as u32 });
+                }
+                // Canonicalization can map distinct successors of one node
+                // onto the same representative; drop the parallel
+                // duplicates (the full graph never produces them). One
+                // sort+dedup per expansion replaces the old O(deg²)
+                // `contains` scan, and per-expansion dedup is per-node
+                // dedup: a pid never fires twice for one node, so
+                // duplicates cannot span expansions.
+                if opts.symmetry {
+                    scratch.sort_unstable_by_key(|e| (e.pid.index(), e.to));
+                    scratch.dedup();
+                }
+                edge_buf.extend(scratch.drain(..).map(|e| (i as u32, e)));
+                expanded[i] = true;
+                explored[i] |= exp.fired;
+                pending[i] &= !exp.fired;
+                slept[i] = (slept[i] | exp.slept) & !explored[i];
+                if opts.por && escalate && !full[i] {
+                    // Cycle proviso: fully expand one node per cycle so no
+                    // enabled process is ignored around it. Everything not
+                    // yet fired or in flight is fired next level, sleep
+                    // ignored.
+                    full[i] = true;
+                    let enabled = configs[i].enabled_set().bits();
+                    let rest = enabled & !explored[i] & !pending[i];
+                    slept[i] = 0;
+                    if rest != 0 {
+                        pending[i] |= rest;
+                        next_level.push(WorkItem {
+                            node: i,
+                            fire: rest,
+                            sleep: 0,
+                            fresh: false,
+                        });
+                    }
+                }
+            }
+            // Sleep-set revisit rule: reaching a known node along a new
+            // path whose sleep set no longer covers a previously-suppressed
+            // pid re-fires exactly that pid. Processed after the level's
+            // merges so `expanded`/`slept` are final for the level.
+            for (j, new_sleep) in revisits {
+                if !expanded[j] {
+                    // First expansion still queued: shrink the sleep set it
+                    // will start from instead.
+                    first_sleep[j] &= new_sleep;
+                    continue;
+                }
+                let wake = slept[j] & !new_sleep;
+                if wake != 0 {
+                    slept[j] &= !wake;
+                    pending[j] |= wake;
+                    next_level.push(WorkItem {
+                        node: j,
+                        fire: wake,
+                        sleep: new_sleep,
+                        fresh: false,
+                    });
                 }
             }
             level = next_level;
+            cur_depth += 1;
         }
         terminals.sort_unstable();
+        terminals.dedup();
+
+        // Freeze the edge buffer into CSR: a stable counting sort by source
+        // node (edges of one node keep their merge order).
+        let n = configs.len();
+        assert!(
+            edge_buf.len() < u32::MAX as usize,
+            "state graph exceeds u32 edge ids"
+        );
+        let mut row_ptr = vec![0u32; n + 1];
+        for &(from, _) in &edge_buf {
+            row_ptr[from as usize + 1] += 1;
+        }
+        for k in 0..n {
+            row_ptr[k + 1] += row_ptr[k];
+        }
+        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+        let mut edge_arr = vec![
+            Edge {
+                pid: Pid::new(0),
+                to: 0
+            };
+            edge_buf.len()
+        ];
+        for (from, e) in edge_buf {
+            let c = &mut cursor[from as usize];
+            edge_arr[*c as usize] = e;
+            *c += 1;
+        }
+
         Ok(StateGraph {
             configs,
-            edges,
+            row_ptr,
+            edge_arr,
             terminals,
             truncated,
+            por: opts.por,
         })
     }
 
@@ -350,6 +723,15 @@ impl StateGraph {
         self.truncated
     }
 
+    /// Returns `true` if this graph was explored with partial-order
+    /// reduction ([`ExploreOptions::por`]): a sound *subgraph* of the full
+    /// graph that preserves terminals, the `properties.rs` verdicts and the
+    /// root valence, but not interior valences (so `find_critical` rejects
+    /// it).
+    pub fn is_por_reduced(&self) -> bool {
+        self.por
+    }
+
     /// Returns the configuration at `index`.
     ///
     /// # Panics
@@ -365,7 +747,9 @@ impl StateGraph {
     ///
     /// Panics if `index` is out of range.
     pub fn edges(&self, index: usize) -> &[Edge] {
-        &self.edges[index]
+        let lo = self.row_ptr[index] as usize;
+        let hi = self.row_ptr[index + 1] as usize;
+        &self.edge_arr[lo..hi]
     }
 
     /// Returns the indices of the final configurations (no process enabled).
@@ -373,29 +757,49 @@ impl StateGraph {
         &self.terminals
     }
 
+    /// Approximate resident bytes of the frozen graph: the configuration
+    /// arena (struct plus per-configuration pointer arrays; the `Arc`-shared
+    /// object and process states themselves are excluded, as they are
+    /// shared across configurations), the CSR arrays and the terminal list.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_config = size_of::<Config>()
+            + self
+                .configs
+                .first()
+                .map_or(0, |c| (c.nobjects() + c.nprocs()) * size_of::<usize>());
+        self.configs.len() * per_config
+            + self.row_ptr.len() * size_of::<u32>()
+            + self.edge_arr.len() * size_of::<Edge>()
+            + self.terminals.len() * size_of::<usize>()
+    }
+
     /// Computes summary statistics of the graph.
     pub fn stats(&self) -> GraphStats {
         use std::collections::VecDeque;
-        let edges_total: usize = self.edges.iter().map(Vec::len).sum();
-        let max_out_degree = self.edges.iter().map(Vec::len).max().unwrap_or(0);
+        let n = self.configs.len();
+        let max_out_degree = (0..n)
+            .map(|i| (self.row_ptr[i + 1] - self.row_ptr[i]) as usize)
+            .max()
+            .unwrap_or(0);
         // BFS depth from the initial configuration.
-        let mut depth = vec![usize::MAX; self.configs.len()];
+        let mut depth = vec![usize::MAX; n];
         let mut queue = VecDeque::new();
         depth[0] = 0;
         queue.push_back(0usize);
         let mut max_depth = 0;
         while let Some(i) = queue.pop_front() {
-            for e in &self.edges[i] {
-                if depth[e.to] == usize::MAX {
-                    depth[e.to] = depth[i] + 1;
-                    max_depth = max_depth.max(depth[e.to]);
-                    queue.push_back(e.to);
+            for e in self.edges(i) {
+                if depth[e.target()] == usize::MAX {
+                    depth[e.target()] = depth[i] + 1;
+                    max_depth = max_depth.max(depth[e.target()]);
+                    queue.push_back(e.target());
                 }
             }
         }
         GraphStats {
-            configs: self.configs.len(),
-            edges: edges_total,
+            configs: n,
+            edges: self.edge_arr.len(),
             terminals: self.terminals.len(),
             max_out_degree,
             max_depth,
@@ -434,11 +838,11 @@ impl StateGraph {
                 schedule.reverse();
                 return Some(schedule);
             }
-            for e in &self.edges[i] {
-                if !seen[e.to] {
-                    seen[e.to] = true;
-                    parent[e.to] = Some((i, e.pid));
-                    queue.push_back(e.to);
+            for e in self.edges(i) {
+                if !seen[e.target()] {
+                    seen[e.target()] = true;
+                    parent[e.target()] = Some((i, e.pid));
+                    queue.push_back(e.target());
                 }
             }
         }
@@ -466,8 +870,9 @@ impl StateGraph {
             let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
             color[root] = GRAY;
             while let Some(&mut (node, ref mut ei)) = stack.last_mut() {
-                if *ei < self.edges[node].len() {
-                    let to = self.edges[node][*ei].to;
+                let edges = self.edges(node);
+                if *ei < edges.len() {
+                    let to = edges[*ei].target();
                     *ei += 1;
                     match color[to] {
                         WHITE => {
@@ -583,6 +988,53 @@ mod tests {
         b.build()
     }
 
+    /// Two register-backed WriteReadDecide processes per block, each block
+    /// on its own register, with declared footprints — the shape POR's
+    /// static conflict components reduce.
+    fn blocked_spec(blocks: usize) -> subconsensus_sim::SystemSpec {
+        #[derive(Debug)]
+        struct BlockedWrd {
+            reg: ObjId,
+        }
+
+        impl Protocol for BlockedWrd {
+            fn start(&self, _ctx: &ProcCtx) -> Value {
+                Value::Int(0)
+            }
+
+            fn step(
+                &self,
+                ctx: &ProcCtx,
+                local: &Value,
+                resp: Option<&Value>,
+            ) -> Result<Action, ProtocolError> {
+                match local.as_int() {
+                    Some(0) => Ok(Action::invoke(
+                        Value::Int(1),
+                        self.reg,
+                        Op::unary("write", ctx.input.clone()),
+                    )),
+                    Some(1) => Ok(Action::invoke(Value::Int(2), self.reg, Op::new("read"))),
+                    _ => Ok(Action::Decide(resp.cloned().unwrap_or(Value::Nil))),
+                }
+            }
+
+            fn obj_footprint(&self, _ctx: &ProcCtx) -> Option<Vec<ObjId>> {
+                Some(vec![self.reg])
+            }
+        }
+
+        let mut b = SystemBuilder::new();
+        for blk in 0..blocks {
+            let reg = b.add_object(Reg);
+            let p = Arc::new(BlockedWrd { reg });
+            for i in 0..2 {
+                b.add_process(p.clone(), Value::Int((2 * blk + i) as i64 + 1));
+            }
+        }
+        b.build()
+    }
+
     #[test]
     fn solo_graph_is_a_path() {
         let g = StateGraph::explore(&race_spec(1), &ExploreOptions::default()).unwrap();
@@ -591,6 +1043,7 @@ mod tests {
         assert!(!g.has_cycle());
         assert!(!g.is_truncated());
         assert!(!g.is_empty());
+        assert!(!g.is_por_reduced());
     }
 
     #[test]
@@ -645,6 +1098,14 @@ mod tests {
         let s2 = g2.stats();
         assert!(s2.max_out_degree >= 2, "two processes can both step");
         assert_eq!(s2.max_depth, 6, "every full execution takes 6 steps");
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_the_graph() {
+        let small = StateGraph::explore(&race_spec(1), &ExploreOptions::default()).unwrap();
+        let large = StateGraph::explore(&race_spec(3), &ExploreOptions::default()).unwrap();
+        assert!(small.approx_bytes() > 0);
+        assert!(large.approx_bytes() > small.approx_bytes());
     }
 
     #[test]
@@ -712,6 +1173,94 @@ mod tests {
             assert_eq!(a.edges(i), b.edges(i));
         }
         assert_eq!(a.terminals(), b.terminals());
+    }
+
+    /// Sorted terminal configurations, for comparing graphs whose node
+    /// numbering differs (full vs POR-reduced).
+    fn terminal_configs(g: &StateGraph) -> Vec<Config> {
+        let mut t: Vec<Config> = g.terminals().iter().map(|&i| g.config(i).clone()).collect();
+        t.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        t
+    }
+
+    #[test]
+    fn por_preserves_terminals_exactly() {
+        for spec in [race_spec(2), race_spec(3), blocked_spec(2)] {
+            let full = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+            let red =
+                StateGraph::explore(&spec, &ExploreOptions::default().with_por(true)).unwrap();
+            assert!(red.is_por_reduced());
+            assert!(!red.is_truncated());
+            assert!(red.len() <= full.len());
+            assert!(red.stats().edges <= full.stats().edges);
+            assert_eq!(terminal_configs(&red), terminal_configs(&full));
+        }
+    }
+
+    #[test]
+    fn por_reduces_statically_independent_blocks() {
+        // Two 2-process blocks on disjoint registers with declared
+        // footprints: the blocks interleave freely in the full graph, but
+        // POR serializes them.
+        let spec = blocked_spec(2);
+        let full = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        let red = StateGraph::explore(&spec, &ExploreOptions::default().with_por(true)).unwrap();
+        assert!(
+            2 * red.len() <= full.len(),
+            "reduced {} vs full {}: expected ≤ 1/2",
+            red.len(),
+            full.len()
+        );
+        assert!(red.stats().edges < full.stats().edges);
+    }
+
+    #[test]
+    fn por_exploration_is_thread_count_independent() {
+        let spec = blocked_spec(2);
+        let base = StateGraph::explore(&spec, &ExploreOptions::default().with_por(true)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let opts = ExploreOptions::default()
+                .with_por(true)
+                .with_threads(threads);
+            let g = StateGraph::explore(&spec, &opts).unwrap();
+            assert_eq!(g.len(), base.len(), "{threads} threads");
+            for i in 0..base.len() {
+                assert_eq!(g.config(i), base.config(i), "node {i} at {threads} threads");
+                assert_eq!(g.edges(i), base.edges(i), "edges {i} at {threads} threads");
+            }
+            assert_eq!(g.terminals(), base.terminals());
+        }
+    }
+
+    #[test]
+    fn por_keeps_cycles_detectable() {
+        // A spinner (cyclic) plus a decider: the proviso must keep the
+        // spin cycle in the reduced graph.
+        #[derive(Debug)]
+        struct DecideNow;
+        impl Protocol for DecideNow {
+            fn start(&self, _ctx: &ProcCtx) -> Value {
+                Value::Nil
+            }
+            fn step(
+                &self,
+                ctx: &ProcCtx,
+                _local: &Value,
+                _resp: Option<&Value>,
+            ) -> Result<Action, ProtocolError> {
+                Ok(Action::Decide(ctx.input.clone()))
+            }
+        }
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        b.add_process(Arc::new(Spinner { reg }), Value::Nil);
+        b.add_process(Arc::new(DecideNow), Value::Int(1));
+        let spec = b.build();
+        let full = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        let red = StateGraph::explore(&spec, &ExploreOptions::default().with_por(true)).unwrap();
+        assert!(full.has_cycle());
+        assert!(red.has_cycle(), "the proviso must not lose the cycle");
+        assert_eq!(terminal_configs(&red), terminal_configs(&full));
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //!   univalent classification and critical-configuration search, the
 //!   mechanized form of the paper's Section-6-style impossibility arguments.
 //!
+//! Exploration scales past naive enumeration with three composable
+//! reductions (see [`ExploreOptions`]): parallel level expansion
+//! (`threads`), the orbit quotient under process symmetry (`symmetry`),
+//! and commutativity-based partial-order reduction (`por`) — the last
+//! preserving every terminal-derived verdict above while pruning redundant
+//! interleavings ([`find_critical`] alone requires a full graph and
+//! rejects reduced ones).
+//!
 //! This is the evaluation engine of the reproduction: the paper proves its
 //! theorems by hand; we check each concrete instance exhaustively for small
 //! parameters.

@@ -136,7 +136,7 @@ pub fn check_nonblocking(graph: &StateGraph) -> bool {
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     for i in 0..n {
         for e in graph.edges(i) {
-            preds[e.to].push(i);
+            preds[e.target()].push(i);
         }
     }
     let mut work: Vec<usize> = graph.terminals().to_vec();

@@ -30,6 +30,13 @@ impl Valency {
     /// every member of the orbit: within-group permutations fix the
     /// decided-value *sets* (processes are renamed, the multiset of decisions
     /// is not), so valence is constant on orbits.
+    ///
+    /// On a partial-order-reduced graph (explored with
+    /// [`ExploreOptions::por`](crate::ExploreOptions)) only the *root*
+    /// valence is trustworthy: POR reaches every terminal, so node 0 sees
+    /// the full decided-value spectrum, but an interior node may be missing
+    /// pruned successors and its computed valence can be a strict subset of
+    /// its true valence. [`find_critical`] therefore rejects reduced graphs.
     pub fn compute(graph: &StateGraph) -> Self {
         let n = graph.len();
         let mut sets: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); n];
@@ -40,7 +47,7 @@ impl Valency {
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
         for i in 0..n {
             for e in graph.edges(i) {
-                preds[e.to].push(i);
+                preds[e.target()].push(i);
             }
         }
         // Dirty-bit worklist: a node is queued at most once per time its set
@@ -114,7 +121,24 @@ pub struct CriticalConfig {
 /// orbit of critical configurations of the full graph (valence is constant
 /// on orbits and permutations map successors to successors), and `None`
 /// means the full graph has none either.
+///
+/// # Panics
+///
+/// Panics if `graph` was explored with partial-order reduction
+/// ([`ExploreOptions::por`](crate::ExploreOptions)). POR preserves the
+/// terminals (hence the root valence), but an interior node of the reduced
+/// graph is missing the successors the reduction pruned — its computed
+/// valence can shrink and the "every successor univalent" test is
+/// meaningless against a partial successor list. Criticality is a property
+/// of the *full* graph; re-explore with `ExploreOptions::with_por(false)`.
 pub fn find_critical(graph: &StateGraph, valency: &Valency) -> Option<CriticalConfig> {
+    assert!(
+        !graph.is_por_reduced(),
+        "find_critical requires a fully expanded graph: partial-order reduction preserves \
+         root valence and terminal verdicts but not interior valences or successor lists, \
+         so critical configurations cannot be identified on a reduced graph. \
+         Re-explore with ExploreOptions::with_por(false)."
+    );
     'node: for i in 0..graph.len() {
         if !valency.is_bivalent(i) {
             continue;
@@ -125,11 +149,11 @@ pub fn find_critical(graph: &StateGraph, valency: &Valency) -> Option<CriticalCo
         }
         let mut branches = Vec::with_capacity(edges.len());
         for e in edges {
-            if !valency.is_univalent(e.to) {
+            if !valency.is_univalent(e.target()) {
                 continue 'node;
             }
             let v = valency
-                .valence(e.to)
+                .valence(e.target())
                 .iter()
                 .next()
                 .expect("univalent set has one element")

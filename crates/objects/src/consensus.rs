@@ -113,6 +113,35 @@ impl ObjectSpec for Consensus {
             _ => Err(unknown_op(CONS, op)),
         }
     }
+
+    fn commutes(&self, state: &Value, a: &Op, b: &Op) -> bool {
+        match (a.name, b.name) {
+            // Reads never move the state.
+            ("read", "read") => a.args.is_empty() && b.args.is_empty(),
+            // Two proposals of the same (legal) value reach the same state
+            // and deliver the same responses in either order — except at the
+            // capacity boundary, where the order decides *which* caller
+            // hangs.
+            ("propose", "propose") => {
+                let same_value = a.args.len() == 1
+                    && b.args.len() == 1
+                    && a.arg(0) == b.arg(0)
+                    && a.arg(0).is_some_and(|v| !v.is_nil());
+                if !same_value {
+                    return false;
+                }
+                match self.capacity {
+                    None => true,
+                    Some(cap) => match state.index(1).and_then(Value::as_index) {
+                        // Both answer, or both hang.
+                        Some(count) => count + 2 <= cap || count >= cap,
+                        None => false,
+                    },
+                }
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +214,32 @@ mod tests {
             audit_determinism(&Consensus::bounded(3), &ops, 5).unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn commutes_reads_and_equal_proposals_away_from_the_bound() {
+        let read = Op::new("read");
+        let p1 = Op::unary("propose", Value::Int(1));
+        let p2 = Op::unary("propose", Value::Int(2));
+
+        let c = Consensus::unbounded();
+        let s0 = c.initial_state();
+        assert!(c.commutes(&s0, &read, &read));
+        assert!(c.commutes(&s0, &p1, &p1.clone()));
+        assert!(!c.commutes(&s0, &p1, &p2), "different values race");
+        assert!(!c.commutes(&s0, &read, &p1), "a read sees the order");
+        assert!(!c.commutes(&s0, &Op::unary("propose", Value::Nil), &p1));
+
+        // Bounded: equal proposals commute while both fit (count + 2 ≤ cap)
+        // or both hang (count ≥ cap), but NOT at the boundary, where the
+        // order picks which caller hangs.
+        let c = Consensus::bounded(2);
+        let s0 = c.initial_state(); // count = 0: both fit
+        assert!(c.commutes(&s0, &p1, &p1.clone()));
+        let s1 = propose(&c, &s0, 1).state; // count = 1: boundary
+        assert!(!c.commutes(&s1, &p1, &p1.clone()));
+        let s2 = propose(&c, &s1, 1).state; // count = 2: both hang
+        assert!(c.commutes(&s2, &p1, &p1.clone()));
     }
 
     #[test]

@@ -66,6 +66,17 @@ impl ObjectSpec for Register {
             _ => Err(unknown_op(REG, op)),
         }
     }
+
+    fn commutes(&self, _state: &Value, a: &Op, b: &Op) -> bool {
+        // Two reads leave the state alone; two writes of the *same* value
+        // land in the same state and both respond ⊥. A read/write pair never
+        // commutes (the read sees different values in the two orders).
+        match (a.name, b.name) {
+            ("read", "read") => a.args.is_empty() && b.args.is_empty(),
+            ("write", "write") => a.args.len() == 1 && b.args.len() == 1 && a.arg(0) == b.arg(0),
+            _ => false,
+        }
+    }
 }
 
 /// An array of `len` atomic registers packaged as one object.
@@ -177,6 +188,38 @@ impl ObjectSpec for RegisterArray {
             _ => Err(unknown_op(REG_ARRAY, op)),
         }
     }
+
+    fn commutes(&self, _state: &Value, a: &Op, b: &Op) -> bool {
+        // Per-cell register semantics: ops on different cells always
+        // commute; on the same cell the single-register rule applies.
+        // Malformed ops (unknown name, bad arity, non-index cell argument)
+        // conservatively never commute.
+        let shape = |op: &Op| -> Option<usize> {
+            let arity = match op.name {
+                "read" => 1,
+                "write" => 2,
+                _ => return None,
+            };
+            if op.args.len() != arity {
+                return None;
+            }
+            match op.arg(0) {
+                Some(Value::Int(i)) if *i >= 0 && (*i as usize) < self.len => Some(*i as usize),
+                _ => None,
+            }
+        };
+        let (Some(ca), Some(cb)) = (shape(a), shape(b)) else {
+            return false;
+        };
+        if ca != cb {
+            return true;
+        }
+        match (a.name, b.name) {
+            ("read", "read") => true,
+            ("write", "write") => a.arg(1) == b.arg(1),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +313,48 @@ mod tests {
             a.apply(&s, &Op::binary("write", Value::Int(5), Value::Nil)),
             Err(ObjectError::IllegalOp { .. })
         ));
+    }
+
+    #[test]
+    fn register_commutes_on_reads_and_equal_writes() {
+        let r = Register::new();
+        let s = r.initial_state();
+        let read = Op::new("read");
+        let w1 = Op::unary("write", Value::Int(1));
+        let w2 = Op::unary("write", Value::Int(2));
+        assert!(r.commutes(&s, &read, &read));
+        assert!(r.commutes(&s, &w1, &w1.clone()));
+        assert!(!r.commutes(&s, &w1, &w2));
+        assert!(!r.commutes(&s, &read, &w1));
+        assert!(!r.commutes(&s, &w1, &read));
+        // Malformed ops never commute.
+        assert!(!r.commutes(&s, &Op::unary("read", Value::Int(0)), &read));
+        assert!(!r.commutes(&s, &Op::new("cas"), &read));
+    }
+
+    #[test]
+    fn array_commutes_across_cells() {
+        let a = RegisterArray::new(3);
+        let s = a.initial_state();
+        let r0 = Op::unary("read", Value::Int(0));
+        let r1 = Op::unary("read", Value::Int(1));
+        let w0 = Op::binary("write", Value::Int(0), Value::Int(7));
+        let w0b = Op::binary("write", Value::Int(0), Value::Int(8));
+        let w1 = Op::binary("write", Value::Int(1), Value::Int(7));
+        // Different cells: anything commutes.
+        assert!(a.commutes(&s, &r0, &w1));
+        assert!(a.commutes(&s, &w0, &w1));
+        // Same cell: the single-register rule.
+        assert!(a.commutes(&s, &r0, &r0.clone()));
+        assert!(a.commutes(&s, &w0, &w0.clone()));
+        assert!(!a.commutes(&s, &w0, &w0b));
+        assert!(!a.commutes(&s, &r0, &w0));
+        assert!(a.commutes(&s, &r0, &r1), "distinct cells, both reads");
+        // Out-of-range or malformed cell arguments never commute.
+        let oob = Op::unary("read", Value::Int(9));
+        assert!(!a.commutes(&s, &oob, &r0));
+        assert!(!a.commutes(&s, &Op::new("read"), &r0));
+        assert!(!a.commutes(&s, &Op::unary("read", Value::Sym("x")), &r0));
     }
 
     #[test]

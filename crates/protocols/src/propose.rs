@@ -89,6 +89,11 @@ impl Protocol for ProposeDecide {
     fn pid_symmetric(&self) -> bool {
         true
     }
+
+    // Every invocation in every execution targets `self.obj`.
+    fn obj_footprint(&self, _ctx: &ProcCtx) -> Option<Vec<ObjId>> {
+        Some(vec![self.obj])
+    }
 }
 
 /// Partition propose: process `i` proposes to object `base + ⌊i/group⌋`.
@@ -159,6 +164,13 @@ impl Protocol for PartitionPropose {
                 "partition-propose: bad pc {pc}"
             ))),
         }
+    }
+
+    // Process `i` only ever touches its block object: disjoint blocks are
+    // statically independent, which is what lets partial-order reduction
+    // serialize the blocks instead of interleaving them.
+    fn obj_footprint(&self, ctx: &ProcCtx) -> Option<Vec<ObjId>> {
+        Some(vec![self.target(ctx.pid.index())])
     }
 }
 

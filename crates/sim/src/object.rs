@@ -119,6 +119,22 @@ pub trait ObjectSpec: fmt::Debug + Send + Sync {
         true
     }
 
+    /// Whether two operations *commute* in `state`: applying `a` then `b`
+    /// reaches the same object state and delivers the same responses (for a
+    /// nondeterministic object, the same set of joint outcomes) as applying
+    /// `b` then `a`.
+    ///
+    /// Partial-order reduction uses this to declare two steps on the *same*
+    /// object independent — e.g. two reads of a register commute, a read and
+    /// a write do not. The default is the conservative `false` (never
+    /// commute), which is always sound; an override that answers `true` for a
+    /// non-commuting pair makes POR unsound, so only answer `true` when the
+    /// diamond property above genuinely holds.
+    fn commutes(&self, state: &Value, a: &Op, b: &Op) -> bool {
+        let _ = (state, a, b);
+        false
+    }
+
     /// Rewrites process identities embedded in an object state under a
     /// process permutation, for symmetry-reduced exploration.
     ///
@@ -151,6 +167,10 @@ impl ObjectSpec for Box<dyn ObjectSpec> {
 
     fn is_deterministic(&self) -> bool {
         self.as_ref().is_deterministic()
+    }
+
+    fn commutes(&self, state: &Value, a: &Op, b: &Op) -> bool {
+        self.as_ref().commutes(state, a, b)
     }
 
     fn relabel_pids(&self, state: &Value, perm: &[usize]) -> Option<Value> {

@@ -130,6 +130,22 @@ pub trait Protocol: fmt::Debug + Send + Sync {
     fn pid_symmetric(&self) -> bool {
         false
     }
+
+    /// The set of objects this process may invoke at *any* point of *any*
+    /// execution, or `None` if unknown.
+    ///
+    /// Partial-order reduction uses this static footprint to find groups of
+    /// processes that can never interact: two processes with disjoint
+    /// declared footprints are independent forever, so the checker may defer
+    /// one group while exhausting another. The declaration must cover every
+    /// object the process could ever touch — an under-declared footprint
+    /// makes POR unsound (verdicts may silently change). The default `None`
+    /// is always sound: an undeclared process is assumed to conflict with
+    /// everyone.
+    fn obj_footprint(&self, ctx: &ProcCtx) -> Option<Vec<ObjId>> {
+        let _ = ctx;
+        None
+    }
 }
 
 impl Protocol for std::sync::Arc<dyn Protocol> {
@@ -148,6 +164,10 @@ impl Protocol for std::sync::Arc<dyn Protocol> {
 
     fn pid_symmetric(&self) -> bool {
         self.as_ref().pid_symmetric()
+    }
+
+    fn obj_footprint(&self, ctx: &ProcCtx) -> Option<Vec<ObjId>> {
+        self.as_ref().obj_footprint(ctx)
     }
 }
 

@@ -89,6 +89,13 @@ impl EnabledSet {
         pid.index() < 64 && self.bits & (1 << pid.index()) != 0
     }
 
+    /// Returns the raw bit mask (bit `i` set ⇔ process `i` is in the set),
+    /// for callers that keep their own word-sized pid masks (the partial-
+    /// order-reduced model checker).
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
     /// Iterates the pids in ascending order.
     pub fn iter(self) -> EnabledIter {
         EnabledIter { bits: self.bits }
@@ -316,6 +323,11 @@ impl Config {
         self.procs.len()
     }
 
+    /// Returns the number of shared objects.
+    pub fn nobjects(&self) -> usize {
+        self.objects.len()
+    }
+
     /// Returns the canonical representative of this configuration's orbit
     /// under within-group pid permutations: each group's process states are
     /// sorted into ascending [`ProcState`] order.
@@ -409,6 +421,26 @@ pub enum StepInfo {
     Decided(Value),
 }
 
+/// What one enabled step touches, for commutativity reasoning.
+///
+/// Computed by [`SystemSpec::step_footprint`] without mutating anything: it
+/// runs the protocol's (pure) transition function to see what the process
+/// *would* do next. Two steps with "disjoint" footprints commute — see
+/// [`SystemSpec::footprints_independent`] for the exact relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepFootprint {
+    /// The step only touches the process's own state (a `Decide`): it is
+    /// independent of every step by every other process.
+    Local,
+    /// The step applies `op` to shared object `obj`.
+    Object {
+        /// The target object.
+        obj: ObjId,
+        /// The operation that would be applied.
+        op: Op,
+    },
+}
+
 /// The immutable description of a system: objects, protocols and inputs.
 #[derive(Clone)]
 pub struct SystemSpec {
@@ -416,6 +448,10 @@ pub struct SystemSpec {
     protocols: Vec<Arc<dyn Protocol>>,
     inputs: Vec<Value>,
     symmetry: Arc<SymmetryGroups>,
+    /// `static_indep[p]` has bit `q` set iff processes `p` and `q` declared
+    /// disjoint whole-execution object footprints (see
+    /// [`Protocol::obj_footprint`]); empty masks when `nprocs > 64`.
+    static_indep: Arc<Vec<u64>>,
 }
 
 impl std::fmt::Debug for SystemSpec {
@@ -482,8 +518,19 @@ impl SystemSpec {
     /// exactly [`Config::canonicalize`]. Takes `config` by value so the
     /// already-canonical fast path costs nothing.
     pub fn canonicalize_config(&self, config: Config) -> Config {
+        self.canonicalize_config_perm(config).0
+    }
+
+    /// Like [`SystemSpec::canonicalize_config`], but also returns the pid
+    /// permutation that was applied (`perm[old] = new`), or `None` when the
+    /// configuration was already canonical.
+    ///
+    /// The partial-order-reduced model checker needs the permutation to
+    /// relabel its per-edge pid masks (sleep sets) into the canonical
+    /// successor's naming.
+    pub fn canonicalize_config_perm(&self, config: Config) -> (Config, Option<Vec<usize>>) {
         let Some(perm) = config.canonical_perm(&self.symmetry) else {
-            return config;
+            return (config, None);
         };
         let mut next = config.permuted(&perm);
         for (i, obj) in self.objects.iter().enumerate() {
@@ -491,7 +538,92 @@ impl SystemSpec {
                 next.objects[i] = Arc::new(state);
             }
         }
-        next
+        (next, Some(perm))
+    }
+
+    /// Computes what `pid`'s next step would touch in `config`, without
+    /// taking the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessNotEnabled`] if `pid` cannot take a step,
+    /// and propagates protocol errors.
+    pub fn step_footprint(&self, config: &Config, pid: Pid) -> Result<StepFootprint, SimError> {
+        let i = pid.index();
+        let proc = config
+            .procs
+            .get(i)
+            .ok_or(SimError::ProcessNotEnabled(pid))?;
+        if !proc.status.is_enabled() {
+            return Err(SimError::ProcessNotEnabled(pid));
+        }
+        let ctx = self.ctx(pid);
+        let action = self.protocols[i]
+            .step(&ctx, &proc.local, proc.resp.as_ref())
+            .map_err(|source| SimError::Protocol { pid, source })?;
+        Ok(match action {
+            Action::Decide(_) => StepFootprint::Local,
+            Action::Invoke { obj, op, .. } => StepFootprint::Object { obj, op },
+        })
+    }
+
+    /// Returns `true` if two steps with the given footprints are
+    /// *independent* in `config`: executing them in either order reaches the
+    /// same configuration with the same responses.
+    ///
+    /// A [`StepFootprint::Local`] step (a decide) only touches its own
+    /// process state, so it is independent of everything. Steps on different
+    /// objects are always independent (each rewrites a disjoint part of the
+    /// configuration). Steps on the *same* object are independent exactly
+    /// when the object declares the two operations commuting in its current
+    /// state ([`ObjectSpec::commutes`], default: never).
+    pub fn footprints_independent(
+        &self,
+        config: &Config,
+        a: &StepFootprint,
+        b: &StepFootprint,
+    ) -> bool {
+        match (a, b) {
+            (StepFootprint::Local, _) | (_, StepFootprint::Local) => true,
+            (
+                StepFootprint::Object { obj: oa, op: pa },
+                StepFootprint::Object { obj: ob, op: pb },
+            ) => {
+                if oa != ob {
+                    return true;
+                }
+                match self.objects.get(oa.index()) {
+                    Some(spec) => spec.commutes(&config.objects[oa.index()], pa, pb),
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the next steps of enabled processes `p` and `q`
+    /// are independent in `config` (see
+    /// [`SystemSpec::footprints_independent`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProcessNotEnabled`] if either process cannot take
+    /// a step, and propagates protocol errors.
+    pub fn steps_independent(&self, config: &Config, p: Pid, q: Pid) -> Result<bool, SimError> {
+        let fa = self.step_footprint(config, p)?;
+        let fb = self.step_footprint(config, q)?;
+        Ok(self.footprints_independent(config, &fa, &fb))
+    }
+
+    /// Returns the mask of processes statically independent of `pid`: bit
+    /// `q` is set iff `pid` and `q` declared disjoint whole-execution object
+    /// footprints via [`Protocol::obj_footprint`], so no step of one can
+    /// ever conflict with a step of the other.
+    ///
+    /// All-zero (no static independence) when a protocol declines to
+    /// declare a footprint, when `pid` is out of range, or when the system
+    /// has more than 64 processes.
+    pub fn static_independent(&self, pid: Pid) -> u64 {
+        self.static_indep.get(pid.index()).copied().unwrap_or(0)
     }
 
     /// Builds the initial configuration.
@@ -768,12 +900,47 @@ impl SystemBuilder {
             }
             None => self.auto_symmetry(),
         };
+        let static_indep = Self::static_independence(&self.protocols, &self.inputs);
         SystemSpec {
             objects: Arc::new(self.objects),
             protocols: self.protocols,
             inputs: self.inputs,
             symmetry: Arc::new(symmetry),
+            static_indep: Arc::new(static_indep),
         }
+    }
+
+    /// Pairwise static independence from declared whole-execution object
+    /// footprints ([`Protocol::obj_footprint`]): `masks[p]` bit `q` ⇔ the
+    /// declared footprints of `p` and `q` are disjoint. A process without a
+    /// declaration is conservatively dependent on everyone.
+    fn static_independence(protocols: &[Arc<dyn Protocol>], inputs: &[Value]) -> Vec<u64> {
+        let n = protocols.len();
+        let mut masks = vec![0u64; n];
+        if n > 64 {
+            return masks;
+        }
+        let fps: Vec<Option<Vec<ObjId>>> = (0..n)
+            .map(|i| {
+                let ctx = ProcCtx::new(Pid::new(i), n, inputs[i].clone());
+                protocols[i].obj_footprint(&ctx).map(|mut objs| {
+                    objs.sort_unstable();
+                    objs.dedup();
+                    objs
+                })
+            })
+            .collect();
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if let (Some(a), Some(b)) = (&fps[p], &fps[q]) {
+                    if a.iter().all(|o| !b.contains(o)) {
+                        masks[p] |= 1 << q;
+                        masks[q] |= 1 << p;
+                    }
+                }
+            }
+        }
+        masks
     }
 }
 
@@ -1321,5 +1488,148 @@ mod tests {
         assert_eq!(ca, cb, "relabeling must merge the claim orbit");
         // Without relabeling the configs would differ in the cell state.
         assert_eq!(ca.object_state(cell), cb.object_state(cell));
+    }
+
+    /// A protocol that pokes one fixed object forever and declares it.
+    #[derive(Debug)]
+    struct DeclaredToucher {
+        obj: ObjId,
+    }
+
+    impl Protocol for DeclaredToucher {
+        fn start(&self, _ctx: &ProcCtx) -> Value {
+            Value::Nil
+        }
+
+        fn step(
+            &self,
+            _ctx: &ProcCtx,
+            _local: &Value,
+            _resp: Option<&Value>,
+        ) -> Result<Action, ProtocolError> {
+            Ok(Action::invoke(Value::Nil, self.obj, Op::new("read")))
+        }
+
+        fn obj_footprint(&self, _ctx: &ProcCtx) -> Option<Vec<ObjId>> {
+            Some(vec![self.obj])
+        }
+    }
+
+    #[test]
+    fn step_footprint_sees_the_next_action() {
+        let spec = solo_system();
+        let mut c = spec.initial_config();
+        // pc 0 / pc 1: register ops.
+        for expect_op in ["write", "read"] {
+            match spec.step_footprint(&c, Pid::new(0)).unwrap() {
+                StepFootprint::Object { obj, op } => {
+                    assert_eq!(obj, ObjId::new(0));
+                    assert_eq!(op.name, expect_op);
+                }
+                StepFootprint::Local => panic!("expected an object step"),
+            }
+            c = spec.successors(&c, Pid::new(0)).unwrap().pop().unwrap().0;
+        }
+        // pc 2: decide — a local footprint.
+        assert_eq!(
+            spec.step_footprint(&c, Pid::new(0)).unwrap(),
+            StepFootprint::Local
+        );
+        c = spec.successors(&c, Pid::new(0)).unwrap().pop().unwrap().0;
+        assert_eq!(
+            spec.step_footprint(&c, Pid::new(0)),
+            Err(SimError::ProcessNotEnabled(Pid::new(0)))
+        );
+    }
+
+    #[test]
+    fn independence_distinguishes_objects_and_defers_to_commutes() {
+        // Two registers, two writers on different objects: independent.
+        let mut b = SystemBuilder::new();
+        let r0 = b.add_object(Reg);
+        let r1 = b.add_object(Reg);
+        b.add_process(Arc::new(WriteReadDecide { reg: r0 }), Value::Int(1));
+        b.add_process(Arc::new(WriteReadDecide { reg: r1 }), Value::Int(2));
+        let spec = b.build();
+        let c0 = spec.initial_config();
+        assert!(spec
+            .steps_independent(&c0, Pid::new(0), Pid::new(1))
+            .unwrap());
+
+        // Same object, and the test `Reg` has no `commutes` override: two
+        // writes are conservatively dependent.
+        let mut b = SystemBuilder::new();
+        let r = b.add_object(Reg);
+        b.add_process(Arc::new(WriteReadDecide { reg: r }), Value::Int(1));
+        b.add_process(Arc::new(WriteReadDecide { reg: r }), Value::Int(2));
+        let spec = b.build();
+        let c0 = spec.initial_config();
+        assert!(!spec
+            .steps_independent(&c0, Pid::new(0), Pid::new(1))
+            .unwrap());
+
+        // A decide is independent of anything.
+        let c = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap().0;
+        let c = spec.successors(&c, Pid::new(0)).unwrap().pop().unwrap().0;
+        assert_eq!(
+            spec.step_footprint(&c, Pid::new(0)).unwrap(),
+            StepFootprint::Local
+        );
+        assert!(spec
+            .steps_independent(&c, Pid::new(0), Pid::new(1))
+            .unwrap());
+    }
+
+    #[test]
+    fn static_independence_requires_declared_disjoint_footprints() {
+        // Declared, disjoint: statically independent.
+        let mut b = SystemBuilder::new();
+        let r0 = b.add_object(Reg);
+        let r1 = b.add_object(Reg);
+        b.add_process(Arc::new(DeclaredToucher { obj: r0 }), Value::Nil);
+        b.add_process(Arc::new(DeclaredToucher { obj: r1 }), Value::Nil);
+        let spec = b.build();
+        assert_eq!(spec.static_independent(Pid::new(0)), 0b10);
+        assert_eq!(spec.static_independent(Pid::new(1)), 0b01);
+
+        // Declared, overlapping: dependent.
+        let mut b = SystemBuilder::new();
+        let r = b.add_object(Reg);
+        b.add_process(Arc::new(DeclaredToucher { obj: r }), Value::Nil);
+        b.add_process(Arc::new(DeclaredToucher { obj: r }), Value::Nil);
+        let spec = b.build();
+        assert_eq!(spec.static_independent(Pid::new(0)), 0);
+
+        // Undeclared (default `obj_footprint` = None): dependent on everyone
+        // even if the dynamic steps never share an object.
+        let mut b = SystemBuilder::new();
+        let r0 = b.add_object(Reg);
+        let r1 = b.add_object(Reg);
+        b.add_process(Arc::new(WriteReadDecide { reg: r0 }), Value::Int(1));
+        b.add_process(Arc::new(WriteReadDecide { reg: r1 }), Value::Int(2));
+        let spec = b.build();
+        assert_eq!(spec.static_independent(Pid::new(0)), 0);
+        // Out of range: no mask.
+        assert_eq!(spec.static_independent(Pid::new(7)), 0);
+    }
+
+    #[test]
+    fn canonicalize_config_perm_reports_the_applied_permutation() {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        let p: Arc<dyn Protocol> = Arc::new(WriteReadDecide { reg });
+        b.add_processes(p, [Value::Int(1), Value::Int(1)]);
+        b.set_symmetry_groups(SymmetryGroups::new([vec![Pid::new(0), Pid::new(1)]]));
+        let spec = b.build();
+        let c0 = spec.initial_config();
+        // Already canonical: no permutation.
+        let (_, perm) = spec.canonicalize_config_perm(c0.clone());
+        assert_eq!(perm, None);
+        // Step p0 only: p0's local (1) now sorts after p1's (0), so
+        // canonicalization swaps them and must say so.
+        let (c, _) = spec.successors(&c0, Pid::new(0)).unwrap().pop().unwrap();
+        let (canon, perm) = spec.canonicalize_config_perm(c.clone());
+        assert_eq!(perm, Some(vec![1, 0]));
+        assert_eq!(canon, c.permuted(&[1, 0]));
     }
 }

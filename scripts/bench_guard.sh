@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Deterministic bench guard: re-derives the explored-graph facts
+# (peak_configs, edges, truncated) for every (fixture, symmetry, por)
+# combination via a BENCH_SMOKE=1 run of e9_modelcheck and compares them
+# against the committed BENCH_modelcheck.json (threads=1 rows). Timing
+# fields are machine-dependent and ignored; the graph facts are
+# deterministic, so any growth — more configs, more edges, or a completing
+# exploration starting to truncate — is a reduction regression and fails
+# the gate. Shrinkage is an improvement: it passes here and shows up in the
+# next full bench run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_modelcheck.json"
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_guard: no $BASELINE baseline; skipping" >&2
+  exit 0
+fi
+
+fresh=$(BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>/dev/null | grep '^GUARD ' || true)
+if [[ -z "$fresh" ]]; then
+  echo "bench_guard: smoke run produced no GUARD lines" >&2
+  exit 1
+fi
+
+fail=0
+checked=0
+while read -r _ fixture symmetry por peak edges truncated; do
+  row=$(grep -F "\"fixture\": \"$fixture\", \"threads\": 1, \"symmetry\": $symmetry, \"por\": $por," "$BASELINE" | head -1 || true)
+  if [[ -z "$row" ]]; then
+    echo "bench_guard: no baseline row for $fixture symmetry=$symmetry por=$por (new fixture?); skipping"
+    continue
+  fi
+  checked=$((checked + 1))
+  base_peak=$(sed -n 's/.*"peak_configs": \([0-9]*\).*/\1/p' <<<"$row")
+  base_edges=$(sed -n 's/.*"edges": \([0-9]*\).*/\1/p' <<<"$row")
+  base_trunc=$(sed -n 's/.*"truncated": \(true\|false\).*/\1/p' <<<"$row")
+  if ((peak > base_peak)); then
+    echo "bench_guard: $fixture sym=$symmetry por=$por: peak_configs grew $base_peak -> $peak"
+    fail=1
+  fi
+  if ((edges > base_edges)); then
+    echo "bench_guard: $fixture sym=$symmetry por=$por: edges grew $base_edges -> $edges"
+    fail=1
+  fi
+  if [[ "$base_trunc" == "false" && "$truncated" == "true" ]]; then
+    echo "bench_guard: $fixture sym=$symmetry por=$por: exploration now truncates"
+    fail=1
+  fi
+done <<<"$fresh"
+
+if ((checked == 0)); then
+  echo "bench_guard: no GUARD line matched a baseline row — format drift?" >&2
+  exit 1
+fi
+if ((fail)); then
+  echo "bench_guard: FAILED (explored graphs grew vs $BASELINE)"
+  exit 1
+fi
+echo "bench_guard: OK ($checked rows checked)"

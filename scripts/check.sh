@@ -23,11 +23,12 @@ echo "==> workspace tests"
 cargo test -q --workspace
 
 if [[ "$RUN_BENCH_SMOKE" == "1" ]]; then
-  # Smoke-run the model-check bench: two untimed iterations per kernel,
-  # no JSON write (see harness::smoke_mode), so bench bit-rot fails the
-  # gate without touching the published BENCH_modelcheck.json.
-  echo "==> bench smoke (BENCH_SMOKE=1): e9_modelcheck"
-  BENCH_SMOKE=1 cargo bench -p subconsensus-bench --bench e9_modelcheck
+  # Smoke-run the model-check bench (two untimed iterations per kernel, no
+  # JSON write — see harness::smoke_mode) and diff its deterministic GUARD
+  # facts against the committed BENCH_modelcheck.json, so both bench
+  # bit-rot and reduction regressions (graphs growing back) fail the gate.
+  echo "==> bench guard (BENCH_SMOKE=1): e9_modelcheck vs BENCH_modelcheck.json"
+  bash scripts/bench_guard.sh
 fi
 
 echo "OK"
