@@ -11,9 +11,12 @@
 //! budgets that produced the numbers.
 //!
 //! Every (fixture, symmetry, por) combination also prints one `GUARD` line
-//! with its deterministic facts (`peak_configs`, `edges`, `truncated`);
-//! `scripts/bench_guard.sh` compares those against the committed JSON so a
-//! regression that *grows* the explored graph fails CI even in smoke mode.
+//! with its deterministic facts (`peak_configs`, `edges`, `truncated`,
+//! `approx_bytes_per_config`); `scripts/bench_guard.sh` compares those
+//! against the committed JSON so a regression that *grows* the explored
+//! graph — or its per-config memory — fails CI even in smoke mode. With
+//! `INTERNER_STATS=1` each row additionally prints its hash-consing arena
+//! summary on stderr.
 //!
 //! `BENCH_SMOKE=1` runs every kernel twice with no warm-up (see
 //! `harness::smoke_mode`) so `scripts/check.sh` can catch bench bit-rot.
@@ -27,7 +30,7 @@ use subconsensus_bench::{
     grouped_system, grouped_system_sym, partition_system, partition_system_sym,
 };
 use subconsensus_modelcheck::{ExploreOptions, StateGraph};
-use subconsensus_sim::SystemSpec;
+use subconsensus_sim::{InternerStats, SystemSpec};
 
 const THREADS: [usize; 3] = [1, 2, 4];
 const SAMPLE_SIZE: usize = 10;
@@ -43,12 +46,23 @@ struct Fixture {
 
 /// Static facts of one (fixture, symmetry, por) graph, computed once
 /// outside the timing loop.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct GraphFacts {
     peak_configs: usize,
     edges: usize,
     truncated: bool,
     approx_bytes: usize,
+    /// Hash-consing arena stats (`None` on the deep store).
+    interner: Option<InternerStats>,
+}
+
+impl GraphFacts {
+    /// Per-config memory of the frozen node store, floor-divided.
+    fn bytes_per_config(&self) -> usize {
+        self.approx_bytes
+            .checked_div(self.peak_configs)
+            .unwrap_or(0)
+    }
 }
 
 fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
@@ -59,7 +73,15 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
         edges: s.edges,
         truncated: s.truncated,
         approx_bytes: g.approx_bytes(),
+        interner: g.interner_stats(),
     }
+}
+
+/// `INTERNER_STATS=1` prints one arena summary per (fixture, symmetry, por)
+/// row on stderr — `scripts/check.sh` runs the smoke bench with it once so
+/// the diagnostic path stays exercised.
+fn interner_stats_enabled() -> bool {
+    std::env::var_os("INTERNER_STATS").is_some_and(|v| v != "0" && !v.is_empty())
 }
 
 fn git_revision() -> String {
@@ -166,14 +188,20 @@ fn main() {
                 let opts_facts = base.with_symmetry(symmetry).with_por(por);
                 let row_facts = facts(&fixture.spec, &opts_facts);
                 println!(
-                    "GUARD {} {} {} {} {} {}",
+                    "GUARD {} {} {} {} {} {} {}",
                     fixture.name,
                     symmetry,
                     por,
                     row_facts.peak_configs,
                     row_facts.edges,
-                    row_facts.truncated
+                    row_facts.truncated,
+                    row_facts.bytes_per_config()
                 );
+                if interner_stats_enabled() {
+                    if let Some(stats) = &row_facts.interner {
+                        eprintln!("INTERNER {} sym={symmetry} por={por} {stats}", fixture.name);
+                    }
+                }
                 for threads in THREADS {
                     let opts = opts_facts.with_threads(threads);
                     let label = format!(
@@ -190,7 +218,7 @@ fn main() {
                         threads,
                         symmetry,
                         por,
-                        row_facts,
+                        row_facts.clone(),
                         full_configs,
                     ));
                 }
@@ -217,10 +245,23 @@ fn main() {
             Some(fc) if *symmetry || *por => json_f64(facts_row.peak_configs as f64 / *fc as f64),
             _ => "null".to_string(),
         };
-        let bytes_per_config = facts_row
-            .approx_bytes
-            .checked_div(facts_row.peak_configs)
-            .unwrap_or(0);
+        let bytes_per_config = facts_row.bytes_per_config();
+        // Interner-table stats of the hash-consed (default) store; `null`s
+        // would mean the row ran on the deep store.
+        let interner = match &facts_row.interner {
+            Some(s) => format!(
+                "{{\"object_states\": {}, \"proc_states\": {}, \
+                 \"hit_rate\": {}, \"table_bytes\": {}, \"state_bytes\": {}, \
+                 \"bytes_saved\": {}}}",
+                s.object_states,
+                s.proc_states,
+                json_f64(s.hit_rate()),
+                s.table_bytes,
+                s.state_bytes,
+                s.bytes_saved(),
+            ),
+            None => "null".to_string(),
+        };
         if !kernels.is_empty() {
             kernels.push_str(",\n");
         }
@@ -228,7 +269,8 @@ fn main() {
             "    {{\"fixture\": \"{name}\", \"threads\": {threads}, \
              \"symmetry\": {symmetry}, \"por\": {por}, \"peak_configs\": {}, \
              \"edges\": {}, \"truncated\": {}, \"approx_bytes_per_config\": \
-             {bytes_per_config}, \"reduction_ratio\": {ratio}, \
+             {bytes_per_config}, \"interner\": {interner}, \
+             \"reduction_ratio\": {ratio}, \
              \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}, \
              \"iters_per_sample\": {}, \"samples\": {}}}",
             facts_row.peak_configs,

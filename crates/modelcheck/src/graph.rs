@@ -12,6 +12,16 @@
 //! by full equality before deduplicating, so hash collisions can never
 //! merge distinct configurations.
 //!
+//! By default ([`ExploreOptions::interned`]) the node arena is
+//! **hash-consed**: every distinct object and process state is interned
+//! once into a [`StateInterner`] and a node is one flat row of `u32` id
+//! words, so fingerprint verification is a word compare, stepping copies
+//! id rows instead of `Arc` vectors, and per-node memory drops
+//! severalfold. Because interning maps equal states to equal ids (and only
+//! those), the id-space explorer is node-for-node identical to the deep
+//! one — `explore` is generic over the store, and the e6/e10/e11
+//! equivalence suites check the two representations against each other.
+//!
 //! # Partial-order reduction
 //!
 //! With [`ExploreOptions::por`], exploration prunes redundant interleavings
@@ -42,7 +52,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use subconsensus_sim::{Config, Pid, SimError, StepFootprint, SystemSpec};
+use subconsensus_sim::{
+    Config, InternerStats, PendingConfig, Pid, SimError, StateInterner, StepFootprint, SystemSpec,
+};
 
 /// Options bounding an exploration.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +78,14 @@ pub struct ExploreOptions {
     /// `find_critical`, which needs full expansion. Composes with
     /// `symmetry` and `threads`.
     pub por: bool,
+    /// Store configurations hash-consed (the default): object and process
+    /// states are interned into per-exploration arenas and every node is a
+    /// flat row of `u32` id words, so dedup verification is a word compare
+    /// instead of a deep-state traversal and per-node memory shrinks
+    /// severalfold. The produced graph is node-for-node identical to the
+    /// deep representation; turn this off only to cross-check the two
+    /// paths (the e6/e10/e11 equivalence suites do).
+    pub interned: bool,
 }
 
 impl Default for ExploreOptions {
@@ -75,6 +95,7 @@ impl Default for ExploreOptions {
             threads: 1,
             symmetry: false,
             por: false,
+            interned: true,
         }
     }
 }
@@ -105,6 +126,13 @@ impl ExploreOptions {
         self.por = por;
         self
     }
+
+    /// Returns these options with the hash-consed node representation on
+    /// or off.
+    pub fn with_interned(mut self, interned: bool) -> Self {
+        self.interned = interned;
+        self
+    }
 }
 
 /// Content hash of a configuration, used as the dedup index key.
@@ -129,6 +157,13 @@ fn lookup(
         .find(|&j| configs[j] == *config)
 }
 
+/// Content hash of a row of interner id words (the compact dedup key).
+fn fingerprint_words(words: &[u32]) -> u64 {
+    let mut h = DefaultHasher::new();
+    words.hash(&mut h);
+    h.finish()
+}
+
 /// Maps a pid bit mask through a pid permutation (`perm[old] = new`).
 fn permute_mask(mask: u64, perm: &[usize]) -> u64 {
     let mut out = 0u64;
@@ -141,20 +176,296 @@ fn permute_mask(mask: u64, perm: &[usize]) -> u64 {
     out
 }
 
+/// How the sequential merge placed a worker-produced successor.
+enum MergeSlot {
+    /// Already in the store (possibly inserted earlier in this level).
+    Known(usize),
+    /// Newly inserted under this node index.
+    Added(usize),
+    /// Rejected: the store is at the configuration bound.
+    Capped,
+}
+
+/// The configuration storage and stepping backend of one exploration.
+///
+/// The explorer itself (`explore_core`) is generic over this trait, so the
+/// BFS/POR/symmetry logic is written once and proven equal across the two
+/// representations by the equivalence suites:
+///
+/// * [`DeepStore`] keeps each node as a full [`Config`] and verifies dedup
+///   hits by deep equality — the pre-interning representation.
+/// * [`CompactStore`] hash-conses states into a [`StateInterner`] and keeps
+///   each node as one flat row of `u32` id words; dedup verification is a
+///   word compare.
+///
+/// Workers hold `&self` (both stores are `Sync`; the interner's hit/miss
+/// counters are relaxed atomics) and resolve successors against that
+/// snapshot; only the sequential merge calls [`ConfigStore::insert`].
+trait ConfigStore: Sync {
+    /// A successor produced by a worker, not yet (necessarily) stored.
+    type Carrier: Send;
+
+    fn spec(&self) -> &SystemSpec;
+
+    /// Enabled-process bitset of node `i`.
+    fn enabled_bits(&self, i: usize) -> u64;
+
+    /// Footprint of `pid`'s next step at node `i`.
+    fn footprint(&self, i: usize, pid: Pid) -> Result<StepFootprint, SimError>;
+
+    /// Whether two steps with these footprints commute at node `i`.
+    fn independent(&self, i: usize, a: &StepFootprint, b: &StepFootprint) -> bool;
+
+    /// All successors of stepping `pid` at node `i`, canonicalized when
+    /// `symmetry`, each with the pid permutation that canonicalization
+    /// applied (`None` when already canonical).
+    fn successors(
+        &self,
+        i: usize,
+        pid: Pid,
+        symmetry: bool,
+    ) -> Result<Successors<Self::Carrier>, SimError>;
+
+    /// Worker-side: finds `c` in this snapshot of the store, if present.
+    fn lookup(&self, c: &Self::Carrier) -> Option<usize>;
+
+    /// Merge-side find-or-insert, bounded by `cap` configurations.
+    fn insert(&mut self, c: Self::Carrier, cap: usize) -> MergeSlot;
+}
+
+/// Worker-produced successors of one step: each carrier paired with the pid
+/// permutation canonicalization applied (`None` when already canonical).
+type Successors<C> = Vec<(C, Option<Vec<usize>>)>;
+
+/// Deep-configuration backend: one [`Config`] per node, fingerprint index
+/// verified by deep equality.
+struct DeepStore<'a> {
+    spec: &'a SystemSpec,
+    configs: Vec<Config>,
+    index: HashMap<u64, Vec<usize>>,
+}
+
+impl<'a> DeepStore<'a> {
+    fn new(spec: &'a SystemSpec, init: Config) -> Self {
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        index.entry(fingerprint(&init)).or_default().push(0);
+        DeepStore {
+            spec,
+            configs: vec![init],
+            index,
+        }
+    }
+}
+
+impl ConfigStore for DeepStore<'_> {
+    type Carrier = (Config, u64);
+
+    fn spec(&self) -> &SystemSpec {
+        self.spec
+    }
+
+    fn enabled_bits(&self, i: usize) -> u64 {
+        self.configs[i].enabled_set().bits()
+    }
+
+    fn footprint(&self, i: usize, pid: Pid) -> Result<StepFootprint, SimError> {
+        self.spec.step_footprint(&self.configs[i], pid)
+    }
+
+    fn independent(&self, i: usize, a: &StepFootprint, b: &StepFootprint) -> bool {
+        self.spec.footprints_independent(&self.configs[i], a, b)
+    }
+
+    fn successors(
+        &self,
+        i: usize,
+        pid: Pid,
+        symmetry: bool,
+    ) -> Result<Successors<Self::Carrier>, SimError> {
+        let mut out = Vec::new();
+        for (next, _info) in self.spec.successors(&self.configs[i], pid)? {
+            let (next, perm) = if symmetry {
+                self.spec.canonicalize_config_perm(next)
+            } else {
+                (next, None)
+            };
+            let fp = fingerprint(&next);
+            out.push(((next, fp), perm));
+        }
+        Ok(out)
+    }
+
+    fn lookup(&self, (config, fp): &Self::Carrier) -> Option<usize> {
+        lookup(&self.index, &self.configs, *fp, config)
+    }
+
+    fn insert(&mut self, (config, fp): Self::Carrier, cap: usize) -> MergeSlot {
+        // A worker's miss can be this level's earlier insert; re-check.
+        if let Some(j) = lookup(&self.index, &self.configs, fp, &config) {
+            return MergeSlot::Known(j);
+        }
+        if self.configs.len() >= cap {
+            return MergeSlot::Capped;
+        }
+        let j = self.configs.len();
+        self.configs.push(config);
+        self.index.entry(fp).or_default().push(j);
+        MergeSlot::Added(j)
+    }
+}
+
+/// A worker-stepped successor in id space: the [`PendingConfig`] plus the
+/// fingerprint of its id words when every slot resolved against the
+/// worker's interner snapshot (a successor carrying a genuinely fresh
+/// state cannot be in the snapshot's visited set, so it needs no
+/// fingerprint until the merge interns it).
+struct CompactCarrier {
+    pending: PendingConfig,
+    fp: Option<u64>,
+}
+
+/// Hash-consed backend: states live once in a [`StateInterner`], nodes are
+/// rows of `u32` id words in one flat array, and dedup verification is a
+/// word-for-word compare (sound because interning makes id equality
+/// equivalent to state equality).
+struct CompactStore<'a> {
+    spec: &'a SystemSpec,
+    interner: StateInterner,
+    nobjects: usize,
+    /// Words per node row (`nobjects + nprocs`).
+    stride: usize,
+    /// Row-major id words of all nodes: node `i` is
+    /// `words[i * stride .. (i + 1) * stride]`.
+    words: Vec<u32>,
+    len: usize,
+    index: HashMap<u64, Vec<usize>>,
+}
+
+impl<'a> CompactStore<'a> {
+    fn new(spec: &'a SystemSpec, init: &Config) -> Self {
+        let mut interner = StateInterner::new();
+        let compact = interner.intern_config(init);
+        let words: Vec<u32> = compact.words().to_vec();
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        index.entry(fingerprint_words(&words)).or_default().push(0);
+        CompactStore {
+            spec,
+            interner,
+            nobjects: compact.nobjects(),
+            stride: words.len(),
+            words,
+            len: 1,
+            index,
+        }
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+}
+
+impl ConfigStore for CompactStore<'_> {
+    type Carrier = CompactCarrier;
+
+    fn spec(&self) -> &SystemSpec {
+        self.spec
+    }
+
+    fn enabled_bits(&self, i: usize) -> u64 {
+        self.interner.enabled_bits(self.nobjects, self.row(i))
+    }
+
+    fn footprint(&self, i: usize, pid: Pid) -> Result<StepFootprint, SimError> {
+        self.spec
+            .compact_footprint(&self.interner, self.row(i), pid)
+    }
+
+    fn independent(&self, i: usize, a: &StepFootprint, b: &StepFootprint) -> bool {
+        match (a, b) {
+            (StepFootprint::Local, _) | (_, StepFootprint::Local) => true,
+            (
+                StepFootprint::Object { obj: oa, op: pa },
+                StepFootprint::Object { obj: ob, op: pb },
+            ) => {
+                oa != ob
+                    || self.spec.ops_commute(
+                        *oa,
+                        self.interner.object(self.row(i)[oa.index()]),
+                        pa,
+                        pb,
+                    )
+            }
+        }
+    }
+
+    fn successors(
+        &self,
+        i: usize,
+        pid: Pid,
+        symmetry: bool,
+    ) -> Result<Successors<Self::Carrier>, SimError> {
+        let row = self.row(i);
+        let mut out = Vec::new();
+        for mut pending in self.spec.compact_successors(&self.interner, row, pid)? {
+            let perm = if symmetry {
+                self.spec.compact_canonicalize(&self.interner, &mut pending)
+            } else {
+                None
+            };
+            let fp = pending.resolved_words().map(fingerprint_words);
+            out.push((CompactCarrier { pending, fp }, perm));
+        }
+        Ok(out)
+    }
+
+    fn lookup(&self, c: &Self::Carrier) -> Option<usize> {
+        let words = c.pending.resolved_words()?;
+        let fp = c.fp?;
+        self.index
+            .get(&fp)?
+            .iter()
+            .copied()
+            .find(|&j| self.row(j) == words)
+    }
+
+    fn insert(&mut self, c: Self::Carrier, cap: usize) -> MergeSlot {
+        // Intern the carrier's fresh states (if any), then dedup by id
+        // words — the compact twin of the deep path's re-lookup.
+        let compact = self.interner.finalize(c.pending);
+        let words = compact.words();
+        let fp = fingerprint_words(words);
+        let known = self
+            .index
+            .get(&fp)
+            .and_then(|ids| ids.iter().copied().find(|&j| self.row(j) == words));
+        if let Some(j) = known {
+            return MergeSlot::Known(j);
+        }
+        if self.len >= cap {
+            return MergeSlot::Capped;
+        }
+        let j = self.len;
+        self.words.extend_from_slice(words);
+        self.index.entry(fp).or_default().push(j);
+        self.len += 1;
+        MergeSlot::Added(j)
+    }
+}
+
 /// A successor resolved by a level-expansion worker.
-enum StepResult {
+enum StepResult<C> {
     /// The successor already had a node index before this level's merge.
     Existing(usize),
-    /// A configuration unseen at expansion time, with its fingerprint;
-    /// the merge re-checks it against nodes added earlier in the level.
-    Fresh(Config, u64),
+    /// A carrier unseen at expansion time; the merge re-checks it against
+    /// nodes added earlier in the level before inserting.
+    Fresh(C),
 }
 
 /// The expansion of one work item: successors in stable (pid, outcome)
 /// order, each with the sleep set to install at the successor (all-zero
 /// without POR).
-struct NodeExpansion {
-    steps: Vec<(Pid, StepResult, u64)>,
+struct NodeExpansion<C> {
+    steps: Vec<(Pid, StepResult<C>, u64)>,
     /// The pids this item actually fired.
     fired: u64,
     /// Ample candidates suppressed by the sleep set (first visits only).
@@ -234,16 +545,14 @@ fn choose_ample(spec: &SystemSpec, enabled: u64, fps: &[Option<StepFootprint>]) 
 }
 
 /// Expands one work item against a read-only snapshot of the graph.
-fn expand_item(
-    spec: &SystemSpec,
-    configs: &[Config],
-    index: &HashMap<u64, Vec<usize>>,
+fn expand_item<S: ConfigStore>(
+    store: &S,
     first_sleep: &[u64],
     item: WorkItem,
     opts: &ExploreOptions,
-) -> Result<NodeExpansion, SimError> {
-    let config = &configs[item.node];
-    let enabled = config.enabled_set().bits();
+) -> Result<NodeExpansion<S::Carrier>, SimError> {
+    let node = item.node;
+    let enabled = store.enabled_bits(node);
     if enabled == 0 {
         return Ok(NodeExpansion {
             steps: Vec::new(),
@@ -257,20 +566,20 @@ fn expand_item(
     // both need them (POR only).
     let mut fps: Vec<Option<StepFootprint>> = Vec::new();
     if opts.por {
-        fps = vec![None; config.nprocs()];
+        fps = vec![None; store.spec().nprocs()];
         let mut it = enabled;
         while it != 0 {
             let i = it.trailing_zeros() as usize;
             it &= it - 1;
-            fps[i] = Some(spec.step_footprint(config, Pid::new(i))?);
+            fps[i] = Some(store.footprint(node, Pid::new(i))?);
         }
     }
 
     let (fire, sleep, slept) = if !opts.por {
         (enabled, 0, 0)
     } else if item.fresh {
-        let sleep = first_sleep[item.node] & enabled;
-        let ample = choose_ample(spec, enabled, &fps);
+        let sleep = first_sleep[node] & enabled;
+        let ample = choose_ample(store.spec(), enabled, &fps);
         let mut fire = ample & !sleep;
         let mut slept = ample & sleep;
         if fire == 0 {
@@ -301,7 +610,7 @@ fn expand_item(
         } else {
             0
         };
-        for (next, _info) in spec.successors(config, pid)? {
+        for (next, perm) in store.successors(node, pid, opts.symmetry)? {
             let mut succ_sleep = 0u64;
             if base != 0 {
                 let me = fps[i].as_ref().expect("enabled pid has a footprint");
@@ -310,26 +619,19 @@ fn expand_item(
                     let q = qs.trailing_zeros() as usize;
                     qs &= qs - 1;
                     let other = fps[q].as_ref().expect("enabled pid has a footprint");
-                    if spec.footprints_independent(config, me, other) {
+                    if store.independent(node, me, other) {
                         succ_sleep |= 1 << q;
                     }
                 }
-            }
-            let next = if opts.symmetry {
-                let (canon, perm) = spec.canonicalize_config_perm(next);
-                if let Some(perm) = perm {
+                if let Some(perm) = &perm {
                     // The canonical successor renames pids; rename the
                     // sleep mask with it.
-                    succ_sleep = permute_mask(succ_sleep, &perm);
+                    succ_sleep = permute_mask(succ_sleep, perm);
                 }
-                canon
-            } else {
-                next
-            };
-            let fp = fingerprint(&next);
-            let step = match lookup(index, configs, fp, &next) {
+            }
+            let step = match store.lookup(&next) {
                 Some(j) => StepResult::Existing(j),
-                None => StepResult::Fresh(next, fp),
+                None => StepResult::Fresh(next),
             };
             steps.push((pid, step, succ_sleep));
         }
@@ -344,17 +646,15 @@ fn expand_item(
 }
 
 /// Expands `items` against a read-only snapshot of the graph.
-fn expand_chunk(
-    spec: &SystemSpec,
-    configs: &[Config],
-    index: &HashMap<u64, Vec<usize>>,
+fn expand_chunk<S: ConfigStore>(
+    store: &S,
     first_sleep: &[u64],
     items: &[WorkItem],
     opts: &ExploreOptions,
-) -> Result<Vec<NodeExpansion>, SimError> {
+) -> Result<Vec<NodeExpansion<S::Carrier>>, SimError> {
     let mut out = Vec::with_capacity(items.len());
     for &item in items {
-        out.push(expand_item(spec, configs, index, first_sleep, item, opts)?);
+        out.push(expand_item(store, first_sleep, item, opts)?);
     }
     Ok(out)
 }
@@ -367,25 +667,22 @@ const PARALLEL_THRESHOLD: usize = 32;
 /// Expands one BFS level, splitting it across `opts.threads` workers.
 /// Results are returned in the same order as `level` regardless of the
 /// split.
-fn expand_level(
-    spec: &SystemSpec,
-    configs: &[Config],
-    index: &HashMap<u64, Vec<usize>>,
+fn expand_level<S: ConfigStore>(
+    store: &S,
     first_sleep: &[u64],
     level: &[WorkItem],
     opts: &ExploreOptions,
-) -> Result<Vec<NodeExpansion>, SimError> {
+) -> Result<Vec<NodeExpansion<S::Carrier>>, SimError> {
     let threads = opts.threads.clamp(1, level.len().max(1));
     if threads <= 1 || level.len() < PARALLEL_THRESHOLD {
-        return expand_chunk(spec, configs, index, first_sleep, level, opts);
+        return expand_chunk(store, first_sleep, level, opts);
     }
     let chunk_size = level.len().div_ceil(threads);
-    let results: Vec<Result<Vec<NodeExpansion>, SimError>> = std::thread::scope(|s| {
+    type ChunkResult<S> = Result<Vec<NodeExpansion<<S as ConfigStore>::Carrier>>, SimError>;
+    let results: Vec<ChunkResult<S>> = std::thread::scope(|s| {
         let handles: Vec<_> = level
             .chunks(chunk_size)
-            .map(|chunk| {
-                s.spawn(move || expand_chunk(spec, configs, index, first_sleep, chunk, opts))
-            })
+            .map(|chunk| s.spawn(move || expand_chunk(store, first_sleep, chunk, opts)))
             .collect();
         handles
             .into_iter()
@@ -460,12 +757,243 @@ impl std::fmt::Display for GraphStats {
 /// `i`'s slice of one flat edge array.
 #[derive(Clone, Debug)]
 pub struct StateGraph {
-    configs: Vec<Config>,
+    store: NodeStore,
     row_ptr: Vec<u32>,
     edge_arr: Vec<Edge>,
     terminals: Vec<usize>,
     truncated: bool,
     por: bool,
+}
+
+/// The frozen node arena of a [`StateGraph`], in whichever representation
+/// the exploration used ([`ExploreOptions::interned`]).
+#[derive(Clone, Debug)]
+enum NodeStore {
+    /// One deep [`Config`] per node.
+    Deep(Vec<Config>),
+    /// Hash-consed nodes (boxed: the arena bundle dwarfs the `Vec` variant).
+    Interned(Box<InternedNodes>),
+}
+
+/// Hash-consed node arena: `stride` id words per node in one flat row-major
+/// array, resolved through the interner. `len` is explicit because a
+/// zero-process zero-object system has `stride == 0`.
+#[derive(Clone, Debug)]
+struct InternedNodes {
+    interner: StateInterner,
+    nobjects: usize,
+    stride: usize,
+    words: Vec<u32>,
+    len: usize,
+}
+
+impl NodeStore {
+    fn len(&self) -> usize {
+        match self {
+            NodeStore::Deep(configs) => configs.len(),
+            NodeStore::Interned(nodes) => nodes.len,
+        }
+    }
+}
+
+/// The explorer's output before node storage is attached: CSR adjacency,
+/// terminals and the truncation flag.
+struct GraphCore {
+    row_ptr: Vec<u32>,
+    edge_arr: Vec<Edge>,
+    terminals: Vec<usize>,
+    truncated: bool,
+}
+
+/// Runs the level-synchronized BFS against `store` (already seeded with
+/// node 0) and freezes the resulting adjacency into CSR form. All
+/// reduction logic (symmetry, POR, the cycle proviso) lives here, once,
+/// for both node representations.
+fn explore_core<S: ConfigStore>(
+    store: &mut S,
+    opts: &ExploreOptions,
+) -> Result<GraphCore, SimError> {
+    // Flat (from, edge) buffer, frozen into CSR at the end.
+    let mut edge_buf: Vec<(u32, Edge)> = Vec::new();
+    let mut terminals = Vec::new();
+    let mut truncated = false;
+
+    // Per-node exploration bookkeeping. `depth` (first-discovery BFS
+    // level) doubles as the cycle proviso's back-edge detector; the
+    // rest is sleep-set state, all-zero without POR.
+    let mut depth: Vec<u32> = vec![0];
+    let mut first_sleep: Vec<u64> = vec![0];
+    let mut explored: Vec<u64> = vec![0]; // pids fired or enqueued-and-merged
+    let mut slept: Vec<u64> = vec![0]; // pids suppressed by sleep sets
+    let mut pending: Vec<u64> = vec![0]; // pids enqueued, not yet merged
+    let mut expanded: Vec<bool> = vec![false];
+    let mut full: Vec<bool> = vec![false]; // escalated by the proviso
+
+    let mut level = vec![WorkItem {
+        node: 0,
+        fire: 0,
+        sleep: 0,
+        fresh: true,
+    }];
+    let mut cur_depth: u32 = 0;
+    let mut scratch: Vec<Edge> = Vec::new();
+    while !level.is_empty() {
+        let expansions = expand_level(&*store, &first_sleep, &level, opts)?;
+        let mut next_level: Vec<WorkItem> = Vec::new();
+        // POR: edges into already-known nodes; processed only after the
+        // whole level has merged, because the target's own expansion may
+        // merge later in this same level.
+        let mut revisits: Vec<(usize, u64)> = Vec::new();
+        for (item, exp) in level.iter().zip(expansions) {
+            let i = item.node;
+            if exp.terminal {
+                terminals.push(i);
+                expanded[i] = true;
+                continue;
+            }
+            let mut escalate = false;
+            scratch.clear();
+            for (pid, step, succ_sleep) in exp.steps {
+                let (j, known) = match step {
+                    StepResult::Existing(j) => (j, true),
+                    // A worker's miss can be an earlier merge of this same
+                    // level; `insert` re-checks before adding.
+                    StepResult::Fresh(next) => match store.insert(next, opts.max_configs) {
+                        MergeSlot::Known(j) => (j, true),
+                        MergeSlot::Capped => {
+                            truncated = true;
+                            continue;
+                        }
+                        MergeSlot::Added(j) => {
+                            assert!(j < u32::MAX as usize, "state graph exceeds u32 node ids");
+                            depth.push(cur_depth + 1);
+                            first_sleep.push(succ_sleep);
+                            explored.push(0);
+                            slept.push(0);
+                            pending.push(0);
+                            expanded.push(false);
+                            full.push(false);
+                            next_level.push(WorkItem {
+                                node: j,
+                                fire: 0,
+                                sleep: 0,
+                                fresh: true,
+                            });
+                            (j, false)
+                        }
+                    },
+                };
+                if opts.por && known {
+                    revisits.push((j, succ_sleep));
+                    // Cycle proviso trigger: an edge into an equal-or-
+                    // shallower node can close a cycle. (Deeper targets
+                    // — including all fresh nodes — cannot be the
+                    // minimal-depth node of a cycle through this edge.)
+                    if depth[j] <= depth[i] {
+                        escalate = true;
+                    }
+                }
+                scratch.push(Edge { pid, to: j as u32 });
+            }
+            // Canonicalization can map distinct successors of one node
+            // onto the same representative; drop the parallel
+            // duplicates (the full graph never produces them). One
+            // sort+dedup per expansion replaces the old O(deg²)
+            // `contains` scan, and per-expansion dedup is per-node
+            // dedup: a pid never fires twice for one node, so
+            // duplicates cannot span expansions.
+            if opts.symmetry {
+                scratch.sort_unstable_by_key(|e| (e.pid.index(), e.to));
+                scratch.dedup();
+            }
+            edge_buf.extend(scratch.drain(..).map(|e| (i as u32, e)));
+            expanded[i] = true;
+            explored[i] |= exp.fired;
+            pending[i] &= !exp.fired;
+            slept[i] = (slept[i] | exp.slept) & !explored[i];
+            if opts.por && escalate && !full[i] {
+                // Cycle proviso: fully expand one node per cycle so no
+                // enabled process is ignored around it. Everything not
+                // yet fired or in flight is fired next level, sleep
+                // ignored.
+                full[i] = true;
+                let enabled = store.enabled_bits(i);
+                let rest = enabled & !explored[i] & !pending[i];
+                slept[i] = 0;
+                if rest != 0 {
+                    pending[i] |= rest;
+                    next_level.push(WorkItem {
+                        node: i,
+                        fire: rest,
+                        sleep: 0,
+                        fresh: false,
+                    });
+                }
+            }
+        }
+        // Sleep-set revisit rule: reaching a known node along a new
+        // path whose sleep set no longer covers a previously-suppressed
+        // pid re-fires exactly that pid. Processed after the level's
+        // merges so `expanded`/`slept` are final for the level.
+        for (j, new_sleep) in revisits {
+            if !expanded[j] {
+                // First expansion still queued: shrink the sleep set it
+                // will start from instead.
+                first_sleep[j] &= new_sleep;
+                continue;
+            }
+            let wake = slept[j] & !new_sleep;
+            if wake != 0 {
+                slept[j] &= !wake;
+                pending[j] |= wake;
+                next_level.push(WorkItem {
+                    node: j,
+                    fire: wake,
+                    sleep: new_sleep,
+                    fresh: false,
+                });
+            }
+        }
+        level = next_level;
+        cur_depth += 1;
+    }
+    terminals.sort_unstable();
+    terminals.dedup();
+
+    // Freeze the edge buffer into CSR: a stable counting sort by source
+    // node (edges of one node keep their merge order).
+    let n = depth.len();
+    assert!(
+        edge_buf.len() < u32::MAX as usize,
+        "state graph exceeds u32 edge ids"
+    );
+    let mut row_ptr = vec![0u32; n + 1];
+    for &(from, _) in &edge_buf {
+        row_ptr[from as usize + 1] += 1;
+    }
+    for k in 0..n {
+        row_ptr[k + 1] += row_ptr[k];
+    }
+    let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+    let mut edge_arr = vec![
+        Edge {
+            pid: Pid::new(0),
+            to: 0
+        };
+        edge_buf.len()
+    ];
+    for (from, e) in edge_buf {
+        let c = &mut cursor[from as usize];
+        edge_arr[*c as usize] = e;
+        *c += 1;
+    }
+
+    Ok(GraphCore {
+        row_ptr,
+        edge_arr,
+        terminals,
+        truncated,
+    })
 }
 
 impl StateGraph {
@@ -505,217 +1033,63 @@ impl StateGraph {
     ///
     /// Propagates any [`SimError`] raised while stepping.
     pub fn explore(spec: &SystemSpec, opts: &ExploreOptions) -> Result<Self, SimError> {
+        let mut opts = *opts;
+        // Fast path: a system whose symmetry groups are all singletons has
+        // an identity canonicalization, so requesting symmetry would only
+        // burn time re-checking sortedness and re-sorting edges. Normalize
+        // the flag once; everything downstream branches on the effective
+        // value.
+        opts.symmetry = opts.symmetry && !spec.symmetry_groups().is_trivial();
         let init = if opts.symmetry {
             spec.canonicalize_config(spec.initial_config())
         } else {
             spec.initial_config()
         };
-        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
-        index.entry(fingerprint(&init)).or_default().push(0);
-        let mut configs = vec![init];
-        // Flat (from, edge) buffer, frozen into CSR at the end.
-        let mut edge_buf: Vec<(u32, Edge)> = Vec::new();
-        let mut terminals = Vec::new();
-        let mut truncated = false;
-
-        // Per-node exploration bookkeeping. `depth` (first-discovery BFS
-        // level) doubles as the cycle proviso's back-edge detector; the
-        // rest is sleep-set state, all-zero without POR.
-        let mut depth: Vec<u32> = vec![0];
-        let mut first_sleep: Vec<u64> = vec![0];
-        let mut explored: Vec<u64> = vec![0]; // pids fired or enqueued-and-merged
-        let mut slept: Vec<u64> = vec![0]; // pids suppressed by sleep sets
-        let mut pending: Vec<u64> = vec![0]; // pids enqueued, not yet merged
-        let mut expanded: Vec<bool> = vec![false];
-        let mut full: Vec<bool> = vec![false]; // escalated by the proviso
-
-        let mut level = vec![WorkItem {
-            node: 0,
-            fire: 0,
-            sleep: 0,
-            fresh: true,
-        }];
-        let mut cur_depth: u32 = 0;
-        let mut scratch: Vec<Edge> = Vec::new();
-        while !level.is_empty() {
-            let expansions = expand_level(spec, &configs, &index, &first_sleep, &level, opts)?;
-            let mut next_level: Vec<WorkItem> = Vec::new();
-            // POR: edges into already-known nodes; processed only after the
-            // whole level has merged, because the target's own expansion may
-            // merge later in this same level.
-            let mut revisits: Vec<(usize, u64)> = Vec::new();
-            for (item, exp) in level.iter().zip(expansions) {
-                let i = item.node;
-                if exp.terminal {
-                    terminals.push(i);
-                    expanded[i] = true;
-                    continue;
-                }
-                let mut escalate = false;
-                scratch.clear();
-                for (pid, step, succ_sleep) in exp.steps {
-                    let (j, known) = match step {
-                        StepResult::Existing(j) => (j, true),
-                        StepResult::Fresh(next, fp) => {
-                            // An earlier item of this level may have already
-                            // produced the same configuration after the
-                            // worker's snapshot; re-check before inserting.
-                            match lookup(&index, &configs, fp, &next) {
-                                Some(j) => (j, true),
-                                None => {
-                                    if configs.len() >= opts.max_configs {
-                                        truncated = true;
-                                        continue;
-                                    }
-                                    let j = configs.len();
-                                    assert!(
-                                        j < u32::MAX as usize,
-                                        "state graph exceeds u32 node ids"
-                                    );
-                                    configs.push(next);
-                                    index.entry(fp).or_default().push(j);
-                                    depth.push(cur_depth + 1);
-                                    first_sleep.push(succ_sleep);
-                                    explored.push(0);
-                                    slept.push(0);
-                                    pending.push(0);
-                                    expanded.push(false);
-                                    full.push(false);
-                                    next_level.push(WorkItem {
-                                        node: j,
-                                        fire: 0,
-                                        sleep: 0,
-                                        fresh: true,
-                                    });
-                                    (j, false)
-                                }
-                            }
-                        }
-                    };
-                    if opts.por && known {
-                        revisits.push((j, succ_sleep));
-                        // Cycle proviso trigger: an edge into an equal-or-
-                        // shallower node can close a cycle. (Deeper targets
-                        // — including all fresh nodes — cannot be the
-                        // minimal-depth node of a cycle through this edge.)
-                        if depth[j] <= depth[i] {
-                            escalate = true;
-                        }
-                    }
-                    scratch.push(Edge { pid, to: j as u32 });
-                }
-                // Canonicalization can map distinct successors of one node
-                // onto the same representative; drop the parallel
-                // duplicates (the full graph never produces them). One
-                // sort+dedup per expansion replaces the old O(deg²)
-                // `contains` scan, and per-expansion dedup is per-node
-                // dedup: a pid never fires twice for one node, so
-                // duplicates cannot span expansions.
-                if opts.symmetry {
-                    scratch.sort_unstable_by_key(|e| (e.pid.index(), e.to));
-                    scratch.dedup();
-                }
-                edge_buf.extend(scratch.drain(..).map(|e| (i as u32, e)));
-                expanded[i] = true;
-                explored[i] |= exp.fired;
-                pending[i] &= !exp.fired;
-                slept[i] = (slept[i] | exp.slept) & !explored[i];
-                if opts.por && escalate && !full[i] {
-                    // Cycle proviso: fully expand one node per cycle so no
-                    // enabled process is ignored around it. Everything not
-                    // yet fired or in flight is fired next level, sleep
-                    // ignored.
-                    full[i] = true;
-                    let enabled = configs[i].enabled_set().bits();
-                    let rest = enabled & !explored[i] & !pending[i];
-                    slept[i] = 0;
-                    if rest != 0 {
-                        pending[i] |= rest;
-                        next_level.push(WorkItem {
-                            node: i,
-                            fire: rest,
-                            sleep: 0,
-                            fresh: false,
-                        });
-                    }
-                }
-            }
-            // Sleep-set revisit rule: reaching a known node along a new
-            // path whose sleep set no longer covers a previously-suppressed
-            // pid re-fires exactly that pid. Processed after the level's
-            // merges so `expanded`/`slept` are final for the level.
-            for (j, new_sleep) in revisits {
-                if !expanded[j] {
-                    // First expansion still queued: shrink the sleep set it
-                    // will start from instead.
-                    first_sleep[j] &= new_sleep;
-                    continue;
-                }
-                let wake = slept[j] & !new_sleep;
-                if wake != 0 {
-                    slept[j] &= !wake;
-                    pending[j] |= wake;
-                    next_level.push(WorkItem {
-                        node: j,
-                        fire: wake,
-                        sleep: new_sleep,
-                        fresh: false,
-                    });
-                }
-            }
-            level = next_level;
-            cur_depth += 1;
-        }
-        terminals.sort_unstable();
-        terminals.dedup();
-
-        // Freeze the edge buffer into CSR: a stable counting sort by source
-        // node (edges of one node keep their merge order).
-        let n = configs.len();
-        assert!(
-            edge_buf.len() < u32::MAX as usize,
-            "state graph exceeds u32 edge ids"
-        );
-        let mut row_ptr = vec![0u32; n + 1];
-        for &(from, _) in &edge_buf {
-            row_ptr[from as usize + 1] += 1;
-        }
-        for k in 0..n {
-            row_ptr[k + 1] += row_ptr[k];
-        }
-        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
-        let mut edge_arr = vec![
-            Edge {
-                pid: Pid::new(0),
-                to: 0
-            };
-            edge_buf.len()
-        ];
-        for (from, e) in edge_buf {
-            let c = &mut cursor[from as usize];
-            edge_arr[*c as usize] = e;
-            *c += 1;
-        }
-
+        let (store, core) = if opts.interned {
+            let mut store = CompactStore::new(spec, &init);
+            let core = explore_core(&mut store, &opts)?;
+            let CompactStore {
+                interner,
+                nobjects,
+                stride,
+                words,
+                len,
+                ..
+            } = store;
+            (
+                NodeStore::Interned(Box::new(InternedNodes {
+                    interner,
+                    nobjects,
+                    stride,
+                    words,
+                    len,
+                })),
+                core,
+            )
+        } else {
+            let mut store = DeepStore::new(spec, init);
+            let core = explore_core(&mut store, &opts)?;
+            (NodeStore::Deep(store.configs), core)
+        };
         Ok(StateGraph {
-            configs,
-            row_ptr,
-            edge_arr,
-            terminals,
-            truncated,
+            store,
+            row_ptr: core.row_ptr,
+            edge_arr: core.edge_arr,
+            terminals: core.terminals,
+            truncated: core.truncated,
             por: opts.por,
         })
     }
 
     /// Returns the number of distinct reachable configurations.
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.store.len()
     }
 
     /// Returns `true` if the graph has no configurations (never happens for a
     /// successfully explored system, which always has the initial one).
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.store.len() == 0
     }
 
     /// Returns `true` if the exploration hit its bound.
@@ -734,11 +1108,34 @@ impl StateGraph {
 
     /// Returns the configuration at `index`.
     ///
+    /// Owned because the interned representation materializes it from id
+    /// words on demand; either way the cost is per-slot `Arc` clones, no
+    /// state is deep-copied.
+    ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn config(&self, index: usize) -> &Config {
-        &self.configs[index]
+    pub fn config(&self, index: usize) -> Config {
+        match &self.store {
+            NodeStore::Deep(configs) => configs[index].clone(),
+            NodeStore::Interned(nodes) => {
+                assert!(index < nodes.len, "node index out of range");
+                nodes.interner.materialize_words(
+                    nodes.nobjects,
+                    &nodes.words[index * nodes.stride..(index + 1) * nodes.stride],
+                )
+            }
+        }
+    }
+
+    /// Interner statistics of a hash-consed exploration
+    /// ([`ExploreOptions::interned`]): arena sizes, hit rates and footprint.
+    /// `None` for a deep-representation graph.
+    pub fn interner_stats(&self) -> Option<InternerStats> {
+        match &self.store {
+            NodeStore::Deep(_) => None,
+            NodeStore::Interned(nodes) => Some(nodes.interner.stats()),
+        }
     }
 
     /// Returns the outgoing edges of node `index`.
@@ -757,27 +1154,63 @@ impl StateGraph {
         &self.terminals
     }
 
-    /// Approximate resident bytes of the frozen graph: the configuration
-    /// arena (struct plus per-configuration pointer arrays; the `Arc`-shared
-    /// object and process states themselves are excluded, as they are
-    /// shared across configurations), the CSR arrays and the terminal list.
+    /// Approximate resident bytes of the frozen graph: the node arena (per
+    /// node, a `Config` struct plus its pointer arrays for the deep
+    /// representation, or `stride` id words for the interned one — the
+    /// shared states themselves are excluded either way, being `Arc`-shared
+    /// across nodes in one case and stored once in the interner in the
+    /// other), the CSR arrays and the terminal list.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
-        let per_config = size_of::<Config>()
-            + self
-                .configs
-                .first()
-                .map_or(0, |c| (c.nobjects() + c.nprocs()) * size_of::<usize>());
-        self.configs.len() * per_config
+        let nodes = match &self.store {
+            NodeStore::Deep(configs) => {
+                let per_config = size_of::<Config>()
+                    + configs
+                        .first()
+                        .map_or(0, |c| (c.nobjects() + c.nprocs()) * size_of::<usize>());
+                configs.len() * per_config
+            }
+            NodeStore::Interned(nodes) => nodes.words.len() * size_of::<u32>(),
+        };
+        nodes
             + self.row_ptr.len() * size_of::<u32>()
             + self.edge_arr.len() * size_of::<Edge>()
             + self.terminals.len() * size_of::<usize>()
     }
 
+    /// Builds the reverse (predecessor) adjacency of the graph in CSR form:
+    /// `row_ptr[j]..row_ptr[j + 1]` indexes node `j`'s slice of a flat
+    /// predecessor-node array. Parallel edges are kept, so the predecessor
+    /// multiset mirrors the forward edge multiset exactly.
+    ///
+    /// One O(nodes + edges) counting sort; backward passes (valency
+    /// propagation, non-blocking pruning) consume this instead of
+    /// rescanning the forward adjacency per iteration.
+    pub fn reverse_csr(&self) -> (Vec<u32>, Vec<u32>) {
+        let n = self.len();
+        let mut row_ptr = vec![0u32; n + 1];
+        for e in &self.edge_arr {
+            row_ptr[e.target() + 1] += 1;
+        }
+        for k in 0..n {
+            row_ptr[k + 1] += row_ptr[k];
+        }
+        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+        let mut preds = vec![0u32; self.edge_arr.len()];
+        for i in 0..n {
+            for e in self.edges(i) {
+                let c = &mut cursor[e.target()];
+                preds[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+        (row_ptr, preds)
+    }
+
     /// Computes summary statistics of the graph.
     pub fn stats(&self) -> GraphStats {
         use std::collections::VecDeque;
-        let n = self.configs.len();
+        let n = self.store.len();
         let max_out_degree = (0..n)
             .map(|i| (self.row_ptr[i + 1] - self.row_ptr[i]) as usize)
             .max()
@@ -821,13 +1254,13 @@ impl StateGraph {
     {
         use std::collections::VecDeque;
         // parent[i] = (predecessor node, pid that stepped), for BFS tree.
-        let mut parent: Vec<Option<(usize, Pid)>> = vec![None; self.configs.len()];
-        let mut seen = vec![false; self.configs.len()];
+        let mut parent: Vec<Option<(usize, Pid)>> = vec![None; self.store.len()];
+        let mut seen = vec![false; self.store.len()];
         let mut queue = VecDeque::new();
         seen[0] = true;
         queue.push_back(0usize);
         while let Some(i) = queue.pop_front() {
-            if pred(&self.configs[i]) {
+            if pred(&self.config(i)) {
                 // Reconstruct the schedule back to the root.
                 let mut schedule = Vec::new();
                 let mut cur = i;
@@ -860,7 +1293,7 @@ impl StateGraph {
         const WHITE: u8 = 0;
         const GRAY: u8 = 1;
         const BLACK: u8 = 2;
-        let n = self.configs.len();
+        let n = self.store.len();
         let mut color = vec![WHITE; n];
         for root in 0..n {
             if color[root] != WHITE {
@@ -1178,7 +1611,7 @@ mod tests {
     /// Sorted terminal configurations, for comparing graphs whose node
     /// numbering differs (full vs POR-reduced).
     fn terminal_configs(g: &StateGraph) -> Vec<Config> {
-        let mut t: Vec<Config> = g.terminals().iter().map(|&i| g.config(i).clone()).collect();
+        let mut t: Vec<Config> = g.terminals().iter().map(|&i| g.config(i)).collect();
         t.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         t
     }
@@ -1263,6 +1696,118 @@ mod tests {
         assert_eq!(terminal_configs(&red), terminal_configs(&full));
     }
 
+    /// Every (symmetry, por) combination: the interned explorer must be
+    /// node-for-node, edge-for-edge identical to the deep one.
+    #[test]
+    fn interned_exploration_matches_deep_representation() {
+        for spec in [race_spec(2), race_spec(3), blocked_spec(2)] {
+            for symmetry in [false, true] {
+                for por in [false, true] {
+                    let base = ExploreOptions::default()
+                        .with_symmetry(symmetry)
+                        .with_por(por);
+                    let deep = StateGraph::explore(&spec, &base.with_interned(false)).unwrap();
+                    let compact = StateGraph::explore(&spec, &base.with_interned(true)).unwrap();
+                    assert!(compact.interner_stats().is_some());
+                    assert!(deep.interner_stats().is_none());
+                    assert_eq!(compact.len(), deep.len(), "sym={symmetry} por={por}");
+                    for i in 0..deep.len() {
+                        assert_eq!(
+                            compact.config(i),
+                            deep.config(i),
+                            "node {i} sym={symmetry} por={por}"
+                        );
+                        assert_eq!(
+                            compact.edges(i),
+                            deep.edges(i),
+                            "edges {i} sym={symmetry} por={por}"
+                        );
+                    }
+                    assert_eq!(compact.terminals(), deep.terminals());
+                    assert_eq!(compact.is_truncated(), deep.is_truncated());
+                    // The id rows must be strictly smaller than the deep
+                    // pointer arrays (same CSR on both sides).
+                    assert!(compact.approx_bytes() < deep.approx_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_interned_exploration_matches_deep() {
+        let spec = race_spec(3);
+        let deep = StateGraph::explore(
+            &spec,
+            &ExploreOptions::with_max_configs(40).with_interned(false),
+        )
+        .unwrap();
+        let compact = StateGraph::explore(
+            &spec,
+            &ExploreOptions::with_max_configs(40).with_interned(true),
+        )
+        .unwrap();
+        assert!(deep.is_truncated() && compact.is_truncated());
+        assert_eq!(deep.len(), compact.len());
+        for i in 0..deep.len() {
+            assert_eq!(deep.config(i), compact.config(i));
+            assert_eq!(deep.edges(i), compact.edges(i));
+        }
+    }
+
+    #[test]
+    fn interner_stats_reflect_sharing() {
+        let g = StateGraph::explore(&race_spec(3), &ExploreOptions::default()).unwrap();
+        let stats = g.interner_stats().expect("interned by default");
+        assert!(stats.proc_states > 0);
+        assert!(stats.object_states > 0);
+        // Far fewer distinct states than config slots: that's the point.
+        assert!(stats.proc_states + stats.object_states < g.len());
+        assert!(stats.hit_rate() > 0.5, "hit rate {}", stats.hit_rate());
+    }
+
+    #[test]
+    fn reverse_csr_inverts_the_forward_adjacency() {
+        let g = StateGraph::explore(&race_spec(3), &ExploreOptions::default()).unwrap();
+        let (ptr, preds) = g.reverse_csr();
+        assert_eq!(ptr.len(), g.len() + 1);
+        assert_eq!(preds.len(), g.stats().edges);
+        // Each forward edge appears exactly once as a reverse entry.
+        let mut expected: Vec<(usize, usize)> = Vec::new();
+        for i in 0..g.len() {
+            for e in g.edges(i) {
+                expected.push((e.target(), i));
+            }
+        }
+        expected.sort_unstable();
+        let mut actual: Vec<(usize, usize)> = Vec::new();
+        for j in 0..g.len() {
+            for &p in &preds[ptr[j] as usize..ptr[j + 1] as usize] {
+                actual.push((j, p as usize));
+            }
+        }
+        actual.sort_unstable();
+        assert_eq!(actual, expected);
+    }
+
+    /// A system whose symmetry groups are all singletons takes the
+    /// fast path: requesting symmetry must yield the identical graph to
+    /// not requesting it (canonicalization is the identity).
+    #[test]
+    fn trivial_symmetry_is_a_no_op_fast_path() {
+        // race_spec gives every process a distinct input → singleton groups.
+        let spec = race_spec(3);
+        assert!(spec.symmetry_groups().is_trivial());
+        let plain = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+        let sym =
+            StateGraph::explore(&spec, &ExploreOptions::default().with_symmetry(true)).unwrap();
+        assert_eq!(plain.len(), sym.len());
+        for i in 0..plain.len() {
+            assert_eq!(plain.config(i), sym.config(i));
+            assert_eq!(plain.edges(i), sym.edges(i));
+        }
+        assert_eq!(plain.terminals(), sym.terminals());
+    }
+
     #[test]
     fn colliding_fingerprints_never_merge_distinct_configs() {
         // Cram every distinct configuration of a real graph into a single
@@ -1270,7 +1815,7 @@ mod tests {
         // still resolves each to exactly itself — dedup relies on full
         // equality, never the fingerprint alone.
         let g = StateGraph::explore(&race_spec(2), &ExploreOptions::default()).unwrap();
-        let configs: Vec<Config> = (0..g.len()).map(|i| g.config(i).clone()).collect();
+        let configs: Vec<Config> = (0..g.len()).map(|i| g.config(i)).collect();
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         index.insert(0, (0..configs.len()).collect());
         for (i, c) in configs.iter().enumerate() {

@@ -130,21 +130,18 @@ pub fn max_distinct_decisions(graph: &StateGraph) -> usize {
 /// exactly the distinction the paper's task-solvability equivalence
 /// exploits).
 pub fn check_nonblocking(graph: &StateGraph) -> bool {
-    // Backward reachability from the terminals.
+    // Backward reachability from the terminals, over the one-shot reverse
+    // CSR (see [`StateGraph::reverse_csr`]).
     let n = graph.len();
     let mut can_finish = vec![false; n];
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 0..n {
-        for e in graph.edges(i) {
-            preds[e.target()].push(i);
-        }
-    }
+    let (pred_ptr, preds) = graph.reverse_csr();
     let mut work: Vec<usize> = graph.terminals().to_vec();
     for &t in graph.terminals() {
         can_finish[t] = true;
     }
     while let Some(i) = work.pop() {
-        for &p in &preds[i] {
+        for &p in &preds[pred_ptr[i] as usize..pred_ptr[i + 1] as usize] {
+            let p = p as usize;
             if !can_finish[p] {
                 can_finish[p] = true;
                 work.push(p);

@@ -43,13 +43,9 @@ impl Valency {
         for &t in graph.terminals() {
             sets[t] = graph.config(t).decided_values().into_iter().collect();
         }
-        // Reverse adjacency for worklist propagation.
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for i in 0..n {
-            for e in graph.edges(i) {
-                preds[e.target()].push(i);
-            }
-        }
+        // Reverse adjacency for worklist propagation: one flat CSR pass
+        // instead of per-node `Vec`s (see [`StateGraph::reverse_csr`]).
+        let (pred_ptr, preds) = graph.reverse_csr();
         // Dirty-bit worklist: a node is queued at most once per time its set
         // grows, and the popped set is moved out (not cloned) while its
         // predecessors are updated.
@@ -61,7 +57,8 @@ impl Valency {
         while let Some(j) = work.pop() {
             queued[j] = false;
             let vals = std::mem::take(&mut sets[j]);
-            for &p in &preds[j] {
+            for &p in &preds[pred_ptr[j] as usize..pred_ptr[j + 1] as usize] {
+                let p = p as usize;
                 if p == j {
                     continue; // self-loop: nothing new to propagate
                 }

@@ -15,23 +15,31 @@ use std::fmt;
 /// assert_eq!(p.index(), 2);
 /// assert_eq!(p.to_string(), "P2");
 /// ```
+// `u32` keeps pid-carrying structures compact: an `Edge` of the state graph
+// is (Pid, u32) = 8 bytes instead of 16.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Pid(usize);
+pub struct Pid(u32);
 
 impl Pid {
     /// Creates a process identifier from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (identifiers are stored as
+    /// `u32`; real systems have a few dozen processes at most).
     pub const fn new(index: usize) -> Self {
-        Pid(index)
+        assert!(index <= u32::MAX as usize, "Pid index exceeds u32");
+        Pid(index as u32)
     }
 
     /// Returns the dense index of this process.
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 
     /// Enumerates the first `n` process identifiers, `P0 .. P(n-1)`.
     pub fn all(n: usize) -> impl Iterator<Item = Pid> {
-        (0..n).map(Pid)
+        (0..n).map(Pid::new)
     }
 }
 
@@ -49,7 +57,7 @@ impl fmt::Display for Pid {
 
 impl From<usize> for Pid {
     fn from(index: usize) -> Self {
-        Pid(index)
+        Pid::new(index)
     }
 }
 
@@ -65,17 +73,22 @@ impl From<usize> for Pid {
 /// assert_eq!(ObjId::new(0).to_string(), "O0");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ObjId(usize);
+pub struct ObjId(u32);
 
 impl ObjId {
     /// Creates an object identifier from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
     pub const fn new(index: usize) -> Self {
-        ObjId(index)
+        assert!(index <= u32::MAX as usize, "ObjId index exceeds u32");
+        ObjId(index as u32)
     }
 
     /// Returns the dense index of this object.
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 
     /// Returns the identifier `offset` slots after this one.
@@ -83,7 +96,7 @@ impl ObjId {
     /// Convenient for protocols that are handed a contiguous block of objects
     /// (e.g. an array of registers) identified by its first element.
     pub const fn offset(self, offset: usize) -> Self {
-        ObjId(self.0 + offset)
+        ObjId::new(self.0 as usize + offset)
     }
 }
 
@@ -101,7 +114,7 @@ impl fmt::Display for ObjId {
 
 impl From<usize> for ObjId {
     fn from(index: usize) -> Self {
-        ObjId(index)
+        ObjId::new(index)
     }
 }
 

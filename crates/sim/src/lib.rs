@@ -81,6 +81,7 @@ mod error;
 mod history;
 mod ids;
 mod implementation;
+mod intern;
 mod linearize;
 mod object;
 mod op;
@@ -97,6 +98,7 @@ pub use error::{ObjectError, ProtocolError, SimError};
 pub use history::{History, HistoryError, HistoryEvent, OpId, OpRecord};
 pub use ids::{ObjId, Pid};
 pub use implementation::{ImplStep, Implementation};
+pub use intern::{CompactConfig, InternerStats, PendingConfig, StateInterner};
 pub use linearize::{check_linearizable, is_linearizable, LinearizeError, MAX_OPS};
 pub use object::{audit_determinism, DeterminismViolation, ObjectSpec, Outcome};
 pub use op::Op;

@@ -7,10 +7,12 @@
 //! is a *pure* function from a configuration to its successor
 //! configuration(s), which serves both the runners and the model checker.
 
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 use crate::error::SimError;
 use crate::ids::{ObjId, Pid};
+use crate::intern::{CompactConfig, PendingConfig, StateInterner};
 use crate::object::ObjectSpec;
 use crate::op::Op;
 use crate::protocol::{Action, ProcCtx, Protocol};
@@ -402,6 +404,18 @@ impl Config {
             procs,
         }
     }
+
+    /// The raw object/process state slices, for the interner
+    /// (`crate::intern`), which hash-conses them without deep copies.
+    pub(crate) fn parts(&self) -> (&[Arc<Value>], &[Arc<ProcState>]) {
+        (&self.objects, &self.procs)
+    }
+
+    /// Reassembles a configuration from shared state `Arc`s — the
+    /// materialization path out of an interner's arenas.
+    pub(crate) fn from_parts(objects: Vec<Arc<Value>>, procs: Vec<Arc<ProcState>>) -> Config {
+        Config { objects, procs }
+    }
 }
 
 /// A human-readable summary of what one step did, for traces.
@@ -549,22 +563,29 @@ impl SystemSpec {
     /// Returns [`SimError::ProcessNotEnabled`] if `pid` cannot take a step,
     /// and propagates protocol errors.
     pub fn step_footprint(&self, config: &Config, pid: Pid) -> Result<StepFootprint, SimError> {
-        let i = pid.index();
         let proc = config
             .procs
-            .get(i)
+            .get(pid.index())
             .ok_or(SimError::ProcessNotEnabled(pid))?;
-        if !proc.status.is_enabled() {
-            return Err(SimError::ProcessNotEnabled(pid));
-        }
-        let ctx = self.ctx(pid);
-        let action = self.protocols[i]
-            .step(&ctx, &proc.local, proc.resp.as_ref())
-            .map_err(|source| SimError::Protocol { pid, source })?;
+        let action = self.action_of(pid, proc)?;
         Ok(match action {
             Action::Decide(_) => StepFootprint::Local,
             Action::Invoke { obj, op, .. } => StepFootprint::Object { obj, op },
         })
+    }
+
+    /// Runs `pid`'s pure protocol transition on `proc` without mutating
+    /// anything — the single source of truth for "what would this process
+    /// do next", shared by the deep and interned stepping paths so the two
+    /// can never disagree.
+    fn action_of(&self, pid: Pid, proc: &ProcState) -> Result<Action, SimError> {
+        if !proc.status.is_enabled() {
+            return Err(SimError::ProcessNotEnabled(pid));
+        }
+        let ctx = self.ctx(pid);
+        self.protocols[pid.index()]
+            .step(&ctx, &proc.local, proc.resp.as_ref())
+            .map_err(|source| SimError::Protocol { pid, source })
     }
 
     /// Returns `true` if two steps with the given footprints are
@@ -592,11 +613,22 @@ impl SystemSpec {
                 if oa != ob {
                     return true;
                 }
-                match self.objects.get(oa.index()) {
-                    Some(spec) => spec.commutes(&config.objects[oa.index()], pa, pb),
-                    None => false,
-                }
+                self.ops_commute(*oa, &config.objects[oa.index()], pa, pb)
             }
+        }
+    }
+
+    /// Returns `true` if operations `a` and `b` commute on object `obj` in
+    /// state `state` ([`ObjectSpec::commutes`], default: never), `false`
+    /// for unknown object ids.
+    ///
+    /// This is [`SystemSpec::footprints_independent`] with the state
+    /// supplied explicitly, so callers holding interned configurations can
+    /// resolve the object state themselves.
+    pub fn ops_commute(&self, obj: ObjId, state: &Value, a: &Op, b: &Op) -> bool {
+        match self.objects.get(obj.index()) {
+            Some(spec) => spec.commutes(state, a, b),
+            None => false,
         }
     }
 
@@ -673,13 +705,7 @@ impl SystemSpec {
             .procs
             .get(i)
             .ok_or(SimError::ProcessNotEnabled(pid))?;
-        if !proc.status.is_enabled() {
-            return Err(SimError::ProcessNotEnabled(pid));
-        }
-        let ctx = self.ctx(pid);
-        let action = self.protocols[i]
-            .step(&ctx, &proc.local, proc.resp.as_ref())
-            .map_err(|source| SimError::Protocol { pid, source })?;
+        let action = self.action_of(pid, proc)?;
         match action {
             Action::Decide(v) => {
                 let mut next = config.clone();
@@ -733,6 +759,175 @@ impl SystemSpec {
                 Ok(succs)
             }
         }
+    }
+
+    // ---- interned (hash-consed) stepping ---------------------------------
+    //
+    // The `compact_*` methods are id-space twins of `initial_config` /
+    // `step_footprint` / `successors` / `canonicalize_config_perm`: they
+    // operate on rows of interner id words instead of deep `Config`s, are
+    // read-only on the interner (fresh states ride along in a
+    // `PendingConfig` until the merge thread interns them), and share
+    // `action_of` / `ObjectSpec` hooks with the deep path so the two can
+    // never diverge.
+
+    /// Builds and interns the initial configuration.
+    pub fn compact_initial(&self, interner: &mut StateInterner) -> CompactConfig {
+        interner.intern_config(&self.initial_config())
+    }
+
+    /// The footprint of `pid`'s next step in the interned configuration
+    /// `words` — the id-space twin of [`SystemSpec::step_footprint`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`SystemSpec::step_footprint`].
+    pub fn compact_footprint(
+        &self,
+        interner: &StateInterner,
+        words: &[u32],
+        pid: Pid,
+    ) -> Result<StepFootprint, SimError> {
+        let proc_id = *words
+            .get(self.nobjects() + pid.index())
+            .ok_or(SimError::ProcessNotEnabled(pid))?;
+        let action = self.action_of(pid, interner.proc(proc_id))?;
+        Ok(match action {
+            Action::Decide(_) => StepFootprint::Local,
+            Action::Invoke { obj, op, .. } => StepFootprint::Object { obj, op },
+        })
+    }
+
+    /// Computes every successor of scheduling `pid` in the interned
+    /// configuration `words`, as [`PendingConfig`]s: unchanged slots keep
+    /// their id words, and only the stepped process (plus the touched
+    /// object, for invocations) is resolved against the interner — already
+    /// known states become id copies, genuinely fresh ones ride along for
+    /// [`StateInterner::finalize`].
+    ///
+    /// Outcome deduplication matches [`SystemSpec::successors`]: outcomes
+    /// denoting equal configurations collapse to the first occurrence.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`SystemSpec::successors`].
+    pub fn compact_successors(
+        &self,
+        interner: &StateInterner,
+        words: &[u32],
+        pid: Pid,
+    ) -> Result<Vec<PendingConfig>, SimError> {
+        let nobjects = self.nobjects();
+        let i = pid.index();
+        let proc_id = *words
+            .get(nobjects + i)
+            .ok_or(SimError::ProcessNotEnabled(pid))?;
+        let proc = interner.proc(proc_id);
+        let action = self.action_of(pid, proc)?;
+        match action {
+            Action::Decide(v) => {
+                let mut next = PendingConfig::copy_of(nobjects, words);
+                next.set_proc_state(
+                    interner,
+                    i,
+                    ProcState {
+                        local: proc.local.clone(),
+                        resp: None,
+                        status: ProcStatus::Decided(v),
+                    },
+                );
+                Ok(vec![next])
+            }
+            Action::Invoke { local, obj, op } => {
+                let spec = self
+                    .objects
+                    .get(obj.index())
+                    .ok_or(SimError::UnknownObject { pid, obj })?;
+                let outcomes = spec
+                    .apply(interner.object(words[obj.index()]), &op)
+                    .map_err(|source| SimError::Object { obj, pid, source })?;
+                if outcomes.is_empty() {
+                    return Err(SimError::NoOutcomes { obj, pid });
+                }
+                let mut succs: Vec<PendingConfig> = Vec::with_capacity(outcomes.len());
+                for out in outcomes {
+                    let mut next = PendingConfig::copy_of(nobjects, words);
+                    next.set_object_state(interner, obj.index(), out.state);
+                    let (resp, status) = match out.response {
+                        Some(resp) => (Some(resp), ProcStatus::Running),
+                        None => (None, ProcStatus::Hung),
+                    };
+                    next.set_proc_state(
+                        interner,
+                        i,
+                        ProcState {
+                            local: local.clone(),
+                            resp,
+                            status,
+                        },
+                    );
+                    if succs.contains(&next) {
+                        continue;
+                    }
+                    succs.push(next);
+                }
+                Ok(succs)
+            }
+        }
+    }
+
+    /// Canonicalizes `pending` in id space — the twin of
+    /// [`SystemSpec::canonicalize_config_perm`] — returning the applied pid
+    /// permutation (`perm[old] = new`), or `None` when the configuration
+    /// was already canonical.
+    ///
+    /// Group members are ordered by their underlying [`ProcState`]s with an
+    /// id shortcut (equal resolved ids ⇒ equal states, by the interning
+    /// invariant), so the chosen permutation — and hence the canonical
+    /// representative — is identical to the deep path's.
+    pub fn compact_canonicalize(
+        &self,
+        interner: &StateInterner,
+        pending: &mut PendingConfig,
+    ) -> Option<Vec<usize>> {
+        let nprocs = pending.nprocs();
+        let mut perm: Option<Vec<usize>> = None;
+        {
+            let cmp = |a: usize, b: usize| -> Ordering {
+                if pending.procs_equal_ids(a, b) {
+                    return Ordering::Equal;
+                }
+                pending
+                    .proc_ref(interner, a)
+                    .cmp(pending.proc_ref(interner, b))
+            };
+            for group in self.symmetry.groups() {
+                let sorted = group
+                    .windows(2)
+                    .all(|w| cmp(w[0].index(), w[1].index()) != Ordering::Greater);
+                if sorted {
+                    continue;
+                }
+                let perm = perm.get_or_insert_with(|| (0..nprocs).collect());
+                // Stable sort of the group's old indices by state; ties keep
+                // ascending pid order, matching `Config::canonical_perm`.
+                let mut order: Vec<usize> = group.iter().map(|p| p.index()).collect();
+                order.sort_by(|&a, &b| cmp(a, b));
+                for (slot, &old) in group.iter().zip(&order) {
+                    perm[old] = slot.index();
+                }
+            }
+        }
+        let perm = perm?;
+        pending.permute_procs(&perm);
+        for idx in 0..self.objects.len() {
+            if let Some(state) =
+                self.objects[idx].relabel_pids(pending.object_ref(interner, idx), &perm)
+            {
+                pending.set_object_state(interner, idx, state);
+            }
+        }
+        Some(perm)
     }
 }
 

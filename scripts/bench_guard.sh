@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Deterministic bench guard: re-derives the explored-graph facts
-# (peak_configs, edges, truncated) for every (fixture, symmetry, por)
-# combination via a BENCH_SMOKE=1 run of e9_modelcheck and compares them
-# against the committed BENCH_modelcheck.json (threads=1 rows). Timing
-# fields are machine-dependent and ignored; the graph facts are
-# deterministic, so any growth — more configs, more edges, or a completing
-# exploration starting to truncate — is a reduction regression and fails
-# the gate. Shrinkage is an improvement: it passes here and shows up in the
-# next full bench run.
+# (peak_configs, edges, truncated, approx_bytes_per_config) for every
+# (fixture, symmetry, por) combination via a BENCH_SMOKE=1 run of
+# e9_modelcheck and compares them against the committed
+# BENCH_modelcheck.json (threads=1 rows). Timing fields are
+# machine-dependent and ignored; the graph facts — including the frozen
+# store's per-config memory — are deterministic, so any growth (more
+# configs, more edges, more bytes per config, or a completing exploration
+# starting to truncate) is a regression and fails the gate. Shrinkage is an
+# improvement: it passes here and shows up in the next full bench run.
+#
+# With INTERNER_STATS=1 the smoke run's per-row hash-consing arena
+# summaries are forwarded to stdout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,15 +21,18 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 0
 fi
 
-fresh=$(BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>/dev/null | grep '^GUARD ' || true)
+raw=$(BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep -E '^(GUARD|INTERNER) ' || true)
+fresh=$(grep '^GUARD ' <<<"$raw" || true)
 if [[ -z "$fresh" ]]; then
   echo "bench_guard: smoke run produced no GUARD lines" >&2
   exit 1
 fi
+# Arena summaries (emitted only under INTERNER_STATS=1).
+grep '^INTERNER ' <<<"$raw" || true
 
 fail=0
 checked=0
-while read -r _ fixture symmetry por peak edges truncated; do
+while read -r _ fixture symmetry por peak edges truncated bytes_pc; do
   row=$(grep -F "\"fixture\": \"$fixture\", \"threads\": 1, \"symmetry\": $symmetry, \"por\": $por," "$BASELINE" | head -1 || true)
   if [[ -z "$row" ]]; then
     echo "bench_guard: no baseline row for $fixture symmetry=$symmetry por=$por (new fixture?); skipping"
@@ -35,6 +42,7 @@ while read -r _ fixture symmetry por peak edges truncated; do
   base_peak=$(sed -n 's/.*"peak_configs": \([0-9]*\).*/\1/p' <<<"$row")
   base_edges=$(sed -n 's/.*"edges": \([0-9]*\).*/\1/p' <<<"$row")
   base_trunc=$(sed -n 's/.*"truncated": \(true\|false\).*/\1/p' <<<"$row")
+  base_bytes=$(sed -n 's/.*"approx_bytes_per_config": \([0-9]*\).*/\1/p' <<<"$row")
   if ((peak > base_peak)); then
     echo "bench_guard: $fixture sym=$symmetry por=$por: peak_configs grew $base_peak -> $peak"
     fail=1
@@ -47,6 +55,10 @@ while read -r _ fixture symmetry por peak edges truncated; do
     echo "bench_guard: $fixture sym=$symmetry por=$por: exploration now truncates"
     fail=1
   fi
+  if [[ -n "$base_bytes" && -n "$bytes_pc" ]] && ((bytes_pc > base_bytes)); then
+    echo "bench_guard: $fixture sym=$symmetry por=$por: approx_bytes_per_config grew $base_bytes -> $bytes_pc"
+    fail=1
+  fi
 done <<<"$fresh"
 
 if ((checked == 0)); then
@@ -57,4 +69,4 @@ if ((fail)); then
   echo "bench_guard: FAILED (explored graphs grew vs $BASELINE)"
   exit 1
 fi
-echo "bench_guard: OK ($checked rows checked)"
+echo "bench_guard: OK ($checked rows checked, graph facts + bytes/config)"

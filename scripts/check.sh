@@ -25,10 +25,12 @@ cargo test -q --workspace
 if [[ "$RUN_BENCH_SMOKE" == "1" ]]; then
   # Smoke-run the model-check bench (two untimed iterations per kernel, no
   # JSON write — see harness::smoke_mode) and diff its deterministic GUARD
-  # facts against the committed BENCH_modelcheck.json, so both bench
-  # bit-rot and reduction regressions (graphs growing back) fail the gate.
+  # facts against the committed BENCH_modelcheck.json, so bench bit-rot,
+  # reduction regressions (graphs growing back) and per-config memory
+  # regressions all fail the gate. INTERNER_STATS=1 additionally exercises
+  # the hash-consing diagnostics path and surfaces the arena summaries.
   echo "==> bench guard (BENCH_SMOKE=1): e9_modelcheck vs BENCH_modelcheck.json"
-  bash scripts/bench_guard.sh
+  INTERNER_STATS=1 bash scripts/bench_guard.sh
 fi
 
 echo "OK"

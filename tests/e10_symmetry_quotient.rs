@@ -182,6 +182,34 @@ fn quotient_shrinks_symmetric_graphs_and_preserves_trivial_ones() {
 }
 
 #[test]
+fn interned_quotient_identical_to_deep_quotient() {
+    // The hash-consed node store must commute with the symmetry quotient:
+    // canonicalizing in id space picks the same orbit representatives in the
+    // same order as canonicalizing deep `Config`s, so the two graphs — and
+    // every verdict derived from them — are identical, not merely isomorphic.
+    for (label, spec) in [
+        ("e1 sym p3", grouped_system_sym(2, 1, 3)),
+        ("e1 distinct p3", grouped_system(2, 1, 3)),
+        ("e4 partition sym p4", partition_system_sym(4, 2, 1)),
+    ] {
+        for symmetry in [false, true] {
+            let opts = ExploreOptions::default().with_symmetry(symmetry);
+            let deep =
+                StateGraph::explore(&spec, &opts.with_interned(false)).expect("deep explore");
+            let interned = StateGraph::explore(&spec, &opts).expect("interned explore");
+            let label = format!("{label} (symmetry={symmetry})");
+            assert_eq!(deep.len(), interned.len(), "{label}: node count");
+            for i in 0..deep.len() {
+                assert_eq!(deep.config(i), interned.config(i), "{label}: node {i}");
+                assert_eq!(deep.edges(i), interned.edges(i), "{label}: edges of {i}");
+            }
+            assert_eq!(deep.terminals(), interned.terminals(), "{label}: terminals");
+            assert_verdicts_agree(&deep, &interned, &label);
+        }
+    }
+}
+
+#[test]
 fn large_symmetric_fixture_tractable_only_with_symmetry() {
     // 8 equal-input proposers: the full graph (6561 configs) blows through
     // the cap, while the quotient completes comfortably under it.

@@ -179,6 +179,41 @@ fn por_composes_with_the_symmetry_quotient() {
 }
 
 #[test]
+fn interned_reduction_identical_to_deep_reduction() {
+    // The ample-set choice, sleep-set bookkeeping and wake-up revisits all
+    // run in id space under the hash-consed store; the reduced graph must
+    // nonetheless be node-for-node identical to the deep store's, under POR
+    // alone and composed with the symmetry quotient.
+    for (label, spec) in [
+        ("e1 sym p3", grouped_system_sym(2, 1, 3)),
+        ("e4 partition p3", partition_system(3, 2, 1)),
+        ("e4 partition sym p4", partition_system_sym(4, 2, 1)),
+    ] {
+        for symmetry in [false, true] {
+            let opts = ExploreOptions::default()
+                .with_por(true)
+                .with_symmetry(symmetry);
+            let deep =
+                StateGraph::explore(&spec, &opts.with_interned(false)).expect("deep explore");
+            let interned = StateGraph::explore(&spec, &opts).expect("interned explore");
+            let label = format!("{label} (por, symmetry={symmetry})");
+            assert_eq!(deep.len(), interned.len(), "{label}: node count");
+            for i in 0..deep.len() {
+                assert_eq!(deep.config(i), interned.config(i), "{label}: node {i}");
+                assert_eq!(deep.edges(i), interned.edges(i), "{label}: edges of {i}");
+            }
+            assert_eq!(deep.terminals(), interned.terminals(), "{label}: terminals");
+            assert_eq!(
+                deep.is_por_reduced(),
+                interned.is_por_reduced(),
+                "{label}: reduction flag"
+            );
+            assert_verdicts_agree(&deep, &interned, &label);
+        }
+    }
+}
+
+#[test]
 fn por_halves_the_interleaving_heavy_fixtures() {
     // Acceptance criterion: on the partition fixtures POR explores at most
     // half the configurations and strictly fewer edges, with identical

@@ -44,6 +44,37 @@ fn parallel_graph_identical_on_grouped_fixtures() {
 }
 
 #[test]
+fn interned_store_matches_deep_store_across_thread_counts() {
+    // The hash-consed (default) node store must reproduce the deep-`Config`
+    // store bit-for-bit — same nodes in the same order, same edges, same
+    // terminals — for every thread count, while holding strictly less memory.
+    for (n, k, procs) in [(2, 0, 2), (2, 1, 3), (3, 0, 3)] {
+        let spec = grouped_system(n, k, procs);
+        let deep = StateGraph::explore(&spec, &ExploreOptions::default().with_interned(false))
+            .expect("deep explore");
+        assert!(
+            deep.interner_stats().is_none(),
+            "deep store reports no interner"
+        );
+        for threads in [1usize, 2, 4] {
+            let opts = ExploreOptions::default().with_threads(threads);
+            let g = StateGraph::explore(&spec, &opts).expect("interned explore");
+            assert_identical(&deep, &g, &format!("({n},{k},{procs}) interned x{threads}"));
+            let stats = g
+                .interner_stats()
+                .expect("interned store exposes arena stats");
+            assert!(stats.object_states <= g.len());
+            assert!(
+                g.approx_bytes() < deep.approx_bytes(),
+                "({n},{k},{procs}) x{threads}: interned {} bytes vs deep {} bytes",
+                g.approx_bytes(),
+                deep.approx_bytes()
+            );
+        }
+    }
+}
+
+#[test]
 fn analyses_agree_across_thread_counts() {
     let spec = grouped_system(2, 1, 3);
     let seq = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
