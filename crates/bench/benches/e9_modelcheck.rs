@@ -4,8 +4,11 @@
 //! (partitioned agreement) fixtures across thread counts and with symmetry
 //! reduction and partial-order reduction on/off, and writes a
 //! machine-readable `BENCH_modelcheck.json` at the repo root with
-//! configs/sec, peak configuration counts, per-config memory and the
-//! reduction ratios, so perf regressions are diffable across commits. A
+//! configs/sec, peak configuration counts, per-config memory, the
+//! reduction ratios and a per-phase wall-time breakdown (`phases`, from
+//! one instrumented post-warm-up exploration per row — see
+//! [`subconsensus_sim::ExploreMetrics`]), so perf regressions are
+//! diffable across commits *and* attributable to a phase. A
 //! `meta` block records the hardware thread count, git revision (plus a
 //! `dirty` flag when the worktree differs from it) and harness iteration
 //! budgets that produced the numbers.
@@ -54,6 +57,10 @@ struct GraphFacts {
     approx_bytes: usize,
     /// Hash-consing arena stats (`None` on the deep store).
     interner: Option<InternerStats>,
+    /// Per-phase wall-time breakdown (JSON object) of one instrumented
+    /// post-warm-up exploration; its `total_ns` approximates the timed
+    /// rows' `median_ns`.
+    phases: String,
 }
 
 impl GraphFacts {
@@ -66,7 +73,13 @@ impl GraphFacts {
 }
 
 fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
-    let g = StateGraph::explore(spec, opts).expect("explore");
+    // One warm-up run, then an instrumented one: the phase timers are on
+    // only for the second, so the captured breakdown reflects warm-cache
+    // behavior and its `total_ns` approximates the timing loop's
+    // `median_ns` (the instrumented graph is node-for-node identical to
+    // the timed ones — telemetry is write-only).
+    StateGraph::explore(spec, opts).expect("explore");
+    let g = StateGraph::explore(spec, &opts.with_metrics(true)).expect("explore");
     let s = g.stats();
     GraphFacts {
         peak_configs: s.configs,
@@ -74,6 +87,7 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
         truncated: s.truncated,
         approx_bytes: g.approx_bytes(),
         interner: g.interner_stats(),
+        phases: g.metrics().phases_json(),
     }
 }
 
@@ -81,7 +95,7 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
 /// row on stderr — `scripts/check.sh` runs the smoke bench with it once so
 /// the diagnostic path stays exercised.
 fn interner_stats_enabled() -> bool {
-    std::env::var_os("INTERNER_STATS").is_some_and(|v| v != "0" && !v.is_empty())
+    subconsensus_sim::env_flag("INTERNER_STATS")
 }
 
 fn git_revision() -> String {
@@ -265,11 +279,13 @@ fn main() {
         if !kernels.is_empty() {
             kernels.push_str(",\n");
         }
+        let phases = &facts_row.phases;
         kernels.push_str(&format!(
             "    {{\"fixture\": \"{name}\", \"threads\": {threads}, \
              \"symmetry\": {symmetry}, \"por\": {por}, \"peak_configs\": {}, \
              \"edges\": {}, \"truncated\": {}, \"approx_bytes_per_config\": \
              {bytes_per_config}, \"interner\": {interner}, \
+             \"phases\": {phases}, \
              \"reduction_ratio\": {ratio}, \
              \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}, \
              \"iters_per_sample\": {}, \"samples\": {}}}",

@@ -17,13 +17,15 @@ pub const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
 /// Warm-up budget per benchmark.
 pub const WARMUP_BUDGET: Duration = Duration::from_millis(50);
 
-/// Returns `true` when `BENCH_SMOKE=1` is set in the environment: every
-/// benchmark runs its routine twice with no warm-up and a single iteration
-/// per sample. The numbers are meaningless, but every bench code path is
-/// exercised — `scripts/check.sh` uses this to fail the gate on bench
-/// bit-rot instead of discovering it at bench time.
+/// Returns `true` when `BENCH_SMOKE` is set (truthy — see
+/// [`env_flag`](subconsensus_sim::env_flag), the shared parser for all
+/// diagnostic env vars): every benchmark runs its routine twice with no
+/// warm-up and a single iteration per sample. The numbers are meaningless,
+/// but every bench code path is exercised — `scripts/check.sh` uses this
+/// to fail the gate on bench bit-rot instead of discovering it at bench
+/// time.
 pub fn smoke_mode() -> bool {
-    std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1")
+    subconsensus_sim::env_flag("BENCH_SMOKE")
 }
 
 /// One timing measurement, exposed for machine-readable reporting.

@@ -51,9 +51,11 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 use subconsensus_sim::{
-    Config, InternerStats, PendingConfig, Pid, SimError, StateInterner, StepFootprint, SystemSpec,
+    Config, ExploreMetrics, InternerStats, PendingConfig, Pid, Recorder, SimError, StateInterner,
+    StepFootprint, SystemSpec,
 };
 
 /// Options bounding an exploration.
@@ -86,6 +88,14 @@ pub struct ExploreOptions {
     /// deep representation; turn this off only to cross-check the two
     /// paths (the e6/e10/e11 equivalence suites do).
     pub interned: bool,
+    /// Turn the phase timers of the exploration telemetry on, so the
+    /// graph's [`metrics`](StateGraph::metrics) carry a wall-time
+    /// breakdown (expand / canonicalize / POR / dedup / merge / freeze).
+    /// Counters and per-level records are collected either way; the
+    /// explored graph is node-for-node identical with or without this
+    /// flag (the recorder is write-only from the explorer's view). The
+    /// `MC_PROGRESS` / `MC_TRACE` env vars also force timing on.
+    pub metrics: bool,
 }
 
 impl Default for ExploreOptions {
@@ -96,6 +106,7 @@ impl Default for ExploreOptions {
             symmetry: false,
             por: false,
             interned: true,
+            metrics: false,
         }
     }
 }
@@ -131,6 +142,12 @@ impl ExploreOptions {
     /// or off.
     pub fn with_interned(mut self, interned: bool) -> Self {
         self.interned = interned;
+        self
+    }
+
+    /// Returns these options with the telemetry phase timers on or off.
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
         self
     }
 }
@@ -207,6 +224,10 @@ trait ConfigStore: Sync {
 
     fn spec(&self) -> &SystemSpec;
 
+    /// The telemetry sink of this exploration (shared with the merge
+    /// thread; write-only from the explorer's point of view).
+    fn recorder(&self) -> &Recorder;
+
     /// Enabled-process bitset of node `i`.
     fn enabled_bits(&self, i: usize) -> u64;
 
@@ -241,16 +262,18 @@ type Successors<C> = Vec<(C, Option<Vec<usize>>)>;
 /// verified by deep equality.
 struct DeepStore<'a> {
     spec: &'a SystemSpec,
+    rec: &'a Recorder,
     configs: Vec<Config>,
     index: HashMap<u64, Vec<usize>>,
 }
 
 impl<'a> DeepStore<'a> {
-    fn new(spec: &'a SystemSpec, init: Config) -> Self {
+    fn new(spec: &'a SystemSpec, rec: &'a Recorder, init: Config) -> Self {
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         index.entry(fingerprint(&init)).or_default().push(0);
         DeepStore {
             spec,
+            rec,
             configs: vec![init],
             index,
         }
@@ -262,6 +285,10 @@ impl ConfigStore for DeepStore<'_> {
 
     fn spec(&self) -> &SystemSpec {
         self.spec
+    }
+
+    fn recorder(&self) -> &Recorder {
+        self.rec
     }
 
     fn enabled_bits(&self, i: usize) -> u64 {
@@ -283,13 +310,21 @@ impl ConfigStore for DeepStore<'_> {
         symmetry: bool,
     ) -> Result<Successors<Self::Carrier>, SimError> {
         let mut out = Vec::new();
-        for (next, _info) in self.spec.successors(&self.configs[i], pid)? {
+        let succs = {
+            let _t = self.rec.time_expand();
+            self.spec.successors(&self.configs[i], pid)?
+        };
+        for (next, _info) in succs {
             let (next, perm) = if symmetry {
+                let _t = self.rec.time_canonicalize();
                 self.spec.canonicalize_config_perm(next)
             } else {
                 (next, None)
             };
-            let fp = fingerprint(&next);
+            let fp = {
+                let _t = self.rec.time_dedup();
+                fingerprint(&next)
+            };
             out.push(((next, fp), perm));
         }
         Ok(out)
@@ -330,6 +365,7 @@ struct CompactCarrier {
 /// equivalent to state equality).
 struct CompactStore<'a> {
     spec: &'a SystemSpec,
+    rec: &'a Recorder,
     interner: StateInterner,
     nobjects: usize,
     /// Words per node row (`nobjects + nprocs`).
@@ -342,7 +378,7 @@ struct CompactStore<'a> {
 }
 
 impl<'a> CompactStore<'a> {
-    fn new(spec: &'a SystemSpec, init: &Config) -> Self {
+    fn new(spec: &'a SystemSpec, rec: &'a Recorder, init: &Config) -> Self {
         let mut interner = StateInterner::new();
         let compact = interner.intern_config(init);
         let words: Vec<u32> = compact.words().to_vec();
@@ -350,6 +386,7 @@ impl<'a> CompactStore<'a> {
         index.entry(fingerprint_words(&words)).or_default().push(0);
         CompactStore {
             spec,
+            rec,
             interner,
             nobjects: compact.nobjects(),
             stride: words.len(),
@@ -369,6 +406,10 @@ impl ConfigStore for CompactStore<'_> {
 
     fn spec(&self) -> &SystemSpec {
         self.spec
+    }
+
+    fn recorder(&self) -> &Recorder {
+        self.rec
     }
 
     fn enabled_bits(&self, i: usize) -> u64 {
@@ -406,13 +447,21 @@ impl ConfigStore for CompactStore<'_> {
     ) -> Result<Successors<Self::Carrier>, SimError> {
         let row = self.row(i);
         let mut out = Vec::new();
-        for mut pending in self.spec.compact_successors(&self.interner, row, pid)? {
+        let succs = {
+            let _t = self.rec.time_expand();
+            self.spec.compact_successors(&self.interner, row, pid)?
+        };
+        for mut pending in succs {
             let perm = if symmetry {
+                let _t = self.rec.time_canonicalize();
                 self.spec.compact_canonicalize(&self.interner, &mut pending)
             } else {
                 None
             };
-            let fp = pending.resolved_words().map(fingerprint_words);
+            let fp = {
+                let _t = self.rec.time_dedup();
+                pending.resolved_words().map(fingerprint_words)
+            };
             out.push((CompactCarrier { pending, fp }, perm));
         }
         Ok(out)
@@ -551,6 +600,8 @@ fn expand_item<S: ConfigStore>(
     item: WorkItem,
     opts: &ExploreOptions,
 ) -> Result<NodeExpansion<S::Carrier>, SimError> {
+    let rec = store.recorder();
+    rec.count_expansions(1);
     let node = item.node;
     let enabled = store.enabled_bits(node);
     if enabled == 0 {
@@ -566,6 +617,7 @@ fn expand_item<S: ConfigStore>(
     // both need them (POR only).
     let mut fps: Vec<Option<StepFootprint>> = Vec::new();
     if opts.por {
+        let _t = rec.time_por();
         fps = vec![None; store.spec().nprocs()];
         let mut it = enabled;
         while it != 0 {
@@ -578,6 +630,7 @@ fn expand_item<S: ConfigStore>(
     let (fire, sleep, slept) = if !opts.por {
         (enabled, 0, 0)
     } else if item.fresh {
+        let _t = rec.time_por();
         let sleep = first_sleep[node] & enabled;
         let ample = choose_ample(store.spec(), enabled, &fps);
         let mut fire = ample & !sleep;
@@ -611,8 +664,12 @@ fn expand_item<S: ConfigStore>(
             0
         };
         for (next, perm) in store.successors(node, pid, opts.symmetry)? {
+            if perm.is_some() {
+                rec.count_symmetry_hits(1);
+            }
             let mut succ_sleep = 0u64;
             if base != 0 {
+                let _t = rec.time_por();
                 let me = fps[i].as_ref().expect("enabled pid has a footprint");
                 let mut qs = base;
                 while qs != 0 {
@@ -629,14 +686,18 @@ fn expand_item<S: ConfigStore>(
                     succ_sleep = permute_mask(succ_sleep, perm);
                 }
             }
-            let step = match store.lookup(&next) {
-                Some(j) => StepResult::Existing(j),
-                None => StepResult::Fresh(next),
+            let step = {
+                let _t = rec.time_dedup();
+                match store.lookup(&next) {
+                    Some(j) => StepResult::Existing(j),
+                    None => StepResult::Fresh(next),
+                }
             };
             steps.push((pid, step, succ_sleep));
         }
         done |= 1 << i;
     }
+    rec.count_generated(steps.len() as u64);
     Ok(NodeExpansion {
         steps,
         fired: fire,
@@ -763,6 +824,7 @@ pub struct StateGraph {
     terminals: Vec<usize>,
     truncated: bool,
     por: bool,
+    metrics: ExploreMetrics,
 }
 
 /// The frozen node arena of a [`StateGraph`], in whichever representation
@@ -805,6 +867,22 @@ struct GraphCore {
     truncated: bool,
 }
 
+/// One-line stderr warning when an exploration hits its `max_configs`
+/// bound: callers routinely ignore the `truncated` flag, and a silently
+/// partial graph invalidates every analysis run on it. Emitted once per
+/// process (a benchmark timing loop may truncate thousands of times); the
+/// cause is always recorded per graph in [`ExploreMetrics`].
+fn warn_truncated(cap: usize, configs: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "modelcheck: WARNING: exploration truncated at max_configs = {cap} \
+             ({configs} configs kept); analyses on this graph are partial \
+             (further truncation warnings suppressed for this process)"
+        );
+    });
+}
+
 /// Runs the level-synchronized BFS against `store` (already seeded with
 /// node 0) and freezes the resulting adjacency into CSR form. All
 /// reduction logic (symmetry, POR, the cycle proviso) lives here, once,
@@ -812,6 +890,7 @@ struct GraphCore {
 fn explore_core<S: ConfigStore>(
     store: &mut S,
     opts: &ExploreOptions,
+    rec: &Recorder,
 ) -> Result<GraphCore, SimError> {
     // Flat (from, edge) buffer, frozen into CSR at the end.
     let mut edge_buf: Vec<(u32, Edge)> = Vec::new();
@@ -838,7 +917,13 @@ fn explore_core<S: ConfigStore>(
     let mut cur_depth: u32 = 0;
     let mut scratch: Vec<Edge> = Vec::new();
     while !level.is_empty() {
+        // Level wall time feeds the per-level trace records; read the
+        // clock only when timing is on so the untimed path stays
+        // syscall-free.
+        let t_level = rec.is_timing().then(Instant::now);
+        let nodes_before = depth.len();
         let expansions = expand_level(&*store, &first_sleep, &level, opts)?;
+        let merge_t = rec.time_merge();
         let mut next_level: Vec<WorkItem> = Vec::new();
         // POR: edges into already-known nodes; processed only after the
         // whole level has merged, because the target's own expansion may
@@ -853,35 +938,51 @@ fn explore_core<S: ConfigStore>(
             }
             let mut escalate = false;
             scratch.clear();
+            rec.count_sleep_pruned(u64::from(exp.slept.count_ones()));
             for (pid, step, succ_sleep) in exp.steps {
                 let (j, known) = match step {
-                    StepResult::Existing(j) => (j, true),
+                    StepResult::Existing(j) => {
+                        rec.count_dedup_hits(1);
+                        (j, true)
+                    }
                     // A worker's miss can be an earlier merge of this same
                     // level; `insert` re-checks before adding.
-                    StepResult::Fresh(next) => match store.insert(next, opts.max_configs) {
-                        MergeSlot::Known(j) => (j, true),
-                        MergeSlot::Capped => {
-                            truncated = true;
-                            continue;
+                    StepResult::Fresh(next) => {
+                        let slot = {
+                            let _t = rec.time_intern();
+                            store.insert(next, opts.max_configs)
+                        };
+                        match slot {
+                            MergeSlot::Known(j) => {
+                                rec.count_dedup_hits(1);
+                                (j, true)
+                            }
+                            MergeSlot::Capped => {
+                                rec.count_capped(1);
+                                rec.set_truncated(opts.max_configs);
+                                truncated = true;
+                                continue;
+                            }
+                            MergeSlot::Added(j) => {
+                                rec.count_added(1);
+                                assert!(j < u32::MAX as usize, "state graph exceeds u32 node ids");
+                                depth.push(cur_depth + 1);
+                                first_sleep.push(succ_sleep);
+                                explored.push(0);
+                                slept.push(0);
+                                pending.push(0);
+                                expanded.push(false);
+                                full.push(false);
+                                next_level.push(WorkItem {
+                                    node: j,
+                                    fire: 0,
+                                    sleep: 0,
+                                    fresh: true,
+                                });
+                                (j, false)
+                            }
                         }
-                        MergeSlot::Added(j) => {
-                            assert!(j < u32::MAX as usize, "state graph exceeds u32 node ids");
-                            depth.push(cur_depth + 1);
-                            first_sleep.push(succ_sleep);
-                            explored.push(0);
-                            slept.push(0);
-                            pending.push(0);
-                            expanded.push(false);
-                            full.push(false);
-                            next_level.push(WorkItem {
-                                node: j,
-                                fire: 0,
-                                sleep: 0,
-                                fresh: true,
-                            });
-                            (j, false)
-                        }
-                    },
+                    }
                 };
                 if opts.por && known {
                     revisits.push((j, succ_sleep));
@@ -954,6 +1055,20 @@ fn explore_core<S: ConfigStore>(
                 });
             }
         }
+        drop(merge_t);
+        rec.record_level(
+            level.len(),
+            depth.len() - nodes_before,
+            depth.len(),
+            edge_buf.len(),
+            t_level.map_or(Duration::ZERO, |t| t.elapsed()),
+        );
+        rec.heartbeat(
+            cur_depth,
+            depth.len(),
+            next_level.len(),
+            opts.max_configs.saturating_sub(depth.len()),
+        );
         level = next_level;
         cur_depth += 1;
     }
@@ -962,6 +1077,7 @@ fn explore_core<S: ConfigStore>(
 
     // Freeze the edge buffer into CSR: a stable counting sort by source
     // node (edges of one node keep their merge order).
+    let _t = rec.time_freeze();
     let n = depth.len();
     assert!(
         edge_buf.len() < u32::MAX as usize,
@@ -1033,6 +1149,25 @@ impl StateGraph {
     ///
     /// Propagates any [`SimError`] raised while stepping.
     pub fn explore(spec: &SystemSpec, opts: &ExploreOptions) -> Result<Self, SimError> {
+        Self::explore_with(spec, opts, &Recorder::from_env(opts.metrics))
+    }
+
+    /// [`explore`](Self::explore) with an explicit telemetry [`Recorder`]
+    /// (progress callbacks, trace sinks, forced timing — see the
+    /// `Recorder` builders). The recorder is write-only from the
+    /// explorer's point of view, so the produced graph is node-for-node
+    /// identical to an uninstrumented exploration; the final snapshot is
+    /// available as [`metrics`](Self::metrics) (and through
+    /// [`Recorder::snapshot`] on `rec` itself).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] raised while stepping.
+    pub fn explore_with(
+        spec: &SystemSpec,
+        opts: &ExploreOptions,
+        rec: &Recorder,
+    ) -> Result<Self, SimError> {
         let mut opts = *opts;
         // Fast path: a system whose symmetry groups are all singletons has
         // an identity canonicalization, so requesting symmetry would only
@@ -1046,8 +1181,8 @@ impl StateGraph {
             spec.initial_config()
         };
         let (store, core) = if opts.interned {
-            let mut store = CompactStore::new(spec, &init);
-            let core = explore_core(&mut store, &opts)?;
+            let mut store = CompactStore::new(spec, rec, &init);
+            let core = explore_core(&mut store, &opts, rec)?;
             let CompactStore {
                 interner,
                 nobjects,
@@ -1067,18 +1202,36 @@ impl StateGraph {
                 core,
             )
         } else {
-            let mut store = DeepStore::new(spec, init);
-            let core = explore_core(&mut store, &opts)?;
+            let mut store = DeepStore::new(spec, rec, init);
+            let core = explore_core(&mut store, &opts, rec)?;
             (NodeStore::Deep(store.configs), core)
         };
-        Ok(StateGraph {
+        let mut graph = StateGraph {
             store,
             row_ptr: core.row_ptr,
             edge_arr: core.edge_arr,
             terminals: core.terminals,
             truncated: core.truncated,
             por: opts.por,
-        })
+            metrics: ExploreMetrics::default(),
+        };
+        let mut metrics = rec.snapshot();
+        metrics.configs = graph.len();
+        metrics.edges = graph.edge_arr.len();
+        metrics.peak_bytes = graph.approx_bytes();
+        graph.metrics = metrics;
+        if graph.truncated {
+            warn_truncated(opts.max_configs, graph.len());
+        }
+        Ok(graph)
+    }
+
+    /// The telemetry snapshot of the exploration that built this graph:
+    /// counters and per-level records always, phase wall times when the
+    /// exploration was instrumented ([`ExploreOptions::metrics`], an
+    /// explicit [`Recorder`], or `MC_PROGRESS`/`MC_TRACE`).
+    pub fn metrics(&self) -> &ExploreMetrics {
+        &self.metrics
     }
 
     /// Returns the number of distinct reachable configurations.
@@ -1322,6 +1475,66 @@ impl StateGraph {
             }
         }
         false
+    }
+
+    /// Renders the graph in Graphviz DOT form: one node line per
+    /// configuration (the root bold, terminals double-circled) and one
+    /// edge line per CSR edge, labeled with the stepping pid. Meant for
+    /// small (reduced) graphs — the first human-readable view of an
+    /// explored quotient.
+    pub fn to_dot(&self) -> String {
+        self.render_dot(&[])
+    }
+
+    /// [`to_dot`](Self::to_dot) with the edges along `schedule` (a witness
+    /// schedule, walked from the root by firing each pid's first matching
+    /// edge) highlighted in red.
+    pub fn to_dot_with_schedule(&self, schedule: &[Pid]) -> String {
+        let mut highlight = vec![false; self.edge_arr.len()];
+        let mut cur = 0usize;
+        for &pid in schedule {
+            let lo = self.row_ptr[cur] as usize;
+            let hi = self.row_ptr[cur + 1] as usize;
+            let Some(k) = (lo..hi).find(|&k| self.edge_arr[k].pid == pid) else {
+                break;
+            };
+            highlight[k] = true;
+            cur = self.edge_arr[k].target();
+        }
+        self.render_dot(&highlight)
+    }
+
+    fn render_dot(&self, highlight: &[bool]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("digraph stategraph {\n  rankdir=LR;\n  node [shape=circle];\n");
+        let mut is_terminal = vec![false; self.len()];
+        for &t in &self.terminals {
+            is_terminal[t] = true;
+        }
+        for (i, &term) in is_terminal.iter().enumerate() {
+            let shape = if term { " shape=doublecircle" } else { "" };
+            let style = if i == 0 { " style=bold" } else { "" };
+            let _ = writeln!(out, "  n{i} [label=\"{i}\"{shape}{style}];");
+        }
+        for i in 0..self.len() {
+            for k in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                let e = self.edge_arr[k];
+                let extra = if highlight.get(k).copied().unwrap_or(false) {
+                    " color=red penwidth=2"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "  n{i} -> n{} [label=\"p{}\"{extra}];",
+                    e.target(),
+                    e.pid.index()
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
     }
 }
 

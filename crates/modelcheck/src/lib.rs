@@ -36,6 +36,13 @@ mod valency;
 
 pub use graph::{Edge, ExploreOptions, GraphStats, StateGraph};
 pub use properties::{
-    check_nonblocking, check_wait_freedom, max_distinct_decisions, TerminalReport, WaitFreedom,
+    check_nonblocking, check_nonblocking_with, check_wait_freedom, max_distinct_decisions,
+    TerminalReport, WaitFreedom,
+};
+// Telemetry types live in `sim` (the shared substrate crate) but are part
+// of this crate's exploration API surface; re-export them so model-checking
+// callers need only one import path.
+pub use subconsensus_sim::{
+    ExploreMetrics, LevelMetrics, ProgressReport, Recorder, TruncationCause,
 };
 pub use valency::{find_critical, CriticalConfig, Valency};

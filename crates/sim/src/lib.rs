@@ -83,6 +83,7 @@ mod ids;
 mod implementation;
 mod intern;
 mod linearize;
+mod metrics;
 mod object;
 mod op;
 mod protocol;
@@ -100,6 +101,10 @@ pub use ids::{ObjId, Pid};
 pub use implementation::{ImplStep, Implementation};
 pub use intern::{CompactConfig, InternerStats, PendingConfig, StateInterner};
 pub use linearize::{check_linearizable, is_linearizable, LinearizeError, MAX_OPS};
+pub use metrics::{
+    env_flag, ExploreMetrics, LevelMetrics, PhaseGuard, ProgressReport, Recorder, TruncationCause,
+    DEFAULT_PROGRESS_EVERY,
+};
 pub use object::{audit_determinism, DeterminismViolation, ObjectSpec, Outcome};
 pub use op::Op;
 pub use protocol::{Action, ProcCtx, Protocol};

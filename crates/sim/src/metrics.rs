@@ -1,0 +1,877 @@
+//! Exploration telemetry: phase timers, counters, heartbeats, trace export.
+//!
+//! The model checker composes four optimizations (parallel BFS, symmetry
+//! quotient, POR sleep sets, hash-consed stores) and without telemetry is a
+//! black box while it runs. This module is the std-only observability layer
+//! threaded through `explore_core` (and the valency / non-blocking passes):
+//!
+//! * a [`Recorder`] handle of relaxed atomic counters and opt-in phase
+//!   timers, shared by reference between the merge thread and the level
+//!   workers;
+//! * an [`ExploreMetrics`] snapshot attached to every explored graph —
+//!   per-phase wall time, generated/deduped/pruned counters, per-level
+//!   frontier sizes and the truncation cause, with
+//!   [`to_json`](ExploreMetrics::to_json) for machine consumers;
+//! * a progress **heartbeat**: an optional callback (or the `MC_PROGRESS`
+//!   env default, printing to stderr) fired every N expansions so long
+//!   runs are not silent;
+//! * a `MC_TRACE=<path>` JSONL span log, one record per BFS level.
+//!
+//! # Zero-cost-when-off
+//!
+//! Telemetry must never change the explored graph, and the uninstrumented
+//! path must stay as fast as before it existed. Two mechanisms:
+//!
+//! * **Counters are always on** but are single relaxed atomic adds on
+//!   values the explorer computes anyway — the same instructions run
+//!   whether anyone reads them or not, so "on" and "off" runs execute
+//!   identical exploration logic and build node-for-node identical graphs.
+//! * **Timers are opt-in**: every `time_*` method returns `None` (no
+//!   `Instant::now()` call, no syscall) unless timing was requested via
+//!   [`Recorder::with_timing`] or the `MC_PROGRESS`/`MC_TRACE` env vars.
+//!
+//! The recorder has no methods that *return* state to the explorer, so by
+//! construction it cannot branch exploration decisions.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Unified truthiness test for diagnostic environment variables
+/// (`MC_PROGRESS`, `MC_TRACE` presence checks, `INTERNER_STATS`,
+/// `BENCH_SMOKE`): set, non-empty, and not `"0"`.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Default heartbeat interval (expansions between progress reports) when
+/// `MC_PROGRESS` is set without a numeric interval.
+pub const DEFAULT_PROGRESS_EVERY: u64 = 100_000;
+
+/// Phase slots of the [`Recorder`]'s timer array. Kept private: the public
+/// view is the named fields of [`ExploreMetrics`].
+const SLOT_EXPAND: usize = 0;
+const SLOT_CANON: usize = 1;
+const SLOT_POR: usize = 2;
+const SLOT_WORKER_DEDUP: usize = 3;
+const SLOT_MERGE_INSERT: usize = 4;
+const SLOT_MERGE_BLOCK: usize = 5;
+const SLOT_FREEZE: usize = 6;
+const SLOT_REVERSE_CSR: usize = 7;
+const NSLOTS: usize = 8;
+
+/// Why an exploration stopped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TruncationCause {
+    /// The reachable graph was exhausted: every analysis is total.
+    #[default]
+    Complete,
+    /// The exploration hit `max_configs` and dropped successors: every
+    /// analysis on the graph is partial.
+    MaxConfigs {
+        /// The bound that was hit.
+        cap: usize,
+    },
+}
+
+impl TruncationCause {
+    /// `true` unless the exploration completed.
+    pub fn is_truncated(&self) -> bool {
+        !matches!(self, TruncationCause::Complete)
+    }
+}
+
+/// Per-BFS-level frontier metrics, one record per level (also the schema of
+/// the `MC_TRACE` JSONL lines).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelMetrics {
+    /// BFS depth of this level (0 = the root's expansion).
+    pub level: u32,
+    /// Work items expanded at this level (first visits plus POR wake-ups
+    /// and proviso escalations).
+    pub items: usize,
+    /// Nodes first discovered by this level's merge.
+    pub new_nodes: usize,
+    /// Total nodes in the store after this level.
+    pub nodes_total: usize,
+    /// Total edges recorded after this level.
+    pub edges_total: usize,
+    /// Wall time of the level (expansion + merge), in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl LevelMetrics {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"level\": {}, \"items\": {}, \"new_nodes\": {}, \"nodes\": {}, \
+             \"edges\": {}, \"elapsed_ns\": {}}}",
+            self.level,
+            self.items,
+            self.new_nodes,
+            self.nodes_total,
+            self.edges_total,
+            self.elapsed_ns
+        )
+    }
+}
+
+/// One progress-heartbeat report (see [`Recorder::with_progress`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressReport {
+    /// Current BFS depth.
+    pub level: u32,
+    /// Distinct configurations discovered so far.
+    pub explored: usize,
+    /// Work items queued for the next level.
+    pub frontier: usize,
+    /// Successor configurations generated so far (pre-dedup).
+    pub generated: u64,
+    /// Generated successors that deduplicated onto known nodes.
+    pub dedup_hits: u64,
+    /// Node expansions performed so far.
+    pub expansions: u64,
+    /// Wall time since the exploration started.
+    pub elapsed: Duration,
+    /// Discovery throughput: `explored / elapsed`.
+    pub configs_per_sec: f64,
+    /// Configurations left under the `max_configs` bound.
+    pub bound_remaining: usize,
+}
+
+impl fmt::Display for ProgressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "level {}: {} explored, {} frontier, {} generated ({} dedup), \
+             {:.0} configs/sec, bound remaining {}",
+            self.level,
+            self.explored,
+            self.frontier,
+            self.generated,
+            self.dedup_hits,
+            self.configs_per_sec,
+            self.bound_remaining
+        )
+    }
+}
+
+/// The metrics snapshot attached to every explored
+/// [`StateGraph`](../subconsensus_modelcheck/struct.StateGraph.html).
+///
+/// Counter fields are always populated; the `*_ns` phase times are zero
+/// unless the exploration ran with timing on (`timed`) — via
+/// [`ExploreOptions::metrics`](../subconsensus_modelcheck/struct.ExploreOptions.html),
+/// an explicit instrumented [`Recorder`], or the `MC_PROGRESS`/`MC_TRACE`
+/// env vars.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreMetrics {
+    /// Wall time stepping successors (worker side).
+    pub expand_ns: u64,
+    /// Wall time canonicalizing successors under symmetry.
+    pub canonicalize_ns: u64,
+    /// Wall time computing footprints, ample sets and sleep filters.
+    pub por_ns: u64,
+    /// Wall time fingerprinting and deduplicating (worker lookups plus
+    /// merge-side intern/find-or-insert).
+    pub dedup_ns: u64,
+    /// Wall time in the sequential merge outside of insertion (edge
+    /// bookkeeping, revisits, proviso escalation).
+    pub merge_ns: u64,
+    /// Wall time freezing the edge buffer into CSR form.
+    pub freeze_ns: u64,
+    /// Wall time building the reverse CSR (valency / non-blocking passes;
+    /// zero unless one ran with this graph's recorder).
+    pub reverse_csr_ns: u64,
+    /// Wall time of the whole exploration.
+    pub total_ns: u64,
+    /// Whether phase timers were on (`false` ⇒ every `*_ns` field above,
+    /// `total_ns` included, is 0).
+    pub timed: bool,
+    /// Distinct configurations in the final graph.
+    pub configs: usize,
+    /// Edges in the final graph.
+    pub edges: usize,
+    /// Successor configurations generated (pre-dedup).
+    pub generated: u64,
+    /// Generated successors deduplicated onto already-known nodes.
+    pub dedup_hits: u64,
+    /// Generated successors inserted as new nodes.
+    pub added: u64,
+    /// Generated successors dropped at the `max_configs` bound.
+    pub capped: u64,
+    /// Successors whose canonicalization applied a nontrivial pid
+    /// permutation (symmetry-quotient hits).
+    pub symmetry_hits: u64,
+    /// Ample-set candidates suppressed by sleep sets (POR edge pruning).
+    pub sleep_pruned: u64,
+    /// Node expansions (work items) performed.
+    pub expansions: u64,
+    /// One record per BFS level.
+    pub levels: Vec<LevelMetrics>,
+    /// Approximate resident bytes of the frozen graph.
+    pub peak_bytes: usize,
+    /// Why the exploration stopped.
+    pub truncation: TruncationCause,
+}
+
+impl ExploreMetrics {
+    /// Sum of the per-phase times (excluding `total_ns`).
+    pub fn phase_sum(&self) -> u64 {
+        self.expand_ns
+            + self.canonicalize_ns
+            + self.por_ns
+            + self.dedup_ns
+            + self.merge_ns
+            + self.freeze_ns
+            + self.reverse_csr_ns
+    }
+
+    /// Wall time not attributed to any phase (scheduling, level
+    /// bookkeeping, thread spawn); `total_ns - phase_sum()`, saturating.
+    pub fn other_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.phase_sum())
+    }
+
+    /// The phase breakdown alone as one JSON object (the `phases` field of
+    /// the e9 bench rows). Components plus `other_ns` sum to `total_ns`.
+    pub fn phases_json(&self) -> String {
+        format!(
+            "{{\"expand_ns\": {}, \"canonicalize_ns\": {}, \"por_ns\": {}, \
+             \"dedup_ns\": {}, \"merge_ns\": {}, \"freeze_ns\": {}, \
+             \"reverse_csr_ns\": {}, \"other_ns\": {}, \"total_ns\": {}}}",
+            self.expand_ns,
+            self.canonicalize_ns,
+            self.por_ns,
+            self.dedup_ns,
+            self.merge_ns,
+            self.freeze_ns,
+            self.reverse_csr_ns,
+            self.other_ns(),
+            self.total_ns
+        )
+    }
+
+    /// The whole snapshot as one JSON object (no external deps — hand
+    /// formatted like the bench writer).
+    pub fn to_json(&self) -> String {
+        let truncation = match self.truncation {
+            TruncationCause::Complete => "null".to_string(),
+            TruncationCause::MaxConfigs { cap } => {
+                format!("{{\"cause\": \"max_configs\", \"cap\": {cap}}}")
+            }
+        };
+        let levels: Vec<String> = self.levels.iter().map(|l| l.to_json()).collect();
+        format!(
+            "{{\"configs\": {}, \"edges\": {}, \"generated\": {}, \
+             \"dedup_hits\": {}, \"added\": {}, \"capped\": {}, \
+             \"symmetry_hits\": {}, \"sleep_pruned\": {}, \"expansions\": {}, \
+             \"peak_bytes\": {}, \"truncation\": {truncation}, \
+             \"timed\": {}, \"phases\": {}, \"levels\": [{}]}}",
+            self.configs,
+            self.edges,
+            self.generated,
+            self.dedup_hits,
+            self.added,
+            self.capped,
+            self.symmetry_hits,
+            self.sleep_pruned,
+            self.expansions,
+            self.peak_bytes,
+            self.timed,
+            self.phases_json(),
+            levels.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for ExploreMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} configs, {} edges in {} levels ({} expansions){}",
+            self.configs,
+            self.edges,
+            self.levels.len(),
+            self.expansions,
+            match self.truncation {
+                TruncationCause::Complete => String::new(),
+                TruncationCause::MaxConfigs { cap } => format!(" [TRUNCATED at {cap}]"),
+            }
+        )?;
+        writeln!(
+            f,
+            "generated {} ({} dedup hits, {} added, {} capped); \
+             {} symmetry hits, {} sleep-pruned",
+            self.generated,
+            self.dedup_hits,
+            self.added,
+            self.capped,
+            self.symmetry_hits,
+            self.sleep_pruned
+        )?;
+        if self.timed {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            writeln!(
+                f,
+                "phases: expand {:.2}ms, canonicalize {:.2}ms, por {:.2}ms, \
+                 dedup {:.2}ms, merge {:.2}ms, freeze {:.2}ms, reverse-csr {:.2}ms, \
+                 other {:.2}ms (total {:.2}ms)",
+                ms(self.expand_ns),
+                ms(self.canonicalize_ns),
+                ms(self.por_ns),
+                ms(self.dedup_ns),
+                ms(self.merge_ns),
+                ms(self.freeze_ns),
+                ms(self.reverse_csr_ns),
+                ms(self.other_ns()),
+                ms(self.total_ns)
+            )?;
+        } else {
+            writeln!(
+                f,
+                "phases: untimed (enable ExploreOptions::metrics or MC_PROGRESS)"
+            )?;
+        }
+        write!(f, "peak memory ≈ {} bytes", self.peak_bytes)
+    }
+}
+
+/// A running phase timer: accumulates its elapsed nanoseconds into the
+/// recorder's slot on drop. Obtained from the `Recorder::time_*` methods
+/// (`None` when timing is off — no clock is read).
+#[must_use]
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    slot: &'a AtomicU64,
+    t0: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.slot
+            .fetch_add(self.t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// The heartbeat callback type (see [`Recorder::with_progress`]).
+type ProgressCallback = Box<dyn Fn(&ProgressReport) + Send + Sync>;
+
+struct ProgressSink {
+    every: u64,
+    /// Expansion count at the last fired heartbeat.
+    last: AtomicU64,
+    callback: ProgressCallback,
+}
+
+/// Telemetry configuration resolved from the environment, once per process
+/// (env vars are process-level configuration; per-explore toggling uses the
+/// explicit [`Recorder`] builders instead).
+struct EnvTelemetry {
+    timing: bool,
+    progress_every: Option<u64>,
+    trace_path: Option<PathBuf>,
+}
+
+fn env_telemetry() -> &'static EnvTelemetry {
+    static ENV: OnceLock<EnvTelemetry> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let progress_every = if env_flag("MC_PROGRESS") {
+            // A numeric value > 1 is the heartbeat interval; any other
+            // truthy value means "on, default interval".
+            let every = std::env::var("MC_PROGRESS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n > 1)
+                .unwrap_or(DEFAULT_PROGRESS_EVERY);
+            Some(every)
+        } else {
+            None
+        };
+        let trace_path = std::env::var_os("MC_TRACE")
+            .filter(|v| !v.is_empty() && v != "0")
+            .map(PathBuf::from);
+        EnvTelemetry {
+            timing: progress_every.is_some() || trace_path.is_some(),
+            progress_every,
+            trace_path,
+        }
+    })
+}
+
+/// The telemetry sink one exploration writes into.
+///
+/// Counters are relaxed atomics and always recorded; phase timers only run
+/// when constructed with timing on (otherwise `time_*` returns `None` and
+/// no clock is read). The recorder exposes nothing the explorer reads back,
+/// so instrumented and uninstrumented runs build identical graphs.
+pub struct Recorder {
+    timing: bool,
+    slots: [AtomicU64; NSLOTS],
+    generated: AtomicU64,
+    dedup_hits: AtomicU64,
+    added: AtomicU64,
+    capped: AtomicU64,
+    symmetry_hits: AtomicU64,
+    sleep_pruned: AtomicU64,
+    expansions: AtomicU64,
+    /// `u64::MAX` = complete; anything else is the `max_configs` cap hit.
+    truncation_cap: AtomicU64,
+    levels: Mutex<Vec<LevelMetrics>>,
+    progress: Option<ProgressSink>,
+    trace: Option<Mutex<BufWriter<File>>>,
+    start: Instant,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("timing", &self.timing)
+            .field("progress", &self.progress.as_ref().map(|p| p.every))
+            .field("trace", &self.trace.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A counters-only recorder: phase timers off, no heartbeat, no trace.
+    /// This is the default sink of an un-instrumented exploration.
+    pub fn new() -> Self {
+        Recorder {
+            timing: false,
+            slots: Default::default(),
+            generated: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            added: AtomicU64::new(0),
+            capped: AtomicU64::new(0),
+            symmetry_hits: AtomicU64::new(0),
+            sleep_pruned: AtomicU64::new(0),
+            expansions: AtomicU64::new(0),
+            truncation_cap: AtomicU64::new(u64::MAX),
+            levels: Mutex::new(Vec::new()),
+            progress: None,
+            trace: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// A recorder honoring the `MC_PROGRESS` / `MC_TRACE` environment (read
+    /// once per process): heartbeat to stderr, JSONL trace to the given
+    /// path (truncated per exploration). `timing` additionally forces the
+    /// phase timers on (e.g. from
+    /// [`ExploreOptions::metrics`](../subconsensus_modelcheck/struct.ExploreOptions.html)).
+    pub fn from_env(timing: bool) -> Self {
+        let env = env_telemetry();
+        let mut rec = Recorder::new();
+        rec.timing = timing || env.timing;
+        if let Some(every) = env.progress_every {
+            rec = rec.with_stderr_progress(every);
+        }
+        if let Some(path) = &env.trace_path {
+            // A bad trace path degrades to a warning, not a failed explore.
+            match File::create(path) {
+                Ok(f) => rec.trace = Some(Mutex::new(BufWriter::new(f))),
+                Err(e) => eprintln!("MC_TRACE: cannot open {}: {e}", path.display()),
+            }
+        }
+        rec
+    }
+
+    /// Turns the phase timers on.
+    pub fn with_timing(mut self) -> Self {
+        self.timing = true;
+        self
+    }
+
+    /// Installs a heartbeat callback fired every `every` node expansions
+    /// (checked at level boundaries, so a single huge level reports only
+    /// when it finishes). Implies timing.
+    pub fn with_progress<F>(mut self, every: u64, callback: F) -> Self
+    where
+        F: Fn(&ProgressReport) + Send + Sync + 'static,
+    {
+        self.timing = true;
+        self.progress = Some(ProgressSink {
+            every: every.max(1),
+            last: AtomicU64::new(0),
+            callback: Box::new(callback),
+        });
+        self
+    }
+
+    /// Installs the default stderr heartbeat (`MC_PROGRESS`'s sink).
+    pub fn with_stderr_progress(self, every: u64) -> Self {
+        self.with_progress(every, |r| eprintln!("modelcheck: {r}"))
+    }
+
+    /// Streams one JSONL record per BFS level to `path` (truncating any
+    /// previous file). Implies timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn with_trace<P: AsRef<Path>>(mut self, path: P) -> std::io::Result<Self> {
+        self.timing = true;
+        self.trace = Some(Mutex::new(BufWriter::new(File::create(path)?)));
+        Ok(self)
+    }
+
+    /// Whether the phase timers are on.
+    pub fn is_timing(&self) -> bool {
+        self.timing
+    }
+
+    fn guard(&self, slot: usize) -> Option<PhaseGuard<'_>> {
+        if self.timing {
+            Some(PhaseGuard {
+                slot: &self.slots[slot],
+                t0: Instant::now(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Times successor stepping (worker side).
+    pub fn time_expand(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_EXPAND)
+    }
+
+    /// Times canonicalization under symmetry.
+    pub fn time_canonicalize(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_CANON)
+    }
+
+    /// Times POR footprint / ample-set / sleep-filter work.
+    pub fn time_por(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_POR)
+    }
+
+    /// Times fingerprinting and worker-side dedup lookups.
+    pub fn time_dedup(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_WORKER_DEDUP)
+    }
+
+    /// Times merge-side intern + find-or-insert.
+    pub fn time_intern(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_MERGE_INSERT)
+    }
+
+    /// Times the whole sequential merge block (insertion time is measured
+    /// separately by [`time_intern`](Self::time_intern) and subtracted in
+    /// the snapshot).
+    pub fn time_merge(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_MERGE_BLOCK)
+    }
+
+    /// Times the CSR freeze.
+    pub fn time_freeze(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_FREEZE)
+    }
+
+    /// Times the reverse-CSR build (valency / non-blocking passes).
+    pub fn time_reverse_csr(&self) -> Option<PhaseGuard<'_>> {
+        self.guard(SLOT_REVERSE_CSR)
+    }
+
+    /// Counts successor configurations generated (pre-dedup).
+    pub fn count_generated(&self, n: u64) {
+        self.generated.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts successors that deduplicated onto known nodes.
+    pub fn count_dedup_hits(&self, n: u64) {
+        self.dedup_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts successors inserted as new nodes.
+    pub fn count_added(&self, n: u64) {
+        self.added.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts successors dropped at the configuration bound.
+    pub fn count_capped(&self, n: u64) {
+        self.capped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts successors whose canonicalization applied a nontrivial pid
+    /// permutation.
+    pub fn count_symmetry_hits(&self, n: u64) {
+        self.symmetry_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts ample candidates suppressed by sleep sets.
+    pub fn count_sleep_pruned(&self, n: u64) {
+        self.sleep_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts node expansions (work items).
+    pub fn count_expansions(&self, n: u64) {
+        self.expansions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records that the exploration hit the `cap` configuration bound.
+    pub fn set_truncated(&self, cap: usize) {
+        self.truncation_cap.store(cap as u64, Ordering::Relaxed);
+    }
+
+    /// Records one finished BFS level (always on — once per level) and
+    /// streams its trace record if a trace sink is installed.
+    pub fn record_level(
+        &self,
+        items: usize,
+        new_nodes: usize,
+        nodes_total: usize,
+        edges_total: usize,
+        elapsed: Duration,
+    ) {
+        let mut levels = self.levels.lock().expect("levels lock");
+        let rec = LevelMetrics {
+            level: levels.len() as u32,
+            items,
+            new_nodes,
+            nodes_total,
+            edges_total,
+            elapsed_ns: elapsed.as_nanos() as u64,
+        };
+        levels.push(rec);
+        drop(levels);
+        if let Some(trace) = &self.trace {
+            let mut w = trace.lock().expect("trace lock");
+            // Flush per line so a killed run still leaves parseable spans.
+            let _ = writeln!(w, "{}", rec.to_json());
+            let _ = w.flush();
+        }
+    }
+
+    /// Fires the heartbeat if at least `every` expansions have elapsed
+    /// since the last one. Called at level boundaries.
+    pub fn heartbeat(&self, level: u32, explored: usize, frontier: usize, bound_remaining: usize) {
+        let Some(sink) = &self.progress else { return };
+        let expansions = self.expansions.load(Ordering::Relaxed);
+        let last = sink.last.load(Ordering::Relaxed);
+        if expansions < last.saturating_add(sink.every) {
+            return;
+        }
+        sink.last.store(expansions, Ordering::Relaxed);
+        let elapsed = self.start.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let report = ProgressReport {
+            level,
+            explored,
+            frontier,
+            generated: self.generated.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            expansions,
+            elapsed,
+            configs_per_sec: if secs > 0.0 {
+                explored as f64 / secs
+            } else {
+                0.0
+            },
+            bound_remaining,
+        };
+        (sink.callback)(&report);
+    }
+
+    /// Snapshots the recorder into an [`ExploreMetrics`]. The graph-shape
+    /// fields (`configs`, `edges`, `peak_bytes`) are zero here; the
+    /// explorer overwrites them from the frozen graph.
+    pub fn snapshot(&self) -> ExploreMetrics {
+        let slot = |i: usize| self.slots[i].load(Ordering::Relaxed);
+        let worker_dedup = slot(SLOT_WORKER_DEDUP);
+        let merge_insert = slot(SLOT_MERGE_INSERT);
+        let cap = self.truncation_cap.load(Ordering::Relaxed);
+        ExploreMetrics {
+            expand_ns: slot(SLOT_EXPAND),
+            canonicalize_ns: slot(SLOT_CANON),
+            por_ns: slot(SLOT_POR),
+            dedup_ns: worker_dedup + merge_insert,
+            merge_ns: slot(SLOT_MERGE_BLOCK).saturating_sub(merge_insert),
+            freeze_ns: slot(SLOT_FREEZE),
+            reverse_csr_ns: slot(SLOT_REVERSE_CSR),
+            total_ns: if self.timing {
+                self.start.elapsed().as_nanos() as u64
+            } else {
+                0
+            },
+            timed: self.timing,
+            configs: 0,
+            edges: 0,
+            generated: self.generated.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            added: self.added.load(Ordering::Relaxed),
+            capped: self.capped.load(Ordering::Relaxed),
+            symmetry_hits: self.symmetry_hits.load(Ordering::Relaxed),
+            sleep_pruned: self.sleep_pruned.load(Ordering::Relaxed),
+            expansions: self.expansions.load(Ordering::Relaxed),
+            levels: self.levels.lock().expect("levels lock").clone(),
+            peak_bytes: 0,
+            truncation: if cap == u64::MAX {
+                TruncationCause::Complete
+            } else {
+                TruncationCause::MaxConfigs { cap: cap as usize }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_flag_semantics() {
+        // Unique var names: tests in one binary share the process env.
+        std::env::remove_var("SUBC_METRICS_T0");
+        assert!(!env_flag("SUBC_METRICS_T0"));
+        std::env::set_var("SUBC_METRICS_T1", "");
+        assert!(!env_flag("SUBC_METRICS_T1"));
+        std::env::set_var("SUBC_METRICS_T2", "0");
+        assert!(!env_flag("SUBC_METRICS_T2"));
+        std::env::set_var("SUBC_METRICS_T3", "1");
+        assert!(env_flag("SUBC_METRICS_T3"));
+        std::env::set_var("SUBC_METRICS_T4", "yes");
+        assert!(env_flag("SUBC_METRICS_T4"));
+    }
+
+    #[test]
+    fn untimed_recorder_reads_no_clock_slots() {
+        let rec = Recorder::new();
+        assert!(rec.time_expand().is_none());
+        assert!(rec.time_merge().is_none());
+        rec.count_generated(3);
+        rec.count_dedup_hits(1);
+        rec.count_added(2);
+        let m = rec.snapshot();
+        assert!(!m.timed);
+        assert_eq!(m.generated, 3);
+        assert_eq!(m.dedup_hits + m.added, 3);
+        assert_eq!(m.phase_sum(), 0);
+        assert_eq!(m.total_ns, 0);
+    }
+
+    #[test]
+    fn timed_guard_accumulates() {
+        let rec = Recorder::new().with_timing();
+        {
+            let _t = rec.time_expand();
+            std::hint::black_box(0u64);
+        }
+        let m = rec.snapshot();
+        assert!(m.timed);
+        // The guard measured *something* (possibly sub-microsecond, but the
+        // drop always adds the elapsed nanos — zero only if the clock did
+        // not tick at all, which `>=` tolerates).
+        assert!(m.expand_ns <= m.phase_sum());
+        assert!(m.total_ns >= m.expand_ns);
+    }
+
+    #[test]
+    fn merge_insert_subtracted_not_double_counted() {
+        let rec = Recorder::new().with_timing();
+        {
+            let _outer = rec.time_merge();
+            let _inner = rec.time_intern();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let m = rec.snapshot();
+        // dedup picks up the insert time; merge keeps only the remainder.
+        assert!(
+            m.dedup_ns >= 1_000_000,
+            "insert time recorded: {}",
+            m.dedup_ns
+        );
+        assert!(
+            m.merge_ns < m.dedup_ns,
+            "insert not double-counted (merge {} vs dedup {})",
+            m.merge_ns,
+            m.dedup_ns
+        );
+    }
+
+    #[test]
+    fn truncation_cause_roundtrip() {
+        let rec = Recorder::new();
+        assert_eq!(rec.snapshot().truncation, TruncationCause::Complete);
+        assert!(!rec.snapshot().truncation.is_truncated());
+        rec.set_truncated(500);
+        let t = rec.snapshot().truncation;
+        assert_eq!(t, TruncationCause::MaxConfigs { cap: 500 });
+        assert!(t.is_truncated());
+    }
+
+    #[test]
+    fn progress_fires_on_interval() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        let rec = Recorder::new().with_progress(2, move |r| {
+            assert!(r.expansions >= 2);
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        rec.heartbeat(0, 1, 1, 100); // 0 expansions: below interval
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        rec.count_expansions(2);
+        rec.heartbeat(1, 3, 2, 97);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        rec.heartbeat(1, 3, 2, 97); // no new expansions: suppressed
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn level_records_and_json() {
+        let rec = Recorder::new();
+        rec.record_level(1, 2, 3, 4, Duration::from_nanos(5));
+        rec.record_level(2, 0, 3, 6, Duration::from_nanos(7));
+        let m = rec.snapshot();
+        assert_eq!(m.levels.len(), 2);
+        assert_eq!(m.levels[0].level, 0);
+        assert_eq!(m.levels[1].level, 1);
+        assert_eq!(
+            m.levels[0].to_json(),
+            "{\"level\": 0, \"items\": 1, \"new_nodes\": 2, \"nodes\": 3, \
+             \"edges\": 4, \"elapsed_ns\": 5}"
+        );
+        let json = m.to_json();
+        assert!(json.contains("\"levels\": [{"));
+        assert!(json.contains("\"truncation\": null"));
+        // Balanced braces: a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON: {json}"
+        );
+    }
+
+    #[test]
+    fn phases_json_components_sum_to_total() {
+        let m = ExploreMetrics {
+            expand_ns: 10,
+            canonicalize_ns: 20,
+            por_ns: 5,
+            dedup_ns: 15,
+            merge_ns: 25,
+            freeze_ns: 5,
+            reverse_csr_ns: 0,
+            total_ns: 100,
+            timed: true,
+            ..Default::default()
+        };
+        assert_eq!(m.phase_sum(), 80);
+        assert_eq!(m.other_ns(), 20);
+        let json = m.phases_json();
+        assert!(json.contains("\"other_ns\": 20"));
+        assert!(json.contains("\"total_ns\": 100"));
+    }
+}

@@ -12,12 +12,22 @@
 //!   pass `--deep` and use `--release`, takes ~10 s);
 //! * sanity: over a consensus object a witness IS found.
 //!
+//! The run closes with a telemetry demo: one instrumented exploration with
+//! a per-level progress heartbeat and the final [`ExploreMetrics`] phase
+//! breakdown — the same counters `MC_PROGRESS=1` / `MC_TRACE=<path>` turn
+//! on for every exploration (including all of the searches above).
+//!
 //! Run with: `cargo run --release --example impossibility_search [--deep]`
 
+use std::sync::Arc;
+
 use subconsensus::core::{
-    search_binary_consensus, set_consensus_32_class, wrn_class, SearchOutcome,
+    search_binary_consensus, set_consensus_32_class, wrn_class, GroupedObject, SearchOutcome,
 };
+use subconsensus::modelcheck::{ExploreOptions, Recorder, StateGraph};
 use subconsensus::objects::{Consensus, SetConsensus};
+use subconsensus::protocols::ProposeDecide;
+use subconsensus::sim::{Protocol, SystemBuilder, Value};
 use subconsensus::wrn::Wrn;
 
 fn report(label: &str, out: &SearchOutcome) {
@@ -73,6 +83,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nEvery IMPOSSIBLE line is a machine-checked theorem for its protocol class —\n\
          the executable kernel of the paper lineage's sub-consensus impossibilities."
+    );
+
+    // ── exploration telemetry demo ──────────────────────────────────────
+    // One instrumented exploration of the E1 fixture (3 processes through
+    // a deterministic O_{2,1}): a heartbeat per level and the full phase /
+    // counter breakdown at the end. Every exploration above accepts the
+    // same instrumentation via `MC_PROGRESS=1` / `MC_TRACE=<path>`.
+    println!("\n── exploration telemetry (E1 fixture, 3 procs over O_{{2,1}}) ──\n");
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(2, 1));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (1..=3).map(Value::Int));
+    let spec = b.build();
+    let rec = Recorder::new()
+        .with_timing()
+        .with_progress(1, |r| println!("   heartbeat: {r}"));
+    let g = StateGraph::explore_with(&spec, &ExploreOptions::default().with_por(true), &rec)?;
+    println!("\n{}\n", g.metrics());
+    println!(
+        "   (set MC_PROGRESS=1 for a stderr heartbeat and MC_TRACE=<path> for a\n\
+         \x20   per-level JSONL span log on any exploration in this workspace)"
     );
     Ok(())
 }

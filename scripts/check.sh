@@ -22,6 +22,35 @@ cargo test -q
 echo "==> workspace tests"
 cargo test -q --workspace
 
+# Telemetry smoke: run the flagship example with the heartbeat and the
+# JSONL span trace on, then validate the trace is well-formed (every line
+# parses as JSON, level numbers strictly monotone from 0). The example runs
+# thousands of explorations; MC_TRACE truncates per exploration, so the
+# file holds the spans of the last one.
+echo "==> telemetry smoke: MC_PROGRESS=1 MC_TRACE=/tmp/mc_trace.jsonl impossibility_search"
+rm -f /tmp/mc_trace.jsonl
+MC_PROGRESS=1 MC_TRACE=/tmp/mc_trace.jsonl \
+  cargo run --release -q --example impossibility_search >/tmp/mc_example.log
+python3 - <<'EOF'
+import json
+lines = [l for l in open("/tmp/mc_trace.jsonl") if l.strip()]
+assert lines, "MC_TRACE produced an empty trace"
+levels = []
+for l in lines:
+    rec = json.loads(l)  # raises on malformed JSON
+    for key in ("level", "items", "new_nodes", "nodes", "edges", "elapsed_ns"):
+        assert key in rec, f"trace record missing {key!r}: {rec}"
+    levels.append(rec["level"])
+assert levels == list(range(len(levels))), f"levels not monotone from 0: {levels}"
+print(f"telemetry smoke: OK ({len(lines)} well-formed trace records)")
+EOF
+# The example's closing demo runs an every-expansion heartbeat; its absence
+# means the progress-callback path broke. (The MC_PROGRESS=1 stderr default
+# fires every 100k expansions — these fixtures are far smaller, so stderr
+# staying quiet is expected.)
+grep -q 'heartbeat: level' /tmp/mc_example.log \
+  || { echo "telemetry smoke: example emitted no heartbeat" >&2; exit 1; }
+
 if [[ "$RUN_BENCH_SMOKE" == "1" ]]; then
   # Smoke-run the model-check bench (two untimed iterations per kernel, no
   # JSON write — see harness::smoke_mode) and diff its deterministic GUARD

@@ -1,0 +1,289 @@
+//! E12 (exploration telemetry): instrumentation must be invisible to the
+//! explorer — graphs are node-for-node identical with telemetry on vs off
+//! across every store/reduction/thread combination — while the collected
+//! metrics are internally consistent (counters sum to node totals, phase
+//! times sum under the total), the trace/heartbeat sinks fire, and the DOT
+//! export is well-formed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use subconsensus_core::GroupedObject;
+use subconsensus_modelcheck::{ExploreOptions, Recorder, StateGraph, TruncationCause, Valency};
+use subconsensus_objects::Consensus;
+use subconsensus_protocols::ProposeDecide;
+use subconsensus_sim::{Pid, Protocol, SystemBuilder, SystemSpec, Value};
+
+/// The E1 fixture: `procs` processes proposing through one
+/// `GroupedObject::for_level(n, k)`. Equal inputs give nontrivial
+/// symmetry groups; distinct inputs keep them trivial.
+fn grouped_system(n: usize, k: usize, procs: usize, equal_inputs: bool) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(GroupedObject::for_level(n, k));
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(
+        p,
+        (0..procs).map(|i| Value::Int(if equal_inputs { 1 } else { i as i64 + 1 })),
+    );
+    b.build()
+}
+
+fn assert_identical(a: &StateGraph, b: &StateGraph, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: node count");
+    for i in 0..a.len() {
+        assert_eq!(a.config(i), b.config(i), "{label}: node {i}");
+        assert_eq!(a.edges(i), b.edges(i), "{label}: edges of node {i}");
+    }
+    assert_eq!(a.terminals(), b.terminals(), "{label}: terminals");
+    assert_eq!(a.is_truncated(), b.is_truncated(), "{label}: truncation");
+}
+
+#[test]
+fn instrumented_graphs_identical_across_matrix() {
+    // Telemetry on (timers + per-level heartbeat) vs off, × interned ×
+    // symmetry × POR × threads: the recorder is write-only from the
+    // explorer's view, so every combination must reproduce the plain
+    // graph node-for-node.
+    let spec = grouped_system(2, 1, 3, true);
+    for interned in [true, false] {
+        for symmetry in [false, true] {
+            for por in [false, true] {
+                let base_opts = ExploreOptions::default()
+                    .with_interned(interned)
+                    .with_symmetry(symmetry)
+                    .with_por(por);
+                let plain = StateGraph::explore(&spec, &base_opts).unwrap();
+                for threads in [1usize, 4] {
+                    let opts = base_opts.with_threads(threads).with_metrics(true);
+                    let rec = Recorder::new().with_timing().with_progress(1, |_| {});
+                    let instrumented = StateGraph::explore_with(&spec, &opts, &rec).unwrap();
+                    assert_identical(
+                        &plain,
+                        &instrumented,
+                        &format!("interned={interned} sym={symmetry} por={por} threads={threads}"),
+                    );
+                    assert!(instrumented.metrics().timed);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn counters_sum_to_node_totals() {
+    for (symmetry, por) in [(false, false), (true, false), (false, true), (true, true)] {
+        let spec = grouped_system(2, 1, 3, true);
+        let opts = ExploreOptions::default()
+            .with_symmetry(symmetry)
+            .with_por(por)
+            .with_metrics(true);
+        let g = StateGraph::explore(&spec, &opts).unwrap();
+        let m = g.metrics();
+        let label = format!("sym={symmetry} por={por}");
+
+        // Every generated successor lands in exactly one merge bucket.
+        assert_eq!(
+            m.generated,
+            m.dedup_hits + m.added + m.capped,
+            "{label}: generated = dedup + added + capped"
+        );
+        // The store holds the root plus every added successor.
+        assert_eq!(
+            m.added + 1,
+            m.configs as u64,
+            "{label}: added + root = configs"
+        );
+        assert_eq!(m.capped, 0, "{label}: unbounded run never caps");
+        assert_eq!(m.configs, g.len(), "{label}: metrics configs = graph len");
+        assert_eq!(
+            m.edges,
+            g.stats().edges,
+            "{label}: metrics edges = graph edges"
+        );
+        assert!(m.peak_bytes > 0, "{label}: peak bytes estimated");
+        assert_eq!(m.truncation, TruncationCause::Complete, "{label}");
+
+        // Per-level records tile the exploration exactly.
+        let new_nodes: usize = m.levels.iter().map(|l| l.new_nodes).sum();
+        let items: u64 = m.levels.iter().map(|l| l.items as u64).sum();
+        assert_eq!(
+            new_nodes as u64 + 1,
+            m.configs as u64,
+            "{label}: level new_nodes"
+        );
+        assert_eq!(items, m.expansions, "{label}: level items = expansions");
+        let last = m.levels.last().expect("at least one level");
+        assert_eq!(last.nodes_total, m.configs, "{label}: final nodes_total");
+        assert_eq!(last.edges_total, m.edges, "{label}: final edges_total");
+
+        // Sequential run: phases are disjoint slices of the wall clock.
+        assert!(m.timed, "{label}");
+        assert!(
+            m.phase_sum() <= m.total_ns,
+            "{label}: phase sum {} exceeds total {}",
+            m.phase_sum(),
+            m.total_ns
+        );
+        if symmetry {
+            assert!(m.symmetry_hits > 0, "{label}: canonicalization hit");
+        }
+    }
+}
+
+#[test]
+fn sleep_sets_prune_commuting_proposals() {
+    // `GroupedObject` declares no commuting ops, so sleep sets never fire
+    // on the E1 fixture; equal-value proposals to a consensus object DO
+    // commute, and the pruning must show up in the counter.
+    let mut b = SystemBuilder::new();
+    let obj = b.add_object(Consensus::unbounded());
+    let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
+    b.add_processes(p, (0..3).map(|_| Value::Int(7)));
+    let spec = b.build();
+    let opts = ExploreOptions::default().with_por(true).with_metrics(true);
+    let g = StateGraph::explore(&spec, &opts).unwrap();
+    let m = g.metrics();
+    assert!(m.sleep_pruned > 0, "sleep sets pruned nothing: {m:?}");
+    assert_eq!(m.generated, m.dedup_hits + m.added + m.capped);
+    // Pruning is sound: the reduced graph still reaches a terminal.
+    assert!(!g.terminals().is_empty());
+}
+
+#[test]
+fn truncation_cause_recorded_and_counted() {
+    let spec = grouped_system(2, 1, 3, false);
+    let g = StateGraph::explore(
+        &spec,
+        &ExploreOptions::with_max_configs(5).with_metrics(true),
+    )
+    .unwrap();
+    assert!(g.is_truncated());
+    let m = g.metrics();
+    assert_eq!(m.truncation, TruncationCause::MaxConfigs { cap: 5 });
+    assert!(m.truncation.is_truncated());
+    assert!(m.capped > 0, "dropped successors counted");
+    assert_eq!(m.configs, 5);
+    assert_eq!(m.generated, m.dedup_hits + m.added + m.capped);
+    let json = m.to_json();
+    assert!(
+        json.contains("\"cause\": \"max_configs\", \"cap\": 5"),
+        "{json}"
+    );
+}
+
+#[test]
+fn progress_callback_fires_per_interval() {
+    let spec = grouped_system(2, 1, 3, false);
+    let hits = Arc::new(AtomicUsize::new(0));
+    let hits2 = hits.clone();
+    let rec = Recorder::new().with_progress(1, move |r| {
+        assert!(r.explored > 0);
+        assert!(r.expansions > 0);
+        hits2.fetch_add(1, Ordering::SeqCst);
+    });
+    let g = StateGraph::explore_with(&spec, &ExploreOptions::default(), &rec).unwrap();
+    let fired = hits.load(Ordering::SeqCst);
+    assert!(fired > 0, "every-expansion heartbeat fired");
+    assert!(
+        fired <= g.metrics().levels.len(),
+        "heartbeat checks at level boundaries: {fired} fires > {} levels",
+        g.metrics().levels.len()
+    );
+}
+
+#[test]
+fn trace_jsonl_one_record_per_level() {
+    let path = std::env::temp_dir().join(format!("e12_trace_{}.jsonl", std::process::id()));
+    let spec = grouped_system(2, 1, 3, false);
+    let rec = Recorder::new()
+        .with_trace(&path)
+        .expect("create trace file");
+    let g = StateGraph::explore_with(&spec, &ExploreOptions::default(), &rec).unwrap();
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(
+        lines.len(),
+        g.metrics().levels.len(),
+        "one record per level"
+    );
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "span {i}: {line}"
+        );
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "span {i} braces: {line}"
+        );
+        assert!(
+            line.contains(&format!("\"level\": {i},")),
+            "span {i} level monotone: {line}"
+        );
+    }
+}
+
+#[test]
+fn dot_export_well_formed_on_e1_p3() {
+    let spec = grouped_system(2, 1, 3, false);
+    let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    let dot = g.to_dot();
+    assert!(dot.starts_with("digraph stategraph {\n"));
+    assert!(dot.ends_with("}\n"));
+    assert_eq!(
+        dot.matches('{').count(),
+        dot.matches('}').count(),
+        "balanced braces"
+    );
+    let edge_lines = dot.lines().filter(|l| l.contains(" -> ")).count();
+    assert_eq!(edge_lines, g.stats().edges, "one edge line per CSR edge");
+    let node_lines = dot
+        .lines()
+        .filter(|l| {
+            // `n<id> [...]` declarations only — not `node [shape=...]`
+            // defaults, not edges.
+            let t = l.trim_start();
+            t.starts_with('n')
+                && t[1..].starts_with(|c: char| c.is_ascii_digit())
+                && !t.contains(" -> ")
+        })
+        .count();
+    assert_eq!(node_lines, g.len(), "one node line per configuration");
+    assert_eq!(
+        dot.matches("doublecircle").count(),
+        g.terminals().len(),
+        "terminals double-circled"
+    );
+
+    // A witness schedule to any terminal highlights its path in red.
+    let schedule: Vec<Pid> = g
+        .witness_schedule(|c| c.enabled_set().bits() == 0)
+        .expect("some terminal is reachable");
+    let hi = g.to_dot_with_schedule(&schedule);
+    assert_eq!(
+        hi.matches("color=red").count(),
+        schedule.len(),
+        "one highlighted edge per schedule step"
+    );
+    assert_eq!(
+        hi.lines().filter(|l| l.contains(" -> ")).count(),
+        g.stats().edges,
+        "highlighting adds no edges"
+    );
+}
+
+#[test]
+fn valency_pass_feeds_reverse_csr_phase() {
+    let spec = grouped_system(2, 1, 3, false);
+    let g = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    let rec = Recorder::new().with_timing();
+    let v = Valency::compute_with(&g, &rec);
+    assert!(v.is_bivalent(0) || v.is_univalent(0));
+    let m = rec.snapshot();
+    assert!(
+        m.reverse_csr_ns > 0,
+        "reverse-CSR build time recorded: {}",
+        m.reverse_csr_ns
+    );
+}
