@@ -1,17 +1,21 @@
 //! Experiment E9: model-checker exploration throughput.
 //!
 //! Times `StateGraph::explore` on the E1 (grouped family) and E4
-//! (partitioned agreement) fixtures across thread counts and with symmetry
-//! reduction and partial-order reduction on/off, and writes a
-//! machine-readable `BENCH_modelcheck.json` at the repo root with
-//! configs/sec, peak configuration counts, per-config memory, the
-//! reduction ratios and a per-phase wall-time breakdown (`phases`, from
-//! one instrumented post-warm-up exploration per row — see
-//! [`subconsensus_sim::ExploreMetrics`]), so perf regressions are
-//! diffable across commits *and* attributable to a phase. A
-//! `meta` block records the hardware thread count, git revision (plus a
-//! `dirty` flag when the worktree differs from it) and harness iteration
-//! budgets that produced the numbers.
+//! (partitioned agreement) fixtures across thread counts *and shard
+//! counts* (the Stern–Dill fingerprint-partitioned explorer,
+//! `ExploreOptions::shards`) with symmetry reduction and partial-order
+//! reduction on/off, and writes a machine-readable
+//! `BENCH_modelcheck.json` at the repo root with configs/sec, peak
+//! configuration counts, per-config memory, the reduction ratios and a
+//! per-phase wall-time breakdown (`phases`, from an instrumented
+//! post-warm-up exploration run per row with that row's exact thread and
+//! shard options — see [`subconsensus_sim::ExploreMetrics`]), so perf
+//! regressions are diffable across commits *and* attributable to a
+//! phase. The sharded rows are where `dedup_ns`/`merge_ns` shrink: the
+//! per-shard merge runs in parallel and only the tag-ordered feedback
+//! replay stays sequential. A `meta` block records the hardware thread
+//! count, git revision (plus a `dirty` flag when the worktree differs
+//! from it) and harness iteration budgets that produced the numbers.
 //!
 //! Every (fixture, symmetry, por) combination also prints one `GUARD` line
 //! with its deterministic facts (`peak_configs`, `edges`, `truncated`,
@@ -36,6 +40,9 @@ use subconsensus_modelcheck::{ExploreOptions, StateGraph};
 use subconsensus_sim::{InternerStats, SystemSpec};
 
 const THREADS: [usize; 3] = [1, 2, 4];
+/// Shard counts benched at `threads = 1` (the sharded explorer runs one
+/// worker per shard; `threads` only shapes the unsharded rows).
+const SHARDS: [usize; 2] = [2, 4];
 const SAMPLE_SIZE: usize = 10;
 
 /// One benched fixture: a system plus the `max_configs` bound its rows run
@@ -79,12 +86,15 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
     // would inflate `total_ns` well past the timing loop's `median_ns`.
     // Min-of-5 keeps the captured breakdown close to the timed kernels
     // (the instrumented graph is node-for-node identical to the timed
-    // ones — telemetry is write-only).
+    // ones — telemetry is write-only). Smoke runs publish no numbers, so
+    // one instrumented pass suffices there — this runs once per row now,
+    // and the guard script runs the whole bench twice.
     StateGraph::explore(spec, opts).expect("explore");
-    let g = (0..5)
+    let reps = if smoke_mode() { 1 } else { 5 };
+    let g = (0..reps)
         .map(|_| StateGraph::explore(spec, &opts.with_metrics(true)).expect("explore"))
         .min_by_key(|g| g.metrics().total_ns)
-        .expect("five instrumented runs");
+        .expect("at least one instrumented run");
     let s = g.stats();
     GraphFacts {
         peak_configs: s.configs,
@@ -193,9 +203,10 @@ fn main() {
 
     let mut c = Criterion::new();
     // Row metadata in the same order the harness records measurements:
-    // (fixture, threads, symmetry, por, facts, full_configs if untruncated).
+    // (fixture, threads, shards, symmetry, por, facts, full_configs if
+    // untruncated).
     #[allow(clippy::type_complexity)]
-    let mut rows: Vec<(&str, usize, bool, bool, GraphFacts, Option<usize>)> = Vec::new();
+    let mut rows: Vec<(&str, usize, usize, bool, bool, GraphFacts, Option<usize>)> = Vec::new();
     for fixture in &fixtures {
         let base = ExploreOptions::with_max_configs(fixture.max_configs);
         let full = facts(&fixture.spec, &base);
@@ -204,30 +215,77 @@ fn main() {
         g.sample_size(SAMPLE_SIZE);
         for symmetry in [false, true] {
             for por in [false, true] {
-                let opts_facts = base.with_symmetry(symmetry).with_por(por);
-                let row_facts = facts(&fixture.spec, &opts_facts);
-                println!(
-                    "GUARD {} {} {} {} {} {} {}",
-                    fixture.name,
-                    symmetry,
-                    por,
-                    row_facts.peak_configs,
-                    row_facts.edges,
-                    row_facts.truncated,
-                    row_facts.bytes_per_config()
-                );
-                if interner_stats_enabled() {
-                    if let Some(stats) = &row_facts.interner {
-                        eprintln!("INTERNER {} sym={symmetry} por={por} {stats}", fixture.name);
+                let opts_row = base.with_symmetry(symmetry).with_por(por);
+                // Thread scaling at one shard, then shard scaling at one
+                // thread; (1, 1) leads so its facts anchor the GUARD line.
+                let grid = THREADS
+                    .iter()
+                    .map(|&t| (t, 1usize))
+                    .chain(SHARDS.iter().map(|&s| (1usize, s)));
+                let mut guard_facts: Option<GraphFacts> = None;
+                for (threads, shards) in grid {
+                    let opts = opts_row.with_threads(threads).with_shards(shards);
+                    // Per-row instrumented pass: phase breakdowns reflect
+                    // this row's exact thread/shard shape, not a shared
+                    // run's (threads=1/2/4 used to publish byte-identical
+                    // `phases` objects).
+                    let row_facts = facts(&fixture.spec, &opts);
+                    match &guard_facts {
+                        None => {
+                            println!(
+                                "GUARD {} {} {} {} {} {} {}",
+                                fixture.name,
+                                symmetry,
+                                por,
+                                row_facts.peak_configs,
+                                row_facts.edges,
+                                row_facts.truncated,
+                                row_facts.bytes_per_config()
+                            );
+                            if interner_stats_enabled() {
+                                if let Some(stats) = &row_facts.interner {
+                                    eprintln!(
+                                        "INTERNER {} sym={symmetry} por={por} {stats}",
+                                        fixture.name
+                                    );
+                                }
+                            }
+                            guard_facts = Some(row_facts.clone());
+                        }
+                        Some(first) => {
+                            // Thread- and shard-count independence checked
+                            // right here: every row of one (fixture,
+                            // symmetry, por) cell must produce the same
+                            // graph with the same footprint.
+                            assert_eq!(
+                                (
+                                    first.peak_configs,
+                                    first.edges,
+                                    first.truncated,
+                                    first.approx_bytes
+                                ),
+                                (
+                                    row_facts.peak_configs,
+                                    row_facts.edges,
+                                    row_facts.truncated,
+                                    row_facts.approx_bytes
+                                ),
+                                "{} sym={symmetry} por={por} t{threads} x{shards}: \
+                                 graph diverged from the t1 x1 row",
+                                fixture.name
+                            );
+                        }
                     }
-                }
-                for threads in THREADS {
-                    let opts = opts_facts.with_threads(threads);
                     let label = format!(
-                        "{}{}{}",
+                        "{}{}{}{}",
                         fixture.name,
                         if symmetry { "/sym" } else { "" },
-                        if por { "/por" } else { "" }
+                        if por { "/por" } else { "" },
+                        if shards > 1 {
+                            format!("/shards{shards}")
+                        } else {
+                            String::new()
+                        }
                     );
                     g.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
                         b.iter(|| StateGraph::explore(&fixture.spec, opts).expect("explore"))
@@ -235,9 +293,10 @@ fn main() {
                     rows.push((
                         fixture.name,
                         threads,
+                        shards,
                         symmetry,
                         por,
-                        row_facts.clone(),
+                        row_facts,
                         full_configs,
                     ));
                 }
@@ -248,7 +307,7 @@ fn main() {
 
     // Hand-formatted JSON (no serde in the offline build).
     let mut kernels = String::new();
-    for (m, (name, threads, symmetry, por, facts_row, full_configs)) in
+    for (m, (name, threads, shards, symmetry, por, facts_row, full_configs)) in
         c.measurements().iter().zip(&rows)
     {
         let secs = m.median_ns / 1e9;
@@ -287,6 +346,7 @@ fn main() {
         let phases = &facts_row.phases;
         kernels.push_str(&format!(
             "    {{\"fixture\": \"{name}\", \"threads\": {threads}, \
+             \"shards\": {shards}, \
              \"symmetry\": {symmetry}, \"por\": {por}, \"peak_configs\": {}, \
              \"edges\": {}, \"truncated\": {}, \"approx_bytes_per_config\": \
              {bytes_per_config}, \"interner\": {interner}, \

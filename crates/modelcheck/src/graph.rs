@@ -54,8 +54,8 @@ use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 use subconsensus_sim::{
-    Config, ExploreMetrics, InternerStats, PendingConfig, Pid, Recorder, SimError, StateInterner,
-    StepFootprint, SystemSpec,
+    shard_of_fingerprint, Config, ExploreMetrics, InternerStats, PendingConfig, Pid, Recorder,
+    SimError, StateInterner, StepFootprint, SystemSpec, WireConfig,
 };
 
 /// Options bounding an exploration.
@@ -96,6 +96,17 @@ pub struct ExploreOptions {
     /// flag (the recorder is write-only from the explorer's view). The
     /// `MC_PROGRESS` / `MC_TRACE` env vars also force timing on.
     pub metrics: bool,
+    /// Shard the exploration Stern–Dill style: the visited set, interner
+    /// arena and frontier are partitioned into this many shards by the
+    /// *content* fingerprint of each (canonicalized) configuration, so
+    /// dedup and merge run per-shard instead of through one sequential
+    /// merge. `0` (the default) reads the `MC_SHARDS` env var, falling
+    /// back to `1`; `1` is the classic single-store explorer. The
+    /// produced graph is node-for-node identical for every value (see
+    /// the sharded-exploration section of the module source). With
+    /// `shards > 1` the per-level parallelism is one worker per shard;
+    /// `threads` only shapes the unsharded explorer.
+    pub shards: usize,
 }
 
 impl Default for ExploreOptions {
@@ -107,6 +118,7 @@ impl Default for ExploreOptions {
             por: false,
             interned: true,
             metrics: false,
+            shards: 0,
         }
     }
 }
@@ -150,7 +162,35 @@ impl ExploreOptions {
         self.metrics = metrics;
         self
     }
+
+    /// Returns these options with the given shard count (`0` = read
+    /// `MC_SHARDS`, `1` = unsharded).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count this exploration will actually run with: an
+    /// explicit [`shards`](Self::shards) wins, `0` defers to the
+    /// `MC_SHARDS` env var (default `1`), and the result is clamped to
+    /// `1..=MAX_SHARDS`.
+    fn effective_shards(&self) -> usize {
+        let n = if self.shards == 0 {
+            std::env::var("MC_SHARDS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(1)
+        } else {
+            self.shards
+        };
+        n.clamp(1, MAX_SHARDS)
+    }
 }
+
+/// Upper bound on the shard count: beyond this, per-shard tables are so
+/// sparse that routing overhead dominates, and the per-shard telemetry
+/// vectors stop being readable.
+const MAX_SHARDS: usize = 64;
 
 /// Content hash of a configuration, used as the dedup index key.
 fn fingerprint(config: &Config) -> u64 {
@@ -593,15 +633,32 @@ fn choose_ample(spec: &SystemSpec, enabled: u64, fps: &[Option<StepFootprint>]) 
     best
 }
 
+/// The level-shaped facts a heartbeat reports, frozen at level start so
+/// expansion workers can tick the progress sink without touching merge
+/// state. Heartbeats fire off the *expansion counter* (every `N`
+/// expansions), so ticking inside the expansion loop keeps them coming
+/// on a single enormous level — checking only at level boundaries left
+/// minutes of silence (the `Recorder`'s CAS claim makes concurrent
+/// worker ticks fire once per interval).
+#[derive(Clone, Copy)]
+struct LevelCtx {
+    level: u32,
+    nodes: usize,
+    frontier: usize,
+    remaining: usize,
+}
+
 /// Expands one work item against a read-only snapshot of the graph.
 fn expand_item<S: ConfigStore>(
     store: &S,
     first_sleep: &[u64],
     item: WorkItem,
     opts: &ExploreOptions,
+    ctx: LevelCtx,
 ) -> Result<NodeExpansion<S::Carrier>, SimError> {
     let rec = store.recorder();
     rec.count_expansions(1);
+    rec.heartbeat(ctx.level, ctx.nodes, ctx.frontier, ctx.remaining);
     let node = item.node;
     let enabled = store.enabled_bits(node);
     if enabled == 0 {
@@ -712,10 +769,11 @@ fn expand_chunk<S: ConfigStore>(
     first_sleep: &[u64],
     items: &[WorkItem],
     opts: &ExploreOptions,
+    ctx: LevelCtx,
 ) -> Result<Vec<NodeExpansion<S::Carrier>>, SimError> {
     let mut out = Vec::with_capacity(items.len());
     for &item in items {
-        out.push(expand_item(store, first_sleep, item, opts)?);
+        out.push(expand_item(store, first_sleep, item, opts, ctx)?);
     }
     Ok(out)
 }
@@ -725,6 +783,16 @@ fn expand_chunk<S: ConfigStore>(
 /// and the merge produces the same graph either way.
 const PARALLEL_THRESHOLD: usize = 32;
 
+/// Hardware threads the host can actually run concurrently (cached; 1 on
+/// query failure). Sharded exploration processes shards in-line on a
+/// single-core host: the graph is identical either way, spawning only
+/// costs, and a shard worker's wall-clock phase timers would otherwise
+/// absorb the time it spent descheduled behind its sibling workers.
+fn host_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Expands one BFS level, splitting it across `opts.threads` workers.
 /// Results are returned in the same order as `level` regardless of the
 /// split.
@@ -733,17 +801,18 @@ fn expand_level<S: ConfigStore>(
     first_sleep: &[u64],
     level: &[WorkItem],
     opts: &ExploreOptions,
+    ctx: LevelCtx,
 ) -> Result<Vec<NodeExpansion<S::Carrier>>, SimError> {
     let threads = opts.threads.clamp(1, level.len().max(1));
     if threads <= 1 || level.len() < PARALLEL_THRESHOLD {
-        return expand_chunk(store, first_sleep, level, opts);
+        return expand_chunk(store, first_sleep, level, opts, ctx);
     }
     let chunk_size = level.len().div_ceil(threads);
     type ChunkResult<S> = Result<Vec<NodeExpansion<<S as ConfigStore>::Carrier>>, SimError>;
     let results: Vec<ChunkResult<S>> = std::thread::scope(|s| {
         let handles: Vec<_> = level
             .chunks(chunk_size)
-            .map(|chunk| s.spawn(move || expand_chunk(store, first_sleep, chunk, opts)))
+            .map(|chunk| s.spawn(move || expand_chunk(store, first_sleep, chunk, opts, ctx)))
             .collect();
         handles
             .into_iter()
@@ -922,7 +991,13 @@ fn explore_core<S: ConfigStore>(
         // syscall-free.
         let t_level = rec.is_timing().then(Instant::now);
         let nodes_before = depth.len();
-        let expansions = expand_level(&*store, &first_sleep, &level, opts)?;
+        let ctx = LevelCtx {
+            level: cur_depth,
+            nodes: nodes_before,
+            frontier: level.len(),
+            remaining: opts.max_configs.saturating_sub(nodes_before),
+        };
+        let expansions = expand_level(&*store, &first_sleep, &level, opts, ctx)?;
         let merge_t = rec.time_merge();
         let mut next_level: Vec<WorkItem> = Vec::new();
         // POR: edges into already-known nodes; processed only after the
@@ -1031,6 +1106,15 @@ fn explore_core<S: ConfigStore>(
                     });
                 }
             }
+            // Mid-merge heartbeat: the whole level's expansions are
+            // already in the counter, so a long merge after a huge
+            // expansion still reports within one interval of it.
+            rec.heartbeat(
+                cur_depth,
+                depth.len(),
+                level.len(),
+                opts.max_configs.saturating_sub(depth.len()),
+            );
         }
         // Sleep-set revisit rule: reaching a known node along a new
         // path whose sleep set no longer covers a previously-suppressed
@@ -1074,11 +1158,20 @@ fn explore_core<S: ConfigStore>(
     }
     terminals.sort_unstable();
     terminals.dedup();
+    let (row_ptr, edge_arr) = freeze_csr(depth.len(), edge_buf, rec);
+    Ok(GraphCore {
+        row_ptr,
+        edge_arr,
+        terminals,
+        truncated,
+    })
+}
 
-    // Freeze the edge buffer into CSR: a stable counting sort by source
-    // node (edges of one node keep their merge order).
+/// Freezes a flat `(from, edge)` buffer into CSR adjacency: a stable
+/// counting sort by source node (edges of one node keep their merge
+/// order).
+fn freeze_csr(n: usize, edge_buf: Vec<(u32, Edge)>, rec: &Recorder) -> (Vec<u32>, Vec<Edge>) {
     let _t = rec.time_freeze();
-    let n = depth.len();
     assert!(
         edge_buf.len() < u32::MAX as usize,
         "state graph exceeds u32 edge ids"
@@ -1103,13 +1196,973 @@ fn explore_core<S: ConfigStore>(
         edge_arr[*c as usize] = e;
         *c += 1;
     }
+    (row_ptr, edge_arr)
+}
 
-    Ok(GraphCore {
-        row_ptr,
-        edge_arr,
-        terminals,
-        truncated,
-    })
+// ---------------------------------------------------------------------------
+// Sharded exploration (Stern–Dill fingerprint partitioning)
+// ---------------------------------------------------------------------------
+//
+// With [`ExploreOptions::shards`] > 1 the visited set, interner arena and
+// frontier are partitioned by the *content* fingerprint of each
+// (canonicalized) configuration — a fingerprint computed from the states
+// themselves, never from interner ids, so every occurrence of one
+// configuration routes to the same owning shard no matter which shard
+// produced it. Each BFS level then runs in five phases:
+//
+// 1. **Expand** (parallel, one worker per shard): each shard steps its own
+//    frontier items, canonicalizes the successors, and routes each into
+//    the owning shard's inbox tagged with a globally ordered production
+//    tag `(frontier item sequence, step index)`.
+// 2. **Merge** (parallel): each shard sorts its inbox by tag and
+//    find-or-inserts every carrier into its own dedup table — because all
+//    occurrences of a configuration share one owner, the shard alone
+//    decides which occurrence is globally first.
+// 3. **Assign** (sequential): the per-shard new-node tag lists are merged
+//    by tag; the first `max_configs − total` get dense global node ids in
+//    tag order — exactly the order the single-store merge would have
+//    inserted them — and the over-budget suffix of each shard's arena is
+//    popped back out.
+// 4. **Feedback** (sequential): the per-tag responses are replayed in tag
+//    order against the global bookkeeping — edges, sleep sets, cycle
+//    proviso escalations, revisit wake-ups — reproducing the single-store
+//    merge loop decision-for-decision.
+// 5. The next frontier is sequenced in the same order the single-store
+//    explorer would have enqueued it, and each item stays with its owning
+//    shard.
+//
+// Because symmetry canonicalization runs *before* fingerprinting and the
+// canonical form is content-addressed, an orbit never splits across
+// shards; POR decisions all happen in the sequential feedback phase
+// against global state. The produced graph — node numbering, edges,
+// terminals, truncation — is therefore identical for every shard count,
+// which `scripts/bench_guard.sh` gates by diffing `MC_SHARDS=1` vs
+// `MC_SHARDS=4` GUARD lines on every CI run.
+
+/// Globally unique, totally ordered production tag of one routed
+/// successor: `(frontier item sequence << 32) | step index`. Ordering by
+/// tag reproduces the exact insertion order of the single-store merge.
+type Tag = u64;
+
+fn tag(seq: u32, step: u32) -> Tag {
+    (u64::from(seq) << 32) | u64::from(step)
+}
+
+/// One routed successor: production tag, content fingerprint, carrier.
+type Routed<W> = (Tag, u64, W);
+
+/// Per-owner outboxes of one shard's expansion pass.
+type ShardOutboxes<W> = Vec<Vec<Routed<W>>>;
+
+/// What one shard's expansion pass returns: `(seq, expansion)` per item
+/// plus the routed successors.
+type ExpandOut<W> = Result<(Vec<(u32, ShardExpansion)>, ShardOutboxes<W>), SimError>;
+
+/// What one shard's merge pass returns: `(tag, local index, inserted?)`
+/// per routed successor, plus the tags that inserted new nodes (in local
+/// index order).
+type MergeOut = (Vec<(Tag, u32, bool)>, Vec<Tag>);
+
+/// One successor leaving a shard: `(wire form, content fingerprint,
+/// canonicalization permutation)`.
+type WireSucc<W> = (W, u64, Option<Vec<usize>>);
+
+/// The storage backend of one shard: a dedup table plus node arena that
+/// owns every configuration whose content fingerprint maps to it.
+///
+/// Mirrors [`ConfigStore`] with two differences: node indices are
+/// *shard-local* (the orchestrator maps them to global ids), and
+/// successors are returned in an interner-independent wire form so they
+/// can cross into another shard's arena.
+trait ShardStore: Send + Sync {
+    /// Carrier a successor travels in between producing and owning shard.
+    type Wire: Send;
+
+    fn spec(&self) -> &SystemSpec;
+
+    /// Enabled-process bitset of local node `local`.
+    fn enabled_bits(&self, local: usize) -> u64;
+
+    /// Footprint of `pid`'s next step at local node `local`.
+    fn footprint(&self, local: usize, pid: Pid) -> Result<StepFootprint, SimError>;
+
+    /// Whether two steps with these footprints commute at local node
+    /// `local`.
+    fn independent(&self, local: usize, a: &StepFootprint, b: &StepFootprint) -> bool;
+
+    /// All successors of stepping `pid` at local node `local`:
+    /// `(wire, content fingerprint, canonicalization permutation)`.
+    /// The fingerprint is computed *after* canonicalization, so a whole
+    /// symmetry orbit maps to one owning shard.
+    fn successors(
+        &self,
+        local: usize,
+        pid: Pid,
+        symmetry: bool,
+        timers: &Recorder,
+    ) -> Result<Vec<WireSucc<Self::Wire>>, SimError>;
+
+    /// Owner-side find-or-insert, *unbounded*: the global configuration
+    /// budget is settled afterwards by the assign phase, which pops the
+    /// over-budget suffix back out with [`pop_last`](Self::pop_last).
+    fn insert(&mut self, wire: Self::Wire, fp: u64, timers: &Recorder) -> (usize, bool);
+
+    /// Undoes the most recent `n` inserts (the over-budget suffix).
+    fn pop_last(&mut self, n: usize);
+}
+
+/// Deep-configuration shard: one [`Config`] per local node, dedup
+/// verified by deep equality. The wire form is the `Config` itself.
+struct DeepShard<'a> {
+    spec: &'a SystemSpec,
+    configs: Vec<Config>,
+    /// Content fingerprint per local node (for index removal on pop).
+    fps: Vec<u64>,
+    index: HashMap<u64, Vec<usize>>,
+}
+
+impl<'a> DeepShard<'a> {
+    fn new(spec: &'a SystemSpec) -> Self {
+        DeepShard {
+            spec,
+            configs: Vec::new(),
+            fps: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Installs the initial configuration as local node 0 (owner only).
+    fn seed(&mut self, init: Config, fp: u64) {
+        debug_assert!(self.configs.is_empty());
+        self.configs.push(init);
+        self.fps.push(fp);
+        self.index.entry(fp).or_default().push(0);
+    }
+}
+
+impl ShardStore for DeepShard<'_> {
+    type Wire = Config;
+
+    fn spec(&self) -> &SystemSpec {
+        self.spec
+    }
+
+    fn enabled_bits(&self, local: usize) -> u64 {
+        self.configs[local].enabled_set().bits()
+    }
+
+    fn footprint(&self, local: usize, pid: Pid) -> Result<StepFootprint, SimError> {
+        self.spec.step_footprint(&self.configs[local], pid)
+    }
+
+    fn independent(&self, local: usize, a: &StepFootprint, b: &StepFootprint) -> bool {
+        self.spec.footprints_independent(&self.configs[local], a, b)
+    }
+
+    fn successors(
+        &self,
+        local: usize,
+        pid: Pid,
+        symmetry: bool,
+        timers: &Recorder,
+    ) -> Result<Vec<WireSucc<Self::Wire>>, SimError> {
+        let mut out = Vec::new();
+        let succs = {
+            let _t = timers.time_expand();
+            self.spec.successors(&self.configs[local], pid)?
+        };
+        for (next, _info) in succs {
+            let (next, perm) = if symmetry {
+                let _t = timers.time_canonicalize();
+                self.spec.canonicalize_config_perm(next)
+            } else {
+                (next, None)
+            };
+            let fp = {
+                let _t = timers.time_dedup();
+                fingerprint(&next)
+            };
+            out.push((next, fp, perm));
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self, wire: Config, fp: u64, timers: &Recorder) -> (usize, bool) {
+        let _t = timers.time_intern();
+        let known = self
+            .index
+            .get(&fp)
+            .and_then(|ids| ids.iter().copied().find(|&j| self.configs[j] == wire));
+        if let Some(j) = known {
+            return (j, false);
+        }
+        let j = self.configs.len();
+        self.configs.push(wire);
+        self.fps.push(fp);
+        self.index.entry(fp).or_default().push(j);
+        (j, true)
+    }
+
+    fn pop_last(&mut self, n: usize) {
+        for _ in 0..n {
+            let l = self.configs.len() - 1;
+            let fp = self.fps.pop().expect("pop beyond arena");
+            let bucket = self.index.get_mut(&fp).expect("indexed fingerprint");
+            // Locals enter a bucket in increasing order, so the popped
+            // node is its bucket's last entry.
+            let popped = bucket.pop();
+            debug_assert_eq!(popped, Some(l));
+            if bucket.is_empty() {
+                self.index.remove(&fp);
+            }
+            self.configs.pop();
+        }
+    }
+}
+
+/// Hash-consed shard: its own [`StateInterner`] arena plus flat id-word
+/// rows, deduplicated by *content* fingerprint (verified by a word
+/// compare after adoption — sound because within one interner id
+/// equality is state equality). Successors cross shards as
+/// [`WireConfig`]s.
+struct CompactShard<'a> {
+    spec: &'a SystemSpec,
+    interner: StateInterner,
+    nobjects: usize,
+    stride: usize,
+    words: Vec<u32>,
+    len: usize,
+    /// Content fingerprint per local node (dedup key + pop removal).
+    fps: Vec<u64>,
+    index: HashMap<u64, Vec<usize>>,
+}
+
+impl<'a> CompactShard<'a> {
+    fn new(spec: &'a SystemSpec, nobjects: usize, stride: usize) -> Self {
+        CompactShard {
+            spec,
+            interner: StateInterner::new(),
+            nobjects,
+            stride,
+            words: Vec::new(),
+            len: 0,
+            fps: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Installs the initial configuration as local node 0 (owner only).
+    fn seed(&mut self, init: &Config, fp: u64) {
+        debug_assert_eq!(self.len, 0);
+        let compact = self.interner.intern_config(init);
+        self.words.extend_from_slice(compact.words());
+        self.fps.push(fp);
+        self.index.entry(fp).or_default().push(0);
+        self.len = 1;
+    }
+
+    fn row(&self, i: usize) -> &[u32] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+}
+
+impl ShardStore for CompactShard<'_> {
+    type Wire = WireConfig;
+
+    fn spec(&self) -> &SystemSpec {
+        self.spec
+    }
+
+    fn enabled_bits(&self, local: usize) -> u64 {
+        self.interner.enabled_bits(self.nobjects, self.row(local))
+    }
+
+    fn footprint(&self, local: usize, pid: Pid) -> Result<StepFootprint, SimError> {
+        self.spec
+            .compact_footprint(&self.interner, self.row(local), pid)
+    }
+
+    fn independent(&self, local: usize, a: &StepFootprint, b: &StepFootprint) -> bool {
+        match (a, b) {
+            (StepFootprint::Local, _) | (_, StepFootprint::Local) => true,
+            (
+                StepFootprint::Object { obj: oa, op: pa },
+                StepFootprint::Object { obj: ob, op: pb },
+            ) => {
+                oa != ob
+                    || self.spec.ops_commute(
+                        *oa,
+                        self.interner.object(self.row(local)[oa.index()]),
+                        pa,
+                        pb,
+                    )
+            }
+        }
+    }
+
+    fn successors(
+        &self,
+        local: usize,
+        pid: Pid,
+        symmetry: bool,
+        timers: &Recorder,
+    ) -> Result<Vec<WireSucc<Self::Wire>>, SimError> {
+        let row = self.row(local);
+        let mut out = Vec::new();
+        let succs = {
+            let _t = timers.time_expand();
+            self.spec.compact_successors(&self.interner, row, pid)?
+        };
+        for mut pending in succs {
+            let perm = if symmetry {
+                let _t = timers.time_canonicalize();
+                self.spec.compact_canonicalize(&self.interner, &mut pending)
+            } else {
+                None
+            };
+            let fp = {
+                let _t = timers.time_dedup();
+                pending.content_fingerprint(&self.interner)
+            };
+            out.push((pending.export(&self.interner), fp, perm));
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self, wire: WireConfig, fp: u64, timers: &Recorder) -> (usize, bool) {
+        let _t = timers.time_intern();
+        let compact = self.interner.adopt(wire);
+        let words = compact.words();
+        let known = self
+            .index
+            .get(&fp)
+            .and_then(|ids| ids.iter().copied().find(|&j| self.row(j) == words));
+        if let Some(j) = known {
+            return (j, false);
+        }
+        let j = self.len;
+        self.words.extend_from_slice(words);
+        self.fps.push(fp);
+        self.index.entry(fp).or_default().push(j);
+        self.len += 1;
+        (j, true)
+    }
+
+    fn pop_last(&mut self, n: usize) {
+        for _ in 0..n {
+            let l = self.len - 1;
+            let fp = self.fps.pop().expect("pop beyond arena");
+            let bucket = self.index.get_mut(&fp).expect("indexed fingerprint");
+            let popped = bucket.pop();
+            debug_assert_eq!(popped, Some(l));
+            if bucket.is_empty() {
+                self.index.remove(&fp);
+            }
+            self.len = l;
+            self.words.truncate(self.len * self.stride);
+            // Adopted states stay in the interner arena: re-popping them
+            // would invalidate ids already handed out, and an over-budget
+            // configuration's states are usually shared with kept ones.
+        }
+    }
+}
+
+/// One globally-sequenced frontier entry of the sharded explorer: a
+/// [`WorkItem`] keyed by global node id (the owning shard and local index
+/// come from the home directory when the level is partitioned).
+#[derive(Clone, Copy)]
+struct FrontItem {
+    node: u32,
+    fire: u64,
+    sleep: u64,
+    fresh: bool,
+}
+
+/// A frontier entry as handed to its owning shard: `seq` is the item's
+/// position in the globally ordered frontier (the high half of every
+/// production tag it emits).
+#[derive(Clone, Copy)]
+struct ShardItem {
+    seq: u32,
+    global: u32,
+    local: u32,
+    fire: u64,
+    sleep: u64,
+    fresh: bool,
+}
+
+/// The expansion of one shard item, minus the successors themselves
+/// (those were routed to their owners): per-step metadata in tag order.
+struct ShardExpansion {
+    /// `(stepping pid, successor sleep mask)` per routed successor.
+    steps: Vec<(Pid, u64)>,
+    fired: u64,
+    slept: u64,
+    terminal: bool,
+}
+
+/// Read-only per-level context shared by every shard's expansion pass.
+#[derive(Clone, Copy)]
+struct ExpandCtx<'a> {
+    first_sleep: &'a [u64],
+    opts: &'a ExploreOptions,
+    nshards: usize,
+    /// Shared counters + heartbeat sink (the exploration's recorder; the
+    /// per-shard child recorders only collect phase timers).
+    main: &'a Recorder,
+    lvl: LevelCtx,
+}
+
+/// Expands one shard's slice of the frontier: the sharded twin of
+/// [`expand_item`], with successors routed into per-owner outboxes
+/// instead of looked up against a shared store.
+fn expand_shard<S: ShardStore>(
+    store: &S,
+    items: &[ShardItem],
+    timers: &Recorder,
+    e: ExpandCtx<'_>,
+) -> ExpandOut<S::Wire> {
+    let opts = e.opts;
+    let mut exps = Vec::with_capacity(items.len());
+    let mut outboxes: ShardOutboxes<S::Wire> = (0..e.nshards).map(|_| Vec::new()).collect();
+    for item in items {
+        e.main.count_expansions(1);
+        e.main
+            .heartbeat(e.lvl.level, e.lvl.nodes, e.lvl.frontier, e.lvl.remaining);
+        let local = item.local as usize;
+        let enabled = store.enabled_bits(local);
+        if enabled == 0 {
+            exps.push((
+                item.seq,
+                ShardExpansion {
+                    steps: Vec::new(),
+                    fired: 0,
+                    slept: 0,
+                    terminal: true,
+                },
+            ));
+            continue;
+        }
+        let mut fps: Vec<Option<StepFootprint>> = Vec::new();
+        if opts.por {
+            let _t = timers.time_por();
+            fps = vec![None; store.spec().nprocs()];
+            let mut it = enabled;
+            while it != 0 {
+                let i = it.trailing_zeros() as usize;
+                it &= it - 1;
+                fps[i] = Some(store.footprint(local, Pid::new(i))?);
+            }
+        }
+        let (fire, sleep, slept) = if !opts.por {
+            (enabled, 0, 0)
+        } else if item.fresh {
+            let _t = timers.time_por();
+            let sleep = e.first_sleep[item.global as usize] & enabled;
+            let ample = choose_ample(store.spec(), enabled, &fps);
+            let mut fire = ample & !sleep;
+            let mut slept = ample & sleep;
+            if fire == 0 {
+                let low = ample & ample.wrapping_neg();
+                fire = low;
+                slept &= !low;
+            }
+            (fire, sleep, slept)
+        } else {
+            (item.fire, item.sleep, 0)
+        };
+        let mut steps = Vec::new();
+        let mut step_idx = 0u32;
+        let mut done = 0u64;
+        let mut it = fire;
+        while it != 0 {
+            let i = it.trailing_zeros() as usize;
+            it &= it - 1;
+            let pid = Pid::new(i);
+            let base = if opts.por {
+                (sleep | done) & enabled & !(1 << i)
+            } else {
+                0
+            };
+            for (wire, cfp, perm) in store.successors(local, pid, opts.symmetry, timers)? {
+                if perm.is_some() {
+                    e.main.count_symmetry_hits(1);
+                }
+                let mut succ_sleep = 0u64;
+                if base != 0 {
+                    let _t = timers.time_por();
+                    let me = fps[i].as_ref().expect("enabled pid has a footprint");
+                    let mut qs = base;
+                    while qs != 0 {
+                        let q = qs.trailing_zeros() as usize;
+                        qs &= qs - 1;
+                        let other = fps[q].as_ref().expect("enabled pid has a footprint");
+                        if store.independent(local, me, other) {
+                            succ_sleep |= 1 << q;
+                        }
+                    }
+                    if let Some(perm) = &perm {
+                        succ_sleep = permute_mask(succ_sleep, perm);
+                    }
+                }
+                let owner = shard_of_fingerprint(cfp, e.nshards);
+                outboxes[owner].push((tag(item.seq, step_idx), cfp, wire));
+                steps.push((pid, succ_sleep));
+                step_idx += 1;
+            }
+            done |= 1 << i;
+        }
+        e.main.count_generated(steps.len() as u64);
+        exps.push((
+            item.seq,
+            ShardExpansion {
+                steps,
+                fired: fire,
+                slept,
+                terminal: false,
+            },
+        ));
+    }
+    Ok((exps, outboxes))
+}
+
+/// Merges one shard's inbox: sort by production tag (the global
+/// single-store insertion order), then find-or-insert each carrier into
+/// the shard's own table. Because every occurrence of a configuration
+/// routes here, the first inserted occurrence is the *globally* first.
+fn merge_shard<S: ShardStore>(
+    store: &mut S,
+    mut inbox: Vec<Routed<S::Wire>>,
+    timers: &Recorder,
+) -> MergeOut {
+    let _m = timers.time_merge();
+    inbox.sort_unstable_by_key(|r| r.0);
+    let mut responses = Vec::with_capacity(inbox.len());
+    let mut new_tags = Vec::new();
+    for (t, cfp, wire) in inbox {
+        let (local, is_new) = store.insert(wire, cfp, timers);
+        responses.push((t, local as u32, is_new));
+        if is_new {
+            new_tags.push(t);
+        }
+    }
+    (responses, new_tags)
+}
+
+/// Runs the sharded level-synchronized BFS (see the section comment
+/// above) and freezes the adjacency. Returns the graph core plus the
+/// home directory mapping every global node id to `(shard, local)`.
+///
+/// `shards` must already hold the initial configuration as local node 0
+/// of `init_owner`.
+fn explore_sharded<S: ShardStore>(
+    shards: &mut [S],
+    init_owner: usize,
+    opts: &ExploreOptions,
+    rec: &Recorder,
+) -> Result<(GraphCore, Vec<(u32, u32)>), SimError> {
+    let nshards = shards.len();
+    let children: Vec<Recorder> = (0..nshards).map(|_| rec.shard_child()).collect();
+    let mut edge_buf: Vec<(u32, Edge)> = Vec::new();
+    let mut terminals = Vec::new();
+    let mut truncated = false;
+
+    // Global per-node bookkeeping, exactly as in `explore_core`.
+    let mut depth: Vec<u32> = vec![0];
+    let mut first_sleep: Vec<u64> = vec![0];
+    let mut explored: Vec<u64> = vec![0];
+    let mut slept: Vec<u64> = vec![0];
+    let mut pending: Vec<u64> = vec![0];
+    let mut expanded: Vec<bool> = vec![false];
+    let mut full: Vec<bool> = vec![false];
+    // Global node id → (owning shard, local index), and the inverse.
+    let mut home: Vec<(u32, u32)> = vec![(init_owner as u32, 0)];
+    let mut l2g: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+    l2g[init_owner].push(0);
+
+    // Per-shard telemetry (graph shape + traffic).
+    let mut shard_edges = vec![0usize; nshards];
+    let mut traffic_sent = vec![0u64; nshards];
+    let mut traffic_recv = vec![0u64; nshards];
+    let mut max_outbox = vec![0usize; nshards];
+
+    let mut frontier = vec![FrontItem {
+        node: 0,
+        fire: 0,
+        sleep: 0,
+        fresh: true,
+    }];
+    let mut cur_depth: u32 = 0;
+    let mut scratch: Vec<Edge> = Vec::new();
+    while !frontier.is_empty() {
+        let t_level = rec.is_timing().then(Instant::now);
+        let nodes_before = depth.len();
+        // Partition the globally ordered frontier into per-shard queues.
+        let mut frontiers: Vec<Vec<ShardItem>> = vec![Vec::new(); nshards];
+        for (seq, it) in frontier.iter().enumerate() {
+            let (s, l) = home[it.node as usize];
+            frontiers[s as usize].push(ShardItem {
+                seq: seq as u32,
+                global: it.node,
+                local: l,
+                fire: it.fire,
+                sleep: it.sleep,
+                fresh: it.fresh,
+            });
+        }
+        let ectx = ExpandCtx {
+            first_sleep: &first_sleep,
+            opts,
+            nshards,
+            main: rec,
+            lvl: LevelCtx {
+                level: cur_depth,
+                nodes: nodes_before,
+                frontier: frontier.len(),
+                remaining: opts.max_configs.saturating_sub(nodes_before),
+            },
+        };
+        let run_parallel =
+            nshards > 1 && frontier.len() >= PARALLEL_THRESHOLD && host_parallelism() > 1;
+
+        // Phase 1: expand, one worker per shard.
+        let mut expand_out: Vec<Option<ExpandOut<S::Wire>>> = (0..nshards).map(|_| None).collect();
+        {
+            let jobs = shards
+                .iter()
+                .zip(&frontiers)
+                .zip(&children)
+                .zip(expand_out.iter_mut());
+            if run_parallel {
+                std::thread::scope(|sc| {
+                    for (((store, items), child), out) in jobs {
+                        sc.spawn(move || *out = Some(expand_shard(store, items, child, ectx)));
+                    }
+                });
+            } else {
+                for (((store, items), child), out) in jobs {
+                    *out = Some(expand_shard(store, items, child, ectx));
+                }
+            }
+        }
+        let mut item_exps: Vec<Option<ShardExpansion>> = frontier.iter().map(|_| None).collect();
+        let mut inboxes: Vec<Vec<Routed<S::Wire>>> = (0..nshards).map(|_| Vec::new()).collect();
+        for (k, slot) in expand_out.into_iter().enumerate() {
+            let (exps, outboxes) = slot.expect("every shard expanded")?;
+            for (seq, e) in exps {
+                item_exps[seq as usize] = Some(e);
+            }
+            for (owner, v) in outboxes.into_iter().enumerate() {
+                traffic_sent[k] += v.len() as u64;
+                inboxes[owner].extend(v);
+            }
+        }
+        for (k, inbox) in inboxes.iter().enumerate() {
+            traffic_recv[k] += inbox.len() as u64;
+            max_outbox[k] = max_outbox[k].max(inbox.len());
+        }
+
+        // Phase 2: merge, one worker per shard, each against its own table.
+        let mut merge_out: Vec<Option<MergeOut>> = (0..nshards).map(|_| None).collect();
+        {
+            let jobs = shards
+                .iter_mut()
+                .zip(inboxes)
+                .zip(&children)
+                .zip(merge_out.iter_mut());
+            if run_parallel {
+                std::thread::scope(|sc| {
+                    for (((store, inbox), child), out) in jobs {
+                        sc.spawn(move || *out = Some(merge_shard(store, inbox, child)));
+                    }
+                });
+            } else {
+                for (((store, inbox), child), out) in jobs {
+                    *out = Some(merge_shard(store, inbox, child));
+                }
+            }
+        }
+        let mut responses: Vec<(Tag, u32, u32, bool)> = Vec::new();
+        let mut new_all: Vec<(Tag, u32)> = Vec::new();
+        let mut new_counts = vec![0usize; nshards];
+        for (k, slot) in merge_out.into_iter().enumerate() {
+            let (resp, new_tags) = slot.expect("every shard merged");
+            new_counts[k] = new_tags.len();
+            responses.extend(resp.into_iter().map(|(t, l, n)| (t, k as u32, l, n)));
+            new_all.extend(new_tags.into_iter().map(|t| (t, k as u32)));
+        }
+        responses.sort_unstable_by_key(|r| r.0);
+        new_all.sort_unstable();
+
+        // Phase 3: assign global ids to the budgeted prefix of the new
+        // nodes (in tag order — the single-store insertion order) and pop
+        // the over-budget suffix out of each shard.
+        let budget = opts.max_configs.saturating_sub(depth.len());
+        let kept = budget.min(new_all.len());
+        // keep_limit[k]: locals of shard k below this index survive.
+        let mut keep_limit: Vec<usize> = l2g.iter().map(Vec::len).collect();
+        for &(_, k) in &new_all[..kept] {
+            keep_limit[k as usize] += 1;
+        }
+        for (k, store) in shards.iter_mut().enumerate() {
+            let dropped = new_counts[k] - (keep_limit[k] - l2g[k].len());
+            if dropped > 0 {
+                store.pop_last(dropped);
+            }
+        }
+
+        // Phase 4: replay the responses in tag order against the global
+        // bookkeeping — identical decision order to `explore_core`'s
+        // sequential merge loop.
+        let merge_t = rec.time_merge();
+        let mut next: Vec<FrontItem> = Vec::new();
+        let mut revisits: Vec<(usize, u64)> = Vec::new();
+        let mut cursor = 0usize;
+        for (seq, item) in frontier.iter().enumerate() {
+            let exp = item_exps[seq].take().expect("every item expanded");
+            let i = item.node as usize;
+            if exp.terminal {
+                terminals.push(i);
+                expanded[i] = true;
+                continue;
+            }
+            let mut escalate = false;
+            scratch.clear();
+            rec.count_sleep_pruned(u64::from(exp.slept.count_ones()));
+            for (si, (pid, succ_sleep)) in exp.steps.into_iter().enumerate() {
+                let (t, sk, sl, is_new) = responses[cursor];
+                cursor += 1;
+                debug_assert_eq!(t, tag(seq as u32, si as u32));
+                let (sk, sl) = (sk as usize, sl as usize);
+                let (j, known) = if sl >= keep_limit[sk] {
+                    // The owner resolved this occurrence to a node that
+                    // fell beyond the configuration budget.
+                    rec.count_capped(1);
+                    rec.set_truncated(opts.max_configs);
+                    truncated = true;
+                    continue;
+                } else if is_new {
+                    rec.count_added(1);
+                    let j = depth.len();
+                    assert!(j < u32::MAX as usize, "state graph exceeds u32 node ids");
+                    depth.push(cur_depth + 1);
+                    first_sleep.push(succ_sleep);
+                    explored.push(0);
+                    slept.push(0);
+                    pending.push(0);
+                    expanded.push(false);
+                    full.push(false);
+                    debug_assert_eq!(l2g[sk].len(), sl);
+                    l2g[sk].push(j as u32);
+                    home.push((sk as u32, sl as u32));
+                    next.push(FrontItem {
+                        node: j as u32,
+                        fire: 0,
+                        sleep: 0,
+                        fresh: true,
+                    });
+                    (j, false)
+                } else {
+                    rec.count_dedup_hits(1);
+                    (l2g[sk][sl] as usize, true)
+                };
+                if opts.por && known {
+                    revisits.push((j, succ_sleep));
+                    if depth[j] <= depth[i] {
+                        escalate = true;
+                    }
+                }
+                scratch.push(Edge { pid, to: j as u32 });
+            }
+            if opts.symmetry {
+                scratch.sort_unstable_by_key(|e| (e.pid.index(), e.to));
+                scratch.dedup();
+            }
+            shard_edges[home[i].0 as usize] += scratch.len();
+            edge_buf.extend(scratch.drain(..).map(|e| (i as u32, e)));
+            expanded[i] = true;
+            explored[i] |= exp.fired;
+            pending[i] &= !exp.fired;
+            slept[i] = (slept[i] | exp.slept) & !explored[i];
+            if opts.por && escalate && !full[i] {
+                full[i] = true;
+                let (hs, hl) = home[i];
+                let enabled = shards[hs as usize].enabled_bits(hl as usize);
+                let rest = enabled & !explored[i] & !pending[i];
+                slept[i] = 0;
+                if rest != 0 {
+                    pending[i] |= rest;
+                    next.push(FrontItem {
+                        node: i as u32,
+                        fire: rest,
+                        sleep: 0,
+                        fresh: false,
+                    });
+                }
+            }
+            rec.heartbeat(
+                cur_depth,
+                depth.len(),
+                frontier.len(),
+                opts.max_configs.saturating_sub(depth.len()),
+            );
+        }
+        debug_assert_eq!(cursor, responses.len());
+        for (j, new_sleep) in revisits {
+            if !expanded[j] {
+                first_sleep[j] &= new_sleep;
+                continue;
+            }
+            let wake = slept[j] & !new_sleep;
+            if wake != 0 {
+                slept[j] &= !wake;
+                pending[j] |= wake;
+                next.push(FrontItem {
+                    node: j as u32,
+                    fire: wake,
+                    sleep: new_sleep,
+                    fresh: false,
+                });
+            }
+        }
+        drop(merge_t);
+        rec.record_level(
+            frontier.len(),
+            depth.len() - nodes_before,
+            depth.len(),
+            edge_buf.len(),
+            t_level.map_or(Duration::ZERO, |t| t.elapsed()),
+        );
+        rec.heartbeat(
+            cur_depth,
+            depth.len(),
+            next.len(),
+            opts.max_configs.saturating_sub(depth.len()),
+        );
+        frontier = next;
+        cur_depth += 1;
+    }
+    terminals.sort_unstable();
+    terminals.dedup();
+
+    // Fold the per-shard phase timers into the main recorder as the
+    // parallel critical path, and publish the per-shard breakdowns.
+    rec.absorb_parallel(&children);
+    let shard_metrics = children
+        .iter()
+        .enumerate()
+        .map(|(k, child)| {
+            let mut sm = child.shard_phases(k);
+            sm.nodes = l2g[k].len();
+            sm.edges = shard_edges[k];
+            sm.sent = traffic_sent[k];
+            sm.received = traffic_recv[k];
+            sm.max_outbox = max_outbox[k];
+            sm
+        })
+        .collect();
+    rec.set_shards(shard_metrics);
+
+    let (row_ptr, edge_arr) = freeze_csr(depth.len(), edge_buf, rec);
+    Ok((
+        GraphCore {
+            row_ptr,
+            edge_arr,
+            terminals,
+            truncated,
+        },
+        home,
+    ))
+}
+
+/// Sharded exploration with hash-consed nodes: seeds one [`CompactShard`]
+/// per shard, runs the sharded BFS, then stitches the per-shard arenas
+/// back into one interner (deduplicating shared states) and rewrites
+/// every node's id row into a single global words array — the frozen
+/// representation is identical in shape (and in
+/// [`approx_bytes`](StateGraph::approx_bytes)) to a single-store
+/// exploration's.
+fn explore_sharded_compact(
+    spec: &SystemSpec,
+    init: &Config,
+    nshards: usize,
+    opts: &ExploreOptions,
+    rec: &Recorder,
+) -> Result<(NodeStore, GraphCore), SimError> {
+    let nobjects = init.nobjects();
+    let stride = nobjects + init.nprocs();
+    // The root's owner is decided by its content fingerprint, which needs
+    // an interner; use a throwaway arena.
+    let fp = {
+        let mut scratch = StateInterner::new();
+        let cc = scratch.intern_config(init);
+        scratch.content_fingerprint_words(nobjects, cc.words())
+    };
+    let owner = shard_of_fingerprint(fp, nshards);
+    let mut shards: Vec<CompactShard> = (0..nshards)
+        .map(|_| CompactShard::new(spec, nobjects, stride))
+        .collect();
+    shards[owner].seed(init, fp);
+    let (core, home) = explore_sharded(&mut shards, owner, opts, rec)?;
+    let _t = rec.time_freeze();
+    let mut interner = StateInterner::new();
+    let remaps: Vec<(Vec<u32>, Vec<u32>)> = shards
+        .iter()
+        .map(|s| interner.absorb_arenas(&s.interner))
+        .collect();
+    let mut words = Vec::with_capacity(home.len() * stride);
+    for &(s, l) in &home {
+        let (omap, pmap) = &remaps[s as usize];
+        let row = shards[s as usize].row(l as usize);
+        words.extend(row.iter().enumerate().map(|(slot, &w)| {
+            if slot < nobjects {
+                omap[w as usize]
+            } else {
+                pmap[w as usize]
+            }
+        }));
+    }
+    Ok((
+        NodeStore::Interned(Box::new(InternedNodes {
+            interner,
+            nobjects,
+            stride,
+            words,
+            len: home.len(),
+        })),
+        core,
+    ))
+}
+
+/// Sharded exploration with deep nodes: the per-shard `Config` arenas are
+/// gathered into one global-id-ordered vector at freeze time (moves, no
+/// deep copies).
+fn explore_sharded_deep(
+    spec: &SystemSpec,
+    init: Config,
+    nshards: usize,
+    opts: &ExploreOptions,
+    rec: &Recorder,
+) -> Result<(NodeStore, GraphCore), SimError> {
+    let fp = fingerprint(&init);
+    let owner = shard_of_fingerprint(fp, nshards);
+    let mut shards: Vec<DeepShard> = (0..nshards).map(|_| DeepShard::new(spec)).collect();
+    shards[owner].seed(init, fp);
+    let (core, home) = explore_sharded(&mut shards, owner, opts, rec)?;
+    let _t = rec.time_freeze();
+    let mut arenas: Vec<Vec<Option<Config>>> = shards
+        .into_iter()
+        .map(|s| s.configs.into_iter().map(Some).collect())
+        .collect();
+    let configs = home
+        .iter()
+        .map(|&(s, l)| {
+            arenas[s as usize][l as usize]
+                .take()
+                .expect("every node has one home")
+        })
+        .collect();
+    Ok((NodeStore::Deep(configs), core))
 }
 
 impl StateGraph {
@@ -1180,7 +2233,14 @@ impl StateGraph {
         } else {
             spec.initial_config()
         };
-        let (store, core) = if opts.interned {
+        let nshards = opts.effective_shards();
+        let (store, core) = if nshards > 1 {
+            if opts.interned {
+                explore_sharded_compact(spec, &init, nshards, &opts, rec)?
+            } else {
+                explore_sharded_deep(spec, init, nshards, &opts, rec)?
+            }
+        } else if opts.interned {
             let mut store = CompactStore::new(spec, rec, &init);
             let core = explore_core(&mut store, &opts, rec)?;
             let CompactStore {
@@ -2038,5 +3098,146 @@ mod tests {
         // when the bucket lists every node.
         let foreign = race_spec(3).initial_config();
         assert_eq!(lookup(&index, &configs, 0, &foreign), None);
+    }
+
+    /// Two indistinguishable processes racing on one register: the one
+    /// in-repo shape whose symmetry groups are nontrivial, so the
+    /// canonicalize-then-fingerprint shard routing actually exercises
+    /// orbit collapsing.
+    fn symmetric_spec(nprocs: usize) -> subconsensus_sim::SystemSpec {
+        let mut b = SystemBuilder::new();
+        let reg = b.add_object(Reg);
+        let p = Arc::new(WriteReadDecide { reg });
+        for _ in 0..nprocs {
+            b.add_process(p.clone(), Value::Int(7));
+        }
+        b.build()
+    }
+
+    fn assert_graphs_identical(g: &StateGraph, base: &StateGraph, label: &str) {
+        assert_eq!(g.len(), base.len(), "{label}");
+        for i in 0..base.len() {
+            assert_eq!(g.config(i), base.config(i), "node {i} {label}");
+            assert_eq!(g.edges(i), base.edges(i), "edges of {i} {label}");
+        }
+        assert_eq!(g.terminals(), base.terminals(), "{label}");
+        assert_eq!(g.is_truncated(), base.is_truncated(), "{label}");
+    }
+
+    #[test]
+    fn sharded_exploration_is_shard_count_independent() {
+        let spec = race_spec(3);
+        for interned in [false, true] {
+            let base = StateGraph::explore(
+                &spec,
+                &ExploreOptions::default()
+                    .with_interned(interned)
+                    .with_shards(1),
+            )
+            .unwrap();
+            assert!(base.len() > 100, "a nontrivial graph");
+            for shards in [2usize, 3, 4] {
+                let opts = ExploreOptions::default()
+                    .with_interned(interned)
+                    .with_shards(shards);
+                let g = StateGraph::explore(&spec, &opts).unwrap();
+                assert_graphs_identical(&g, &base, &format!("{shards} shards interned={interned}"));
+                // The freeze-time arena stitch must reproduce the exact
+                // single-store representation, bytes included — the CI
+                // bench guard diffs this across MC_SHARDS values.
+                assert_eq!(
+                    g.approx_bytes(),
+                    base.approx_bytes(),
+                    "{shards} shards interned={interned}"
+                );
+                assert_eq!(g.interner_stats().is_some(), interned);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_por_symmetry_matrix_matches_unsharded() {
+        for (name, spec) in [
+            ("race3", race_spec(3)),
+            ("blocked2", blocked_spec(2)),
+            ("symmetric3", symmetric_spec(3)),
+        ] {
+            for symmetry in [false, true] {
+                for por in [false, true] {
+                    let base_opts = ExploreOptions::default()
+                        .with_symmetry(symmetry)
+                        .with_por(por);
+                    let base = StateGraph::explore(&spec, &base_opts).unwrap();
+                    for shards in [2usize, 4] {
+                        let g = StateGraph::explore(&spec, &base_opts.with_shards(shards)).unwrap();
+                        assert_graphs_identical(
+                            &g,
+                            &base,
+                            &format!("{name} sym={symmetry} por={por} shards={shards}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_sharded_exploration_matches_unsharded() {
+        let spec = race_spec(3);
+        for interned in [false, true] {
+            let base_opts = ExploreOptions::with_max_configs(40).with_interned(interned);
+            let base = StateGraph::explore(&spec, &base_opts).unwrap();
+            assert!(base.is_truncated());
+            for shards in [2usize, 4] {
+                let g = StateGraph::explore(&spec, &base_opts.with_shards(shards)).unwrap();
+                assert_graphs_identical(
+                    &g,
+                    &base,
+                    &format!("cap=40 interned={interned} shards={shards}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_metrics_report_per_shard_breakdowns() {
+        let spec = race_spec(3);
+        let opts = ExploreOptions::default().with_shards(4).with_metrics(true);
+        let g = StateGraph::explore(&spec, &opts).unwrap();
+        let shards = &g.metrics().shards;
+        assert_eq!(shards.len(), 4);
+        assert_eq!(
+            shards.iter().map(|s| s.nodes).sum::<usize>(),
+            g.len(),
+            "every node has exactly one owning shard"
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.edges).sum::<usize>(),
+            g.stats().edges,
+            "every edge is attributed to its source's owner"
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.sent).sum::<u64>(),
+            shards.iter().map(|s| s.received).sum::<u64>(),
+            "routed successors all arrive somewhere"
+        );
+        assert!(shards.iter().filter(|s| s.nodes > 0).count() > 1);
+        // Unsharded runs publish no per-shard rows.
+        let g1 = StateGraph::explore(&spec, &ExploreOptions::default().with_metrics(true)).unwrap();
+        assert!(g1.metrics().shards.is_empty());
+    }
+
+    #[test]
+    fn shard_option_is_clamped() {
+        assert_eq!(
+            ExploreOptions::default()
+                .with_shards(9999)
+                .effective_shards(),
+            MAX_SHARDS
+        );
+        assert_eq!(
+            ExploreOptions::default().with_shards(3).effective_shards(),
+            3
+        );
     }
 }

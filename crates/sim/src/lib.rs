@@ -99,11 +99,13 @@ pub use error::{ObjectError, ProtocolError, SimError};
 pub use history::{History, HistoryError, HistoryEvent, OpId, OpRecord};
 pub use ids::{ObjId, Pid};
 pub use implementation::{ImplStep, Implementation};
-pub use intern::{CompactConfig, InternerStats, PendingConfig, StateInterner};
+pub use intern::{
+    shard_of_fingerprint, CompactConfig, InternerStats, PendingConfig, StateInterner, WireConfig,
+};
 pub use linearize::{check_linearizable, is_linearizable, LinearizeError, MAX_OPS};
 pub use metrics::{
-    env_flag, ExploreMetrics, LevelMetrics, PhaseGuard, ProgressReport, Recorder, TruncationCause,
-    DEFAULT_PROGRESS_EVERY,
+    env_flag, ExploreMetrics, LevelMetrics, PhaseGuard, ProgressReport, Recorder, ShardMetrics,
+    TruncationCause, DEFAULT_PROGRESS_EVERY,
 };
 pub use object::{audit_determinism, DeterminismViolation, ObjectSpec, Outcome};
 pub use op::Op;

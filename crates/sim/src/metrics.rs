@@ -159,6 +159,65 @@ impl fmt::Display for ProgressReport {
     }
 }
 
+/// Per-shard telemetry of one sharded exploration: phase wall times of the
+/// shard's own expand/merge work plus its share of the partitioned graph
+/// and cross-shard traffic. Collected into
+/// [`ExploreMetrics::shards`]; empty for unsharded runs.
+///
+/// The `*_ns` fields are per-shard wall times. The *aggregate*
+/// [`ExploreMetrics`] phase fields absorb the **maximum** over shards per
+/// phase (the parallel critical path), so the headline `dedup_ns +
+/// merge_ns` share honestly reflects what sharding removes from the
+/// critical path even on machines where the shards run sequentially.
+#[derive(Clone, Debug, Default)]
+pub struct ShardMetrics {
+    /// Shard index (`0..shards`).
+    pub shard: usize,
+    /// Wall time stepping successors of this shard's frontier items.
+    pub expand_ns: u64,
+    /// Wall time canonicalizing this shard's successors.
+    pub canonicalize_ns: u64,
+    /// Wall time on POR footprints / ample sets / sleep filters.
+    pub por_ns: u64,
+    /// Wall time fingerprinting + deduplicating (worker lookups plus this
+    /// shard's merge-side intern/find-or-insert).
+    pub dedup_ns: u64,
+    /// Wall time in this shard's merge outside of insertion.
+    pub merge_ns: u64,
+    /// Nodes owned by this shard in the final graph.
+    pub nodes: usize,
+    /// Edges recorded by this shard (edges live with the *source* node).
+    pub edges: usize,
+    /// Successors this shard generated that were owned by another shard.
+    pub sent: u64,
+    /// Successors merged by this shard that another shard generated.
+    pub received: u64,
+    /// Largest cross-shard outbox (queue depth) this shard ever filled.
+    pub max_outbox: usize,
+}
+
+impl ShardMetrics {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\": {}, \"expand_ns\": {}, \"canonicalize_ns\": {}, \
+             \"por_ns\": {}, \"dedup_ns\": {}, \"merge_ns\": {}, \
+             \"nodes\": {}, \"edges\": {}, \"sent\": {}, \"received\": {}, \
+             \"max_outbox\": {}}}",
+            self.shard,
+            self.expand_ns,
+            self.canonicalize_ns,
+            self.por_ns,
+            self.dedup_ns,
+            self.merge_ns,
+            self.nodes,
+            self.edges,
+            self.sent,
+            self.received,
+            self.max_outbox
+        )
+    }
+}
+
 /// The metrics snapshot attached to every explored
 /// [`StateGraph`](../subconsensus_modelcheck/struct.StateGraph.html).
 ///
@@ -212,6 +271,10 @@ pub struct ExploreMetrics {
     pub expansions: u64,
     /// One record per BFS level.
     pub levels: Vec<LevelMetrics>,
+    /// Per-shard breakdowns of a sharded exploration (empty when the run
+    /// used one shard). Kept out of [`phases_json`](Self::phases_json) —
+    /// that object stays flat for the bench guard's line-oriented diffing.
+    pub shards: Vec<ShardMetrics>,
     /// Approximate resident bytes of the frozen graph.
     pub peak_bytes: usize,
     /// Why the exploration stopped.
@@ -265,12 +328,13 @@ impl ExploreMetrics {
             }
         };
         let levels: Vec<String> = self.levels.iter().map(|l| l.to_json()).collect();
+        let shards: Vec<String> = self.shards.iter().map(|s| s.to_json()).collect();
         format!(
             "{{\"configs\": {}, \"edges\": {}, \"generated\": {}, \
              \"dedup_hits\": {}, \"added\": {}, \"capped\": {}, \
              \"symmetry_hits\": {}, \"sleep_pruned\": {}, \"expansions\": {}, \
              \"peak_bytes\": {}, \"truncation\": {truncation}, \
-             \"timed\": {}, \"phases\": {}, \"levels\": [{}]}}",
+             \"timed\": {}, \"phases\": {}, \"shards\": [{}], \"levels\": [{}]}}",
             self.configs,
             self.edges,
             self.generated,
@@ -283,6 +347,7 @@ impl ExploreMetrics {
             self.peak_bytes,
             self.timed,
             self.phases_json(),
+            shards.join(", "),
             levels.join(", ")
         )
     }
@@ -421,6 +486,7 @@ pub struct Recorder {
     /// `u64::MAX` = complete; anything else is the `max_configs` cap hit.
     truncation_cap: AtomicU64,
     levels: Mutex<Vec<LevelMetrics>>,
+    shard_metrics: Mutex<Vec<ShardMetrics>>,
     progress: Option<ProgressSink>,
     trace: Option<Mutex<BufWriter<File>>>,
     start: Instant,
@@ -458,6 +524,7 @@ impl Recorder {
             expansions: AtomicU64::new(0),
             truncation_cap: AtomicU64::new(u64::MAX),
             levels: Mutex::new(Vec::new()),
+            shard_metrics: Mutex::new(Vec::new()),
             progress: None,
             trace: None,
             start: Instant::now(),
@@ -493,8 +560,8 @@ impl Recorder {
     }
 
     /// Installs a heartbeat callback fired every `every` node expansions
-    /// (checked at level boundaries, so a single huge level reports only
-    /// when it finishes). Implies timing.
+    /// (checked at level boundaries and inside the merge loops, so even a
+    /// single huge level reports every interval). Implies timing.
     pub fn with_progress<F>(mut self, every: u64, callback: F) -> Self
     where
         F: Fn(&ProgressReport) + Send + Sync + 'static,
@@ -654,7 +721,12 @@ impl Recorder {
     }
 
     /// Fires the heartbeat if at least `every` expansions have elapsed
-    /// since the last one. Called at level boundaries.
+    /// since the last one. Called at level boundaries *and* from inside the
+    /// per-item merge loops, so a single long level still reports every
+    /// interval; mid-level calls pass the current level's size as
+    /// `frontier`. The claim on `last` is a compare-exchange: concurrent
+    /// ticks from parallel shards race to one winner per interval instead
+    /// of multiplying reports.
     pub fn heartbeat(&self, level: u32, explored: usize, frontier: usize, bound_remaining: usize) {
         let Some(sink) = &self.progress else { return };
         let expansions = self.expansions.load(Ordering::Relaxed);
@@ -662,7 +734,13 @@ impl Recorder {
         if expansions < last.saturating_add(sink.every) {
             return;
         }
-        sink.last.store(expansions, Ordering::Relaxed);
+        if sink
+            .last
+            .compare_exchange(last, expansions, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another shard claimed this interval
+        }
         let elapsed = self.start.elapsed();
         let secs = elapsed.as_secs_f64();
         let report = ProgressReport {
@@ -681,6 +759,60 @@ impl Recorder {
             bound_remaining,
         };
         (sink.callback)(&report);
+    }
+
+    /// A timers-only child recorder for one shard of a sharded
+    /// exploration: same timing flag as `self`, no heartbeat or trace sink
+    /// (those stay on the parent, which all counters also go to — shards
+    /// only accumulate their own phase times, later folded back in via
+    /// [`absorb_parallel`](Self::absorb_parallel)).
+    pub fn shard_child(&self) -> Recorder {
+        let mut child = Recorder::new();
+        child.timing = self.timing;
+        child
+    }
+
+    /// Folds per-shard phase timers into this recorder as the parallel
+    /// critical path: for each phase slot, adds the **maximum** over
+    /// `children`. Shards run concurrently (or are the units that *would*
+    /// run concurrently on multicore hardware), so the slowest shard per
+    /// phase is what wall time cannot go below — summing would misreport
+    /// the aggregate as if the shards ran back-to-back.
+    pub fn absorb_parallel(&self, children: &[Recorder]) {
+        for i in 0..NSLOTS {
+            let max = children
+                .iter()
+                .map(|c| c.slots[i].load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0);
+            self.slots[i].fetch_add(max, Ordering::Relaxed);
+        }
+    }
+
+    /// This recorder's phase times viewed as one shard's [`ShardMetrics`]
+    /// (the graph-shape and traffic fields are zero; the sharded explorer
+    /// fills them). Uses the same slot combination as
+    /// [`snapshot`](Self::snapshot): dedup = worker lookups + merge
+    /// inserts, merge = merge block minus inserts.
+    pub fn shard_phases(&self, shard: usize) -> ShardMetrics {
+        let slot = |i: usize| self.slots[i].load(Ordering::Relaxed);
+        let merge_insert = slot(SLOT_MERGE_INSERT);
+        ShardMetrics {
+            shard,
+            expand_ns: slot(SLOT_EXPAND),
+            canonicalize_ns: slot(SLOT_CANON),
+            por_ns: slot(SLOT_POR),
+            dedup_ns: slot(SLOT_WORKER_DEDUP) + merge_insert,
+            merge_ns: slot(SLOT_MERGE_BLOCK).saturating_sub(merge_insert),
+            ..ShardMetrics::default()
+        }
+    }
+
+    /// Records the per-shard breakdowns onto the final snapshot (the
+    /// recorder itself is counters + timers only, so the sharded explorer
+    /// hands the collected [`ShardMetrics`] to the snapshot directly).
+    pub fn set_shards(&self, shards: Vec<ShardMetrics>) {
+        *self.shard_metrics.lock().expect("shard metrics lock") = shards;
     }
 
     /// Snapshots the recorder into an [`ExploreMetrics`]. The graph-shape
@@ -715,6 +847,11 @@ impl Recorder {
             sleep_pruned: self.sleep_pruned.load(Ordering::Relaxed),
             expansions: self.expansions.load(Ordering::Relaxed),
             levels: self.levels.lock().expect("levels lock").clone(),
+            shards: self
+                .shard_metrics
+                .lock()
+                .expect("shard metrics lock")
+                .clone(),
             peak_bytes: 0,
             truncation: if cap == u64::MAX {
                 TruncationCause::Complete
@@ -852,6 +989,77 @@ mod tests {
             json.matches('}').count(),
             "unbalanced JSON: {json}"
         );
+    }
+
+    #[test]
+    fn absorb_parallel_takes_max_per_slot() {
+        let main = Recorder::new().with_timing();
+        let a = main.shard_child();
+        let b = main.shard_child();
+        assert!(a.is_timing() && b.is_timing());
+        {
+            let _t = a.time_dedup();
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        {
+            let _t = b.time_dedup();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        main.absorb_parallel(&[a, b]);
+        let m = main.snapshot();
+        // Critical path = the slower shard, not the sum of both.
+        let slower = 3_000_000;
+        let sum = 4_000_000;
+        assert!(m.dedup_ns >= slower / 2, "dedup absorbed: {}", m.dedup_ns);
+        assert!(
+            m.dedup_ns < sum + slower,
+            "dedup must be a max, not a sum: {}",
+            m.dedup_ns
+        );
+    }
+
+    #[test]
+    fn shard_metrics_surface_in_snapshot_json() {
+        let rec = Recorder::new();
+        let child = rec.shard_child();
+        let mut sm = child.shard_phases(1);
+        sm.nodes = 7;
+        sm.sent = 3;
+        rec.set_shards(vec![sm]);
+        let m = rec.snapshot();
+        assert_eq!(m.shards.len(), 1);
+        assert_eq!(m.shards[0].shard, 1);
+        assert_eq!(m.shards[0].nodes, 7);
+        let json = m.to_json();
+        assert!(json.contains("\"shards\": [{\"shard\": 1,"), "{json}");
+        // The flat phases object must not gain nested shard data: the bench
+        // guard strips `"phases": {...}` with a brace-free regex.
+        let phases = m.phases_json();
+        assert!(!phases.contains("shard"), "{phases}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON: {json}"
+        );
+    }
+
+    #[test]
+    fn concurrent_heartbeat_claims_once_per_interval() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        let rec = Recorder::new().with_progress(2, move |_| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        rec.count_expansions(2);
+        // Two "shards" observe the same interval; only one may fire.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| rec.heartbeat(0, 1, 1, 10));
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Randomized tests for the fingerprint→shard routing the sharded
+//! explorer rests on: content fingerprints must be *interner-independent*
+//! (stable under re-interning in any arena order), must collapse whole
+//! symmetry orbits onto one owning shard (canonicalize-then-fingerprint),
+//! and must spread real reachable state sets roughly evenly across shards.
+//!
+//! Written over the in-tree seeded [`SmallRng`] (repo style: seeded loops,
+//! no external property-testing dependency).
+
+use std::sync::Arc;
+
+use subconsensus_sim::{
+    shard_of_fingerprint, Action, Config, ObjId, ObjectError, ObjectSpec, Op, Outcome, Pid,
+    ProcCtx, Protocol, ProtocolError, SmallRng, StateInterner, SystemBuilder, SystemSpec, Value,
+};
+
+/// A sticky agreement cell: the first proposal wins, later proposals read it.
+#[derive(Debug)]
+struct Sticky;
+
+impl ObjectSpec for Sticky {
+    fn type_name(&self) -> &'static str {
+        "sticky"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Nil
+    }
+
+    fn apply(&self, state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        let v = op.arg(0).cloned().unwrap_or(Value::Nil);
+        let winner = if state.is_nil() { v } else { state.clone() };
+        Ok(vec![Outcome::ret(winner.clone(), winner)])
+    }
+}
+
+/// A nondeterministic coin: `flip` lands 0 or 1.
+#[derive(Debug)]
+struct Coin;
+
+impl ObjectSpec for Coin {
+    fn type_name(&self) -> &'static str {
+        "coin"
+    }
+
+    fn initial_state(&self) -> Value {
+        Value::Int(0)
+    }
+
+    fn apply(&self, _state: &Value, op: &Op) -> Result<Vec<Outcome>, ObjectError> {
+        match op.name {
+            "flip" => Ok(vec![
+                Outcome::ret(Value::Int(0), Value::Int(0)),
+                Outcome::ret(Value::Int(1), Value::Int(1)),
+            ]),
+            _ => Err(ObjectError::UnknownOp {
+                object: "coin",
+                op: op.clone(),
+            }),
+        }
+    }
+}
+
+/// Flip the coin, propose the input, decide the sticky answer. Never reads
+/// `ctx.pid`, so equal-input processes are symmetric.
+#[derive(Debug)]
+struct FlipPropose {
+    coin: ObjId,
+    sticky: ObjId,
+}
+
+impl Protocol for FlipPropose {
+    fn start(&self, _ctx: &ProcCtx) -> Value {
+        Value::Int(0)
+    }
+
+    fn step(
+        &self,
+        ctx: &ProcCtx,
+        local: &Value,
+        resp: Option<&Value>,
+    ) -> Result<Action, ProtocolError> {
+        match local.as_int() {
+            Some(0) => Ok(Action::invoke(Value::Int(1), self.coin, Op::new("flip"))),
+            Some(1) => Ok(Action::invoke(
+                Value::Int(2),
+                self.sticky,
+                Op::unary("propose", ctx.input.clone()),
+            )),
+            _ => Ok(Action::Decide(resp.cloned().unwrap_or(Value::Nil))),
+        }
+    }
+
+    fn pid_symmetric(&self) -> bool {
+        true
+    }
+}
+
+/// `procs` flip-proposers; `equal` of them share input 1 (one nontrivial
+/// symmetry group), the rest get distinct inputs.
+fn flip_system(procs: usize, equal: usize) -> SystemSpec {
+    let mut b = SystemBuilder::new();
+    let coin = b.add_object(Coin);
+    let sticky = b.add_object(Sticky);
+    let p: Arc<dyn Protocol> = Arc::new(FlipPropose { coin, sticky });
+    b.add_processes(
+        p,
+        (0..procs).map(|i| Value::Int(if i < equal { 1 } else { i as i64 + 1 })),
+    );
+    b.build()
+}
+
+/// Walks a uniformly random schedule for at most `steps` steps.
+fn random_reachable_config(spec: &SystemSpec, rng: &mut SmallRng, steps: usize) -> Config {
+    let mut config = spec.initial_config();
+    for _ in 0..steps {
+        let enabled: Vec<Pid> = config.enabled_iter().collect();
+        if enabled.is_empty() {
+            break;
+        }
+        let pid = enabled[rng.gen_index(enabled.len())];
+        let mut succs = spec.successors(&config, pid).expect("legal step");
+        let pick = rng.gen_index(succs.len());
+        config = succs.swap_remove(pick).0;
+    }
+    config
+}
+
+/// The content fingerprint of `config` as seen through `interner` — the
+/// value the sharded explorer routes on.
+fn fp_via(interner: &mut StateInterner, config: &Config) -> u64 {
+    let compact = interner.intern_config(config);
+    let words = compact.words().to_vec();
+    interner.content_fingerprint_words(compact.nobjects(), &words)
+}
+
+#[test]
+fn fingerprint_stable_under_reinterning() {
+    // The same configuration interned into arenas populated in different
+    // orders gets different id words but must fingerprint identically —
+    // otherwise a configuration's owning shard would depend on which
+    // shard's arena happened to see its states first.
+    let spec = flip_system(3, 2);
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let configs: Vec<Config> = (0..120)
+        .map(|_| {
+            let steps = rng.gen_index(13);
+            random_reachable_config(&spec, &mut rng, steps)
+        })
+        .collect();
+
+    let mut forward = StateInterner::new();
+    let mut backward = StateInterner::new();
+    let fps_fwd: Vec<u64> = configs.iter().map(|c| fp_via(&mut forward, c)).collect();
+    let fps_bwd: Vec<u64> = {
+        let mut v: Vec<u64> = configs
+            .iter()
+            .rev()
+            .map(|c| fp_via(&mut backward, c))
+            .collect();
+        v.reverse();
+        v
+    };
+    for (i, (a, b)) in fps_fwd.iter().zip(&fps_bwd).enumerate() {
+        assert_eq!(a, b, "config {i}: fingerprint depends on arena order");
+        // Re-interning into the same arena is idempotent too.
+        assert_eq!(*a, fp_via(&mut forward, &configs[i]), "config {i}: rehash");
+        // And the shard assignment is therefore interner-independent for
+        // every shard count the explorer accepts.
+        for shards in 1..=8 {
+            assert_eq!(
+                shard_of_fingerprint(*a, shards),
+                shard_of_fingerprint(*b, shards),
+                "config {i}: owner diverged at {shards} shards"
+            );
+        }
+    }
+    // Distinct configurations (almost) never collide: the routing spreads.
+    let mut uniq = fps_fwd.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let mut distinct: Vec<&Config> = configs.iter().collect();
+    distinct.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    distinct.dedup_by(|a, b| a == b);
+    assert_eq!(uniq.len(), distinct.len(), "fingerprint collision");
+}
+
+#[test]
+fn canonical_orbit_members_share_an_owner() {
+    // Routing fingerprints the *canonical* form: every member of a
+    // symmetry orbit canonicalizes to the same representative, so the
+    // whole orbit maps to one shard — the property that lets symmetry
+    // reduction compose with sharding without splitting orbits.
+    let spec = flip_system(3, 3);
+    assert!(!spec.symmetry_groups().is_trivial());
+    // The full S3 on {0,1,2}: all processes share one symmetry group.
+    let perms: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    let mut interner = StateInterner::new();
+    for seed in 0..60u64 {
+        let mut rng = SmallRng::seed_from_u64(31_000 + seed);
+        let steps = rng.gen_index(11);
+        let config = random_reachable_config(&spec, &mut rng, steps);
+        let canon = spec.canonicalize_config(config.clone());
+        let base_fp = fp_via(&mut interner, &canon);
+        for perm in &perms {
+            let member = config.permuted(perm);
+            let member_canon = spec.canonicalize_config(member);
+            assert_eq!(member_canon, canon, "seed {seed} {perm:?}: representative");
+            let fp = fp_via(&mut interner, &member_canon);
+            assert_eq!(fp, base_fp, "seed {seed} {perm:?}: orbit fingerprint");
+            for shards in 2..=8 {
+                assert_eq!(
+                    shard_of_fingerprint(fp, shards),
+                    shard_of_fingerprint(base_fp, shards),
+                    "seed {seed} {perm:?}: orbit split across {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shards_roughly_balanced_on_reachable_sets() {
+    // BFS the real reachable sets of the two fixture shapes (the sim-crate
+    // stand-ins for the e1/e4 fixtures) and check the canonical
+    // fingerprints spread across shards without hot spots: no shard owns
+    // more than 4× or less than ¼ of its fair share.
+    for (label, spec, symmetry) in [
+        ("flip4-distinct", flip_system(4, 0), false),
+        ("flip4-sym", flip_system(4, 4), true),
+    ] {
+        let mut interner = StateInterner::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![if symmetry {
+            spec.canonicalize_config(spec.initial_config())
+        } else {
+            spec.initial_config()
+        }];
+        let mut fps = Vec::new();
+        while let Some(config) = queue.pop() {
+            if fps.len() >= 4_000 {
+                break;
+            }
+            let fp = fp_via(&mut interner, &config);
+            if !seen.insert(fp) {
+                continue;
+            }
+            fps.push(fp);
+            for pid in config.enabled_iter().collect::<Vec<_>>() {
+                for (succ, _) in spec.successors(&config, pid).expect("legal step") {
+                    queue.push(if symmetry {
+                        spec.canonicalize_config(succ)
+                    } else {
+                        succ
+                    });
+                }
+            }
+        }
+        assert!(fps.len() > 100, "{label}: nontrivial reachable set");
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for &fp in &fps {
+                counts[shard_of_fingerprint(fp, shards)] += 1;
+            }
+            let fair = fps.len() / shards;
+            for (k, &c) in counts.iter().enumerate() {
+                assert!(
+                    c >= fair / 4 && c <= fair * 4,
+                    "{label}: shard {k}/{shards} owns {c} of {} (fair {fair})",
+                    fps.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_of_fingerprint_covers_all_shards_and_only_them() {
+    for shards in 1..=16 {
+        let mut hit = vec![false; shards];
+        for fp in 0..(shards as u64 * 8) {
+            let s = shard_of_fingerprint(fp, shards);
+            assert!(s < shards);
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "{shards} shards: some never owner");
+    }
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn zero_shards_rejected() {
+    shard_of_fingerprint(42, 0);
+}

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Deterministic bench guard: re-derives the explored-graph facts
-# (peak_configs, edges, truncated, approx_bytes_per_config) for every
-# (fixture, symmetry, por) combination via a BENCH_SMOKE=1 run of
-# e9_modelcheck and compares them against the committed
-# BENCH_modelcheck.json (threads=1 rows). Timing fields are
-# machine-dependent and ignored; the graph facts — including the frozen
-# store's per-config memory — are deterministic, so any growth (more
-# configs, more edges, more bytes per config, or a completing exploration
-# starting to truncate) is a regression and fails the gate. Shrinkage is an
-# improvement: it passes here and shows up in the next full bench run.
+# Deterministic bench guard, two gates:
+#
+# 1. Shard-count independence: the e9 smoke bench runs twice — once with
+#    MC_SHARDS=1 and once with MC_SHARDS=4, so the second run routes every
+#    exploration through the fingerprint-partitioned explorer — and the
+#    GUARD lines (peak_configs, edges, truncated,
+#    approx_bytes_per_config) must be *identical*. Any divergence in
+#    configs, edges or bytes means the sharded explorer no longer
+#    reproduces the single-store graph and fails the gate.
+#
+# 2. Baseline regression: the MC_SHARDS=1 facts for every (fixture,
+#    symmetry, por) combination are compared against the committed
+#    BENCH_modelcheck.json (threads=1, shards=1 rows). Timing fields are
+#    machine-dependent and ignored; the graph facts — including the
+#    frozen store's per-config memory — are deterministic, so any growth
+#    (more configs, more edges, more bytes per config, or a completing
+#    exploration starting to truncate) is a regression and fails the
+#    gate. Shrinkage is an improvement: it passes here and shows up in
+#    the next full bench run.
 #
 # With INTERNER_STATS=1 the smoke run's per-row hash-consing arena
 # summaries are forwarded to stdout.
@@ -21,7 +30,7 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 0
 fi
 
-raw=$(BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep -E '^(GUARD|INTERNER) ' || true)
+raw=$(MC_SHARDS=1 BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep -E '^(GUARD|INTERNER) ' || true)
 fresh=$(grep '^GUARD ' <<<"$raw" || true)
 if [[ -z "$fresh" ]]; then
   echo "bench_guard: smoke run produced no GUARD lines" >&2
@@ -30,10 +39,25 @@ fi
 # Arena summaries (emitted only under INTERNER_STATS=1).
 grep '^INTERNER ' <<<"$raw" || true
 
+# Gate 1: the same smoke bench under MC_SHARDS=4 must print the exact
+# same GUARD facts — configs, edges, truncation and bytes per config.
+sharded=$(MC_SHARDS=4 BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep '^GUARD ' || true)
+if [[ -z "$sharded" ]]; then
+  echo "bench_guard: MC_SHARDS=4 smoke run produced no GUARD lines" >&2
+  exit 1
+fi
+if ! diff <(echo "$fresh") <(echo "$sharded") >/dev/null; then
+  echo "bench_guard: FAILED — GUARD lines diverge between MC_SHARDS=1 and MC_SHARDS=4:"
+  diff <(echo "$fresh") <(echo "$sharded") | sed 's/^/bench_guard:   /' || true
+  exit 1
+fi
+echo "bench_guard: shard independence OK ($(wc -l <<<"$sharded") GUARD lines identical at MC_SHARDS=4)"
+
+# Gate 2: compare the unsharded facts against the committed baseline.
 fail=0
 checked=0
 while read -r _ fixture symmetry por peak edges truncated bytes_pc; do
-  row=$(grep -F "\"fixture\": \"$fixture\", \"threads\": 1, \"symmetry\": $symmetry, \"por\": $por," "$BASELINE" | head -1 || true)
+  row=$(grep -F "\"fixture\": \"$fixture\", \"threads\": 1, \"shards\": 1, \"symmetry\": $symmetry, \"por\": $por," "$BASELINE" | head -1 || true)
   if [[ -z "$row" ]]; then
     echo "bench_guard: no baseline row for $fixture symmetry=$symmetry por=$por (new fixture?); skipping"
     continue

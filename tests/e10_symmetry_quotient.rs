@@ -210,6 +210,40 @@ fn interned_quotient_identical_to_deep_quotient() {
 }
 
 #[test]
+fn sharded_quotient_identical_across_shard_counts() {
+    // Shard routing fingerprints the *canonical* form, so a whole symmetry
+    // orbit lands in one shard and the quotient graph — including orbit
+    // representative choice and node order — is shard-count independent.
+    for (label, spec) in [
+        ("e1 sym p3", grouped_system_sym(2, 1, 3)),
+        ("e1 distinct p3", grouped_system(2, 1, 3)),
+        ("e4 partition sym p4", partition_system_sym(4, 2, 1)),
+    ] {
+        for symmetry in [false, true] {
+            for interned in [false, true] {
+                let opts = ExploreOptions::default()
+                    .with_symmetry(symmetry)
+                    .with_interned(interned);
+                let base = StateGraph::explore(&spec, &opts).expect("unsharded explore");
+                for shards in [2usize, 4] {
+                    let g = StateGraph::explore(&spec, &opts.with_shards(shards))
+                        .expect("sharded explore");
+                    let label =
+                        format!("{label} (symmetry={symmetry} interned={interned} x{shards})");
+                    assert_eq!(base.len(), g.len(), "{label}: node count");
+                    for i in 0..base.len() {
+                        assert_eq!(base.config(i), g.config(i), "{label}: node {i}");
+                        assert_eq!(base.edges(i), g.edges(i), "{label}: edges of {i}");
+                    }
+                    assert_eq!(base.terminals(), g.terminals(), "{label}: terminals");
+                    assert_verdicts_agree(&base, &g, &label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn large_symmetric_fixture_tractable_only_with_symmetry() {
     // 8 equal-input proposers: the full graph (6561 configs) blows through
     // the cap, while the quotient completes comfortably under it.

@@ -214,6 +214,48 @@ fn interned_reduction_identical_to_deep_reduction() {
 }
 
 #[test]
+fn sharded_reduction_identical_across_shard_counts() {
+    // All POR decisions — ample choice, sleep-set propagation, revisit
+    // wake-ups, cycle-proviso escalations — replay in the sharded
+    // explorer's sequential feedback phase in global tag order, so the
+    // reduced graph is node-for-node identical for every shard count,
+    // alone and composed with the symmetry quotient and either store.
+    for (label, spec) in [
+        ("e1 sym p3", grouped_system_sym(2, 1, 3)),
+        ("e4 partition p3", partition_system(3, 2, 1)),
+        ("e4 partition sym p4", partition_system_sym(4, 2, 1)),
+    ] {
+        for symmetry in [false, true] {
+            for interned in [false, true] {
+                let opts = ExploreOptions::default()
+                    .with_por(true)
+                    .with_symmetry(symmetry)
+                    .with_interned(interned);
+                let base = StateGraph::explore(&spec, &opts).expect("unsharded explore");
+                for shards in [2usize, 4] {
+                    let g = StateGraph::explore(&spec, &opts.with_shards(shards))
+                        .expect("sharded explore");
+                    let label =
+                        format!("{label} (por, symmetry={symmetry} interned={interned} x{shards})");
+                    assert_eq!(base.len(), g.len(), "{label}: node count");
+                    for i in 0..base.len() {
+                        assert_eq!(base.config(i), g.config(i), "{label}: node {i}");
+                        assert_eq!(base.edges(i), g.edges(i), "{label}: edges of {i}");
+                    }
+                    assert_eq!(base.terminals(), g.terminals(), "{label}: terminals");
+                    assert_eq!(
+                        base.is_por_reduced(),
+                        g.is_por_reduced(),
+                        "{label}: reduction flag"
+                    );
+                    assert_verdicts_agree(&base, &g, &label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn por_halves_the_interleaving_heavy_fixtures() {
     // Acceptance criterion: on the partition fixtures POR explores at most
     // half the configurations and strictly fewer edges, with identical

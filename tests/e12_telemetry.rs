@@ -184,11 +184,53 @@ fn progress_callback_fires_per_interval() {
     let g = StateGraph::explore_with(&spec, &ExploreOptions::default(), &rec).unwrap();
     let fired = hits.load(Ordering::SeqCst);
     assert!(fired > 0, "every-expansion heartbeat fired");
+    // Heartbeats tick inside expansion and merge, not just at level
+    // boundaries — a single long level must still report every interval.
     assert!(
-        fired <= g.metrics().levels.len(),
-        "heartbeat checks at level boundaries: {fired} fires > {} levels",
+        fired > g.metrics().levels.len(),
+        "{fired} fires for {} levels: mid-level heartbeats missing",
         g.metrics().levels.len()
     );
+    assert!(
+        fired as u64 <= g.metrics().expansions,
+        "{fired} fires > {} expansions: at most one fire per counted expansion",
+        g.metrics().expansions
+    );
+}
+
+#[test]
+fn sharded_telemetry_invisible_and_consistent() {
+    // Instrumentation must stay invisible under the sharded explorer too,
+    // and the per-shard breakdowns must tile the graph: every node and
+    // edge attributed to exactly one shard, traffic conserved.
+    let spec = grouped_system(2, 1, 3, true);
+    for por in [false, true] {
+        let base_opts = ExploreOptions::default().with_por(por);
+        let plain = StateGraph::explore(&spec, &base_opts).unwrap();
+        let opts = base_opts.with_shards(4).with_metrics(true);
+        let rec = Recorder::new().with_timing().with_progress(1, |_| {});
+        let g = StateGraph::explore_with(&spec, &opts, &rec).unwrap();
+        assert_identical(&plain, &g, &format!("sharded por={por}"));
+        let m = g.metrics();
+        assert!(m.timed);
+        assert_eq!(m.generated, m.dedup_hits + m.added + m.capped);
+        assert_eq!(m.shards.len(), 4, "one breakdown per shard");
+        assert_eq!(m.shards.iter().map(|s| s.nodes).sum::<usize>(), g.len());
+        assert_eq!(
+            m.shards.iter().map(|s| s.edges).sum::<usize>(),
+            g.stats().edges
+        );
+        assert_eq!(
+            m.shards.iter().map(|s| s.sent).sum::<u64>(),
+            m.shards.iter().map(|s| s.received).sum::<u64>(),
+            "routed successors conserved"
+        );
+        assert_eq!(
+            m.shards.iter().map(|s| s.received).sum::<u64>(),
+            m.generated,
+            "every generated successor routed exactly once"
+        );
+    }
 }
 
 #[test]

@@ -75,6 +75,58 @@ fn interned_store_matches_deep_store_across_thread_counts() {
 }
 
 #[test]
+fn sharded_graph_identical_on_grouped_fixtures() {
+    // The fingerprint-partitioned explorer must reproduce the single-store
+    // graph exactly — for every shard count, crossed with thread counts
+    // (which shape only the unsharded baseline) and both node stores.
+    for (n, k, procs) in [(2, 0, 2), (2, 1, 3), (3, 0, 3)] {
+        let spec = grouped_system(n, k, procs);
+        for interned in [false, true] {
+            let base =
+                StateGraph::explore(&spec, &ExploreOptions::default().with_interned(interned))
+                    .unwrap();
+            for shards in [2usize, 4] {
+                for threads in [1usize, 4] {
+                    let opts = ExploreOptions::default()
+                        .with_interned(interned)
+                        .with_shards(shards)
+                        .with_threads(threads);
+                    let g = StateGraph::explore(&spec, &opts).unwrap();
+                    assert_identical(
+                        &base,
+                        &g,
+                        &format!(
+                            "({n},{k},{procs}) interned={interned} x{shards} shards x{threads} threads"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_interned_bytes_match_unsharded() {
+    // The freeze-time arena stitch must land on the exact single-interner
+    // representation: `approx_bytes` is diffed across `MC_SHARDS` values
+    // by scripts/bench_guard.sh, so any drift here is a CI failure too.
+    let spec = grouped_system(2, 1, 3);
+    let base = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    for shards in [2usize, 4] {
+        let g = StateGraph::explore(&spec, &ExploreOptions::default().with_shards(shards)).unwrap();
+        assert_eq!(
+            g.approx_bytes(),
+            base.approx_bytes(),
+            "{shards} shards: stitched arena must cost what one arena costs"
+        );
+        let stats = g.interner_stats().expect("sharded interned store");
+        let base_stats = base.interner_stats().unwrap();
+        assert_eq!(stats.object_states, base_stats.object_states);
+        assert_eq!(stats.proc_states, base_stats.proc_states);
+    }
+}
+
+#[test]
 fn analyses_agree_across_thread_counts() {
     let spec = grouped_system(2, 1, 3);
     let seq = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
