@@ -34,9 +34,12 @@ use subconsensus_bench::harness::{
     smoke_mode, BenchmarkId, Criterion, SAMPLE_BUDGET, WARMUP_BUDGET,
 };
 use subconsensus_bench::{
-    grouped_system, grouped_system_sym, partition_system, partition_system_sym,
+    grouped_gate_sym, grouped_system, grouped_system_sym, partition_gate_sym, partition_system,
+    partition_system_sym,
 };
-use subconsensus_modelcheck::{ExploreOptions, StateGraph};
+use subconsensus_modelcheck::{
+    check_wait_freedom, ExploreGoal, ExploreOptions, StateGraph, VerdictCause, VerdictQuery,
+};
 use subconsensus_sim::{InternerStats, SystemSpec};
 
 const THREADS: [usize; 3] = [1, 2, 4];
@@ -44,6 +47,10 @@ const THREADS: [usize; 3] = [1, 2, 4];
 /// worker per shard; `threads` only shapes the unsharded rows).
 const SHARDS: [usize; 2] = [2, 4];
 const SAMPLE_SIZE: usize = 10;
+/// `max_configs` bound of the verdict-goal gate fixtures: big enough that
+/// the sym-off full graphs are meaningful (the p10/p12 gates truncate at
+/// it), small enough to keep the full-graph baseline rows benchable.
+const VERDICT_CAP: usize = 50_000;
 
 /// One benched fixture: a system plus the `max_configs` bound its rows run
 /// under (`usize::MAX`-ish default for the small fixtures; a deliberate cap
@@ -92,7 +99,7 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
     StateGraph::explore(spec, opts).expect("explore");
     let reps = if smoke_mode() { 1 } else { 5 };
     let g = (0..reps)
-        .map(|_| StateGraph::explore(spec, &opts.with_metrics(true)).expect("explore"))
+        .map(|_| StateGraph::explore(spec, &opts.clone().with_metrics(true)).expect("explore"))
         .min_by_key(|g| g.metrics().total_ns)
         .expect("at least one instrumented run");
     let s = g.stats();
@@ -103,6 +110,59 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
         approx_bytes: g.approx_bytes(),
         interner: g.interner_stats(),
         phases: g.metrics().phases_json(),
+    }
+}
+
+/// Deterministic facts of one verdict-goal exploration: the streaming
+/// verdict plus the phase telemetry proving the freeze and reverse-CSR
+/// phases never ran.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct VerdictFacts {
+    configs: usize,
+    edges: usize,
+    truncated: bool,
+    holds: Option<bool>,
+    /// Compact cause tag, e.g. `early-exit: wait-freedom refuted: …`.
+    cause: String,
+    phases: String,
+}
+
+fn verdict_facts(spec: &SystemSpec, opts: &ExploreOptions) -> VerdictFacts {
+    // Same warm-up + min-of-reps discipline as `facts`, but the verdict
+    // graph has no CSR: facts come from the verdict and the metrics, and
+    // the zero freeze/reverse-CSR phase counters are asserted right here —
+    // `_calls` distinguishes "skipped" from "too fast to time".
+    StateGraph::explore(spec, opts).expect("explore");
+    let reps = if smoke_mode() { 1 } else { 5 };
+    let g = (0..reps)
+        .map(|_| StateGraph::explore(spec, &opts.clone().with_metrics(true)).expect("explore"))
+        .min_by_key(|g| g.metrics().total_ns)
+        .expect("at least one instrumented run");
+    let m = g.metrics();
+    assert_eq!(
+        (
+            m.freeze_ns,
+            m.reverse_csr_ns,
+            m.freeze_calls,
+            m.reverse_csr_calls
+        ),
+        (0, 0, 0, 0),
+        "verdict-goal exploration ran a freeze or reverse-CSR phase"
+    );
+    let v = g
+        .verdict()
+        .expect("verdict-goal exploration yields a verdict");
+    VerdictFacts {
+        configs: v.configs,
+        edges: m.edges,
+        truncated: matches!(v.cause, VerdictCause::Truncated { .. }),
+        holds: v.holds(),
+        cause: match &v.cause {
+            VerdictCause::Exhausted => "exhausted".to_string(),
+            VerdictCause::EarlyExit { reason } => format!("early-exit: {reason}"),
+            VerdictCause::Truncated { cap } => format!("truncated at {cap}"),
+        },
+        phases: m.phases_json(),
     }
 }
 
@@ -199,6 +259,21 @@ fn main() {
             spec: partition_system(8, 2, 1),
             max_configs: 2_000,
         },
+        // The verdict-goal gate fixtures (writer raises a flag, spinners
+        // poll it): these rows are the *full-graph* baselines; the
+        // streaming-verdict rows for the same fixtures live in the
+        // e9_verdict section below and must explore strictly fewer
+        // configurations.
+        Fixture {
+            name: "e9_gate_grouped_p10_sym",
+            spec: grouped_gate_sym(2, 1, 10),
+            max_configs: VERDICT_CAP,
+        },
+        Fixture {
+            name: "e9_gate_partition_p12_sym",
+            spec: partition_gate_sym(2, 6, 2),
+            max_configs: VERDICT_CAP,
+        },
     ];
 
     let mut c = Criterion::new();
@@ -209,13 +284,13 @@ fn main() {
     let mut rows: Vec<(&str, usize, usize, bool, bool, GraphFacts, Option<usize>)> = Vec::new();
     for fixture in &fixtures {
         let base = ExploreOptions::with_max_configs(fixture.max_configs);
-        let full = facts(&fixture.spec, &base);
+        let full = facts(&fixture.spec, &base.clone());
         let full_configs = (!full.truncated).then_some(full.peak_configs);
         let mut g = c.benchmark_group("e9_explore");
         g.sample_size(SAMPLE_SIZE);
         for symmetry in [false, true] {
             for por in [false, true] {
-                let opts_row = base.with_symmetry(symmetry).with_por(por);
+                let opts_row = base.clone().with_symmetry(symmetry).with_por(por);
                 // Thread scaling at one shard, then shard scaling at one
                 // thread; (1, 1) leads so its facts anchor the GUARD line.
                 let grid = THREADS
@@ -224,7 +299,7 @@ fn main() {
                     .chain(SHARDS.iter().map(|&s| (1usize, s)));
                 let mut guard_facts: Option<GraphFacts> = None;
                 for (threads, shards) in grid {
-                    let opts = opts_row.with_threads(threads).with_shards(shards);
+                    let opts = opts_row.clone().with_threads(threads).with_shards(shards);
                     // Per-row instrumented pass: phase breakdowns reflect
                     // this row's exact thread/shard shape, not a shared
                     // run's (threads=1/2/4 used to publish byte-identical
@@ -305,10 +380,115 @@ fn main() {
         g.finish();
     }
 
+    // ------------------------------------------------------------------
+    // Verdict-goal rows: the gate fixtures under a streaming wait-freedom
+    // check (`ExploreGoal::Verdict`). The spin cycle refutes the query a
+    // few levels in, so the exploration must stop strictly before the
+    // full graph is done, skip the freeze and reverse-CSR phases
+    // entirely (asserted inside `verdict_facts`), and agree with the
+    // full-graph answer — all asserted here, and re-checked across shard
+    // counts. One `VERDICT` line per (fixture, symmetry, por) carries
+    // the deterministic facts for `scripts/bench_guard.sh` gate 3.
+    // ------------------------------------------------------------------
+    let verdict_fixtures = [
+        ("e9_gate_grouped_p10_sym", grouped_gate_sym(2, 1, 10)),
+        ("e9_gate_partition_p12_sym", partition_gate_sym(2, 6, 2)),
+    ];
+    #[allow(clippy::type_complexity)]
+    let mut vrows: Vec<(&str, usize, bool, bool, VerdictFacts, usize)> = Vec::new();
+    {
+        let mut g = c.benchmark_group("e9_verdict");
+        g.sample_size(SAMPLE_SIZE);
+        for (name, spec) in &verdict_fixtures {
+            for symmetry in [false, true] {
+                for por in [false, true] {
+                    let base = ExploreOptions::with_max_configs(VERDICT_CAP)
+                        .with_symmetry(symmetry)
+                        .with_por(por);
+                    // Full-graph baseline at (threads 1, shards 1): the
+                    // refutation must be visible in the expanded graph
+                    // too (on the truncated sym-off rows the spin cycle
+                    // still sits in the explored prefix, so the check is
+                    // sound there as well).
+                    let full = StateGraph::explore(spec, &base).expect("explore");
+                    let full_peak = full.len();
+                    assert!(
+                        !check_wait_freedom(&full).is_wait_free(),
+                        "{name} sym={symmetry} por={por}: full graph misses the refutation"
+                    );
+                    let mut anchor: Option<VerdictFacts> = None;
+                    for shards in [1usize, 4] {
+                        let opts =
+                            base.clone()
+                                .with_shards(shards)
+                                .with_goal(ExploreGoal::Verdict(
+                                    VerdictQuery::new().require_wait_freedom(),
+                                ));
+                        let vf = verdict_facts(spec, &opts);
+                        assert_eq!(
+                            vf.holds,
+                            Some(false),
+                            "{name} sym={symmetry} por={por} x{shards}: \
+                             verdict disagrees with the full-graph refutation"
+                        );
+                        assert!(
+                            vf.configs < full_peak,
+                            "{name} sym={symmetry} por={por} x{shards}: verdict explored \
+                             {} configs, full graph {full_peak} — no early exit",
+                            vf.configs
+                        );
+                        match &anchor {
+                            None => {
+                                println!(
+                                    "VERDICT {name} {symmetry} {por} {} {full_peak} {} {}",
+                                    vf.configs,
+                                    match vf.holds {
+                                        Some(true) => "holds",
+                                        Some(false) => "refuted",
+                                        None => "undecided",
+                                    },
+                                    vf.cause
+                                );
+                                anchor = Some(vf.clone());
+                            }
+                            Some(first) => assert_eq!(
+                                // `phases` carries wall-clock numbers; every
+                                // other field must be shard-count invariant.
+                                (
+                                    first.configs,
+                                    first.edges,
+                                    first.truncated,
+                                    first.holds,
+                                    &first.cause
+                                ),
+                                (vf.configs, vf.edges, vf.truncated, vf.holds, &vf.cause),
+                                "{name} sym={symmetry} por={por}: verdict facts \
+                                 diverged between shard counts"
+                            ),
+                        }
+                        let label = format!(
+                            "{name}{}{}/verdict",
+                            if symmetry { "/sym" } else { "" },
+                            if por { "/por" } else { "" },
+                        );
+                        g.bench_with_input(BenchmarkId::new(label, shards), &opts, |b, opts| {
+                            b.iter(|| StateGraph::explore(spec, opts).expect("explore"))
+                        });
+                        vrows.push((name, shards, symmetry, por, vf, full_peak));
+                    }
+                }
+            }
+        }
+        g.finish();
+    }
+
     // Hand-formatted JSON (no serde in the offline build).
+    let meas = c.measurements();
+    assert_eq!(meas.len(), rows.len() + vrows.len());
+    let (full_meas, verdict_meas) = meas.split_at(rows.len());
     let mut kernels = String::new();
     for (m, (name, threads, shards, symmetry, por, facts_row, full_configs)) in
-        c.measurements().iter().zip(&rows)
+        full_meas.iter().zip(&rows)
     {
         let secs = m.median_ns / 1e9;
         let configs_per_sec = if secs > 0.0 {
@@ -357,6 +537,41 @@ fn main() {
             facts_row.peak_configs,
             facts_row.edges,
             facts_row.truncated,
+            m.median_ns,
+            configs_per_sec,
+            m.iters_per_sample,
+            m.samples,
+        ));
+    }
+    // Verdict-goal rows. `"goal"` sits right after `"fixture"` so the
+    // per-fixture greps in scripts/bench_guard.sh (which anchor on
+    // `"fixture": ..., "threads":`) can never match a verdict row.
+    for (m, (name, shards, symmetry, por, vf, full_peak)) in verdict_meas.iter().zip(&vrows) {
+        let secs = m.median_ns / 1e9;
+        let configs_per_sec = if secs > 0.0 {
+            vf.configs as f64 / secs
+        } else {
+            0.0
+        };
+        let holds = match vf.holds {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        kernels.push_str(",\n");
+        kernels.push_str(&format!(
+            "    {{\"fixture\": \"{name}\", \"goal\": \"verdict\", \
+             \"threads\": 1, \"shards\": {shards}, \
+             \"symmetry\": {symmetry}, \"por\": {por}, \"peak_configs\": {}, \
+             \"edges\": {}, \"truncated\": {}, \"holds\": {holds}, \
+             \"cause\": \"{}\", \"full_peak_configs\": {full_peak}, \
+             \"phases\": {}, \
+             \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}, \
+             \"iters_per_sample\": {}, \"samples\": {}}}",
+            vf.configs,
+            vf.edges,
+            vf.truncated,
+            vf.cause,
+            vf.phases,
             m.median_ns,
             configs_per_sec,
             m.iters_per_sample,

@@ -150,9 +150,12 @@ pub struct GroupedConsensusCheck {
     /// Whether the one-step propose protocol wait-free solves consensus for
     /// `procs` processes over one object — exhaustive over all schedules.
     pub solves_consensus: bool,
-    /// The worst-case number of distinct decisions over all schedules.
+    /// The worst-case number of distinct decisions observed. Exact when the
+    /// check explored every schedule (always the case when consensus is
+    /// solved); a lower bound (≥ 2) when the streaming check exited early
+    /// at the first refuted terminal.
     pub max_distinct: usize,
-    /// The number of configurations explored.
+    /// The number of configurations explored (up to the early exit).
     pub configs: usize,
 }
 
@@ -173,30 +176,38 @@ pub fn grouped_consensus_check(
     procs: usize,
 ) -> Result<GroupedConsensusCheck, subconsensus_sim::SimError> {
     use std::sync::Arc;
-    use subconsensus_modelcheck::ExploreOptions;
+    use subconsensus_modelcheck::{ExploreGoal, ExploreOptions, StateGraph, VerdictQuery};
     use subconsensus_protocols::ProposeDecide;
     use subconsensus_sim::{Protocol, SystemBuilder, Value};
-    use subconsensus_tasks::{check_exhaustive, SetConsensusTask};
 
     let mut b = SystemBuilder::new();
     let obj = b.add_object(GroupedObject::for_level(n, k));
     let p: Arc<dyn Protocol> = Arc::new(ProposeDecide::new(obj));
-    b.add_processes(p, (0..procs).map(|i| Value::Int(i as i64 + 1)));
+    let inputs: Vec<Value> = (0..procs).map(|i| Value::Int(i as i64 + 1)).collect();
+    b.add_processes(p, inputs.iter().cloned());
     let spec = b.build();
-    let report = check_exhaustive(
-        &spec,
-        &SetConsensusTask::consensus(),
-        &ExploreOptions::default(),
-    )?;
-    let graph = subconsensus_modelcheck::StateGraph::explore(&spec, &ExploreOptions::default())?;
-    let max_distinct = subconsensus_modelcheck::max_distinct_decisions(&graph);
+    // One streaming-verdict exploration replaces the former pair of full
+    // explorations (task harness + max-distinct pass): wait-freedom,
+    // agreement and validity accumulate as terminals are merged, the
+    // freeze/reverse-CSR phases are skipped, and a refuted check stops at
+    // the first disagreeing (or hung) schedule.
+    let goal = ExploreGoal::Verdict(
+        VerdictQuery::new()
+            .require_wait_freedom()
+            .require_max_distinct(1)
+            .require_valid_values(inputs),
+    );
+    let graph = StateGraph::explore(&spec, &ExploreOptions::default().with_goal(goal))?;
+    let verdict = graph
+        .verdict()
+        .expect("verdict-goal exploration yields a verdict");
     Ok(GroupedConsensusCheck {
         n,
         k,
         procs,
-        solves_consensus: report.solved(),
-        max_distinct,
-        configs: report.configs,
+        solves_consensus: verdict.holds() == Some(true),
+        max_distinct: verdict.max_distinct.lower,
+        configs: verdict.configs,
     })
 }
 

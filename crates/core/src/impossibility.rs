@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use subconsensus_modelcheck::{check_wait_freedom, ExploreOptions, StateGraph};
+use subconsensus_modelcheck::{ExploreGoal, ExploreOptions, StateGraph, VerdictQuery};
 use subconsensus_sim::{
     Action, ObjId, ObjectSpec, Op, ProcCtx, Protocol, ProtocolError, SimError, SystemBuilder, Value,
 };
@@ -318,28 +318,35 @@ where
     b.add_process(p0, Value::Int(i64::from(x)));
     b.add_process(p1, Value::Int(i64::from(y)));
     let spec = b.build();
-    let graph = match StateGraph::explore(&spec, opts) {
+    let valid: Vec<Value> = if x == y {
+        vec![Value::Int(i64::from(x))]
+    } else {
+        vec![Value::Int(0), Value::Int(1)]
+    };
+    // Streaming-verdict goal: wait-freedom + agreement (at most one
+    // distinct decision) + validity are accumulated *during* exploration,
+    // so the check exits at the first refuted terminal or cycle and never
+    // freezes the CSR. `holds() == Some(true)` is exactly the old post-hoc
+    // acceptance: completion under wait-freedom means every process
+    // decides at every terminal (so "≤ 1 distinct" is "exactly 1"), and a
+    // truncated run can never answer `Some(true)`.
+    let goal = ExploreGoal::Verdict(
+        VerdictQuery::new()
+            .require_wait_freedom()
+            .require_max_distinct(1)
+            .require_valid_values(valid),
+    );
+    let graph = match StateGraph::explore(&spec, &opts.clone().with_goal(goal)) {
         Ok(g) => g,
         // A tree may misuse the object (e.g. re-walk past a decision on an
         // unclassified response); such protocols simply do not solve
         // consensus.
         Err(_) => return Ok(false),
     };
-    if graph.is_truncated() || !check_wait_freedom(&graph).is_wait_free() {
-        return Ok(false);
-    }
-    let valid: Vec<Value> = if x == y {
-        vec![Value::Int(i64::from(x))]
-    } else {
-        vec![Value::Int(0), Value::Int(1)]
-    };
-    for &term in graph.terminals() {
-        let decided = graph.config(term).decided_values();
-        if decided.len() != 1 || !valid.contains(&decided[0]) {
-            return Ok(false);
-        }
-    }
-    Ok(true)
+    let verdict = graph
+        .verdict()
+        .expect("verdict-goal exploration yields a verdict");
+    Ok(verdict.holds() == Some(true))
 }
 
 /// The one-step protocol class over a `(3, 2)`-set-consensus object with

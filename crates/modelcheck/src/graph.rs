@@ -51,15 +51,18 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use subconsensus_sim::{
-    shard_of_fingerprint, Config, ExploreMetrics, InternerStats, PendingConfig, Pid, Recorder,
-    SimError, StateInterner, StepFootprint, SystemSpec, WireConfig,
+    shard_of_fingerprint, Config, ExploreMetrics, InternerStats, PendingConfig, Pid, ProcStatus,
+    Recorder, SimError, StateInterner, StepFootprint, SystemSpec, Value, WireConfig,
 };
 
+use crate::verdict::{ExploreGoal, StreamingVerdict, TerminalFacts, VerdictEngine};
+
 /// Options bounding an exploration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExploreOptions {
     /// Stop after visiting this many distinct configurations.
     pub max_configs: usize,
@@ -107,6 +110,17 @@ pub struct ExploreOptions {
     /// `shards > 1` the per-level parallelism is one worker per shard;
     /// `threads` only shapes the unsharded explorer.
     pub shards: usize,
+    /// What this exploration is for. The default,
+    /// [`ExploreGoal::FullGraph`], builds and freezes the whole reachable
+    /// graph. [`ExploreGoal::Verdict`] instead accumulates the queried
+    /// properties *during* exploration, stops at the end of the first BFS
+    /// level where the query is refuted, and skips the freeze +
+    /// reverse-CSR phases entirely — the graph then carries a
+    /// [`StreamingVerdict`] (see [`StateGraph::verdict`]) but no CSR.
+    /// Early exit is at level granularity and the verdict fold is
+    /// commutative, so verdicts and explored-config counts stay
+    /// deterministic across threads × shards × symmetry × POR × store.
+    pub goal: ExploreGoal,
 }
 
 impl Default for ExploreOptions {
@@ -119,6 +133,7 @@ impl Default for ExploreOptions {
             interned: true,
             metrics: false,
             shards: 0,
+            goal: ExploreGoal::FullGraph,
         }
     }
 }
@@ -167,6 +182,12 @@ impl ExploreOptions {
     /// `MC_SHARDS`, `1` = unsharded).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Returns these options with the given [`ExploreGoal`].
+    pub fn with_goal(mut self, goal: ExploreGoal) -> Self {
+        self.goal = goal;
         self
     }
 
@@ -292,6 +313,37 @@ trait ConfigStore: Sync {
 
     /// Merge-side find-or-insert, bounded by `cap` configurations.
     fn insert(&mut self, c: Self::Carrier, cap: usize) -> MergeSlot;
+
+    /// Streaming-verdict facts of terminal node `i` (decided values, hung /
+    /// undecided classification) read off the stored representation — no
+    /// deep `Config` is materialized.
+    fn terminal_facts(&self, i: usize) -> TerminalFacts;
+}
+
+/// Folds per-process statuses into the streaming engine's terminal facts —
+/// the id-native twin of `Config::decided_values` plus the hung/undecided
+/// classification `properties.rs` derives per terminal.
+fn facts_from_statuses<'s>(statuses: impl Iterator<Item = &'s ProcStatus>) -> TerminalFacts {
+    let mut decided: Vec<Value> = Vec::new();
+    let mut any_hung = false;
+    let mut all_decided = true;
+    for status in statuses {
+        match status {
+            ProcStatus::Decided(v) => decided.push(v.clone()),
+            ProcStatus::Hung => {
+                any_hung = true;
+                all_decided = false;
+            }
+            ProcStatus::Fresh | ProcStatus::Running => all_decided = false,
+        }
+    }
+    decided.sort();
+    decided.dedup();
+    TerminalFacts {
+        decided,
+        any_hung,
+        all_decided,
+    }
 }
 
 /// Worker-produced successors of one step: each carrier paired with the pid
@@ -386,6 +438,11 @@ impl ConfigStore for DeepStore<'_> {
         self.configs.push(config);
         self.index.entry(fp).or_default().push(j);
         MergeSlot::Added(j)
+    }
+
+    fn terminal_facts(&self, i: usize) -> TerminalFacts {
+        let c = &self.configs[i];
+        facts_from_statuses((0..c.nprocs()).map(|p| &c.proc_state(Pid::new(p)).status))
     }
 }
 
@@ -538,6 +595,15 @@ impl ConfigStore for CompactStore<'_> {
         self.index.entry(fp).or_default().push(j);
         self.len += 1;
         MergeSlot::Added(j)
+    }
+
+    fn terminal_facts(&self, i: usize) -> TerminalFacts {
+        let row = self.row(i);
+        facts_from_statuses(
+            row[self.nobjects..]
+                .iter()
+                .map(|&id| &self.interner.proc(id).status),
+        )
     }
 }
 
@@ -878,6 +944,92 @@ impl std::fmt::Display for GraphStats {
     }
 }
 
+/// A borrowed view of one graph node with **id-native** accessors:
+/// process statuses, enabled sets and decision sets are read straight
+/// from the store's representation (interned `u32` id rows resolve one
+/// id through the interner; deep nodes borrow from the `Config`), so
+/// property predicates probing thousands of nodes never re-materialize a
+/// deep [`Config`] per probe. Use [`NodeView::config`] only when the
+/// whole configuration is genuinely needed.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeView<'g> {
+    graph: &'g StateGraph,
+    index: usize,
+}
+
+impl<'g> NodeView<'g> {
+    /// This node's index in the graph.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of processes in the system.
+    pub fn nprocs(&self) -> usize {
+        match &self.graph.store {
+            NodeStore::Deep(configs) => configs[self.index].nprocs(),
+            NodeStore::Interned(nodes) => nodes.stride - nodes.nobjects,
+            NodeStore::Virtual { .. } => unreachable!("NodeView over a Virtual store"),
+        }
+    }
+
+    /// Status of process `pid`, borrowed from the store.
+    pub fn status(&self, pid: Pid) -> &'g ProcStatus {
+        match &self.graph.store {
+            NodeStore::Deep(configs) => &configs[self.index].proc_state(pid).status,
+            NodeStore::Interned(nodes) => {
+                let row = self.index * nodes.stride;
+                let id = nodes.words[row + nodes.nobjects + pid.index()];
+                &nodes.interner.proc(id).status
+            }
+            NodeStore::Virtual { .. } => unreachable!("NodeView over a Virtual store"),
+        }
+    }
+
+    /// Bitset of the enabled processes.
+    pub fn enabled_bits(&self) -> u64 {
+        match &self.graph.store {
+            NodeStore::Deep(configs) => configs[self.index].enabled_set().bits(),
+            _ => {
+                let mut bits = 0u64;
+                for p in 0..self.nprocs() {
+                    if self.status(Pid::new(p)).is_enabled() {
+                        bits |= 1 << p;
+                    }
+                }
+                bits
+            }
+        }
+    }
+
+    /// `true` iff no process is enabled (a terminal configuration).
+    pub fn is_final(&self) -> bool {
+        self.enabled_bits() == 0
+    }
+
+    /// Per-process decisions, `None` for undecided processes.
+    pub fn decisions(&self) -> Vec<Option<Value>> {
+        (0..self.nprocs())
+            .map(|p| self.status(Pid::new(p)).decision().cloned())
+            .collect()
+    }
+
+    /// The sorted, deduplicated set of values decided at this node.
+    pub fn decided_values(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = (0..self.nprocs())
+            .filter_map(|p| self.status(Pid::new(p)).decision().cloned())
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// The full configuration, materialized on demand — per-probe cost
+    /// the id-native accessors above avoid; prefer them in predicates.
+    pub fn config(&self) -> Config {
+        self.graph.config(self.index)
+    }
+}
+
 /// The reachable configuration graph of a system, with every scheduler choice
 /// and every nondeterministic object outcome expanded (unless reduced — see
 /// [`StateGraph::is_por_reduced`]).
@@ -894,6 +1046,10 @@ pub struct StateGraph {
     truncated: bool,
     por: bool,
     metrics: ExploreMetrics,
+    /// The streaming verdict of a [`ExploreGoal::Verdict`] exploration
+    /// (`None` under [`ExploreGoal::FullGraph`]). When present, the CSR
+    /// adjacency was never frozen — see [`StateGraph::is_verdict_only`].
+    verdict: Option<StreamingVerdict>,
 }
 
 /// The frozen node arena of a [`StateGraph`], in whichever representation
@@ -904,6 +1060,14 @@ enum NodeStore {
     Deep(Vec<Config>),
     /// Hash-consed nodes (boxed: the arena bundle dwarfs the `Vec` variant).
     Interned(Box<InternedNodes>),
+    /// No node contents at all — a sharded verdict-goal exploration skips
+    /// the arena stitch/gather (its freeze phase) because verdict-only
+    /// callers never look at configurations again. Only the node count
+    /// survives.
+    Virtual {
+        /// Number of explored configurations.
+        len: usize,
+    },
 }
 
 /// Hash-consed node arena: `stride` id words per node in one flat row-major
@@ -923,17 +1087,22 @@ impl NodeStore {
         match self {
             NodeStore::Deep(configs) => configs.len(),
             NodeStore::Interned(nodes) => nodes.len,
+            NodeStore::Virtual { len } => *len,
         }
     }
 }
 
 /// The explorer's output before node storage is attached: CSR adjacency,
-/// terminals and the truncation flag.
+/// terminals and the truncation flag. Under a verdict goal the CSR vectors
+/// are empty (the freeze is skipped) and `edges` keeps the true recorded
+/// edge count for the metrics; otherwise `edges == edge_arr.len()`.
 struct GraphCore {
     row_ptr: Vec<u32>,
     edge_arr: Vec<Edge>,
     terminals: Vec<usize>,
     truncated: bool,
+    edges: usize,
+    verdict: Option<StreamingVerdict>,
 }
 
 /// One-line stderr warning when an exploration hits its `max_configs`
@@ -965,6 +1134,15 @@ fn explore_core<S: ConfigStore>(
     let mut edge_buf: Vec<(u32, Edge)> = Vec::new();
     let mut terminals = Vec::new();
     let mut truncated = false;
+    // Streaming-verdict accumulator (verdict goal only). Fed inside the
+    // merge loop; consulted once per level, after the revisits, so the
+    // exit point — and with it the explored-config count — is identical
+    // for every thread count, shard count and store representation.
+    let mut engine = match &opts.goal {
+        ExploreGoal::FullGraph => None,
+        ExploreGoal::Verdict(query) => Some(VerdictEngine::new(query.clone())),
+    };
+    let mut early_exit = false;
 
     // Per-node exploration bookkeeping. `depth` (first-discovery BFS
     // level) doubles as the cycle proviso's back-edge detector; the
@@ -1009,6 +1187,9 @@ fn explore_core<S: ConfigStore>(
             if exp.terminal {
                 terminals.push(i);
                 expanded[i] = true;
+                if let Some(eng) = engine.as_mut() {
+                    eng.on_terminal(store.terminal_facts(i));
+                }
                 continue;
             }
             let mut escalate = false;
@@ -1059,15 +1240,20 @@ fn explore_core<S: ConfigStore>(
                         }
                     }
                 };
-                if opts.por && known {
-                    revisits.push((j, succ_sleep));
-                    // Cycle proviso trigger: an edge into an equal-or-
-                    // shallower node can close a cycle. (Deeper targets
-                    // — including all fresh nodes — cannot be the
-                    // minimal-depth node of a cycle through this edge.)
-                    if depth[j] <= depth[i] {
+                if known && depth[j] <= depth[i] {
+                    // Retreating edge — the only kind that can close a
+                    // cycle (depth deltas are <= +1 per edge and sum to 0
+                    // around a cycle). Triggers the POR cycle proviso and
+                    // registers a streaming cycle-check candidate.
+                    if opts.por {
                         escalate = true;
                     }
+                    if let Some(eng) = engine.as_mut() {
+                        eng.on_retreating_edge();
+                    }
+                }
+                if opts.por && known {
+                    revisits.push((j, succ_sleep));
                 }
                 scratch.push(Edge { pid, to: j as u32 });
             }
@@ -1140,6 +1326,14 @@ fn explore_core<S: ConfigStore>(
             }
         }
         drop(merge_t);
+        // Level-granular verdict evaluation: at most one (untimed) cycle
+        // check per level, then exit if any queried conjunct is refuted.
+        if let Some(eng) = engine.as_mut() {
+            if eng.wants_cycle_check() {
+                eng.record_cycle_check(edge_buf_has_cycle(depth.len(), &edge_buf));
+            }
+            early_exit = eng.refutation().is_some();
+        }
         rec.record_level(
             level.len(),
             depth.len() - nodes_before,
@@ -1153,18 +1347,91 @@ fn explore_core<S: ConfigStore>(
             next_level.len(),
             opts.max_configs.saturating_sub(depth.len()),
         );
+        if early_exit {
+            break;
+        }
         level = next_level;
         cur_depth += 1;
     }
     terminals.sort_unstable();
     terminals.dedup();
-    let (row_ptr, edge_arr) = freeze_csr(depth.len(), edge_buf, rec);
+    let verdict = engine.map(|mut eng| {
+        if !truncated && !early_exit && eng.needs_final_cycle_check() {
+            // A cycle through an old retreating candidate may only have
+            // closed after that candidate's level was checked; completion
+            // therefore re-checks once over the final edge buffer.
+            eng.record_cycle_check(edge_buf_has_cycle(depth.len(), &edge_buf));
+        }
+        eng.finish(
+            truncated.then_some(opts.max_configs),
+            early_exit,
+            depth.len(),
+        )
+    });
+    let edges = edge_buf.len();
+    let (row_ptr, edge_arr) = if verdict.is_some() {
+        // Verdict goal: nobody reads the CSR — skip the freeze entirely.
+        (Vec::new(), Vec::new())
+    } else {
+        freeze_csr(depth.len(), edge_buf, rec)
+    };
     Ok(GraphCore {
         row_ptr,
         edge_arr,
         terminals,
         truncated,
+        edges,
+        verdict,
     })
+}
+
+/// Cycle check over the in-flight edge buffer: builds a throwaway CSR and
+/// runs the same three-color DFS as [`StateGraph::has_cycle`]. Deliberately
+/// *untimed* — under a verdict goal the freeze/reverse-CSR slots must read
+/// zero calls, and this linear scan is part of the streaming merge work.
+fn edge_buf_has_cycle(n: usize, edge_buf: &[(u32, Edge)]) -> bool {
+    let mut row_ptr = vec![0u32; n + 1];
+    for &(from, _) in edge_buf {
+        row_ptr[from as usize + 1] += 1;
+    }
+    for k in 0..n {
+        row_ptr[k + 1] += row_ptr[k];
+    }
+    let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+    let mut to = vec![0u32; edge_buf.len()];
+    for &(from, e) in edge_buf {
+        let c = &mut cursor[from as usize];
+        to[*c as usize] = e.to;
+        *c += 1;
+    }
+    // Three-color DFS (0 = white, 1 = on stack, 2 = done), iterative.
+    let mut color = vec![0u8; n];
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    for root in 0..n as u32 {
+        if color[root as usize] != 0 {
+            continue;
+        }
+        color[root as usize] = 1;
+        stack.push((root, row_ptr[root as usize]));
+        while let Some(&mut (v, ref mut e)) = stack.last_mut() {
+            if *e == row_ptr[v as usize + 1] {
+                color[v as usize] = 2;
+                stack.pop();
+                continue;
+            }
+            let w = to[*e as usize];
+            *e += 1;
+            match color[w as usize] {
+                0 => {
+                    color[w as usize] = 1;
+                    stack.push((w, row_ptr[w as usize]));
+                }
+                1 => return true, // back edge: cycle
+                _ => {}
+            }
+        }
+    }
+    false
 }
 
 /// Freezes a flat `(from, edge)` buffer into CSR adjacency: a stable
@@ -1251,12 +1518,33 @@ fn tag(seq: u32, step: u32) -> Tag {
 /// One routed successor: production tag, content fingerprint, carrier.
 type Routed<W> = (Tag, u64, W);
 
-/// Per-owner outboxes of one shard's expansion pass.
-type ShardOutboxes<W> = Vec<Vec<Routed<W>>>;
+/// Routed successors are staged in small per-worker buffers and flushed
+/// into the owner's shared sink in chunks of at most this many entries,
+/// so per-worker staging memory stays bounded no matter how hot one
+/// shard runs (private per-worker outbox `Vec`s used to hold a whole
+/// level's traffic per worker before the gather).
+const OUTBOX_CHUNK: usize = 1024;
+
+/// One bounded-queue sink per owning shard, shared by every expansion
+/// worker. Workers append whole chunks under the lock (at most one
+/// acquisition per [`OUTBOX_CHUNK`] successors), and the merge phase
+/// sorts each inbox by production tag — so arrival order, and with it
+/// lock contention, cannot affect the produced graph.
+type OutboxSinks<W> = Vec<Mutex<Vec<Routed<W>>>>;
+
+/// Queue-pressure counters of one shard's expansion pass.
+#[derive(Clone, Copy, Default)]
+struct OutboxStats {
+    /// Successors this shard routed to owners (its own included).
+    sent: u64,
+    /// Chunk flushes into the shared sinks.
+    flushes: u64,
+}
 
 /// What one shard's expansion pass returns: `(seq, expansion)` per item
-/// plus the routed successors.
-type ExpandOut<W> = Result<(Vec<(u32, ShardExpansion)>, ShardOutboxes<W>), SimError>;
+/// plus queue-pressure stats (the successors themselves were already
+/// flushed into the shared [`OutboxSinks`]).
+type ExpandOut = Result<(Vec<(u32, ShardExpansion)>, OutboxStats), SimError>;
 
 /// What one shard's merge pass returns: `(tag, local index, inserted?)`
 /// per routed successor, plus the tags that inserted new nodes (in local
@@ -1309,6 +1597,10 @@ trait ShardStore: Send + Sync {
 
     /// Undoes the most recent `n` inserts (the over-budget suffix).
     fn pop_last(&mut self, n: usize);
+
+    /// Streaming-verdict facts of terminal local node `local` — the
+    /// sharded twin of [`ConfigStore::terminal_facts`].
+    fn terminal_facts(&self, local: usize) -> TerminalFacts;
 }
 
 /// Deep-configuration shard: one [`Config`] per local node, dedup
@@ -1417,6 +1709,11 @@ impl ShardStore for DeepShard<'_> {
             }
             self.configs.pop();
         }
+    }
+
+    fn terminal_facts(&self, local: usize) -> TerminalFacts {
+        let c = &self.configs[local];
+        facts_from_statuses((0..c.nprocs()).map(|p| &c.proc_state(Pid::new(p)).status))
     }
 }
 
@@ -1565,6 +1862,15 @@ impl ShardStore for CompactShard<'_> {
             // configuration's states are usually shared with kept ones.
         }
     }
+
+    fn terminal_facts(&self, local: usize) -> TerminalFacts {
+        let row = self.row(local);
+        facts_from_statuses(
+            row[self.nobjects..]
+                .iter()
+                .map(|&id| &self.interner.proc(id).status),
+        )
+    }
 }
 
 /// One globally-sequenced frontier entry of the sharded explorer: a
@@ -1614,17 +1920,19 @@ struct ExpandCtx<'a> {
 }
 
 /// Expands one shard's slice of the frontier: the sharded twin of
-/// [`expand_item`], with successors routed into per-owner outboxes
-/// instead of looked up against a shared store.
+/// [`expand_item`], with successors routed into the owners' shared
+/// bounded-queue sinks instead of looked up against a shared store.
 fn expand_shard<S: ShardStore>(
     store: &S,
     items: &[ShardItem],
+    sinks: &OutboxSinks<S::Wire>,
     timers: &Recorder,
     e: ExpandCtx<'_>,
-) -> ExpandOut<S::Wire> {
+) -> ExpandOut {
     let opts = e.opts;
     let mut exps = Vec::with_capacity(items.len());
-    let mut outboxes: ShardOutboxes<S::Wire> = (0..e.nshards).map(|_| Vec::new()).collect();
+    let mut staged: Vec<Vec<Routed<S::Wire>>> = (0..e.nshards).map(|_| Vec::new()).collect();
+    let mut stats = OutboxStats::default();
     for item in items {
         e.main.count_expansions(1);
         e.main
@@ -1706,7 +2014,16 @@ fn expand_shard<S: ShardStore>(
                     }
                 }
                 let owner = shard_of_fingerprint(cfp, e.nshards);
-                outboxes[owner].push((tag(item.seq, step_idx), cfp, wire));
+                let buf = &mut staged[owner];
+                buf.push((tag(item.seq, step_idx), cfp, wire));
+                stats.sent += 1;
+                if buf.len() >= OUTBOX_CHUNK {
+                    stats.flushes += 1;
+                    sinks[owner]
+                        .lock()
+                        .expect("outbox sink poisoned")
+                        .append(buf);
+                }
                 steps.push((pid, succ_sleep));
                 step_idx += 1;
             }
@@ -1723,7 +2040,16 @@ fn expand_shard<S: ShardStore>(
             },
         ));
     }
-    Ok((exps, outboxes))
+    for (owner, buf) in staged.iter_mut().enumerate() {
+        if !buf.is_empty() {
+            stats.flushes += 1;
+            sinks[owner]
+                .lock()
+                .expect("outbox sink poisoned")
+                .append(buf);
+        }
+    }
+    Ok((exps, stats))
 }
 
 /// Merges one shard's inbox: sort by production tag (the global
@@ -1766,6 +2092,14 @@ fn explore_sharded<S: ShardStore>(
     let mut edge_buf: Vec<(u32, Edge)> = Vec::new();
     let mut terminals = Vec::new();
     let mut truncated = false;
+    // Streaming-verdict engine: fed in the sequential tag-ordered phase-4
+    // replay, so the accumulated facts are identical to `explore_core`'s
+    // for every shard count.
+    let mut engine = match &opts.goal {
+        ExploreGoal::FullGraph => None,
+        ExploreGoal::Verdict(query) => Some(VerdictEngine::new(query.clone())),
+    };
+    let mut early_exit = false;
 
     // Global per-node bookkeeping, exactly as in `explore_core`.
     let mut depth: Vec<u32> = vec![0];
@@ -1785,6 +2119,7 @@ fn explore_sharded<S: ShardStore>(
     let mut traffic_sent = vec![0u64; nshards];
     let mut traffic_recv = vec![0u64; nshards];
     let mut max_outbox = vec![0usize; nshards];
+    let mut outbox_flushes = vec![0u64; nshards];
 
     let mut frontier = vec![FrontItem {
         node: 0,
@@ -1825,9 +2160,14 @@ fn explore_sharded<S: ShardStore>(
         let run_parallel =
             nshards > 1 && frontier.len() >= PARALLEL_THRESHOLD && host_parallelism() > 1;
 
-        // Phase 1: expand, one worker per shard.
-        let mut expand_out: Vec<Option<ExpandOut<S::Wire>>> = (0..nshards).map(|_| None).collect();
+        // Phase 1: expand, one worker per shard. Successors flow through
+        // shared per-owner bounded-queue sinks in fixed-size chunks, so
+        // no worker ever holds more than `nshards * OUTBOX_CHUNK` staged
+        // entries regardless of how hot a shard runs.
+        let sinks: OutboxSinks<S::Wire> = (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+        let mut expand_out: Vec<Option<ExpandOut>> = (0..nshards).map(|_| None).collect();
         {
+            let sinks = &sinks;
             let jobs = shards
                 .iter()
                 .zip(&frontiers)
@@ -1836,27 +2176,30 @@ fn explore_sharded<S: ShardStore>(
             if run_parallel {
                 std::thread::scope(|sc| {
                     for (((store, items), child), out) in jobs {
-                        sc.spawn(move || *out = Some(expand_shard(store, items, child, ectx)));
+                        sc.spawn(move || {
+                            *out = Some(expand_shard(store, items, sinks, child, ectx));
+                        });
                     }
                 });
             } else {
                 for (((store, items), child), out) in jobs {
-                    *out = Some(expand_shard(store, items, child, ectx));
+                    *out = Some(expand_shard(store, items, sinks, child, ectx));
                 }
             }
         }
         let mut item_exps: Vec<Option<ShardExpansion>> = frontier.iter().map(|_| None).collect();
-        let mut inboxes: Vec<Vec<Routed<S::Wire>>> = (0..nshards).map(|_| Vec::new()).collect();
         for (k, slot) in expand_out.into_iter().enumerate() {
-            let (exps, outboxes) = slot.expect("every shard expanded")?;
+            let (exps, stats) = slot.expect("every shard expanded")?;
             for (seq, e) in exps {
                 item_exps[seq as usize] = Some(e);
             }
-            for (owner, v) in outboxes.into_iter().enumerate() {
-                traffic_sent[k] += v.len() as u64;
-                inboxes[owner].extend(v);
-            }
+            traffic_sent[k] += stats.sent;
+            outbox_flushes[k] += stats.flushes;
         }
+        let inboxes: Vec<Vec<Routed<S::Wire>>> = sinks
+            .into_iter()
+            .map(|m| m.into_inner().expect("outbox sink poisoned"))
+            .collect();
         for (k, inbox) in inboxes.iter().enumerate() {
             traffic_recv[k] += inbox.len() as u64;
             max_outbox[k] = max_outbox[k].max(inbox.len());
@@ -1924,6 +2267,10 @@ fn explore_sharded<S: ShardStore>(
             if exp.terminal {
                 terminals.push(i);
                 expanded[i] = true;
+                if let Some(eng) = engine.as_mut() {
+                    let (hs, hl) = home[i];
+                    eng.on_terminal(shards[hs as usize].terminal_facts(hl as usize));
+                }
                 continue;
             }
             let mut escalate = false;
@@ -1966,11 +2313,16 @@ fn explore_sharded<S: ShardStore>(
                     rec.count_dedup_hits(1);
                     (l2g[sk][sl] as usize, true)
                 };
-                if opts.por && known {
-                    revisits.push((j, succ_sleep));
-                    if depth[j] <= depth[i] {
+                if known && depth[j] <= depth[i] {
+                    if opts.por {
                         escalate = true;
                     }
+                    if let Some(eng) = engine.as_mut() {
+                        eng.on_retreating_edge();
+                    }
+                }
+                if opts.por && known {
+                    revisits.push((j, succ_sleep));
                 }
                 scratch.push(Edge { pid, to: j as u32 });
             }
@@ -2026,6 +2378,15 @@ fn explore_sharded<S: ShardStore>(
             }
         }
         drop(merge_t);
+        // Level-granular verdict evaluation, mirroring `explore_core`:
+        // the exit point — and the explored-config count — is identical
+        // for every shard count.
+        if let Some(eng) = engine.as_mut() {
+            if eng.wants_cycle_check() {
+                eng.record_cycle_check(edge_buf_has_cycle(depth.len(), &edge_buf));
+            }
+            early_exit = eng.refutation().is_some();
+        }
         rec.record_level(
             frontier.len(),
             depth.len() - nodes_before,
@@ -2039,6 +2400,9 @@ fn explore_sharded<S: ShardStore>(
             next.len(),
             opts.max_configs.saturating_sub(depth.len()),
         );
+        if early_exit {
+            break;
+        }
         frontier = next;
         cur_depth += 1;
     }
@@ -2058,18 +2422,40 @@ fn explore_sharded<S: ShardStore>(
             sm.sent = traffic_sent[k];
             sm.received = traffic_recv[k];
             sm.max_outbox = max_outbox[k];
+            sm.outbox_flushes = outbox_flushes[k];
             sm
         })
         .collect();
     rec.set_shards(shard_metrics);
 
-    let (row_ptr, edge_arr) = freeze_csr(depth.len(), edge_buf, rec);
+    let verdict = engine.map(|mut eng| {
+        if !truncated && !early_exit && eng.needs_final_cycle_check() {
+            // Same completion re-check as `explore_core`: a cycle through
+            // an old retreating candidate may only have closed after that
+            // candidate's level was checked.
+            eng.record_cycle_check(edge_buf_has_cycle(depth.len(), &edge_buf));
+        }
+        eng.finish(
+            truncated.then_some(opts.max_configs),
+            early_exit,
+            depth.len(),
+        )
+    });
+    let edges = edge_buf.len();
+    let (row_ptr, edge_arr) = if verdict.is_some() {
+        // Verdict goal: nobody reads the CSR — skip the freeze entirely.
+        (Vec::new(), Vec::new())
+    } else {
+        freeze_csr(depth.len(), edge_buf, rec)
+    };
     Ok((
         GraphCore {
             row_ptr,
             edge_arr,
             terminals,
             truncated,
+            edges,
+            verdict,
         },
         home,
     ))
@@ -2104,6 +2490,11 @@ fn explore_sharded_compact(
         .collect();
     shards[owner].seed(init, fp);
     let (core, home) = explore_sharded(&mut shards, owner, opts, rec)?;
+    if core.verdict.is_some() {
+        // Verdict goal: node contents are never read again, so the arena
+        // stitch — this path's freeze phase — is skipped entirely.
+        return Ok((NodeStore::Virtual { len: home.len() }, core));
+    }
     let _t = rec.time_freeze();
     let mut interner = StateInterner::new();
     let remaps: Vec<(Vec<u32>, Vec<u32>)> = shards
@@ -2149,6 +2540,10 @@ fn explore_sharded_deep(
     let mut shards: Vec<DeepShard> = (0..nshards).map(|_| DeepShard::new(spec)).collect();
     shards[owner].seed(init, fp);
     let (core, home) = explore_sharded(&mut shards, owner, opts, rec)?;
+    if core.verdict.is_some() {
+        // Verdict goal: skip the arena gather, as in the compact path.
+        return Ok((NodeStore::Virtual { len: home.len() }, core));
+    }
     let _t = rec.time_freeze();
     let mut arenas: Vec<Vec<Option<Config>>> = shards
         .into_iter()
@@ -2221,7 +2616,7 @@ impl StateGraph {
         opts: &ExploreOptions,
         rec: &Recorder,
     ) -> Result<Self, SimError> {
-        let mut opts = *opts;
+        let mut opts = opts.clone();
         // Fast path: a system whose symmetry groups are all singletons has
         // an identity canonicalization, so requesting symmetry would only
         // burn time re-checking sortedness and re-sorting edges. Normalize
@@ -2274,10 +2669,13 @@ impl StateGraph {
             truncated: core.truncated,
             por: opts.por,
             metrics: ExploreMetrics::default(),
+            verdict: core.verdict,
         };
         let mut metrics = rec.snapshot();
         metrics.configs = graph.len();
-        metrics.edges = graph.edge_arr.len();
+        // Under a verdict goal the CSR is never frozen; `core.edges`
+        // keeps the true recorded edge count either way.
+        metrics.edges = core.edges;
         metrics.peak_bytes = graph.approx_bytes();
         graph.metrics = metrics;
         if graph.truncated {
@@ -2319,6 +2717,56 @@ impl StateGraph {
         self.por
     }
 
+    /// The streaming verdict accumulated during an
+    /// [`ExploreGoal::Verdict`] exploration; `None` for a
+    /// [`ExploreGoal::FullGraph`] one.
+    pub fn verdict(&self) -> Option<&StreamingVerdict> {
+        self.verdict.as_ref()
+    }
+
+    /// Returns `true` if this graph was explored under
+    /// [`ExploreGoal::Verdict`]: the streaming verdict is available via
+    /// [`verdict`](Self::verdict), but the CSR adjacency was never frozen
+    /// (and the exploration may have stopped at the first refutation), so
+    /// every graph-structure analysis — [`edges`](Self::edges),
+    /// [`reverse_csr`](Self::reverse_csr), [`has_cycle`](Self::has_cycle),
+    /// [`witness_schedule`](Self::witness_schedule), [`stats`](Self::stats),
+    /// DOT export, `find_critical` — panics with a clear message instead
+    /// of indexing empty CSR arrays.
+    pub fn is_verdict_only(&self) -> bool {
+        self.verdict.is_some()
+    }
+
+    /// Panics with an actionable message when a CSR-consuming analysis is
+    /// called on a verdict-only graph.
+    fn require_csr(&self, what: &str) {
+        assert!(
+            !self.is_verdict_only(),
+            "StateGraph::{what} needs the frozen CSR adjacency, but this \
+             graph was explored under ExploreGoal::Verdict, which skips the \
+             freeze and reverse-CSR phases (and may stop exploring at the \
+             first refutation); re-explore with ExploreGoal::FullGraph to \
+             run graph-structure analyses",
+        );
+    }
+
+    /// An id-native [`NodeView`] of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range, or on a *sharded* verdict-only
+    /// graph (whose node contents were never gathered).
+    pub fn node(&self, index: usize) -> NodeView<'_> {
+        assert!(index < self.store.len(), "node index out of range");
+        assert!(
+            !matches!(self.store, NodeStore::Virtual { .. }),
+            "node contents of a sharded ExploreGoal::Verdict exploration \
+             are never gathered; re-explore with ExploreGoal::FullGraph to \
+             inspect configurations",
+        );
+        NodeView { graph: self, index }
+    }
+
     /// Returns the configuration at `index`.
     ///
     /// Owned because the interned representation materializes it from id
@@ -2338,6 +2786,11 @@ impl StateGraph {
                     &nodes.words[index * nodes.stride..(index + 1) * nodes.stride],
                 )
             }
+            NodeStore::Virtual { .. } => panic!(
+                "node contents of a sharded ExploreGoal::Verdict exploration \
+                 are never gathered; re-explore with ExploreGoal::FullGraph \
+                 to inspect configurations",
+            ),
         }
     }
 
@@ -2348,6 +2801,7 @@ impl StateGraph {
         match &self.store {
             NodeStore::Deep(_) => None,
             NodeStore::Interned(nodes) => Some(nodes.interner.stats()),
+            NodeStore::Virtual { .. } => None,
         }
     }
 
@@ -2357,6 +2811,7 @@ impl StateGraph {
     ///
     /// Panics if `index` is out of range.
     pub fn edges(&self, index: usize) -> &[Edge] {
+        self.require_csr("edges");
         let lo = self.row_ptr[index] as usize;
         let hi = self.row_ptr[index + 1] as usize;
         &self.edge_arr[lo..hi]
@@ -2384,6 +2839,7 @@ impl StateGraph {
                 configs.len() * per_config
             }
             NodeStore::Interned(nodes) => nodes.words.len() * size_of::<u32>(),
+            NodeStore::Virtual { .. } => 0,
         };
         nodes
             + self.row_ptr.len() * size_of::<u32>()
@@ -2400,6 +2856,7 @@ impl StateGraph {
     /// propagation, non-blocking pruning) consume this instead of
     /// rescanning the forward adjacency per iteration.
     pub fn reverse_csr(&self) -> (Vec<u32>, Vec<u32>) {
+        self.require_csr("reverse_csr");
         let n = self.len();
         let mut row_ptr = vec![0u32; n + 1];
         for e in &self.edge_arr {
@@ -2422,6 +2879,7 @@ impl StateGraph {
 
     /// Computes summary statistics of the graph.
     pub fn stats(&self) -> GraphStats {
+        self.require_csr("stats");
         use std::collections::VecDeque;
         let n = self.store.len();
         let max_out_degree = (0..n)
@@ -2461,10 +2919,16 @@ impl StateGraph {
     /// [`ReplayScheduler`](subconsensus_sim::ReplayScheduler) to reproduce
     /// the configuration in a normal run — this is how counterexamples
     /// (e.g. a disagreeing consensus schedule) are surfaced to users.
+    ///
+    /// The predicate receives an id-native [`NodeView`], so probing every
+    /// node costs id lookups, not a deep `Config` materialization per
+    /// probe ([`NodeView::config`] is still there when the whole
+    /// configuration is needed).
     pub fn witness_schedule<F>(&self, pred: F) -> Option<Vec<Pid>>
     where
-        F: Fn(&Config) -> bool,
+        F: Fn(&NodeView<'_>) -> bool,
     {
+        self.require_csr("witness_schedule");
         use std::collections::VecDeque;
         // parent[i] = (predecessor node, pid that stepped), for BFS tree.
         let mut parent: Vec<Option<(usize, Pid)>> = vec![None; self.store.len()];
@@ -2473,7 +2937,7 @@ impl StateGraph {
         seen[0] = true;
         queue.push_back(0usize);
         while let Some(i) = queue.pop_front() {
-            if pred(&self.config(i)) {
+            if pred(&self.node(i)) {
                 // Reconstruct the schedule back to the root.
                 let mut schedule = Vec::new();
                 let mut cur = i;
@@ -2502,6 +2966,7 @@ impl StateGraph {
     /// must reach a decision, acyclicity witnesses wait-freedom for
     /// bounded protocols.
     pub fn has_cycle(&self) -> bool {
+        self.require_csr("has_cycle");
         // Iterative three-color DFS.
         const WHITE: u8 = 0;
         const GRAY: u8 = 1;
@@ -2543,6 +3008,7 @@ impl StateGraph {
     /// small (reduced) graphs — the first human-readable view of an
     /// explored quotient.
     pub fn to_dot(&self) -> String {
+        self.require_csr("to_dot");
         self.render_dot(&[])
     }
 
@@ -2550,6 +3016,7 @@ impl StateGraph {
     /// schedule, walked from the root by firing each pid's first matching
     /// edge) highlighted in red.
     pub fn to_dot_with_schedule(&self, schedule: &[Pid]) -> String {
+        self.require_csr("to_dot_with_schedule");
         let mut highlight = vec![false; self.edge_arr.len()];
         let mut cur = 0usize;
         for &pid in schedule {
@@ -2979,7 +3446,8 @@ mod tests {
                     let base = ExploreOptions::default()
                         .with_symmetry(symmetry)
                         .with_por(por);
-                    let deep = StateGraph::explore(&spec, &base.with_interned(false)).unwrap();
+                    let deep =
+                        StateGraph::explore(&spec, &base.clone().with_interned(false)).unwrap();
                     let compact = StateGraph::explore(&spec, &base.with_interned(true)).unwrap();
                     assert!(compact.interner_stats().is_some());
                     assert!(deep.interner_stats().is_none());
@@ -3169,7 +3637,8 @@ mod tests {
                         .with_por(por);
                     let base = StateGraph::explore(&spec, &base_opts).unwrap();
                     for shards in [2usize, 4] {
-                        let g = StateGraph::explore(&spec, &base_opts.with_shards(shards)).unwrap();
+                        let g = StateGraph::explore(&spec, &base_opts.clone().with_shards(shards))
+                            .unwrap();
                         assert_graphs_identical(
                             &g,
                             &base,
@@ -3189,7 +3658,7 @@ mod tests {
             let base = StateGraph::explore(&spec, &base_opts).unwrap();
             assert!(base.is_truncated());
             for shards in [2usize, 4] {
-                let g = StateGraph::explore(&spec, &base_opts.with_shards(shards)).unwrap();
+                let g = StateGraph::explore(&spec, &base_opts.clone().with_shards(shards)).unwrap();
                 assert_graphs_identical(
                     &g,
                     &base,

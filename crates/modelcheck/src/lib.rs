@@ -13,7 +13,11 @@
 //!   protocol solves `k`-set consensus;
 //! * **valency analysis** — [`Valency`], [`find_critical`]: bivalent /
 //!   univalent classification and critical-configuration search, the
-//!   mechanized form of the paper's Section-6-style impossibility arguments.
+//!   mechanized form of the paper's Section-6-style impossibility arguments;
+//! * **streaming verdicts** — [`ExploreGoal::Verdict`] / [`VerdictQuery`]:
+//!   the answers above accumulated *during* exploration, with early exit at
+//!   the first refutation, sound partial verdicts on truncated runs, and
+//!   the freeze + reverse-CSR phases skipped entirely.
 //!
 //! Exploration scales past naive enumeration with three composable
 //! reductions (see [`ExploreOptions`]): parallel level expansion
@@ -33,8 +37,9 @@
 mod graph;
 mod properties;
 mod valency;
+mod verdict;
 
-pub use graph::{Edge, ExploreOptions, GraphStats, StateGraph};
+pub use graph::{Edge, ExploreOptions, GraphStats, NodeView, StateGraph};
 pub use properties::{
     check_nonblocking, check_nonblocking_with, check_wait_freedom, max_distinct_decisions,
     TerminalReport, WaitFreedom,
@@ -46,3 +51,4 @@ pub use subconsensus_sim::{
     ExploreMetrics, LevelMetrics, ProgressReport, Recorder, TruncationCause,
 };
 pub use valency::{find_critical, CriticalConfig, Valency};
+pub use verdict::{ExploreGoal, StreamingVerdict, VerdictBound, VerdictCause, VerdictQuery};

@@ -33,6 +33,10 @@ pub struct TerminalReport {
 
 impl TerminalReport {
     /// Computes the report from an explored graph.
+    ///
+    /// Terminal probes are id-native ([`StateGraph::node`]): statuses are
+    /// read straight from the store's id rows, no per-terminal `Config`
+    /// materialization.
     pub fn of(graph: &StateGraph) -> Self {
         let mut all_decide = true;
         let mut any_hung = false;
@@ -40,9 +44,9 @@ impl TerminalReport {
         let mut max_d = 0;
         let mut min_d = usize::MAX;
         for &t in graph.terminals() {
-            let cfg = graph.config(t);
+            let cfg = graph.node(t);
             for pid in 0..cfg.nprocs() {
-                match &cfg.proc_state(subconsensus_sim::Pid::new(pid)).status {
+                match cfg.status(subconsensus_sim::Pid::new(pid)) {
                     ProcStatus::Decided(_) => {}
                     ProcStatus::Hung => {
                         any_hung = true;

@@ -48,7 +48,7 @@ impl Valency {
         let n = graph.len();
         let mut sets: Vec<BTreeSet<Value>> = vec![BTreeSet::new(); n];
         for &t in graph.terminals() {
-            sets[t] = graph.config(t).decided_values().into_iter().collect();
+            sets[t] = graph.node(t).decided_values().into_iter().collect();
         }
         // Reverse adjacency for worklist propagation: one flat CSR pass
         // instead of per-node `Vec`s (see [`StateGraph::reverse_csr`]).
@@ -131,7 +131,10 @@ pub struct CriticalConfig {
 ///
 /// # Panics
 ///
-/// Panics if `graph` was explored with partial-order reduction
+/// Panics if `graph` was explored under
+/// [`ExploreGoal::Verdict`](crate::ExploreGoal) (no CSR, possibly
+/// early-exited — re-explore with `ExploreGoal::FullGraph`), or with
+/// partial-order reduction
 /// ([`ExploreOptions::por`](crate::ExploreOptions)). POR preserves the
 /// terminals (hence the root valence), but an interior node of the reduced
 /// graph is missing the successors the reduction pruned — its computed
@@ -139,6 +142,13 @@ pub struct CriticalConfig {
 /// meaningless against a partial successor list. Criticality is a property
 /// of the *full* graph; re-explore with `ExploreOptions::with_por(false)`.
 pub fn find_critical(graph: &StateGraph, valency: &Valency) -> Option<CriticalConfig> {
+    assert!(
+        !graph.is_verdict_only(),
+        "find_critical requires a fully expanded graph: this graph was explored under \
+         ExploreGoal::Verdict, which skips the CSR freeze and may stop exploring at the \
+         first refutation, so interior valences and successor lists do not exist. \
+         Re-explore with ExploreGoal::FullGraph."
+    );
     assert!(
         !graph.is_por_reduced(),
         "find_critical requires a fully expanded graph: partial-order reduction preserves \

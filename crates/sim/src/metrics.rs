@@ -192,8 +192,13 @@ pub struct ShardMetrics {
     pub sent: u64,
     /// Successors merged by this shard that another shard generated.
     pub received: u64,
-    /// Largest cross-shard outbox (queue depth) this shard ever filled.
+    /// Largest cross-shard inbox (queue depth) this shard ever drained in
+    /// one level — the high-water mark of routed traffic aimed at it.
     pub max_outbox: usize,
+    /// Bounded-queue flushes this shard's workers performed into other
+    /// shards' sinks (each flush moves at most one chunk, so per-worker
+    /// staging memory stays bounded no matter how hot a shard runs).
+    pub outbox_flushes: u64,
 }
 
 impl ShardMetrics {
@@ -202,7 +207,7 @@ impl ShardMetrics {
             "{{\"shard\": {}, \"expand_ns\": {}, \"canonicalize_ns\": {}, \
              \"por_ns\": {}, \"dedup_ns\": {}, \"merge_ns\": {}, \
              \"nodes\": {}, \"edges\": {}, \"sent\": {}, \"received\": {}, \
-             \"max_outbox\": {}}}",
+             \"max_outbox\": {}, \"outbox_flushes\": {}}}",
             self.shard,
             self.expand_ns,
             self.canonicalize_ns,
@@ -213,7 +218,8 @@ impl ShardMetrics {
             self.edges,
             self.sent,
             self.received,
-            self.max_outbox
+            self.max_outbox,
+            self.outbox_flushes
         )
     }
 }
@@ -245,6 +251,13 @@ pub struct ExploreMetrics {
     /// Wall time building the reverse CSR (valency / non-blocking passes;
     /// zero unless one ran with this graph's recorder).
     pub reverse_csr_ns: u64,
+    /// Times the CSR freeze ran. Distinguishes "skipped under a verdict
+    /// goal" (0 calls) from "ran but too fast to time" (calls > 0, 0 ns)
+    /// on small fixtures. Counted only when the timers are on.
+    pub freeze_calls: u64,
+    /// Times the reverse-CSR build ran (same skipped-vs-fast distinction
+    /// as [`freeze_calls`](Self::freeze_calls)).
+    pub reverse_csr_calls: u64,
     /// Wall time of the whole exploration.
     pub total_ns: u64,
     /// Whether phase timers were on (`false` ⇒ every `*_ns` field above,
@@ -305,14 +318,17 @@ impl ExploreMetrics {
         format!(
             "{{\"expand_ns\": {}, \"canonicalize_ns\": {}, \"por_ns\": {}, \
              \"dedup_ns\": {}, \"merge_ns\": {}, \"freeze_ns\": {}, \
-             \"reverse_csr_ns\": {}, \"other_ns\": {}, \"total_ns\": {}}}",
+             \"freeze_calls\": {}, \"reverse_csr_ns\": {}, \
+             \"reverse_csr_calls\": {}, \"other_ns\": {}, \"total_ns\": {}}}",
             self.expand_ns,
             self.canonicalize_ns,
             self.por_ns,
             self.dedup_ns,
             self.merge_ns,
             self.freeze_ns,
+            self.freeze_calls,
             self.reverse_csr_ns,
+            self.reverse_csr_calls,
             self.other_ns(),
             self.total_ns
         )
@@ -476,6 +492,9 @@ fn env_telemetry() -> &'static EnvTelemetry {
 pub struct Recorder {
     timing: bool,
     slots: [AtomicU64; NSLOTS],
+    /// Guard constructions per slot (how many times each phase *ran*),
+    /// counted only while timing — the zero-overhead-when-off contract.
+    slot_calls: [AtomicU64; NSLOTS],
     generated: AtomicU64,
     dedup_hits: AtomicU64,
     added: AtomicU64,
@@ -515,6 +534,7 @@ impl Recorder {
         Recorder {
             timing: false,
             slots: Default::default(),
+            slot_calls: Default::default(),
             generated: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
             added: AtomicU64::new(0),
@@ -599,6 +619,7 @@ impl Recorder {
 
     fn guard(&self, slot: usize) -> Option<PhaseGuard<'_>> {
         if self.timing {
+            self.slot_calls[slot].fetch_add(1, Ordering::Relaxed);
             Some(PhaseGuard {
                 slot: &self.slots[slot],
                 t0: Instant::now(),
@@ -786,6 +807,14 @@ impl Recorder {
                 .max()
                 .unwrap_or(0);
             self.slots[i].fetch_add(max, Ordering::Relaxed);
+            // Same critical-path view for the invocation counts: the busiest
+            // shard's call count, not the fleet-wide sum.
+            let max_calls = children
+                .iter()
+                .map(|c| c.slot_calls[i].load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0);
+            self.slot_calls[i].fetch_add(max_calls, Ordering::Relaxed);
         }
     }
 
@@ -831,6 +860,8 @@ impl Recorder {
             merge_ns: slot(SLOT_MERGE_BLOCK).saturating_sub(merge_insert),
             freeze_ns: slot(SLOT_FREEZE),
             reverse_csr_ns: slot(SLOT_REVERSE_CSR),
+            freeze_calls: self.slot_calls[SLOT_FREEZE].load(Ordering::Relaxed),
+            reverse_csr_calls: self.slot_calls[SLOT_REVERSE_CSR].load(Ordering::Relaxed),
             total_ns: if self.timing {
                 self.start.elapsed().as_nanos() as u64
             } else {
@@ -1060,6 +1091,34 @@ mod tests {
             }
         });
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn phase_calls_distinguish_skipped_from_fast() {
+        // Timed but never invoked: 0 calls, 0 ns — a genuinely skipped phase.
+        let rec = Recorder::new().with_timing();
+        let m = rec.snapshot();
+        assert_eq!(m.freeze_calls, 0);
+        assert_eq!(m.reverse_csr_calls, 0);
+        // Invoked but (possibly) too fast to time: calls > 0 regardless.
+        {
+            let _t = rec.time_freeze();
+        }
+        {
+            let _t = rec.time_reverse_csr();
+        }
+        let m = rec.snapshot();
+        assert_eq!(m.freeze_calls, 1);
+        assert_eq!(m.reverse_csr_calls, 1);
+        let json = m.phases_json();
+        assert!(json.contains("\"freeze_calls\": 1"), "{json}");
+        assert!(json.contains("\"reverse_csr_calls\": 1"), "{json}");
+        // Untimed recorders keep the zero-overhead contract: no counts.
+        let off = Recorder::new();
+        {
+            let _t = off.time_freeze();
+        }
+        assert_eq!(off.snapshot().freeze_calls, 0);
     }
 
     #[test]

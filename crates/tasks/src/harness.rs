@@ -72,17 +72,19 @@ pub fn check_exhaustive(
     let wait_freedom = check_wait_freedom(&graph);
     let mut violation = None;
     for &t in graph.terminals() {
-        let outputs = graph.config(t).decisions();
+        let outputs = graph.node(t).decisions();
         if let Err(v) = task.check(&inputs, &outputs) {
             violation = Some(v);
             break;
         }
     }
     // Also check every *partial* configuration: decisions made so far must
-    // already satisfy the task (decisions are irrevocable).
+    // already satisfy the task (decisions are irrevocable). Probes are
+    // id-native (`StateGraph::node`), so this sweep reads statuses from id
+    // rows instead of materializing a deep `Config` per node.
     if violation.is_none() {
         for i in 0..graph.len() {
-            let outputs = graph.config(i).decisions();
+            let outputs = graph.node(i).decisions();
             if let Err(v) = task.check(&inputs, &outputs) {
                 violation = Some(v);
                 break;

@@ -4,13 +4,16 @@
 //!    registers;
 //! 2. the `(N, K)-SC from (m, j)-SC` implementability grid ("Theorem 41");
 //! 3. the deterministic grouped family per consensus level, with the task
-//!    ceiling shared by every object of that level.
+//!    ceiling shared by every object of that level;
+//! 4. streaming verdict-goal spot checks of the E1 consensus claims (the
+//!    same `grouped_consensus_check` used by the experiment, which explores
+//!    under `ExploreGoal::Verdict` and exits at the first refutation).
 //!
 //! Run with: `cargo run --example hierarchy_table`
 
 use subconsensus::core::{
-    grouped_task_bound, implementable, level_power, partition_bound, sc_chain, GroupedObject,
-    ScPower,
+    grouped_consensus_check, grouped_task_bound, implementable, level_power, partition_bound,
+    sc_chain, GroupedObject, ScPower,
 };
 
 fn main() {
@@ -72,5 +75,36 @@ fn main() {
         "\n   Every object of consensus number n has the same task ceiling ⌈N/n⌉ —\n   \
          the paper's O_{{n,k}} hierarchy therefore lives in the object-implementation\n   \
          relation (see EXPERIMENTS.md, E4), not in task solvability."
+    );
+
+    println!("\n── E1 verdict-goal spot checks (streaming valency, early exit) ───────");
+    println!(
+        "{:>7} {:>8} {:>8} {:>8} {:>10} {:>14} {:>10}",
+        "", "n", "k", "procs", "consensus", "max distinct", "configs"
+    );
+    for (n, k) in [(2usize, 1usize), (3, 0)] {
+        // `procs = n` proves the level solves n-consensus; `procs = n + 1`
+        // refutes it and the streaming check stops at the first
+        // disagreeing schedule instead of finishing the graph.
+        for procs in [n, n + 1] {
+            let c = grouped_consensus_check(n, k, procs).expect("model check");
+            println!(
+                "VERDICT {:>8} {:>8} {:>8} {:>10} {:>14} {:>10}",
+                c.n,
+                c.k,
+                c.procs,
+                if c.solves_consensus { "yes" } else { "no" },
+                if c.solves_consensus {
+                    c.max_distinct.to_string()
+                } else {
+                    format!("≥{}", c.max_distinct)
+                },
+                c.configs,
+            );
+        }
+    }
+    println!(
+        "   (refuted rows exit early: no freeze, no reverse-CSR, and the\n    \
+         configuration count stops at the level that decided the answer)"
     );
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Deterministic bench guard, two gates:
+# Deterministic bench guard, three gates:
 #
 # 1. Shard-count independence: the e9 smoke bench runs twice — once with
 #    MC_SHARDS=1 and once with MC_SHARDS=4, so the second run routes every
@@ -19,6 +19,13 @@
 #    gate. Shrinkage is an improvement: it passes here and shows up in
 #    the next full bench run.
 #
+# 3. Verdict-goal agreement: the smoke bench's VERDICT lines (one per
+#    gate fixture x symmetry x por; the in-bench asserts already checked
+#    the streaming verdict against a full-graph re-exploration) must be
+#    byte-identical between MC_SHARDS=1 and MC_SHARDS=4, and every line
+#    must show the early-exited run exploring strictly fewer
+#    configurations than the full graph.
+#
 # With INTERNER_STATS=1 the smoke run's per-row hash-consing arena
 # summaries are forwarded to stdout.
 set -euo pipefail
@@ -30,7 +37,7 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 0
 fi
 
-raw=$(MC_SHARDS=1 BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep -E '^(GUARD|INTERNER) ' || true)
+raw=$(MC_SHARDS=1 BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep -E '^(GUARD|INTERNER|VERDICT) ' || true)
 fresh=$(grep '^GUARD ' <<<"$raw" || true)
 if [[ -z "$fresh" ]]; then
   echo "bench_guard: smoke run produced no GUARD lines" >&2
@@ -41,7 +48,8 @@ grep '^INTERNER ' <<<"$raw" || true
 
 # Gate 1: the same smoke bench under MC_SHARDS=4 must print the exact
 # same GUARD facts — configs, edges, truncation and bytes per config.
-sharded=$(MC_SHARDS=4 BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep '^GUARD ' || true)
+sharded_raw=$(MC_SHARDS=4 BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep -E '^(GUARD|VERDICT) ' || true)
+sharded=$(grep '^GUARD ' <<<"$sharded_raw" || true)
 if [[ -z "$sharded" ]]; then
   echo "bench_guard: MC_SHARDS=4 smoke run produced no GUARD lines" >&2
   exit 1
@@ -98,3 +106,36 @@ if ((fail)); then
   exit 1
 fi
 echo "bench_guard: OK ($checked rows checked, graph facts + bytes/config)"
+
+# Gate 3: verdict-goal agreement. The bench already asserts (per row)
+# that the streaming verdict matches a full-graph re-exploration and
+# that shards 1 and 4 produce identical facts; here we re-check the
+# printed VERDICT lines across the two MC_SHARDS runs and the
+# strictly-fewer-configs claim.
+fresh_v=$(grep '^VERDICT ' <<<"$raw" || true)
+sharded_v=$(grep '^VERDICT ' <<<"$sharded_raw" || true)
+if [[ -z "$fresh_v" ]]; then
+  echo "bench_guard: smoke run produced no VERDICT lines" >&2
+  exit 1
+fi
+if ! diff <(echo "$fresh_v") <(echo "$sharded_v") >/dev/null; then
+  echo "bench_guard: FAILED — VERDICT lines diverge between MC_SHARDS=1 and MC_SHARDS=4:"
+  diff <(echo "$fresh_v") <(echo "$sharded_v") | sed 's/^/bench_guard:   /' || true
+  exit 1
+fi
+vfail=0
+while read -r _ fixture symmetry por vconfigs fconfigs answer _; do
+  if ((vconfigs >= fconfigs)); then
+    echo "bench_guard: $fixture sym=$symmetry por=$por: verdict explored $vconfigs configs, full graph $fconfigs — no early-exit saving"
+    vfail=1
+  fi
+  if [[ "$answer" == "undecided" ]]; then
+    echo "bench_guard: $fixture sym=$symmetry por=$por: verdict run left the query undecided"
+    vfail=1
+  fi
+done <<<"$fresh_v"
+if ((vfail)); then
+  echo "bench_guard: FAILED (verdict-goal rows lost their early exit)"
+  exit 1
+fi
+echo "bench_guard: verdict goal OK ($(wc -l <<<"$fresh_v") VERDICT lines, early exit strict on all)"

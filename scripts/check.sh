@@ -51,6 +51,21 @@ EOF
 grep -q 'heartbeat: level' /tmp/mc_example.log \
   || { echo "telemetry smoke: example emitted no heartbeat" >&2; exit 1; }
 
+# Verdict-goal smoke: the hierarchy-table example ends with streaming
+# verdict spot checks of the E1 claims (`grouped_consensus_check` explores
+# under ExploreGoal::Verdict). Every VERDICT row must carry a decided
+# yes/no answer — the early-exit path regressing to "undecided" (or the
+# section disappearing) fails the gate.
+echo "==> verdict smoke: hierarchy_table example (ExploreGoal::Verdict path)"
+cargo run --release -q --example hierarchy_table >/tmp/mc_hierarchy.log
+grep -c '^VERDICT ' /tmp/mc_hierarchy.log | grep -qx 4 \
+  || { echo "verdict smoke: expected 4 VERDICT rows" >&2; exit 1; }
+if grep '^VERDICT ' /tmp/mc_hierarchy.log | awk '{print $5}' | grep -qv -E '^(yes|no)$'; then
+  echo "verdict smoke: a VERDICT row left the consensus question undecided" >&2
+  exit 1
+fi
+echo "verdict smoke: OK (4 decided VERDICT rows)"
+
 if [[ "$RUN_BENCH_SMOKE" == "1" ]]; then
   # Smoke-run the model-check bench (two untimed iterations per kernel, no
   # JSON write — see harness::smoke_mode) twice — MC_SHARDS=1 and

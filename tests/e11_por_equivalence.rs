@@ -193,8 +193,8 @@ fn interned_reduction_identical_to_deep_reduction() {
             let opts = ExploreOptions::default()
                 .with_por(true)
                 .with_symmetry(symmetry);
-            let deep =
-                StateGraph::explore(&spec, &opts.with_interned(false)).expect("deep explore");
+            let deep = StateGraph::explore(&spec, &opts.clone().with_interned(false))
+                .expect("deep explore");
             let interned = StateGraph::explore(&spec, &opts).expect("interned explore");
             let label = format!("{label} (por, symmetry={symmetry})");
             assert_eq!(deep.len(), interned.len(), "{label}: node count");
@@ -233,7 +233,7 @@ fn sharded_reduction_identical_across_shard_counts() {
                     .with_interned(interned);
                 let base = StateGraph::explore(&spec, &opts).expect("unsharded explore");
                 for shards in [2usize, 4] {
-                    let g = StateGraph::explore(&spec, &opts.with_shards(shards))
+                    let g = StateGraph::explore(&spec, &opts.clone().with_shards(shards))
                         .expect("sharded explore");
                     let label =
                         format!("{label} (por, symmetry={symmetry} interned={interned} x{shards})");

@@ -54,7 +54,7 @@ fn instrumented_graphs_identical_across_matrix() {
                     .with_por(por);
                 let plain = StateGraph::explore(&spec, &base_opts).unwrap();
                 for threads in [1usize, 4] {
-                    let opts = base_opts.with_threads(threads).with_metrics(true);
+                    let opts = base_opts.clone().with_threads(threads).with_metrics(true);
                     let rec = Recorder::new().with_timing().with_progress(1, |_| {});
                     let instrumented = StateGraph::explore_with(&spec, &opts, &rec).unwrap();
                     assert_identical(
@@ -300,7 +300,7 @@ fn dot_export_well_formed_on_e1_p3() {
 
     // A witness schedule to any terminal highlights its path in red.
     let schedule: Vec<Pid> = g
-        .witness_schedule(|c| c.enabled_set().bits() == 0)
+        .witness_schedule(|c| c.is_final())
         .expect("some terminal is reachable");
     let hi = g.to_dot_with_schedule(&schedule);
     assert_eq!(
