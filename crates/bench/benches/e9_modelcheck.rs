@@ -38,9 +38,10 @@ use subconsensus_bench::{
     partition_system_sym,
 };
 use subconsensus_modelcheck::{
-    check_wait_freedom, ExploreGoal, ExploreOptions, StateGraph, VerdictCause, VerdictQuery,
+    check_wait_freedom, ExploreGoal, ExploreOptions, StateGraph, StoreBackend, VerdictCause,
+    VerdictQuery,
 };
-use subconsensus_sim::{InternerStats, SystemSpec};
+use subconsensus_sim::{InternerStats, StoreMetrics, SystemSpec};
 
 const THREADS: [usize; 3] = [1, 2, 4];
 /// Shard counts benched at `threads = 1` (the sharded explorer runs one
@@ -75,6 +76,9 @@ struct GraphFacts {
     /// post-warm-up exploration; its `total_ns` approximates the timed
     /// rows' `median_ns`.
     phases: String,
+    /// Spill counters of the instrumented run (`None` on memory-backed
+    /// rows).
+    store: Option<StoreMetrics>,
 }
 
 impl GraphFacts {
@@ -110,6 +114,7 @@ fn facts(spec: &SystemSpec, opts: &ExploreOptions) -> GraphFacts {
         approx_bytes: g.approx_bytes(),
         interner: g.interner_stats(),
         phases: g.metrics().phases_json(),
+        store: g.metrics().store,
     }
 }
 
@@ -482,10 +487,92 @@ fn main() {
         g.finish();
     }
 
+    // ------------------------------------------------------------------
+    // Disk-store rows: the reduced fixtures re-run under `MC_STORE=disk`
+    // semantics with a hot-tier budget far below their footprint, so
+    // every row actually spills (asserted). The graph facts — including
+    // `approx_bytes`, after the freeze-time unspill — must be identical
+    // to an explicit in-memory run; one `SPILL` line per fixture feeds
+    // `scripts/bench_guard.sh` gate 4.
+    // ------------------------------------------------------------------
+    let disk_budget: usize = 2 << 10;
+    let disk_fixtures = [
+        (
+            "e1_grouped_n2_k3_p8_sym",
+            grouped_system_sym(2, 3, 8),
+            true,
+            false,
+            2_000usize,
+        ),
+        (
+            "e4_partition_p8_m2_j1",
+            partition_system(8, 2, 1),
+            false,
+            true,
+            2_000usize,
+        ),
+    ];
+    #[allow(clippy::type_complexity)]
+    let mut drows: Vec<(&str, usize, bool, bool, GraphFacts, StoreMetrics)> = Vec::new();
+    {
+        let mut g = c.benchmark_group("e9_disk");
+        g.sample_size(SAMPLE_SIZE);
+        for (name, spec, symmetry, por, cap) in &disk_fixtures {
+            let base = ExploreOptions::with_max_configs(*cap)
+                .with_symmetry(*symmetry)
+                .with_por(*por);
+            // Explicitly memory-backed baseline: gate 4 re-runs this bench
+            // with MC_STORE=disk in the environment, and the comparison
+            // must stay disk-vs-memory there too.
+            let mem = facts(spec, &base.clone().with_store(StoreBackend::Memory));
+            for shards in [1usize, 4] {
+                let opts = base
+                    .clone()
+                    .with_shards(shards)
+                    .with_store(StoreBackend::Disk)
+                    .with_store_budget(disk_budget);
+                let row_facts = facts(spec, &opts);
+                assert_eq!(
+                    (mem.peak_configs, mem.edges, mem.truncated, mem.approx_bytes),
+                    (
+                        row_facts.peak_configs,
+                        row_facts.edges,
+                        row_facts.truncated,
+                        row_facts.approx_bytes
+                    ),
+                    "{name} sym={symmetry} por={por} x{shards}: \
+                     disk-store graph diverged from the in-memory one"
+                );
+                let sm = row_facts.store.expect("disk rows report store metrics");
+                assert!(
+                    sm.spilled_bytes > 0,
+                    "{name} x{shards}: a {disk_budget} B hot tier must force spill"
+                );
+                if shards == 1 {
+                    println!(
+                        "SPILL {name} {symmetry} {por} {} {}",
+                        sm.spilled_bytes, sm.reload_count
+                    );
+                }
+                let label = format!(
+                    "{name}{}{}/disk",
+                    if *symmetry { "/sym" } else { "" },
+                    if *por { "/por" } else { "" },
+                );
+                g.bench_with_input(BenchmarkId::new(label, shards), &opts, |b, opts| {
+                    b.iter(|| StateGraph::explore(spec, opts).expect("explore"))
+                });
+                drows.push((name, shards, *symmetry, *por, row_facts, sm));
+            }
+        }
+        g.finish();
+    }
+
     // Hand-formatted JSON (no serde in the offline build).
     let meas = c.measurements();
-    assert_eq!(meas.len(), rows.len() + vrows.len());
-    let (full_meas, verdict_meas) = meas.split_at(rows.len());
+    assert_eq!(meas.len(), rows.len() + vrows.len() + drows.len());
+    let (full_meas, rest_meas) = meas.split_at(rows.len());
+    let (verdict_meas, disk_meas) = rest_meas.split_at(vrows.len());
     let mut kernels = String::new();
     for (m, (name, threads, shards, symmetry, por, facts_row, full_configs)) in
         full_meas.iter().zip(&rows)
@@ -572,6 +659,38 @@ fn main() {
             vf.truncated,
             vf.cause,
             vf.phases,
+            m.median_ns,
+            configs_per_sec,
+            m.iters_per_sample,
+            m.samples,
+        ));
+    }
+    // Disk-store rows. `"store"` sits right after `"fixture"` for the same
+    // reason `"goal"` does on the verdict rows: the per-fixture greps in
+    // scripts/bench_guard.sh must never match one.
+    for (m, (name, shards, symmetry, por, facts_row, sm)) in disk_meas.iter().zip(&drows) {
+        let secs = m.median_ns / 1e9;
+        let configs_per_sec = if secs > 0.0 {
+            facts_row.peak_configs as f64 / secs
+        } else {
+            0.0
+        };
+        kernels.push_str(",\n");
+        kernels.push_str(&format!(
+            "    {{\"fixture\": \"{name}\", \"store\": \"disk\", \
+             \"store_budget\": {disk_budget}, \"threads\": 1, \
+             \"shards\": {shards}, \
+             \"symmetry\": {symmetry}, \"por\": {por}, \"peak_configs\": {}, \
+             \"edges\": {}, \"truncated\": {}, \"approx_bytes_per_config\": {}, \
+             \"spill\": {}, \"phases\": {}, \
+             \"median_ns\": {:.0}, \"configs_per_sec\": {:.0}, \
+             \"iters_per_sample\": {}, \"samples\": {}}}",
+            facts_row.peak_configs,
+            facts_row.edges,
+            facts_row.truncated,
+            facts_row.bytes_per_config(),
+            sm.to_json(),
+            facts_row.phases,
             m.median_ns,
             configs_per_sec,
             m.iters_per_sample,

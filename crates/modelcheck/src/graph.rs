@@ -56,9 +56,11 @@ use std::time::{Duration, Instant};
 
 use subconsensus_sim::{
     shard_of_fingerprint, Config, ExploreMetrics, InternerStats, PendingConfig, Pid, ProcStatus,
-    Recorder, SimError, StateInterner, StepFootprint, SystemSpec, Value, WireConfig,
+    Recorder, SimError, StateInterner, StepFootprint, SystemSpec, TruncationCause, Value,
+    WireConfig, ARENA_SEGMENT,
 };
 
+use crate::spill::{Spill, DEFAULT_DISK_BUDGET};
 use crate::verdict::{ExploreGoal, StreamingVerdict, TerminalFacts, VerdictEngine};
 
 /// Options bounding an exploration.
@@ -121,6 +123,23 @@ pub struct ExploreOptions {
     /// commutative, so verdicts and explored-config counts stay
     /// deterministic across threads × shards × symmetry × POR × store.
     pub goal: ExploreGoal,
+    /// Where the visited set lives: in RAM (the default) or disk-backed
+    /// with a bounded hot tier ([`StoreBackend::Disk`]), which spills
+    /// cold node rows, interner arena segments and fingerprint-index
+    /// entries to a per-run directory once the resident estimate crosses
+    /// [`store_budget_bytes`](Self::store_budget_bytes). The produced
+    /// graph is node-for-node identical for every backend.
+    /// [`StoreBackend::Auto`] defers to the `MC_STORE` env var.
+    pub store: StoreBackend,
+    /// Hot-tier byte budget. Under [`StoreBackend::Disk`] the store
+    /// evicts cold state to disk against this bound; under the in-memory
+    /// backend an exploration whose resident estimate crosses it stops
+    /// adding configurations and truncates cleanly
+    /// ([`TruncationCause::MemoryBudget`]) instead of growing without
+    /// bound. `None` defers to the `MC_STORE_BUDGET` env var (bytes),
+    /// then — for the disk store only — a 256 MiB default; the in-memory
+    /// store is unbounded without an explicit budget.
+    pub store_budget_bytes: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -134,6 +153,8 @@ impl Default for ExploreOptions {
             metrics: false,
             shards: 0,
             goal: ExploreGoal::FullGraph,
+            store: StoreBackend::Auto,
+            store_budget_bytes: None,
         }
     }
 }
@@ -191,6 +212,18 @@ impl ExploreOptions {
         self
     }
 
+    /// Returns these options with the given [`StoreBackend`].
+    pub fn with_store(mut self, store: StoreBackend) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Returns these options with the given hot-tier byte budget.
+    pub fn with_store_budget(mut self, bytes: usize) -> Self {
+        self.store_budget_bytes = Some(bytes);
+        self
+    }
+
     /// The shard count this exploration will actually run with: an
     /// explicit [`shards`](Self::shards) wins, `0` defers to the
     /// `MC_SHARDS` env var (default `1`), and the result is clamped to
@@ -206,6 +239,53 @@ impl ExploreOptions {
         };
         n.clamp(1, MAX_SHARDS)
     }
+
+    /// The store backend this exploration will actually run with: an
+    /// explicit [`store`](Self::store) wins, [`StoreBackend::Auto`]
+    /// defers to the `MC_STORE` env var (`"disk"` selects the disk
+    /// store, anything else the in-memory one).
+    fn effective_store(&self) -> StoreBackend {
+        match self.store {
+            StoreBackend::Auto => match std::env::var("MC_STORE") {
+                Ok(v) if v.trim().eq_ignore_ascii_case("disk") => StoreBackend::Disk,
+                _ => StoreBackend::Memory,
+            },
+            explicit => explicit,
+        }
+    }
+
+    /// The explicit hot-tier budget, if any: a set
+    /// [`store_budget_bytes`](Self::store_budget_bytes) wins, `None`
+    /// defers to the `MC_STORE_BUDGET` env var.
+    fn effective_store_budget(&self) -> Option<usize> {
+        self.store_budget_bytes.or_else(|| {
+            std::env::var("MC_STORE_BUDGET")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        })
+    }
+}
+
+/// Which backend an exploration keeps its visited set in — see
+/// [`ExploreOptions::store`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreBackend {
+    /// Defer to the `MC_STORE` env var (`"disk"` selects
+    /// [`Disk`](Self::Disk)), falling back to [`Memory`](Self::Memory).
+    #[default]
+    Auto,
+    /// Everything resident: node rows, interner arenas and the
+    /// fingerprint index all live in RAM.
+    Memory,
+    /// Bounded hot tier: cold node rows, complete interner arena
+    /// segments and drained fingerprint-index entries spill to
+    /// append-only files under a per-exploration run directory (removed
+    /// when the exploration drops), keeping resident bytes near
+    /// [`ExploreOptions::store_budget_bytes`]. The produced graph is
+    /// node-for-node identical to the in-memory one. Requires the
+    /// interned representation; a deep-representation exploration falls
+    /// back to memory with a one-shot stderr note.
+    Disk,
 }
 
 /// Upper bound on the shard count: beyond this, per-shard tables are so
@@ -318,6 +398,32 @@ trait ConfigStore: Sync {
     /// undecided classification) read off the stored representation — no
     /// deep `Config` is materialized.
     fn terminal_facts(&self, i: usize) -> TerminalFacts;
+
+    /// Sequential level-boundary hook, called before each level's
+    /// expansion with the node ids about to be expanded (workers are
+    /// joined, so a disk-backed store may evict here: everything a worker
+    /// can touch this level — the frontier's rows and the arena segments
+    /// they reference — is pinned resident until the next call).
+    fn begin_level(&mut self, _frontier: &[usize]) {}
+
+    /// Estimated resident bytes of the store's hot tier (rows + arenas +
+    /// fingerprint index + reload buffers), driving both the disk store's
+    /// eviction and the in-memory budget truncation.
+    fn resident_estimate(&self) -> usize {
+        0
+    }
+
+    /// Whether this store spills cold state to disk (if so, the memory
+    /// budget bounds residency by eviction instead of truncation).
+    fn spilling(&self) -> bool {
+        false
+    }
+}
+
+/// Rough resident bytes of a fingerprint index: `HashMap` control word +
+/// key + `Vec` header per entry, plus one `usize` per filed node id.
+fn index_bytes(entries: usize, ids: usize) -> usize {
+    entries * 48 + ids * 8
 }
 
 /// Folds per-process statuses into the streaming engine's terminal facts —
@@ -444,6 +550,14 @@ impl ConfigStore for DeepStore<'_> {
         let c = &self.configs[i];
         facts_from_statuses((0..c.nprocs()).map(|p| &c.proc_state(Pid::new(p)).status))
     }
+
+    fn resident_estimate(&self) -> usize {
+        let per_config = std::mem::size_of::<Config>()
+            + self.configs.first().map_or(0, |c| {
+                (c.nobjects() + c.nprocs()) * std::mem::size_of::<usize>()
+            });
+        self.configs.len() * per_config + index_bytes(self.index.len(), self.configs.len())
+    }
 }
 
 /// A worker-stepped successor in id space: the [`PendingConfig`] plus the
@@ -467,11 +581,19 @@ struct CompactStore<'a> {
     nobjects: usize,
     /// Words per node row (`nobjects + nprocs`).
     stride: usize,
-    /// Row-major id words of all nodes: node `i` is
-    /// `words[i * stride .. (i + 1) * stride]`.
+    /// Row-major id words of the *hot* nodes: with no spill, node `i` is
+    /// `words[i * stride .. (i + 1) * stride]`; with one, the vec holds
+    /// only nodes `[hot_base, len)` (the on-disk prefix is faulted
+    /// through the spill's reloaded tier).
     words: Vec<u32>,
     len: usize,
     index: HashMap<u64, Vec<usize>>,
+    /// Node ids currently filed in `index` (drains reset it) — keeps
+    /// [`resident_estimate`](ConfigStore::resident_estimate) O(1).
+    index_ids: usize,
+    /// Disk spill state ([`StoreBackend::Disk`] only); `None` preserves
+    /// the fully-resident behavior bit for bit.
+    spill: Option<Spill>,
 }
 
 impl<'a> CompactStore<'a> {
@@ -490,11 +612,249 @@ impl<'a> CompactStore<'a> {
             words,
             len: 1,
             index,
+            index_ids: 1,
+            spill: None,
         }
     }
 
+    /// Turns this store disk-backed with the given hot-tier budget.
+    fn enable_spill(&mut self, budget: usize) {
+        debug_assert!(self.spill.is_none());
+        self.spill = Some(Spill::new(self.stride, budget));
+    }
+
     fn row(&self, i: usize) -> &[u32] {
-        &self.words[i * self.stride..(i + 1) * self.stride]
+        self.row_resident(i)
+            .expect("spilled row accessed outside the pinned frontier")
+    }
+
+    /// Node `i`'s row if it is resident (hot suffix or reloaded this
+    /// level) — worker-safe: a `None` is a safe dedup false miss, since
+    /// the merge re-checks with faulting.
+    fn row_resident(&self, i: usize) -> Option<&[u32]> {
+        let hot_base = self.spill.as_ref().map_or(0, Spill::hot_base);
+        if i >= hot_base {
+            let k = i - hot_base;
+            Some(&self.words[k * self.stride..(k + 1) * self.stride])
+        } else {
+            self.spill.as_ref().and_then(|s| s.reloaded_row(i))
+        }
+    }
+
+    /// Restores (if evicted) and level-pins one complete arena segment;
+    /// tail segments are always resident and never evictable.
+    fn restore_and_pin(&mut self, procs: bool, seg: usize) {
+        restore_and_pin(&mut self.interner, &mut self.spill, self.rec, procs, seg);
+    }
+
+    /// Makes every frontier row and every arena segment those rows
+    /// reference resident, pinned for the whole level.
+    fn pin_frontier(&mut self, frontier: &[usize]) {
+        let rec = self.rec;
+        let hot_base = self.spill.as_ref().map_or(0, Spill::hot_base);
+        for &i in frontier {
+            if i < hot_base {
+                self.spill
+                    .as_mut()
+                    .expect("hot_base > 0 implies a spill")
+                    .fault_row(i, rec);
+            }
+        }
+        let mut segs: Vec<(bool, usize)> = Vec::new();
+        for &i in frontier {
+            let row = self.row(i);
+            for (slot, &id) in row.iter().enumerate() {
+                segs.push((slot >= self.nobjects, id as usize / ARENA_SEGMENT));
+            }
+        }
+        segs.sort_unstable();
+        segs.dedup();
+        for (procs, seg) in segs {
+            self.restore_and_pin(procs, seg);
+        }
+    }
+
+    /// Evicts cold state until the resident estimate fits the budget:
+    /// complete, unpinned arena segments oldest-pin-first, then (still
+    /// over) the in-memory fingerprint index drains to bucket files.
+    fn evict_to_budget(&mut self) {
+        let rec = self.rec;
+        let Some(spill) = self.spill.as_ref() else {
+            return;
+        };
+        let budget = spill.budget;
+        let level = spill.level;
+        if self.resident_estimate() <= budget {
+            return;
+        }
+        let cands = evictable_segments(&self.interner, self.spill.as_ref().unwrap(), level);
+        for (_, procs, seg) in cands {
+            if self.resident_estimate() <= budget {
+                break;
+            }
+            evict_segment(
+                &mut self.interner,
+                self.spill.as_mut().unwrap(),
+                rec,
+                procs,
+                seg,
+            );
+        }
+        if self.resident_estimate() > budget {
+            let mut index = std::mem::take(&mut self.index);
+            self.spill.as_mut().unwrap().drain_index(&mut index, rec);
+            self.index = index;
+            self.index_ids = 0;
+        }
+    }
+
+    /// Restores the arena segments holding cold hash-colliding candidates
+    /// of `pending`'s fresh states — `finalize` below requires every such
+    /// candidate resident (the interner panics otherwise, because
+    /// skipping one would break the id ⇔ value bijection).
+    fn restore_cold(&mut self, pending: &PendingConfig) {
+        if self.spill.is_none() {
+            return;
+        }
+        let mut cold: Vec<(bool, usize)> = Vec::new();
+        self.interner.cold_segments_for_pending(pending, &mut cold);
+        for (procs, seg) in cold {
+            self.restore_and_pin(procs, seg);
+        }
+    }
+
+    /// Reconstitutes the fully-resident representation (freeze time):
+    /// every evicted segment restored, the on-disk row prefix prepended
+    /// back onto the hot vec, the spill (and its run directory) dropped.
+    fn unspill(&mut self) {
+        unspill(
+            &mut self.interner,
+            &mut self.spill,
+            &mut self.words,
+            self.rec,
+        );
+    }
+}
+
+/// Restores (if evicted) and level-pins one complete arena segment —
+/// shared by [`CompactStore`] and [`CompactShard`]. A tail (incomplete)
+/// segment is always resident and never written, so it is skipped.
+fn restore_and_pin(
+    interner: &mut StateInterner,
+    spill: &mut Option<Spill>,
+    rec: &Recorder,
+    procs: bool,
+    seg: usize,
+) {
+    let complete = if procs {
+        interner.proc_segments()
+    } else {
+        interner.object_segments()
+    };
+    if seg >= complete {
+        return;
+    }
+    let resident = if procs {
+        interner.proc_segment_resident(seg)
+    } else {
+        interner.object_segment_resident(seg)
+    };
+    let spill = spill
+        .as_mut()
+        .expect("segment pinning implies an active spill");
+    if !resident {
+        let bytes = spill.read_segment(procs, seg, rec);
+        if procs {
+            interner.restore_proc_segment(seg, &bytes);
+        } else {
+            interner.restore_object_segment(seg, &bytes);
+        }
+    }
+    spill.pin_segment(procs, seg);
+}
+
+/// Complete, resident arena segments not pinned this level, oldest pin
+/// first — the order eviction walks until the budget is met.
+fn evictable_segments(
+    interner: &StateInterner,
+    spill: &Spill,
+    level: u64,
+) -> Vec<(u64, bool, usize)> {
+    let mut cands = Vec::new();
+    for seg in 0..interner.object_segments() {
+        if interner.object_segment_resident(seg) {
+            let pin = spill.obj_pin.get(seg).copied().unwrap_or(0);
+            if pin < level {
+                cands.push((pin, false, seg));
+            }
+        }
+    }
+    for seg in 0..interner.proc_segments() {
+        if interner.proc_segment_resident(seg) {
+            let pin = spill.proc_pin.get(seg).copied().unwrap_or(0);
+            if pin < level {
+                cands.push((pin, true, seg));
+            }
+        }
+    }
+    cands.sort_unstable();
+    cands
+}
+
+/// Writes (first eviction only — arena segments are immutable once
+/// complete) and evicts one segment, dropping its `Arc`ed states.
+fn evict_segment(
+    interner: &mut StateInterner,
+    spill: &mut Spill,
+    rec: &Recorder,
+    procs: bool,
+    seg: usize,
+) {
+    if !spill.has_segment(procs, seg) {
+        let bytes = if procs {
+            interner.encode_proc_segment(seg)
+        } else {
+            interner.encode_object_segment(seg)
+        };
+        spill.write_segment(procs, seg, &bytes, rec);
+    }
+    if procs {
+        interner.evict_proc_segment(seg);
+    } else {
+        interner.evict_object_segment(seg);
+    }
+}
+
+/// Freeze-time reconstitution shared by both compact stores: every
+/// evicted segment restored (bit-exact — the codec round-trips and ids
+/// never move), the on-disk row prefix streamed back in front of the hot
+/// suffix, and the spill dropped (removing its run directory). The
+/// result is indistinguishable from a fully in-memory exploration's.
+fn unspill(
+    interner: &mut StateInterner,
+    spill: &mut Option<Spill>,
+    words: &mut Vec<u32>,
+    rec: &Recorder,
+) {
+    let Some(mut spill) = spill.take() else {
+        return;
+    };
+    for seg in 0..interner.object_segments() {
+        if !interner.object_segment_resident(seg) {
+            let bytes = spill.read_segment(false, seg, rec);
+            interner.restore_object_segment(seg, &bytes);
+        }
+    }
+    for seg in 0..interner.proc_segments() {
+        if !interner.proc_segment_resident(seg) {
+            let bytes = spill.read_segment(true, seg, rec);
+            interner.restore_proc_segment(seg, &bytes);
+        }
+    }
+    if spill.hot_base() > 0 {
+        let mut all = spill.read_all_rows(rec);
+        all.append(words);
+        *words = all;
     }
 }
 
@@ -567,23 +927,69 @@ impl ConfigStore for CompactStore<'_> {
     fn lookup(&self, c: &Self::Carrier) -> Option<usize> {
         let words = c.pending.resolved_words()?;
         let fp = c.fp?;
+        // Worker-side: probe only the in-memory index and only resident
+        // rows — a spilled candidate is a safe false miss (fresh state
+        // rides by value; the merge's `insert` re-checks with faulting).
+        let spilling = self.spill.is_some();
         self.index
             .get(&fp)?
             .iter()
             .copied()
-            .find(|&j| self.row(j) == words)
+            .find(|&j| match self.row_resident(j) {
+                Some(row) => {
+                    if spilling {
+                        self.rec.count_store_hot_hits(1);
+                    }
+                    row == words
+                }
+                None => {
+                    self.rec.count_store_hot_misses(1);
+                    false
+                }
+            })
     }
 
     fn insert(&mut self, c: Self::Carrier, cap: usize) -> MergeSlot {
         // Intern the carrier's fresh states (if any), then dedup by id
-        // words — the compact twin of the deep path's re-lookup.
+        // words — the compact twin of the deep path's re-lookup. With a
+        // spill, every cold hash-colliding candidate of the fresh states
+        // is restored first: the merge is the authoritative dedup, so
+        // unlike the worker's `lookup` it may not skip evicted state.
+        self.restore_cold(&c.pending);
         let compact = self.interner.finalize(c.pending);
         let words = compact.words();
         let fp = fingerprint_words(words);
-        let known = self
-            .index
-            .get(&fp)
-            .and_then(|ids| ids.iter().copied().find(|&j| self.row(j) == words));
+        let mut cands: Vec<usize> = self.index.get(&fp).cloned().unwrap_or_default();
+        if let Some(spill) = self.spill.as_mut() {
+            if spill.drained {
+                spill.spilled_candidates(fp, &mut cands, self.rec);
+            }
+        }
+        let rec = self.rec;
+        let spilling = self.spill.is_some();
+        let mut known = None;
+        for j in cands {
+            let hit = match self.row_resident(j) {
+                Some(row) => {
+                    if spilling {
+                        rec.count_store_hot_hits(1);
+                    }
+                    row == words
+                }
+                None => {
+                    rec.count_store_hot_misses(1);
+                    let spill = self
+                        .spill
+                        .as_mut()
+                        .expect("non-resident row implies a spill");
+                    spill.fault_row(j, rec) == words
+                }
+            };
+            if hit {
+                known = Some(j);
+                break;
+            }
+        }
         if let Some(j) = known {
             return MergeSlot::Known(j);
         }
@@ -593,6 +999,7 @@ impl ConfigStore for CompactStore<'_> {
         let j = self.len;
         self.words.extend_from_slice(words);
         self.index.entry(fp).or_default().push(j);
+        self.index_ids += 1;
         self.len += 1;
         MergeSlot::Added(j)
     }
@@ -604,6 +1011,42 @@ impl ConfigStore for CompactStore<'_> {
                 .iter()
                 .map(|&id| &self.interner.proc(id).status),
         )
+    }
+
+    fn begin_level(&mut self, frontier: &[usize]) {
+        if self.spill.is_none() {
+            return;
+        }
+        let rec = self.rec;
+        {
+            let spill = self.spill.as_mut().unwrap();
+            spill.level += 1;
+            spill.clear_reloaded();
+        }
+        let budget = self.spill.as_ref().unwrap().budget;
+        if self.resident_estimate() > budget {
+            // Rows first: the append-only node rows are the dominant
+            // linear cost, and spilling them is one sequential write.
+            let rows = std::mem::take(&mut self.words);
+            self.spill.as_mut().unwrap().spill_rows(&rows, rec);
+        }
+        self.pin_frontier(frontier);
+        self.evict_to_budget();
+    }
+
+    fn resident_estimate(&self) -> usize {
+        self.interner.table_bytes()
+            + self.interner.resident_state_bytes()
+            + self.words.len() * std::mem::size_of::<u32>()
+            + index_bytes(self.index.len(), self.index_ids)
+            + self
+                .spill
+                .as_ref()
+                .map_or(0, |s| s.reloaded_bytes() + s.bucket_cache_bytes())
+    }
+
+    fn spilling(&self) -> bool {
+        self.spill.is_some()
     }
 }
 
@@ -1121,6 +1564,37 @@ fn warn_truncated(cap: usize, configs: usize) {
     });
 }
 
+/// One-line stderr hint when an in-memory exploration truncates on its
+/// hot-tier byte budget: the disk store lifts exactly this bound.
+fn warn_budget_truncated(budget: usize, configs: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "modelcheck: WARNING: exploration truncated at store_budget_bytes = \
+             {budget} ({configs} configs kept); analyses on this graph are \
+             partial. Set MC_STORE=disk (or \
+             ExploreOptions::with_store(StoreBackend::Disk)) to spill cold \
+             state to disk instead of truncating (further budget-truncation \
+             warnings suppressed for this process)"
+        );
+    });
+}
+
+/// One-line stderr note when the disk store is requested for a
+/// deep-representation exploration, which cannot spill (there is no
+/// interner arena to evict); the run proceeds fully in memory.
+fn warn_disk_needs_interned() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "modelcheck: NOTE: the disk store spills interner arenas, so it \
+             requires the hash-consed representation \
+             (ExploreOptions::interned); this deep-representation exploration \
+             falls back to the in-memory store"
+        );
+    });
+}
+
 /// Runs the level-synchronized BFS against `store` (already seeded with
 /// node 0) and freezes the resulting adjacency into CSR form. All
 /// reduction logic (symmetry, POR, the cycle proviso) lives here, once,
@@ -1163,12 +1637,27 @@ fn explore_core<S: ConfigStore>(
     }];
     let mut cur_depth: u32 = 0;
     let mut scratch: Vec<Edge> = Vec::new();
+    // Memory-budget truncation: with an explicit hot-tier budget but no
+    // spill to honor it by eviction, the level loop stops *adding* nodes
+    // once the resident estimate crosses the budget — a clean, recorded
+    // truncation instead of unbounded growth.
+    let mem_budget = if store.spilling() {
+        None
+    } else {
+        opts.effective_store_budget()
+    };
+    let mut frontier_ids: Vec<usize> = Vec::new();
     while !level.is_empty() {
         // Level wall time feeds the per-level trace records; read the
         // clock only when timing is on so the untimed path stays
         // syscall-free.
         let t_level = rec.is_timing().then(Instant::now);
         let nodes_before = depth.len();
+        frontier_ids.clear();
+        frontier_ids.extend(level.iter().map(|it| it.node));
+        store.begin_level(&frontier_ids);
+        let over_budget = mem_budget.is_some_and(|b| store.resident_estimate() > b);
+        let level_cap = if over_budget { 0 } else { opts.max_configs };
         let ctx = LevelCtx {
             level: cur_depth,
             nodes: nodes_before,
@@ -1206,7 +1695,7 @@ fn explore_core<S: ConfigStore>(
                     StepResult::Fresh(next) => {
                         let slot = {
                             let _t = rec.time_intern();
-                            store.insert(next, opts.max_configs)
+                            store.insert(next, level_cap)
                         };
                         match slot {
                             MergeSlot::Known(j) => {
@@ -1215,7 +1704,10 @@ fn explore_core<S: ConfigStore>(
                             }
                             MergeSlot::Capped => {
                                 rec.count_capped(1);
-                                rec.set_truncated(opts.max_configs);
+                                match mem_budget {
+                                    Some(b) if over_budget => rec.set_budget_truncated(b),
+                                    _ => rec.set_truncated(opts.max_configs),
+                                }
                                 truncated = true;
                                 continue;
                             }
@@ -1326,6 +1818,7 @@ fn explore_core<S: ConfigStore>(
             }
         }
         drop(merge_t);
+        rec.record_peak_bytes(store.resident_estimate());
         // Level-granular verdict evaluation: at most one (untimed) cycle
         // check per level, then exit if any queried conjunct is refuted.
         if let Some(eng) = engine.as_mut() {
@@ -1601,6 +2094,22 @@ trait ShardStore: Send + Sync {
     /// Streaming-verdict facts of terminal local node `local` — the
     /// sharded twin of [`ConfigStore::terminal_facts`].
     fn terminal_facts(&self, local: usize) -> TerminalFacts;
+
+    /// Sequential level-boundary hook (the sharded twin of
+    /// [`ConfigStore::begin_level`]): called with this shard's slice of
+    /// the frontier, in *local* node ids, before the level's parallel
+    /// expansion. Spill counters land on `rec` (the main recorder).
+    fn begin_level(&mut self, _frontier: &[usize], _rec: &Recorder) {}
+
+    /// Estimated resident bytes of this shard's hot tier.
+    fn resident_estimate(&self) -> usize {
+        0
+    }
+
+    /// Whether this shard spills cold state to disk.
+    fn spilling(&self) -> bool {
+        false
+    }
 }
 
 /// Deep-configuration shard: one [`Config`] per local node, dedup
@@ -1715,6 +2224,16 @@ impl ShardStore for DeepShard<'_> {
         let c = &self.configs[local];
         facts_from_statuses((0..c.nprocs()).map(|p| &c.proc_state(Pid::new(p)).status))
     }
+
+    fn resident_estimate(&self) -> usize {
+        let per_config = std::mem::size_of::<Config>()
+            + self.configs.first().map_or(0, |c| {
+                (c.nobjects() + c.nprocs()) * std::mem::size_of::<usize>()
+            });
+        self.configs.len() * per_config
+            + self.fps.len() * std::mem::size_of::<u64>()
+            + index_bytes(self.index.len(), self.configs.len())
+    }
 }
 
 /// Hash-consed shard: its own [`StateInterner`] arena plus flat id-word
@@ -1727,11 +2246,17 @@ struct CompactShard<'a> {
     interner: StateInterner,
     nobjects: usize,
     stride: usize,
+    /// Hot id-word rows: locals `[hot_base, len)` when spilling (the
+    /// on-disk prefix is faulted through the spill), all locals otherwise.
     words: Vec<u32>,
     len: usize,
     /// Content fingerprint per local node (dedup key + pop removal).
     fps: Vec<u64>,
     index: HashMap<u64, Vec<usize>>,
+    /// Locals currently filed in `index` (drains reset it).
+    index_ids: usize,
+    /// Disk spill state ([`StoreBackend::Disk`] only).
+    spill: Option<Spill>,
 }
 
 impl<'a> CompactShard<'a> {
@@ -1745,7 +2270,15 @@ impl<'a> CompactShard<'a> {
             len: 0,
             fps: Vec::new(),
             index: HashMap::new(),
+            index_ids: 0,
+            spill: None,
         }
+    }
+
+    /// Turns this shard disk-backed with the given hot-tier budget.
+    fn enable_spill(&mut self, budget: usize) {
+        debug_assert!(self.spill.is_none());
+        self.spill = Some(Spill::new(self.stride, budget));
     }
 
     /// Installs the initial configuration as local node 0 (owner only).
@@ -1755,11 +2288,88 @@ impl<'a> CompactShard<'a> {
         self.words.extend_from_slice(compact.words());
         self.fps.push(fp);
         self.index.entry(fp).or_default().push(0);
+        self.index_ids = 1;
         self.len = 1;
     }
 
     fn row(&self, i: usize) -> &[u32] {
-        &self.words[i * self.stride..(i + 1) * self.stride]
+        self.row_resident(i)
+            .expect("spilled row accessed outside the pinned frontier")
+    }
+
+    /// Local `i`'s row if resident — the sharded twin of
+    /// [`CompactStore::row_resident`].
+    fn row_resident(&self, i: usize) -> Option<&[u32]> {
+        let hot_base = self.spill.as_ref().map_or(0, Spill::hot_base);
+        if i >= hot_base {
+            let k = i - hot_base;
+            Some(&self.words[k * self.stride..(k + 1) * self.stride])
+        } else {
+            self.spill.as_ref().and_then(|s| s.reloaded_row(i))
+        }
+    }
+
+    /// Makes this shard's frontier rows and their referenced arena
+    /// segments resident, pinned for the whole level.
+    fn pin_frontier(&mut self, frontier: &[usize], rec: &Recorder) {
+        let hot_base = self.spill.as_ref().map_or(0, Spill::hot_base);
+        for &i in frontier {
+            if i < hot_base {
+                self.spill
+                    .as_mut()
+                    .expect("hot_base > 0 implies a spill")
+                    .fault_row(i, rec);
+            }
+        }
+        let mut segs: Vec<(bool, usize)> = Vec::new();
+        for &i in frontier {
+            let row = self.row(i);
+            for (slot, &id) in row.iter().enumerate() {
+                segs.push((slot >= self.nobjects, id as usize / ARENA_SEGMENT));
+            }
+        }
+        segs.sort_unstable();
+        segs.dedup();
+        for (procs, seg) in segs {
+            restore_and_pin(&mut self.interner, &mut self.spill, rec, procs, seg);
+        }
+    }
+
+    /// The sharded twin of [`CompactStore::evict_to_budget`].
+    fn evict_to_budget(&mut self, rec: &Recorder) {
+        let Some(spill) = self.spill.as_ref() else {
+            return;
+        };
+        let budget = spill.budget;
+        let level = spill.level;
+        if self.resident_estimate() <= budget {
+            return;
+        }
+        let cands = evictable_segments(&self.interner, self.spill.as_ref().unwrap(), level);
+        for (_, procs, seg) in cands {
+            if self.resident_estimate() <= budget {
+                break;
+            }
+            evict_segment(
+                &mut self.interner,
+                self.spill.as_mut().unwrap(),
+                rec,
+                procs,
+                seg,
+            );
+        }
+        if self.resident_estimate() > budget {
+            let mut index = std::mem::take(&mut self.index);
+            self.spill.as_mut().unwrap().drain_index(&mut index, rec);
+            self.index = index;
+            self.index_ids = 0;
+        }
+    }
+
+    /// Freeze-time reconstitution — see the free [`unspill`]. Sharded
+    /// explorations unspill each shard before the arena stitch.
+    fn unspill(&mut self, rec: &Recorder) {
+        unspill(&mut self.interner, &mut self.spill, &mut self.words, rec);
     }
 }
 
@@ -1828,12 +2438,48 @@ impl ShardStore for CompactShard<'_> {
 
     fn insert(&mut self, wire: WireConfig, fp: u64, timers: &Recorder) -> (usize, bool) {
         let _t = timers.time_intern();
+        // Owner-side adoption is the authoritative dedup: restore every
+        // cold hash-colliding candidate of the wire's states first (the
+        // interner panics rather than skip one — see `CompactStore::insert`).
+        if self.spill.is_some() {
+            let mut cold: Vec<(bool, usize)> = Vec::new();
+            self.interner.cold_segments_for_wire(&wire, &mut cold);
+            for (procs, seg) in cold {
+                restore_and_pin(&mut self.interner, &mut self.spill, timers, procs, seg);
+            }
+        }
         let compact = self.interner.adopt(wire);
         let words = compact.words();
-        let known = self
-            .index
-            .get(&fp)
-            .and_then(|ids| ids.iter().copied().find(|&j| self.row(j) == words));
+        let mut cands: Vec<usize> = self.index.get(&fp).cloned().unwrap_or_default();
+        if let Some(spill) = self.spill.as_mut() {
+            if spill.drained {
+                spill.spilled_candidates(fp, &mut cands, timers);
+            }
+        }
+        let spilling = self.spill.is_some();
+        let mut known = None;
+        for j in cands {
+            let hit = match self.row_resident(j) {
+                Some(row) => {
+                    if spilling {
+                        timers.count_store_hot_hits(1);
+                    }
+                    row == words
+                }
+                None => {
+                    timers.count_store_hot_misses(1);
+                    let spill = self
+                        .spill
+                        .as_mut()
+                        .expect("non-resident row implies a spill");
+                    spill.fault_row(j, timers) == words
+                }
+            };
+            if hit {
+                known = Some(j);
+                break;
+            }
+        }
         if let Some(j) = known {
             return (j, false);
         }
@@ -1841,13 +2487,19 @@ impl ShardStore for CompactShard<'_> {
         self.words.extend_from_slice(words);
         self.fps.push(fp);
         self.index.entry(fp).or_default().push(j);
+        self.index_ids += 1;
         self.len += 1;
         (j, true)
     }
 
     fn pop_last(&mut self, n: usize) {
+        // Popped locals are always this level's inserts, which postdate
+        // the last `begin_level`: their rows are hot and their index
+        // entries are still in the in-memory map (never drained).
+        let hot_base = self.spill.as_ref().map_or(0, Spill::hot_base);
         for _ in 0..n {
             let l = self.len - 1;
+            debug_assert!(l >= hot_base, "popping a spilled local");
             let fp = self.fps.pop().expect("pop beyond arena");
             let bucket = self.index.get_mut(&fp).expect("indexed fingerprint");
             let popped = bucket.pop();
@@ -1855,8 +2507,9 @@ impl ShardStore for CompactShard<'_> {
             if bucket.is_empty() {
                 self.index.remove(&fp);
             }
+            self.index_ids -= 1;
             self.len = l;
-            self.words.truncate(self.len * self.stride);
+            self.words.truncate((self.len - hot_base) * self.stride);
             // Adopted states stay in the interner arena: re-popping them
             // would invalidate ids already handed out, and an over-budget
             // configuration's states are usually shared with kept ones.
@@ -1870,6 +2523,40 @@ impl ShardStore for CompactShard<'_> {
                 .iter()
                 .map(|&id| &self.interner.proc(id).status),
         )
+    }
+
+    fn begin_level(&mut self, frontier: &[usize], rec: &Recorder) {
+        if self.spill.is_none() {
+            return;
+        }
+        {
+            let spill = self.spill.as_mut().unwrap();
+            spill.level += 1;
+            spill.clear_reloaded();
+        }
+        let budget = self.spill.as_ref().unwrap().budget;
+        if self.resident_estimate() > budget {
+            let rows = std::mem::take(&mut self.words);
+            self.spill.as_mut().unwrap().spill_rows(&rows, rec);
+        }
+        self.pin_frontier(frontier, rec);
+        self.evict_to_budget(rec);
+    }
+
+    fn resident_estimate(&self) -> usize {
+        self.interner.table_bytes()
+            + self.interner.resident_state_bytes()
+            + self.words.len() * std::mem::size_of::<u32>()
+            + self.fps.len() * std::mem::size_of::<u64>()
+            + index_bytes(self.index.len(), self.index_ids)
+            + self
+                .spill
+                .as_ref()
+                .map_or(0, |s| s.reloaded_bytes() + s.bucket_cache_bytes())
+    }
+
+    fn spilling(&self) -> bool {
+        self.spill.is_some()
     }
 }
 
@@ -2129,6 +2816,17 @@ fn explore_sharded<S: ShardStore>(
     }];
     let mut cur_depth: u32 = 0;
     let mut scratch: Vec<Edge> = Vec::new();
+    // Memory-budget truncation, as in `explore_core`: only when no shard
+    // can honor the budget by spilling. (With per-shard estimates summed
+    // each level, the decision depends on shard count, so budget-truncated
+    // in-memory runs do not claim cross-shard graph identity; disk runs
+    // do — eviction never changes the graph.)
+    let mem_budget = if shards.iter().any(|s| s.spilling()) {
+        None
+    } else {
+        opts.effective_store_budget()
+    };
+    let mut local_ids: Vec<usize> = Vec::new();
     while !frontier.is_empty() {
         let t_level = rec.is_timing().then(Instant::now);
         let nodes_before = depth.len();
@@ -2145,6 +2843,16 @@ fn explore_sharded<S: ShardStore>(
                 fresh: it.fresh,
             });
         }
+        // Sequential level-boundary hook per shard (workers not yet
+        // spawned): a disk-backed shard spills/evicts here, pinning its
+        // slice of the frontier resident for the level.
+        for (k, store) in shards.iter_mut().enumerate() {
+            local_ids.clear();
+            local_ids.extend(frontiers[k].iter().map(|it| it.local as usize));
+            store.begin_level(&local_ids, rec);
+        }
+        let over_budget = mem_budget
+            .is_some_and(|b| shards.iter().map(|s| s.resident_estimate()).sum::<usize>() > b);
         let ectx = ExpandCtx {
             first_sleep: &first_sleep,
             opts,
@@ -2239,8 +2947,14 @@ fn explore_sharded<S: ShardStore>(
 
         // Phase 3: assign global ids to the budgeted prefix of the new
         // nodes (in tag order — the single-store insertion order) and pop
-        // the over-budget suffix out of each shard.
-        let budget = opts.max_configs.saturating_sub(depth.len());
+        // the over-budget suffix out of each shard. An over-memory-budget
+        // level keeps nothing: the clean-truncation twin of `level_cap = 0`
+        // in `explore_core`.
+        let budget = if over_budget {
+            0
+        } else {
+            opts.max_configs.saturating_sub(depth.len())
+        };
         let kept = budget.min(new_all.len());
         // keep_limit[k]: locals of shard k below this index survive.
         let mut keep_limit: Vec<usize> = l2g.iter().map(Vec::len).collect();
@@ -2283,9 +2997,12 @@ fn explore_sharded<S: ShardStore>(
                 let (sk, sl) = (sk as usize, sl as usize);
                 let (j, known) = if sl >= keep_limit[sk] {
                     // The owner resolved this occurrence to a node that
-                    // fell beyond the configuration budget.
+                    // fell beyond the configuration (or memory) budget.
                     rec.count_capped(1);
-                    rec.set_truncated(opts.max_configs);
+                    match mem_budget {
+                        Some(b) if over_budget => rec.set_budget_truncated(b),
+                        _ => rec.set_truncated(opts.max_configs),
+                    }
                     truncated = true;
                     continue;
                 } else if is_new {
@@ -2378,6 +3095,7 @@ fn explore_sharded<S: ShardStore>(
             }
         }
         drop(merge_t);
+        rec.record_peak_bytes(shards.iter().map(|s| s.resident_estimate()).sum());
         // Level-granular verdict evaluation, mirroring `explore_core`:
         // the exit point — and the explored-config count — is identical
         // for every shard count.
@@ -2488,14 +3206,34 @@ fn explore_sharded_compact(
     let mut shards: Vec<CompactShard> = (0..nshards)
         .map(|_| CompactShard::new(spec, nobjects, stride))
         .collect();
+    if opts.effective_store() == StoreBackend::Disk {
+        // The hot-tier budget bounds the whole exploration, so each shard
+        // gets an equal slice of it.
+        let budget = opts
+            .effective_store_budget()
+            .unwrap_or(DEFAULT_DISK_BUDGET)
+            .div_euclid(nshards)
+            .max(1);
+        for shard in &mut shards {
+            shard.enable_spill(budget);
+        }
+        rec.mark_store_active();
+    }
     shards[owner].seed(init, fp);
     let (core, home) = explore_sharded(&mut shards, owner, opts, rec)?;
     if core.verdict.is_some() {
         // Verdict goal: node contents are never read again, so the arena
-        // stitch — this path's freeze phase — is skipped entirely.
+        // stitch — this path's freeze phase — is skipped entirely (the
+        // spills drop with the shards, removing their run directories).
         return Ok((NodeStore::Virtual { len: home.len() }, core));
     }
     let _t = rec.time_freeze();
+    // Reconstitute each shard fully in memory before the stitch: arenas
+    // are append-only and ids never move, so the unspilled shard is
+    // bit-identical to an in-memory exploration's.
+    for shard in &mut shards {
+        shard.unspill(rec);
+    }
     let mut interner = StateInterner::new();
     let remaps: Vec<(Vec<u32>, Vec<u32>)> = shards
         .iter()
@@ -2629,6 +3367,9 @@ impl StateGraph {
             spec.initial_config()
         };
         let nshards = opts.effective_shards();
+        if opts.effective_store() == StoreBackend::Disk && !opts.interned {
+            warn_disk_needs_interned();
+        }
         let (store, core) = if nshards > 1 {
             if opts.interned {
                 explore_sharded_compact(spec, &init, nshards, &opts, rec)?
@@ -2637,7 +3378,15 @@ impl StateGraph {
             }
         } else if opts.interned {
             let mut store = CompactStore::new(spec, rec, &init);
+            if opts.effective_store() == StoreBackend::Disk {
+                store.enable_spill(opts.effective_store_budget().unwrap_or(DEFAULT_DISK_BUDGET));
+                rec.mark_store_active();
+            }
             let core = explore_core(&mut store, &opts, rec)?;
+            // Reconstitute before freezing (bit-identical to an in-memory
+            // run — arenas are append-only and ids never move); the spill
+            // drops here, removing its run directory.
+            store.unspill();
             let CompactStore {
                 interner,
                 nobjects,
@@ -2676,10 +3425,18 @@ impl StateGraph {
         // Under a verdict goal the CSR is never frozen; `core.edges`
         // keeps the true recorded edge count either way.
         metrics.edges = core.edges;
-        metrics.peak_bytes = graph.approx_bytes();
+        // Peak residency: the larger of the per-level store estimates
+        // recorded during exploration and the frozen graph's footprint
+        // (the estimates cover rows + arenas + index, which the frozen
+        // footprint alone understated before).
+        metrics.peak_bytes = metrics.peak_bytes.max(graph.approx_bytes());
         graph.metrics = metrics;
         if graph.truncated {
-            warn_truncated(opts.max_configs, graph.len());
+            if let TruncationCause::MemoryBudget { budget } = graph.metrics.truncation {
+                warn_budget_truncated(budget, graph.len());
+            } else {
+                warn_truncated(opts.max_configs, graph.len());
+            }
         }
         Ok(graph)
     }
@@ -2824,10 +3581,10 @@ impl StateGraph {
 
     /// Approximate resident bytes of the frozen graph: the node arena (per
     /// node, a `Config` struct plus its pointer arrays for the deep
-    /// representation, or `stride` id words for the interned one — the
-    /// shared states themselves are excluded either way, being `Arc`-shared
-    /// across nodes in one case and stored once in the interner in the
-    /// other), the CSR arrays and the terminal list.
+    /// representation, or `stride` id words plus the interner's hash
+    /// tables and unique states for the interned one — shared deep states
+    /// are excluded for the deep representation, being `Arc`-shared
+    /// across nodes), the CSR arrays and the terminal list.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
         let nodes = match &self.store {
@@ -2838,7 +3595,13 @@ impl StateGraph {
                         .map_or(0, |c| (c.nobjects() + c.nprocs()) * size_of::<usize>());
                 configs.len() * per_config
             }
-            NodeStore::Interned(nodes) => nodes.words.len() * size_of::<u32>(),
+            NodeStore::Interned(nodes) => {
+                // The interner IS this representation's state storage, so
+                // its tables and unique states are part of the honest
+                // footprint (they drive the disk store's eviction too).
+                let s = nodes.interner.stats();
+                nodes.words.len() * size_of::<u32>() + s.table_bytes + s.state_bytes
+            }
             NodeStore::Virtual { .. } => 0,
         };
         nodes

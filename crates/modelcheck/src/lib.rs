@@ -36,10 +36,11 @@
 
 mod graph;
 mod properties;
+mod spill;
 mod valency;
 mod verdict;
 
-pub use graph::{Edge, ExploreOptions, GraphStats, NodeView, StateGraph};
+pub use graph::{Edge, ExploreOptions, GraphStats, NodeView, StateGraph, StoreBackend};
 pub use properties::{
     check_nonblocking, check_nonblocking_with, check_wait_freedom, max_distinct_decisions,
     TerminalReport, WaitFreedom,
@@ -48,7 +49,7 @@ pub use properties::{
 // of this crate's exploration API surface; re-export them so model-checking
 // callers need only one import path.
 pub use subconsensus_sim::{
-    ExploreMetrics, LevelMetrics, ProgressReport, Recorder, TruncationCause,
+    ExploreMetrics, LevelMetrics, ProgressReport, Recorder, StoreMetrics, TruncationCause,
 };
 pub use valency::{find_critical, CriticalConfig, Valency};
 pub use verdict::{ExploreGoal, StreamingVerdict, VerdictBound, VerdictCause, VerdictQuery};

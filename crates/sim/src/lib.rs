@@ -101,11 +101,12 @@ pub use ids::{ObjId, Pid};
 pub use implementation::{ImplStep, Implementation};
 pub use intern::{
     shard_of_fingerprint, CompactConfig, InternerStats, PendingConfig, StateInterner, WireConfig,
+    ARENA_SEGMENT,
 };
 pub use linearize::{check_linearizable, is_linearizable, LinearizeError, MAX_OPS};
 pub use metrics::{
     env_flag, ExploreMetrics, LevelMetrics, PhaseGuard, ProgressReport, Recorder, ShardMetrics,
-    TruncationCause, DEFAULT_PROGRESS_EVERY,
+    StoreMetrics, TruncationCause, DEFAULT_PROGRESS_EVERY,
 };
 pub use object::{audit_determinism, DeterminismViolation, ObjectSpec, Outcome};
 pub use op::Op;

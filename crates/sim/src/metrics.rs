@@ -76,12 +76,69 @@ pub enum TruncationCause {
         /// The bound that was hit.
         cap: usize,
     },
+    /// The in-memory store's resident estimate exceeded
+    /// `store_budget_bytes` and the exploration stopped adding nodes.
+    /// `MC_STORE=disk` lifts this bound by spilling cold state instead.
+    MemoryBudget {
+        /// The configured budget, in bytes.
+        budget: usize,
+    },
 }
 
 impl TruncationCause {
     /// `true` unless the exploration completed.
     pub fn is_truncated(&self) -> bool {
         !matches!(self, TruncationCause::Complete)
+    }
+}
+
+/// Disk-store telemetry of one exploration (`None` in [`ExploreMetrics`]
+/// unless the run used `MC_STORE=disk` /
+/// `ExploreOptions::store_budget_bytes` with the disk backend). Counters
+/// are always on; the `*_ns` fields follow the recorder's timing flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Bytes written to spill files (rows, arena segments, index buckets).
+    pub spilled_bytes: u64,
+    /// Cold reads back into the hot tier (row faults + segment restores).
+    pub reload_count: u64,
+    /// Row/segment accesses served from the hot tier.
+    pub hot_hits: u64,
+    /// Row/segment accesses that had to fault from disk.
+    pub hot_misses: u64,
+    /// Wall time writing spill files (timed runs only).
+    pub spill_write_ns: u64,
+    /// Wall time reading spill files back (timed runs only).
+    pub spill_read_ns: u64,
+}
+
+impl StoreMetrics {
+    /// Fraction of cold-capable accesses served without touching disk
+    /// (1.0 when nothing was ever faulted).
+    pub fn hot_hit_rate(&self) -> f64 {
+        let total = self.hot_hits + self.hot_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hot_hits as f64 / total as f64
+        }
+    }
+
+    /// The spill stats as one flat JSON object (the `spill` field of the
+    /// e9 disk rows).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"spilled_bytes\": {}, \"reload_count\": {}, \"hot_hits\": {}, \
+             \"hot_misses\": {}, \"hot_hit_rate\": {:.4}, \
+             \"spill_write_ns\": {}, \"spill_read_ns\": {}}}",
+            self.spilled_bytes,
+            self.reload_count,
+            self.hot_hits,
+            self.hot_misses,
+            self.hot_hit_rate(),
+            self.spill_write_ns,
+            self.spill_read_ns
+        )
     }
 }
 
@@ -140,6 +197,8 @@ pub struct ProgressReport {
     pub configs_per_sec: f64,
     /// Configurations left under the `max_configs` bound.
     pub bound_remaining: usize,
+    /// Bytes spilled to disk so far (0 unless the run uses the disk store).
+    pub spilled_bytes: u64,
 }
 
 impl fmt::Display for ProgressReport {
@@ -155,7 +214,11 @@ impl fmt::Display for ProgressReport {
             self.dedup_hits,
             self.configs_per_sec,
             self.bound_remaining
-        )
+        )?;
+        if self.spilled_bytes > 0 {
+            write!(f, ", {} B spilled", self.spilled_bytes)?;
+        }
+        Ok(())
     }
 }
 
@@ -288,8 +351,12 @@ pub struct ExploreMetrics {
     /// used one shard). Kept out of [`phases_json`](Self::phases_json) —
     /// that object stays flat for the bench guard's line-oriented diffing.
     pub shards: Vec<ShardMetrics>,
-    /// Approximate resident bytes of the frozen graph.
+    /// Peak resident-byte estimate of the exploration: the high-water mark
+    /// of the store's per-level estimate (rows + arenas + fingerprint
+    /// index), floored at the frozen graph's footprint.
     pub peak_bytes: usize,
+    /// Disk-store spill telemetry (`None` for in-memory runs).
+    pub store: Option<StoreMetrics>,
     /// Why the exploration stopped.
     pub truncation: TruncationCause,
 }
@@ -342,6 +409,13 @@ impl ExploreMetrics {
             TruncationCause::MaxConfigs { cap } => {
                 format!("{{\"cause\": \"max_configs\", \"cap\": {cap}}}")
             }
+            TruncationCause::MemoryBudget { budget } => {
+                format!("{{\"cause\": \"memory_budget\", \"budget\": {budget}}}")
+            }
+        };
+        let store = match &self.store {
+            None => "null".to_string(),
+            Some(s) => s.to_json(),
         };
         let levels: Vec<String> = self.levels.iter().map(|l| l.to_json()).collect();
         let shards: Vec<String> = self.shards.iter().map(|s| s.to_json()).collect();
@@ -350,6 +424,7 @@ impl ExploreMetrics {
              \"dedup_hits\": {}, \"added\": {}, \"capped\": {}, \
              \"symmetry_hits\": {}, \"sleep_pruned\": {}, \"expansions\": {}, \
              \"peak_bytes\": {}, \"truncation\": {truncation}, \
+             \"store\": {store}, \
              \"timed\": {}, \"phases\": {}, \"shards\": [{}], \"levels\": [{}]}}",
             self.configs,
             self.edges,
@@ -381,6 +456,9 @@ impl fmt::Display for ExploreMetrics {
             match self.truncation {
                 TruncationCause::Complete => String::new(),
                 TruncationCause::MaxConfigs { cap } => format!(" [TRUNCATED at {cap}]"),
+                TruncationCause::MemoryBudget { budget } => {
+                    format!(" [TRUNCATED by {budget} B memory budget]")
+                }
             }
         )?;
         writeln!(
@@ -417,7 +495,17 @@ impl fmt::Display for ExploreMetrics {
                 "phases: untimed (enable ExploreOptions::metrics or MC_PROGRESS)"
             )?;
         }
-        write!(f, "peak memory ≈ {} bytes", self.peak_bytes)
+        write!(f, "peak memory ≈ {} bytes", self.peak_bytes)?;
+        if let Some(s) = &self.store {
+            write!(
+                f,
+                "\nspill: {} B out, {} reloads, hot hit rate {:.2}",
+                s.spilled_bytes,
+                s.reload_count,
+                s.hot_hit_rate()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -504,6 +592,21 @@ pub struct Recorder {
     expansions: AtomicU64,
     /// `u64::MAX` = complete; anything else is the `max_configs` cap hit.
     truncation_cap: AtomicU64,
+    /// `u64::MAX` = no budget truncation; anything else is the byte budget
+    /// whose estimate was exceeded (takes precedence over `truncation_cap`
+    /// in the snapshot — the budget is what actually stopped growth).
+    budget_limit: AtomicU64,
+    /// High-water mark of the store's per-level resident estimate.
+    peak_bytes: AtomicU64,
+    /// Disk-store counters (surfaced in the snapshot only once
+    /// [`mark_store_active`](Self::mark_store_active) ran).
+    store_active: AtomicU64,
+    spilled_bytes: AtomicU64,
+    store_reloads: AtomicU64,
+    store_hot_hits: AtomicU64,
+    store_hot_misses: AtomicU64,
+    spill_write_ns: AtomicU64,
+    spill_read_ns: AtomicU64,
     levels: Mutex<Vec<LevelMetrics>>,
     shard_metrics: Mutex<Vec<ShardMetrics>>,
     progress: Option<ProgressSink>,
@@ -543,6 +646,15 @@ impl Recorder {
             sleep_pruned: AtomicU64::new(0),
             expansions: AtomicU64::new(0),
             truncation_cap: AtomicU64::new(u64::MAX),
+            budget_limit: AtomicU64::new(u64::MAX),
+            peak_bytes: AtomicU64::new(0),
+            store_active: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            store_reloads: AtomicU64::new(0),
+            store_hot_hits: AtomicU64::new(0),
+            store_hot_misses: AtomicU64::new(0),
+            spill_write_ns: AtomicU64::new(0),
+            spill_read_ns: AtomicU64::new(0),
             levels: Mutex::new(Vec::new()),
             shard_metrics: Mutex::new(Vec::new()),
             progress: None,
@@ -712,6 +824,59 @@ impl Recorder {
         self.truncation_cap.store(cap as u64, Ordering::Relaxed);
     }
 
+    /// Records that the exploration stopped because the in-memory store's
+    /// resident estimate exceeded `budget` bytes. Wins over
+    /// [`set_truncated`](Self::set_truncated) in the snapshot.
+    pub fn set_budget_truncated(&self, budget: usize) {
+        self.budget_limit.store(budget as u64, Ordering::Relaxed);
+    }
+
+    /// Raises the resident-byte high-water mark (stores report their
+    /// per-level estimate here; the explorer floors the final value at the
+    /// frozen graph's footprint).
+    pub fn record_peak_bytes(&self, bytes: usize) {
+        self.peak_bytes.fetch_max(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Marks this run as disk-store backed so the snapshot carries a
+    /// [`StoreMetrics`] object (even if nothing spilled under the budget).
+    pub fn mark_store_active(&self) {
+        self.store_active.store(1, Ordering::Relaxed);
+    }
+
+    /// Counts bytes written to spill files.
+    pub fn count_spilled_bytes(&self, n: u64) {
+        self.spilled_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts cold reads back into the hot tier (row faults + segment
+    /// restores).
+    pub fn count_store_reloads(&self, n: u64) {
+        self.store_reloads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts cold-capable accesses served from the hot tier.
+    pub fn count_store_hot_hits(&self, n: u64) {
+        self.store_hot_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts cold-capable accesses that had to fault from disk.
+    pub fn count_store_hot_misses(&self, n: u64) {
+        self.store_hot_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Accumulates spill-write wall time (callers only measure while
+    /// [`is_timing`](Self::is_timing), keeping the off path clock-free).
+    pub fn add_spill_write_ns(&self, ns: u64) {
+        self.spill_write_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulates spill-read wall time (same timing contract as
+    /// [`add_spill_write_ns`](Self::add_spill_write_ns)).
+    pub fn add_spill_read_ns(&self, ns: u64) {
+        self.spill_read_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Records one finished BFS level (always on — once per level) and
     /// streams its trace record if a trace sink is installed.
     pub fn record_level(
@@ -778,6 +943,7 @@ impl Recorder {
                 0.0
             },
             bound_remaining,
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
         };
         (sink.callback)(&report);
     }
@@ -816,6 +982,34 @@ impl Recorder {
                 .unwrap_or(0);
             self.slot_calls[i].fetch_add(max_calls, Ordering::Relaxed);
         }
+        // Spill *counters* are conserved quantities (bytes written, faults
+        // taken) so they sum; the spill I/O times follow the critical-path
+        // rule like the phase slots.
+        let sum = |f: fn(&Recorder) -> &AtomicU64| {
+            children
+                .iter()
+                .map(|c| f(c).load(Ordering::Relaxed))
+                .sum::<u64>()
+        };
+        let max = |f: fn(&Recorder) -> &AtomicU64| {
+            children
+                .iter()
+                .map(|c| f(c).load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0)
+        };
+        self.spilled_bytes
+            .fetch_add(sum(|c| &c.spilled_bytes), Ordering::Relaxed);
+        self.store_reloads
+            .fetch_add(sum(|c| &c.store_reloads), Ordering::Relaxed);
+        self.store_hot_hits
+            .fetch_add(sum(|c| &c.store_hot_hits), Ordering::Relaxed);
+        self.store_hot_misses
+            .fetch_add(sum(|c| &c.store_hot_misses), Ordering::Relaxed);
+        self.spill_write_ns
+            .fetch_add(max(|c| &c.spill_write_ns), Ordering::Relaxed);
+        self.spill_read_ns
+            .fetch_add(max(|c| &c.spill_read_ns), Ordering::Relaxed);
     }
 
     /// This recorder's phase times viewed as one shard's [`ShardMetrics`]
@@ -852,6 +1046,19 @@ impl Recorder {
         let worker_dedup = slot(SLOT_WORKER_DEDUP);
         let merge_insert = slot(SLOT_MERGE_INSERT);
         let cap = self.truncation_cap.load(Ordering::Relaxed);
+        let budget = self.budget_limit.load(Ordering::Relaxed);
+        let store = if self.store_active.load(Ordering::Relaxed) != 0 {
+            Some(StoreMetrics {
+                spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+                reload_count: self.store_reloads.load(Ordering::Relaxed),
+                hot_hits: self.store_hot_hits.load(Ordering::Relaxed),
+                hot_misses: self.store_hot_misses.load(Ordering::Relaxed),
+                spill_write_ns: self.spill_write_ns.load(Ordering::Relaxed),
+                spill_read_ns: self.spill_read_ns.load(Ordering::Relaxed),
+            })
+        } else {
+            None
+        };
         ExploreMetrics {
             expand_ns: slot(SLOT_EXPAND),
             canonicalize_ns: slot(SLOT_CANON),
@@ -883,8 +1090,13 @@ impl Recorder {
                 .lock()
                 .expect("shard metrics lock")
                 .clone(),
-            peak_bytes: 0,
-            truncation: if cap == u64::MAX {
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed) as usize,
+            store,
+            truncation: if budget != u64::MAX {
+                TruncationCause::MemoryBudget {
+                    budget: budget as usize,
+                }
+            } else if cap == u64::MAX {
                 TruncationCause::Complete
             } else {
                 TruncationCause::MaxConfigs { cap: cap as usize }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Deterministic bench guard, three gates:
+# Deterministic bench guard, four gates:
 #
 # 1. Shard-count independence: the e9 smoke bench runs twice — once with
 #    MC_SHARDS=1 and once with MC_SHARDS=4, so the second run routes every
@@ -25,6 +25,17 @@
 #    byte-identical between MC_SHARDS=1 and MC_SHARDS=4, and every line
 #    must show the early-exited run exploring strictly fewer
 #    configurations than the full graph.
+#
+# 4. Disk-store equivalence: the smoke bench runs once more with
+#    MC_STORE=disk and a 64 KiB hot-tier budget, so every Auto-backend
+#    exploration spills cold arenas, frontier rows and index buckets to
+#    disk. The GUARD and VERDICT lines must be byte-identical to the
+#    in-memory run (spilling must never change the explored graph or its
+#    frozen footprint), at least one SPILL line must report nonzero
+#    spilled bytes (the explicit disk rows with their tiny budget), and
+#    no mc-spill-* run directory may survive the run. INTERNER lines are
+#    deliberately NOT diffed: eviction inflates the arenas' miss
+#    counters without touching the graph.
 #
 # With INTERNER_STATS=1 the smoke run's per-row hash-consing arena
 # summaries are forwarded to stdout.
@@ -139,3 +150,41 @@ if ((vfail)); then
   exit 1
 fi
 echo "bench_guard: verdict goal OK ($(wc -l <<<"$fresh_v") VERDICT lines, early exit strict on all)"
+
+# Gate 4: disk-store equivalence. Route every Auto-backend exploration
+# through the disk store with a hot tier small enough that the large
+# fixtures actually spill; the explored graphs — and the frozen,
+# unspilled footprints behind approx_bytes_per_config — must be
+# byte-identical to the in-memory run.
+disk_raw=$(MC_SHARDS=1 MC_STORE=disk MC_STORE_BUDGET=65536 BENCH_SMOKE=1 cargo bench -q -p subconsensus-bench --bench e9_modelcheck 2>&1 | grep -E '^(GUARD|VERDICT|SPILL) ' || true)
+disk_g=$(grep -E '^(GUARD|VERDICT) ' <<<"$disk_raw" || true)
+mem_g=$(grep -E '^(GUARD|VERDICT) ' <<<"$raw" || true)
+if [[ -z "$disk_g" ]]; then
+  echo "bench_guard: MC_STORE=disk smoke run produced no GUARD lines" >&2
+  exit 1
+fi
+if ! diff <(echo "$mem_g") <(echo "$disk_g") >/dev/null; then
+  echo "bench_guard: FAILED — GUARD/VERDICT lines diverge between MC_STORE=disk and memory:"
+  diff <(echo "$mem_g") <(echo "$disk_g") | sed 's/^/bench_guard:   /' || true
+  exit 1
+fi
+spilled=0
+while read -r _ fixture symmetry por bytes reloads; do
+  if ((bytes > 0)); then
+    spilled=$((spilled + 1))
+  else
+    echo "bench_guard: $fixture sym=$symmetry por=$por: disk row spilled 0 bytes ($reloads reloads)"
+  fi
+done < <(grep '^SPILL ' <<<"$disk_raw")
+if ((spilled == 0)); then
+  echo "bench_guard: FAILED — no SPILL line reported nonzero spilled bytes" >&2
+  exit 1
+fi
+spill_base="${MC_STORE_DIR:-${TMPDIR:-/tmp}}"
+leftover=$(find "$spill_base" -maxdepth 1 -name 'mc-spill-*' 2>/dev/null || true)
+if [[ -n "$leftover" ]]; then
+  echo "bench_guard: FAILED — spill run directories leaked:" >&2
+  sed 's/^/bench_guard:   /' <<<"$leftover" >&2
+  exit 1
+fi
+echo "bench_guard: disk store OK (GUARD/VERDICT identical under MC_STORE=disk, $spilled SPILL rows, run dirs cleaned)"

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use subconsensus_core::GroupedObject;
 use subconsensus_modelcheck::{
     check_wait_freedom, find_critical, max_distinct_decisions, ExploreOptions, StateGraph,
-    TerminalReport, Valency,
+    StoreBackend, TerminalReport, Valency,
 };
 use subconsensus_objects::{Consensus, SetConsensus};
 use subconsensus_protocols::{PartitionPropose, ProposeDecide};
@@ -238,6 +238,43 @@ fn sharded_quotient_identical_across_shard_counts() {
                     assert_eq!(base.terminals(), g.terminals(), "{label}: terminals");
                     assert_verdicts_agree(&base, &g, &label);
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn disk_store_quotient_identical() {
+    // The disk-backed store must commute with the symmetry quotient: orbit
+    // canonicalization runs in id space, and eviction never moves ids, so a
+    // 4 KiB hot tier produces the same quotient graph as unbounded memory —
+    // across shard counts.
+    for (label, spec) in [
+        ("e1 sym p3", grouped_system_sym(2, 1, 3)),
+        ("e4 partition sym p4", partition_system_sym(4, 2, 1)),
+    ] {
+        for symmetry in [false, true] {
+            let opts = ExploreOptions::default().with_symmetry(symmetry);
+            let base = StateGraph::explore(&spec, &opts.clone().with_store(StoreBackend::Memory))
+                .expect("memory explore");
+            for shards in [1usize, 2] {
+                let g = StateGraph::explore(
+                    &spec,
+                    &opts
+                        .clone()
+                        .with_shards(shards)
+                        .with_store(StoreBackend::Disk)
+                        .with_store_budget(4 << 10),
+                )
+                .expect("disk explore");
+                let label = format!("{label} (symmetry={symmetry} disk x{shards})");
+                assert_eq!(base.len(), g.len(), "{label}: node count");
+                for i in 0..base.len() {
+                    assert_eq!(base.config(i), g.config(i), "{label}: node {i}");
+                    assert_eq!(base.edges(i), g.edges(i), "{label}: edges of {i}");
+                }
+                assert_eq!(base.terminals(), g.terminals(), "{label}: terminals");
+                assert_verdicts_agree(&base, &g, &label);
             }
         }
     }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use subconsensus_core::GroupedObject;
 use subconsensus_modelcheck::{
     check_nonblocking, check_wait_freedom, find_critical, max_distinct_decisions, ExploreOptions,
-    StateGraph, TerminalReport, Valency,
+    StateGraph, StoreBackend, TerminalReport, Valency,
 };
 use subconsensus_objects::{Consensus, SetConsensus};
 use subconsensus_protocols::{PartitionPropose, ProposeDecide};
@@ -250,6 +250,50 @@ fn sharded_reduction_identical_across_shard_counts() {
                     );
                     assert_verdicts_agree(&base, &g, &label);
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn disk_store_reduction_identical() {
+    // POR's sleep sets, ample choices and wake-up revisits all key on node
+    // ids, which spill-and-reload never renumbers — so a 4 KiB hot tier
+    // reproduces the reduced graph exactly, alone and composed with the
+    // symmetry quotient, across shard counts.
+    for (label, spec) in [
+        ("e1 sym p3", grouped_system_sym(2, 1, 3)),
+        ("e4 partition sym p4", partition_system_sym(4, 2, 1)),
+    ] {
+        for symmetry in [false, true] {
+            let opts = ExploreOptions::default()
+                .with_por(true)
+                .with_symmetry(symmetry);
+            let base = StateGraph::explore(&spec, &opts.clone().with_store(StoreBackend::Memory))
+                .expect("memory explore");
+            for shards in [1usize, 2] {
+                let g = StateGraph::explore(
+                    &spec,
+                    &opts
+                        .clone()
+                        .with_shards(shards)
+                        .with_store(StoreBackend::Disk)
+                        .with_store_budget(4 << 10),
+                )
+                .expect("disk explore");
+                let label = format!("{label} (por, symmetry={symmetry} disk x{shards})");
+                assert_eq!(base.len(), g.len(), "{label}: node count");
+                for i in 0..base.len() {
+                    assert_eq!(base.config(i), g.config(i), "{label}: node {i}");
+                    assert_eq!(base.edges(i), g.edges(i), "{label}: edges of {i}");
+                }
+                assert_eq!(base.terminals(), g.terminals(), "{label}: terminals");
+                assert_eq!(
+                    base.is_por_reduced(),
+                    g.is_por_reduced(),
+                    "{label}: reduction flag"
+                );
+                assert_verdicts_agree(&base, &g, &label);
             }
         }
     }

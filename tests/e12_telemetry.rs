@@ -9,7 +9,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use subconsensus_core::GroupedObject;
-use subconsensus_modelcheck::{ExploreOptions, Recorder, StateGraph, TruncationCause, Valency};
+use subconsensus_modelcheck::{
+    ExploreOptions, Recorder, StateGraph, StoreBackend, TruncationCause, Valency,
+};
 use subconsensus_objects::Consensus;
 use subconsensus_protocols::ProposeDecide;
 use subconsensus_sim::{Pid, Protocol, SystemBuilder, SystemSpec, Value};
@@ -169,6 +171,101 @@ fn truncation_cause_recorded_and_counted() {
         json.contains("\"cause\": \"max_configs\", \"cap\": 5"),
         "{json}"
     );
+}
+
+#[test]
+fn disk_store_metrics_reported_and_consistent() {
+    // A disk run squeezed under a 4 KiB hot tier must stay invisible to
+    // the explorer (same graph), report a `StoreMetrics` block whose
+    // counters are internally consistent, and serialize it into the
+    // metrics JSON; memory runs must keep the field null.
+    let spec = grouped_system(2, 1, 3, false);
+    let plain = StateGraph::explore(&spec, &ExploreOptions::default()).unwrap();
+    assert!(
+        plain.metrics().store.is_none(),
+        "memory runs report no store metrics"
+    );
+    assert!(plain.metrics().to_json().contains("\"store\": null"));
+    for shards in [1usize, 2] {
+        let opts = ExploreOptions::default()
+            .with_shards(shards)
+            .with_store(StoreBackend::Disk)
+            .with_store_budget(4 << 10)
+            .with_metrics(true);
+        let rec = Recorder::new().with_timing();
+        let g = StateGraph::explore_with(&spec, &opts, &rec).unwrap();
+        assert_identical(&plain, &g, &format!("disk x{shards}"));
+        let m = g.metrics();
+        let label = format!("disk x{shards}");
+        // Eviction changes where rows live, never how many successors each
+        // merge bucket absorbs.
+        assert_eq!(
+            m.generated,
+            m.dedup_hits + m.added + m.capped,
+            "{label}: generated = dedup + added + capped"
+        );
+        assert_eq!(m.capped, 0, "{label}: disk runs do not truncate");
+        assert_eq!(m.truncation, TruncationCause::Complete, "{label}");
+        let s = m.store.expect("disk runs report store metrics");
+        assert!(s.spilled_bytes > 0, "{label}: 4 KiB budget forces spill");
+        assert!(s.reload_count > 0, "{label}: pinned frontiers fault back");
+        assert!(
+            (0.0..=1.0).contains(&s.hot_hit_rate()),
+            "{label}: hit rate {} in [0, 1]",
+            s.hot_hit_rate()
+        );
+        assert!(
+            s.spill_write_ns > 0,
+            "{label}: timed run clocks spill writes"
+        );
+        let json = m.to_json();
+        assert!(
+            json.contains("\"store\": {\"spilled_bytes\": "),
+            "{label}: {json}"
+        );
+        assert!(json.contains("\"hot_hit_rate\": "), "{label}: {json}");
+    }
+}
+
+#[test]
+fn memory_budget_truncation_recorded_and_counted() {
+    // An in-memory run whose resident estimate crosses the budget must
+    // truncate cleanly: dedup still resolves, new nodes are rejected, and
+    // the cause names the budget (distinct from a max-configs cap).
+    let spec = grouped_system(2, 1, 3, false);
+    let g = StateGraph::explore(
+        &spec,
+        &ExploreOptions::default()
+            .with_store(StoreBackend::Memory)
+            .with_store_budget(2 << 10)
+            .with_metrics(true),
+    )
+    .unwrap();
+    assert!(g.is_truncated());
+    let m = g.metrics();
+    assert_eq!(m.truncation, TruncationCause::MemoryBudget { budget: 2048 });
+    assert!(m.truncation.is_truncated());
+    assert!(m.capped > 0, "rejected successors counted");
+    assert_eq!(m.generated, m.dedup_hits + m.added + m.capped);
+    assert!(m.store.is_none(), "no spill happened");
+    let json = m.to_json();
+    assert!(
+        json.contains("\"cause\": \"memory_budget\", \"budget\": 2048"),
+        "{json}"
+    );
+
+    // The same budget under the disk backend completes: spilling keeps the
+    // resident estimate bounded instead of rejecting nodes.
+    let full = StateGraph::explore(
+        &spec,
+        &ExploreOptions::default()
+            .with_store(StoreBackend::Disk)
+            .with_store_budget(2 << 10)
+            .with_metrics(true),
+    )
+    .unwrap();
+    assert!(!full.is_truncated(), "disk backend lifts the budget bound");
+    assert!(full.len() > g.len(), "budget-truncated run is a prefix");
 }
 
 #[test]
