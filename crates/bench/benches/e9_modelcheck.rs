@@ -584,27 +584,18 @@ fn main() {
             0.0
         };
         // Reduction ratio: reduced size over the unreduced (symmetry off,
-        // POR off) size, only meaningful when the full graph completed
-        // under the bound and some reduction is on.
+        // POR off) size. Baseline rows emit 1.0 by construction; `null`
+        // means only that the unreduced baseline truncated, so no ratio
+        // can be stated.
         let ratio = match full_configs {
-            Some(fc) if *symmetry || *por => json_f64(facts_row.peak_configs as f64 / *fc as f64),
-            _ => "null".to_string(),
+            Some(fc) => json_f64(facts_row.peak_configs as f64 / *fc as f64),
+            None => "null".to_string(),
         };
         let bytes_per_config = facts_row.bytes_per_config();
         // Interner-table stats of the hash-consed (default) store; `null`s
         // would mean the row ran on the deep store.
         let interner = match &facts_row.interner {
-            Some(s) => format!(
-                "{{\"object_states\": {}, \"proc_states\": {}, \
-                 \"hit_rate\": {}, \"table_bytes\": {}, \"state_bytes\": {}, \
-                 \"bytes_saved\": {}}}",
-                s.object_states,
-                s.proc_states,
-                json_f64(s.hit_rate()),
-                s.table_bytes,
-                s.state_bytes,
-                s.bytes_saved(),
-            ),
+            Some(s) => s.to_json(),
             None => "null".to_string(),
         };
         if !kernels.is_empty() {

@@ -55,9 +55,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use subconsensus_sim::{
-    shard_of_fingerprint, Config, ExploreMetrics, InternerStats, PendingConfig, Pid, ProcStatus,
-    Recorder, SimError, StateInterner, StepFootprint, SystemSpec, TruncationCause, Value,
-    WireConfig, ARENA_SEGMENT,
+    git_revision, shard_of_fingerprint, unix_time_ms, warn_once, Config, ExploreMetrics,
+    InternerStats, PendingConfig, Pid, ProcStatus, Recorder, RunRecord, SimError, StateInterner,
+    StepFootprint, SystemSpec, TruncationCause, Value, WireConfig, ARENA_SEGMENT,
 };
 
 use crate::spill::{Spill, DEFAULT_DISK_BUDGET};
@@ -263,6 +263,37 @@ impl ExploreOptions {
                 .ok()
                 .and_then(|v| v.trim().parse::<usize>().ok())
         })
+    }
+
+    /// The options as one JSON object with every env-deferred field
+    /// *resolved* (`shards`, `store`, `store_budget_bytes` record what the
+    /// exploration actually ran with, not the `0`/`Auto`/`None`
+    /// placeholders) — the `options` payload of a run-ledger line.
+    pub fn to_json(&self) -> String {
+        let goal = match self.goal {
+            ExploreGoal::FullGraph => "full_graph",
+            ExploreGoal::Verdict(_) => "verdict",
+        };
+        let store = match self.effective_store() {
+            StoreBackend::Disk => "disk",
+            StoreBackend::Memory | StoreBackend::Auto => "memory",
+        };
+        let budget = self
+            .effective_store_budget()
+            .map_or_else(|| "null".to_string(), |b| b.to_string());
+        format!(
+            "{{\"max_configs\": {}, \"threads\": {}, \"symmetry\": {}, \
+             \"por\": {}, \"interned\": {}, \"metrics\": {}, \"shards\": {}, \
+             \"goal\": \"{goal}\", \"store\": \"{store}\", \
+             \"store_budget_bytes\": {budget}}}",
+            self.max_configs,
+            self.threads,
+            self.symmetry,
+            self.por,
+            self.interned,
+            self.metrics,
+            self.effective_shards()
+        )
     }
 }
 
@@ -1554,45 +1585,43 @@ struct GraphCore {
 /// process (a benchmark timing loop may truncate thousands of times); the
 /// cause is always recorded per graph in [`ExploreMetrics`].
 fn warn_truncated(cap: usize, configs: usize) {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
+    warn_once(
+        "truncated",
+        &format!(
             "modelcheck: WARNING: exploration truncated at max_configs = {cap} \
              ({configs} configs kept); analyses on this graph are partial \
              (further truncation warnings suppressed for this process)"
-        );
-    });
+        ),
+    );
 }
 
 /// One-line stderr hint when an in-memory exploration truncates on its
 /// hot-tier byte budget: the disk store lifts exactly this bound.
 fn warn_budget_truncated(budget: usize, configs: usize) {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
+    warn_once(
+        "budget_truncated",
+        &format!(
             "modelcheck: WARNING: exploration truncated at store_budget_bytes = \
              {budget} ({configs} configs kept); analyses on this graph are \
              partial. Set MC_STORE=disk (or \
              ExploreOptions::with_store(StoreBackend::Disk)) to spill cold \
              state to disk instead of truncating (further budget-truncation \
              warnings suppressed for this process)"
-        );
-    });
+        ),
+    );
 }
 
 /// One-line stderr note when the disk store is requested for a
 /// deep-representation exploration, which cannot spill (there is no
 /// interner arena to evict); the run proceeds fully in memory.
 fn warn_disk_needs_interned() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
-            "modelcheck: NOTE: the disk store spills interner arenas, so it \
-             requires the hash-consed representation \
-             (ExploreOptions::interned); this deep-representation exploration \
-             falls back to the in-memory store"
-        );
-    });
+    warn_once(
+        "disk_needs_interned",
+        "modelcheck: NOTE: the disk store spills interner arenas, so it \
+         requires the hash-consed representation \
+         (ExploreOptions::interned); this deep-representation exploration \
+         falls back to the in-memory store",
+    );
 }
 
 /// Runs the level-synchronized BFS against `store` (already seeded with
@@ -3354,6 +3383,13 @@ impl StateGraph {
         opts: &ExploreOptions,
         rec: &Recorder,
     ) -> Result<Self, SimError> {
+        // Wall-clock start for the run ledger (the recorder's own clock is
+        // monotonic); read only when a ledger is installed.
+        let started_unix_ms = if rec.run_log().is_some() {
+            unix_time_ms()
+        } else {
+            0
+        };
         let mut opts = opts.clone();
         // Fast path: a system whose symmetry groups are all singletons has
         // an identity canonicalization, so requesting symmetry would only
@@ -3437,6 +3473,32 @@ impl StateGraph {
             } else {
                 warn_truncated(opts.max_configs, graph.len());
             }
+        }
+        // Persistent observability, strictly after the graph is complete so
+        // instrumented and uninstrumented runs stay node-for-node identical:
+        // the terminal status snapshot, then one ledger line.
+        rec.finalize_status(graph.len());
+        if rec.run_log().is_some() {
+            let outcome = match &graph.verdict {
+                Some(v) => format!("{{\"kind\": \"verdict\", \"verdict\": {}}}", v.to_json()),
+                None => format!(
+                    "{{\"kind\": \"graph\", \"configs\": {}, \"edges\": {}, \
+                     \"terminals\": {}, \"truncated\": {}}}",
+                    graph.len(),
+                    graph.metrics.edges,
+                    graph.terminals.len(),
+                    graph.truncated
+                ),
+            };
+            rec.append_run_record(&RunRecord {
+                spec_hash: spec.spec_fingerprint(),
+                started_unix_ms,
+                ended_unix_ms: unix_time_ms(),
+                git_revision: git_revision().to_string(),
+                options_json: opts.to_json(),
+                outcome_json: outcome,
+                metrics_json: graph.metrics.to_json(),
+            });
         }
         Ok(graph)
     }

@@ -244,6 +244,49 @@ impl StreamingVerdict {
     pub fn query(&self) -> &VerdictQuery {
         &self.query
     }
+
+    /// The verdict as one JSON object — the `outcome` payload of a
+    /// run-ledger line (hand-formatted like every emitter here; the root
+    /// valence set is elided, its cardinality is what analyses consume).
+    pub fn to_json(&self) -> String {
+        use subconsensus_sim::json::json_escape;
+        let cause = match &self.cause {
+            VerdictCause::Exhausted => "{\"kind\": \"exhausted\"}".to_string(),
+            VerdictCause::EarlyExit { reason } => format!(
+                "{{\"kind\": \"early_exit\", \"reason\": \"{}\"}}",
+                json_escape(reason)
+            ),
+            VerdictCause::Truncated { cap } => {
+                format!("{{\"kind\": \"truncated\", \"cap\": {cap}}}")
+            }
+        };
+        let opt_bool = |b: Option<bool>| b.map_or_else(|| "null".to_string(), |b| b.to_string());
+        let wait_freedom = match &self.wait_freedom {
+            None => "null".to_string(),
+            Some(WaitFreedom::WaitFree) => "\"wait_free\"".to_string(),
+            Some(WaitFreedom::Diverges) => "\"diverges\"".to_string(),
+            Some(WaitFreedom::Hangs) => "\"hangs\"".to_string(),
+            Some(WaitFreedom::Stuck) => "\"stuck\"".to_string(),
+        };
+        let upper = self
+            .max_distinct
+            .upper
+            .map_or_else(|| "null".to_string(), |u| u.to_string());
+        format!(
+            "{{\"cause\": {cause}, \"configs\": {}, \"terminals\": {}, \
+             \"complete\": {}, \"holds\": {}, \"wait_freedom\": {wait_freedom}, \
+             \"max_distinct\": {{\"lower\": {}, \"upper\": {upper}}}, \
+             \"validity\": {}, \"root_valence_size\": {}, \"root_bivalent\": {}}}",
+            self.configs,
+            self.terminals,
+            self.complete(),
+            opt_bool(self.holds()),
+            self.max_distinct.lower,
+            opt_bool(self.validity),
+            self.root_valence.len(),
+            opt_bool(self.root_bivalent)
+        )
+    }
 }
 
 /// Per-terminal facts a store reports without materializing a `Config`:

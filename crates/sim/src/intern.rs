@@ -1283,6 +1283,22 @@ impl InternerStats {
         }
         self.hits * (self.state_bytes as u64 / unique)
     }
+
+    /// The stats as one flat JSON object (the `interner` field of the e9
+    /// bench rows).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"object_states\": {}, \"proc_states\": {}, \
+             \"hit_rate\": {}, \"table_bytes\": {}, \"state_bytes\": {}, \
+             \"bytes_saved\": {}}}",
+            self.object_states,
+            self.proc_states,
+            crate::json::json_f64(self.hit_rate()),
+            self.table_bytes,
+            self.state_bytes,
+            self.bytes_saved()
+        )
+    }
 }
 
 impl fmt::Display for InternerStats {

@@ -82,6 +82,7 @@ mod history;
 mod ids;
 mod implementation;
 mod intern;
+pub mod json;
 mod linearize;
 mod metrics;
 mod object;
@@ -105,8 +106,9 @@ pub use intern::{
 };
 pub use linearize::{check_linearizable, is_linearizable, LinearizeError, MAX_OPS};
 pub use metrics::{
-    env_flag, ExploreMetrics, LevelMetrics, PhaseGuard, ProgressReport, Recorder, ShardMetrics,
-    StoreMetrics, TruncationCause, DEFAULT_PROGRESS_EVERY,
+    env_flag, git_revision, mc_env_json, unix_time_ms, warn_once, ExploreMetrics, LevelMetrics,
+    PhaseGuard, ProgressReport, Recorder, RunRecord, ShardMetrics, StoreMetrics, TruncationCause,
+    DEFAULT_PROGRESS_EVERY,
 };
 pub use object::{audit_determinism, DeterminismViolation, ObjectSpec, Outcome};
 pub use op::Op;

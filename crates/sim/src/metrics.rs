@@ -14,8 +14,14 @@
 //!   [`to_json`](ExploreMetrics::to_json) for machine consumers;
 //! * a progress **heartbeat**: an optional callback (or the `MC_PROGRESS`
 //!   env default, printing to stderr) fired every N expansions so long
-//!   runs are not silent;
-//! * a `MC_TRACE=<path>` JSONL span log, one record per BFS level.
+//!   runs are not silent, carrying recent-rate and ETA estimates;
+//! * a `MC_TRACE=<path>` JSONL span log, one record per BFS level;
+//! * a `MC_STATUS_FILE=<path>` live status snapshot: one JSON object,
+//!   atomically rewritten (write-temp-then-rename) on every heartbeat, so
+//!   external pollers can watch a multi-hour run without its stderr;
+//! * a `MC_RUN_LOG=<path>` **run ledger**: one [`RunRecord`] JSONL line
+//!   appended at the end of every exploration — spec hash, options, env,
+//!   git revision, wall times, outcome and the full metrics snapshot.
 //!
 //! # Zero-cost-when-off
 //!
@@ -33,13 +39,16 @@
 //! The recorder has no methods that *return* state to the explorer, so by
 //! construction it cannot branch exploration decisions.
 
+use std::collections::HashSet;
 use std::fmt;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::json::json_escape;
 
 /// Unified truthiness test for diagnostic environment variables
 /// (`MC_PROGRESS`, `MC_TRACE` presence checks, `INTERNER_STATS`,
@@ -51,6 +60,119 @@ pub fn env_flag(name: &str) -> bool {
 /// Default heartbeat interval (expansions between progress reports) when
 /// `MC_PROGRESS` is set without a numeric interval.
 pub const DEFAULT_PROGRESS_EVERY: u64 = 100_000;
+
+/// Emits `message` to stderr the first time `key` is seen in this process
+/// and suppresses every later call with the same key. All one-shot
+/// diagnostics (truncation hints, the `MC_STORE=disk` suggestion, sink
+/// open failures) route through here so "at most once per process" is one
+/// mechanism, not N scattered `Once` statics. Returns whether the message
+/// was actually emitted — callers never branch on it, but tests assert the
+/// at-most-once contract without capturing stderr.
+pub fn warn_once(key: &str, message: &str) -> bool {
+    static SEEN: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(HashSet::new()));
+    let fresh = seen.lock().expect("warn_once lock").insert(key.to_string());
+    if fresh {
+        eprintln!("{message}");
+    }
+    fresh
+}
+
+/// Milliseconds since the Unix epoch (0 if the system clock is before
+/// it). Wall-clock stamps for the run ledger and status file; exploration
+/// logic itself only ever uses monotonic [`Instant`]s.
+pub fn unix_time_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The working tree's short git revision, resolved once per process (the
+/// first ledger append pays the subprocess; everything after reads the
+/// cache). `"unknown"` outside a git checkout or without a `git` binary.
+pub fn git_revision() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+/// Snapshot of every `MC_*` environment variable currently set, as one
+/// JSON object with sorted keys. Captured into each [`RunRecord`] so a
+/// ledger line is interpretable without knowing what the shell looked
+/// like: `MC_SHARDS`, `MC_STORE`, `MC_STORE_BUDGET` and friends all shape
+/// the run but live outside [`ExploreMetrics`].
+pub fn mc_env_json() -> String {
+    let mut vars: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("MC_"))
+        .collect();
+    vars.sort();
+    let members: Vec<String> = vars
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", members.join(", "))
+}
+
+/// One durable record of a finished exploration — the unit of the
+/// `MC_RUN_LOG` ledger ([`Recorder::append_run_record`] writes one JSONL
+/// line per run). The explorer builds it *after* the graph is complete,
+/// so ledger-enabled and ledger-free runs explore identical graphs; the
+/// spec hash is the cache key the ROADMAP's checking-as-a-service queue
+/// will dedup verdict requests on.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Canonical content fingerprint of the explored system
+    /// ([`SystemSpec::spec_fingerprint`](crate::SystemSpec::spec_fingerprint)).
+    pub spec_hash: u64,
+    /// Wall-clock start of the exploration, Unix milliseconds (passed in
+    /// by the caller — the recorder only knows monotonic time).
+    pub started_unix_ms: u64,
+    /// Wall-clock end of the exploration, Unix milliseconds.
+    pub ended_unix_ms: u64,
+    /// Short git revision of the binary's working tree ([`git_revision`]).
+    pub git_revision: String,
+    /// The effective `ExploreOptions` as one JSON object (env-resolved
+    /// shards/store/budget included), pre-rendered by the caller.
+    pub options_json: String,
+    /// What the run produced, as one JSON object: graph facts
+    /// (`{"kind": "graph", ...}`) or a streaming verdict
+    /// (`{"kind": "verdict", ...}`).
+    pub outcome_json: String,
+    /// The complete [`ExploreMetrics::to_json`] payload (phases, levels,
+    /// shards, store, truncation).
+    pub metrics_json: String,
+}
+
+impl RunRecord {
+    /// The record as one JSON object (one ledger line, no trailing
+    /// newline). The spec hash is a fixed-width hex *string*: JSON numbers
+    /// are f64 and would corrupt 64-bit fingerprints.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"spec_hash\": \"{:016x}\", \"started_unix_ms\": {}, \
+             \"ended_unix_ms\": {}, \"git_revision\": \"{}\", \
+             \"env\": {}, \"options\": {}, \"outcome\": {}, \"metrics\": {}}}",
+            self.spec_hash,
+            self.started_unix_ms,
+            self.ended_unix_ms,
+            json_escape(&self.git_revision),
+            mc_env_json(),
+            self.options_json,
+            self.outcome_json,
+            self.metrics_json
+        )
+    }
+}
 
 /// Phase slots of the [`Recorder`]'s timer array. Kept private: the public
 /// view is the named fields of [`ExploreMetrics`].
@@ -162,7 +284,9 @@ pub struct LevelMetrics {
 }
 
 impl LevelMetrics {
-    fn to_json(self) -> String {
+    /// The level record as one flat JSON object (the `MC_TRACE` line
+    /// schema and the members of [`ExploreMetrics::to_json`]'s `levels`).
+    pub fn to_json(self) -> String {
         format!(
             "{{\"level\": {}, \"items\": {}, \"new_nodes\": {}, \"nodes\": {}, \
              \"edges\": {}, \"elapsed_ns\": {}}}",
@@ -195,8 +319,24 @@ pub struct ProgressReport {
     pub elapsed: Duration,
     /// Discovery throughput: `explored / elapsed`.
     pub configs_per_sec: f64,
+    /// Discovery throughput over the most recent heartbeat interval
+    /// (falls back to the overall rate on the first beat). More honest
+    /// than the lifetime average once the frontier shape changes.
+    pub recent_configs_per_sec: f64,
     /// Configurations left under the `max_configs` bound.
     pub bound_remaining: usize,
+    /// Heuristic estimate of the configurations still undiscovered, from
+    /// the frontier's growth ratio between heartbeats: a frontier decaying
+    /// by factor `r < 1` per beat extrapolates geometrically to
+    /// `frontier * r / (1 - r)` more discoveries, capped at
+    /// [`bound_remaining`](Self::bound_remaining). `None` while the
+    /// frontier is still growing (no convergent estimate).
+    pub est_remaining: Option<u64>,
+    /// Heuristic seconds to completion: the remaining estimate (or, for a
+    /// still-growing frontier, the distance to the `max_configs` bound —
+    /// then an upper bound on the run) over the recent rate. `None` when
+    /// the rate is unknown (first beat at zero elapsed time).
+    pub eta_secs: Option<f64>,
     /// Bytes spilled to disk so far (0 unless the run uses the disk store).
     pub spilled_bytes: u64,
 }
@@ -215,6 +355,17 @@ impl fmt::Display for ProgressReport {
             self.configs_per_sec,
             self.bound_remaining
         )?;
+        if self.recent_configs_per_sec > 0.0
+            && (self.recent_configs_per_sec - self.configs_per_sec).abs() >= 0.5
+        {
+            write!(f, " ({:.0}/sec recent)", self.recent_configs_per_sec)?;
+        }
+        if let Some(eta) = self.eta_secs {
+            match self.est_remaining {
+                Some(rem) => write!(f, ", ~{rem} configs / ~{eta:.0}s left")?,
+                None => write!(f, ", ≤{eta:.0}s to bound")?,
+            }
+        }
         if self.spilled_bytes > 0 {
             write!(f, ", {} B spilled", self.spilled_bytes)?;
         }
@@ -265,7 +416,9 @@ pub struct ShardMetrics {
 }
 
 impl ShardMetrics {
-    fn to_json(&self) -> String {
+    /// The shard breakdown as one flat JSON object (the members of
+    /// [`ExploreMetrics::to_json`]'s `shards` array).
+    pub fn to_json(&self) -> String {
         format!(
             "{{\"shard\": {}, \"expand_ns\": {}, \"canonicalize_ns\": {}, \
              \"por_ns\": {}, \"dedup_ns\": {}, \"merge_ns\": {}, \
@@ -529,11 +682,95 @@ impl Drop for PhaseGuard<'_> {
 /// The heartbeat callback type (see [`Recorder::with_progress`]).
 type ProgressCallback = Box<dyn Fn(&ProgressReport) + Send + Sync>;
 
-struct ProgressSink {
+/// The shared heartbeat machinery: one expansion-count gate drives every
+/// per-interval consumer (the progress callback and the status file), so
+/// they observe the same [`ProgressReport`]s and the same rate state.
+struct Heartbeat {
     every: u64,
     /// Expansion count at the last fired heartbeat.
     last: AtomicU64,
-    callback: ProgressCallback,
+    /// Explored count at the last heartbeat (recent-rate numerator).
+    last_explored: AtomicU64,
+    /// Frontier size at the last heartbeat (growth-ratio estimate).
+    last_frontier: AtomicU64,
+    /// Elapsed nanos at the last heartbeat (recent-rate denominator).
+    last_elapsed_ns: AtomicU64,
+    callback: Option<ProgressCallback>,
+    status: Option<StatusSink>,
+}
+
+impl Heartbeat {
+    fn new() -> Self {
+        Heartbeat {
+            every: DEFAULT_PROGRESS_EVERY,
+            last: AtomicU64::new(0),
+            last_explored: AtomicU64::new(0),
+            last_frontier: AtomicU64::new(0),
+            last_elapsed_ns: AtomicU64::new(0),
+            callback: None,
+            status: None,
+        }
+    }
+}
+
+/// The `MC_STATUS_FILE` sink: one JSON object, atomically rewritten per
+/// heartbeat (write a sibling temp file, then rename over the target, so
+/// a poller never reads a torn write).
+struct StatusSink {
+    path: PathBuf,
+    started_unix_ms: u64,
+}
+
+impl StatusSink {
+    fn write(&self, report: &ProgressReport, state: &str) {
+        let json = status_json(report, state, self.started_unix_ms);
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        let res = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, &self.path));
+        if let Err(e) = res {
+            warn_once(
+                "status_file",
+                &format!(
+                    "modelcheck: WARNING: MC_STATUS_FILE: cannot write {}: {e} \
+                     (status updates disabled messages suppressed for this process)",
+                    self.path.display()
+                ),
+            );
+        }
+    }
+}
+
+/// The status-file schema: the full [`ProgressReport`] plus run identity
+/// (`state` is `"running"` per heartbeat, `"done"` once at the end).
+fn status_json(r: &ProgressReport, state: &str, started_unix_ms: u64) -> String {
+    let opt_u64 = |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
+    let opt_f64 = |v: Option<f64>| v.map_or("null".to_string(), crate::json::json_f64);
+    format!(
+        "{{\"state\": \"{}\", \"pid\": {}, \"started_unix_ms\": {}, \
+         \"updated_unix_ms\": {}, \"level\": {}, \"explored\": {}, \
+         \"frontier\": {}, \"generated\": {}, \"dedup_hits\": {}, \
+         \"expansions\": {}, \"elapsed_ns\": {}, \"configs_per_sec\": {}, \
+         \"recent_configs_per_sec\": {}, \"bound_remaining\": {}, \
+         \"est_remaining\": {}, \"eta_secs\": {}, \"spilled_bytes\": {}}}",
+        json_escape(state),
+        std::process::id(),
+        started_unix_ms,
+        unix_time_ms(),
+        r.level,
+        r.explored,
+        r.frontier,
+        r.generated,
+        r.dedup_hits,
+        r.expansions,
+        r.elapsed.as_nanos() as u64,
+        crate::json::json_f64(r.configs_per_sec),
+        crate::json::json_f64(r.recent_configs_per_sec),
+        r.bound_remaining,
+        opt_u64(r.est_remaining),
+        opt_f64(r.eta_secs),
+        r.spilled_bytes
+    )
 }
 
 /// Telemetry configuration resolved from the environment, once per process
@@ -543,6 +780,8 @@ struct EnvTelemetry {
     timing: bool,
     progress_every: Option<u64>,
     trace_path: Option<PathBuf>,
+    status_path: Option<PathBuf>,
+    run_log_path: Option<PathBuf>,
 }
 
 fn env_telemetry() -> &'static EnvTelemetry {
@@ -560,13 +799,26 @@ fn env_telemetry() -> &'static EnvTelemetry {
         } else {
             None
         };
-        let trace_path = std::env::var_os("MC_TRACE")
-            .filter(|v| !v.is_empty() && v != "0")
-            .map(PathBuf::from);
+        let env_path = |name: &str| {
+            std::env::var_os(name)
+                .filter(|v| !v.is_empty() && v != "0")
+                .map(PathBuf::from)
+        };
+        let trace_path = env_path("MC_TRACE");
+        let status_path = env_path("MC_STATUS_FILE");
+        // The ledger path: MC_RUN_LOG wins; with only MC_STORE_DIR set the
+        // ledger lands next to the spill directories as `runs.jsonl`.
+        let run_log_path = env_path("MC_RUN_LOG")
+            .or_else(|| env_path("MC_STORE_DIR").map(|d| d.join("runs.jsonl")));
         EnvTelemetry {
-            timing: progress_every.is_some() || trace_path.is_some(),
+            timing: progress_every.is_some()
+                || trace_path.is_some()
+                || status_path.is_some()
+                || run_log_path.is_some(),
             progress_every,
             trace_path,
+            status_path,
+            run_log_path,
         }
     })
 }
@@ -609,8 +861,12 @@ pub struct Recorder {
     spill_read_ns: AtomicU64,
     levels: Mutex<Vec<LevelMetrics>>,
     shard_metrics: Mutex<Vec<ShardMetrics>>,
-    progress: Option<ProgressSink>,
+    heartbeat: Option<Heartbeat>,
     trace: Option<Mutex<BufWriter<File>>>,
+    /// Ledger path: one [`RunRecord`] JSONL line appended per exploration
+    /// (the explorer calls [`append_run_record`](Self::append_run_record)
+    /// after the graph is built, never during it).
+    run_log: Option<PathBuf>,
     start: Instant,
 }
 
@@ -618,8 +874,13 @@ impl fmt::Debug for Recorder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Recorder")
             .field("timing", &self.timing)
-            .field("progress", &self.progress.as_ref().map(|p| p.every))
+            .field("progress", &self.heartbeat.as_ref().map(|p| p.every))
+            .field(
+                "status",
+                &self.heartbeat.as_ref().is_some_and(|h| h.status.is_some()),
+            )
             .field("trace", &self.trace.is_some())
+            .field("run_log", &self.run_log)
             .finish_non_exhaustive()
     }
 }
@@ -657,16 +918,20 @@ impl Recorder {
             spill_read_ns: AtomicU64::new(0),
             levels: Mutex::new(Vec::new()),
             shard_metrics: Mutex::new(Vec::new()),
-            progress: None,
+            heartbeat: None,
             trace: None,
+            run_log: None,
             start: Instant::now(),
         }
     }
 
-    /// A recorder honoring the `MC_PROGRESS` / `MC_TRACE` environment (read
-    /// once per process): heartbeat to stderr, JSONL trace to the given
-    /// path (truncated per exploration). `timing` additionally forces the
-    /// phase timers on (e.g. from
+    /// A recorder honoring the `MC_PROGRESS` / `MC_TRACE` /
+    /// `MC_STATUS_FILE` / `MC_RUN_LOG` environment (read once per
+    /// process): heartbeat to stderr, JSONL trace to the given path
+    /// (truncated per exploration), atomically-rewritten status snapshot,
+    /// and the run ledger (`MC_RUN_LOG`, or `runs.jsonl` under
+    /// `MC_STORE_DIR` when only that is set). `timing` additionally forces
+    /// the phase timers on (e.g. from
     /// [`ExploreOptions::metrics`](../subconsensus_modelcheck/struct.ExploreOptions.html)).
     pub fn from_env(timing: bool) -> Self {
         let env = env_telemetry();
@@ -679,8 +944,24 @@ impl Recorder {
             // A bad trace path degrades to a warning, not a failed explore.
             match File::create(path) {
                 Ok(f) => rec.trace = Some(Mutex::new(BufWriter::new(f))),
-                Err(e) => eprintln!("MC_TRACE: cannot open {}: {e}", path.display()),
+                Err(e) => {
+                    warn_once(
+                        "trace_open",
+                        &format!(
+                            "modelcheck: WARNING: MC_TRACE: cannot open {}: {e} \
+                             (trace disabled; further open failures suppressed \
+                             for this process)",
+                            path.display()
+                        ),
+                    );
+                }
             }
+        }
+        if let Some(path) = &env.status_path {
+            rec = rec.with_status_file(path);
+        }
+        if let Some(path) = &env.run_log_path {
+            rec = rec.with_run_log(path);
         }
         rec
     }
@@ -699,17 +980,76 @@ impl Recorder {
         F: Fn(&ProgressReport) + Send + Sync + 'static,
     {
         self.timing = true;
-        self.progress = Some(ProgressSink {
-            every: every.max(1),
-            last: AtomicU64::new(0),
-            callback: Box::new(callback),
-        });
+        let hb = self.heartbeat.get_or_insert_with(Heartbeat::new);
+        hb.every = every.max(1);
+        hb.callback = Some(Box::new(callback));
         self
     }
 
     /// Installs the default stderr heartbeat (`MC_PROGRESS`'s sink).
     pub fn with_stderr_progress(self, every: u64) -> Self {
         self.with_progress(every, |r| eprintln!("modelcheck: {r}"))
+    }
+
+    /// Installs the `MC_STATUS_FILE` sink: on every heartbeat interval the
+    /// full [`ProgressReport`] is rewritten to `path` as one JSON object,
+    /// via a sibling temp file and an atomic rename (a poller never sees a
+    /// torn write). Shares the interval gate with
+    /// [`with_progress`](Self::with_progress) (default
+    /// [`DEFAULT_PROGRESS_EVERY`] when no progress callback set one).
+    /// Implies timing. Write failures degrade to a one-shot warning.
+    pub fn with_status_file<P: AsRef<Path>>(mut self, path: P) -> Self {
+        self.timing = true;
+        let hb = self.heartbeat.get_or_insert_with(Heartbeat::new);
+        hb.status = Some(StatusSink {
+            path: path.as_ref().to_path_buf(),
+            started_unix_ms: unix_time_ms(),
+        });
+        self
+    }
+
+    /// Installs the run-ledger path: the explorer appends one
+    /// [`RunRecord`] JSONL line per finished exploration (see
+    /// [`append_run_record`](Self::append_run_record)). Append-only and
+    /// written only after the graph is complete, so the explored graph is
+    /// identical with or without a ledger. Does not imply timing by
+    /// itself ([`from_env`](Self::from_env) turns timing on for
+    /// `MC_RUN_LOG` so ledger lines carry phase times).
+    pub fn with_run_log<P: AsRef<Path>>(mut self, path: P) -> Self {
+        self.run_log = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// The installed run-ledger path, if any (the explorer checks this to
+    /// skip building a [`RunRecord`] entirely on ledger-free runs).
+    pub fn run_log(&self) -> Option<&Path> {
+        self.run_log.as_deref()
+    }
+
+    /// Appends one ledger line to the run log (no-op without
+    /// [`with_run_log`](Self::with_run_log)). The file is opened in
+    /// append mode per record: concurrent processes interleave whole
+    /// lines, never partial ones, for line-sized writes on POSIX
+    /// filesystems. Failures degrade to a one-shot warning — a broken
+    /// ledger never fails an exploration.
+    pub fn append_run_record(&self, record: &RunRecord) {
+        let Some(path) = &self.run_log else { return };
+        let res = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{}", record.to_json()));
+        if let Err(e) = res {
+            warn_once(
+                "run_log",
+                &format!(
+                    "modelcheck: WARNING: MC_RUN_LOG: cannot append to {}: {e} \
+                     (run ledger disabled; further append failures suppressed \
+                     for this process)",
+                    path.display()
+                ),
+            );
+        }
     }
 
     /// Streams one JSONL record per BFS level to `path` (truncating any
@@ -914,22 +1254,75 @@ impl Recorder {
     /// ticks from parallel shards race to one winner per interval instead
     /// of multiplying reports.
     pub fn heartbeat(&self, level: u32, explored: usize, frontier: usize, bound_remaining: usize) {
-        let Some(sink) = &self.progress else { return };
+        let Some(hb) = &self.heartbeat else { return };
         let expansions = self.expansions.load(Ordering::Relaxed);
-        let last = sink.last.load(Ordering::Relaxed);
-        if expansions < last.saturating_add(sink.every) {
+        let last = hb.last.load(Ordering::Relaxed);
+        if expansions < last.saturating_add(hb.every) {
             return;
         }
-        if sink
+        if hb
             .last
             .compare_exchange(last, expansions, Ordering::Relaxed, Ordering::Relaxed)
             .is_err()
         {
             return; // another shard claimed this interval
         }
+        let report = self.build_report(hb, level, explored, frontier, bound_remaining, expansions);
+        if let Some(callback) = &hb.callback {
+            callback(&report);
+        }
+        if let Some(status) = &hb.status {
+            status.write(&report, "running");
+        }
+    }
+
+    /// Assembles one [`ProgressReport`], advancing the heartbeat's rate
+    /// state (previous explored / frontier / elapsed) in the process. The
+    /// recent rate and the geometric frontier-decay estimate are
+    /// *heuristics* for human pacing — nothing in the explorer reads them
+    /// back.
+    fn build_report(
+        &self,
+        hb: &Heartbeat,
+        level: u32,
+        explored: usize,
+        frontier: usize,
+        bound_remaining: usize,
+        expansions: u64,
+    ) -> ProgressReport {
         let elapsed = self.start.elapsed();
         let secs = elapsed.as_secs_f64();
-        let report = ProgressReport {
+        let now_ns = elapsed.as_nanos() as u64;
+        let prev_explored = hb.last_explored.swap(explored as u64, Ordering::Relaxed);
+        let prev_frontier = hb.last_frontier.swap(frontier as u64, Ordering::Relaxed);
+        let prev_ns = hb.last_elapsed_ns.swap(now_ns, Ordering::Relaxed);
+        let overall = if secs > 0.0 {
+            explored as f64 / secs
+        } else {
+            0.0
+        };
+        let recent = if now_ns > prev_ns && explored as u64 > prev_explored {
+            (explored as u64 - prev_explored) as f64 / ((now_ns - prev_ns) as f64 / 1e9)
+        } else {
+            overall
+        };
+        // A frontier decaying by ratio r per beat extrapolates to
+        // frontier * (r + r² + …) = frontier * r / (1 - r) further
+        // discoveries; a growing frontier has no convergent estimate and
+        // the max_configs bound is the only cap.
+        let est_remaining = if frontier > 0 && (frontier as u64) < prev_frontier {
+            let r = frontier as f64 / prev_frontier as f64;
+            let geo = frontier as f64 * r / (1.0 - r);
+            Some(geo.min(bound_remaining as f64).round() as u64)
+        } else {
+            None
+        };
+        let eta_secs = if recent > 0.0 {
+            Some(est_remaining.map_or(bound_remaining as f64, |r| r as f64) / recent)
+        } else {
+            None
+        };
+        ProgressReport {
             level,
             explored,
             frontier,
@@ -937,15 +1330,45 @@ impl Recorder {
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             expansions,
             elapsed,
+            configs_per_sec: overall,
+            recent_configs_per_sec: recent,
+            bound_remaining,
+            est_remaining,
+            eta_secs,
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes the terminal `"done"` snapshot to the status file (no-op
+    /// without a [`with_status_file`](Self::with_status_file) sink). The
+    /// explorer calls this once per exploration after the graph is
+    /// complete, so a poller always observes a final state even when the
+    /// run ended between heartbeat intervals.
+    pub fn finalize_status(&self, explored: usize) {
+        let Some(hb) = &self.heartbeat else { return };
+        let Some(status) = &hb.status else { return };
+        let elapsed = self.start.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let report = ProgressReport {
+            level: self.levels.lock().expect("levels lock").len() as u32,
+            explored,
+            frontier: 0,
+            generated: self.generated.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            expansions: self.expansions.load(Ordering::Relaxed),
+            elapsed,
             configs_per_sec: if secs > 0.0 {
                 explored as f64 / secs
             } else {
                 0.0
             },
-            bound_remaining,
+            recent_configs_per_sec: 0.0,
+            bound_remaining: 0,
+            est_remaining: Some(0),
+            eta_secs: Some(0.0),
             spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
         };
-        (sink.callback)(&report);
+        status.write(&report, "done");
     }
 
     /// A timers-only child recorder for one shard of a sharded

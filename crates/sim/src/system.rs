@@ -521,6 +521,38 @@ impl SystemSpec {
         &self.symmetry
     }
 
+    /// Canonical content fingerprint of this system, stable across
+    /// processes and runs of the same binary: the run-ledger key under
+    /// which a future checking-as-a-service queue can cache verdicts
+    /// (`std`'s `DefaultHasher` uses fixed SipHash keys, so equal specs
+    /// hash equally everywhere).
+    ///
+    /// Covers the system's observable surface — process and object
+    /// counts, object type names, per-process inputs, symmetry groups and
+    /// the initial configuration (which embeds every initial object and
+    /// process state). Protocol *code* is not hashable through `dyn
+    /// Protocol`, so two systems differing only in unexecuted protocol
+    /// logic collide; for cache keying, pair the hash with the binary's
+    /// git revision (the run ledger records both).
+    pub fn spec_fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.nprocs().hash(&mut h);
+        self.nobjects().hash(&mut h);
+        for obj in self.objects.iter() {
+            obj.type_name().hash(&mut h);
+        }
+        for input in &self.inputs {
+            input.hash(&mut h);
+        }
+        for group in self.symmetry.groups() {
+            group.hash(&mut h);
+        }
+        self.initial_config().hash(&mut h);
+        h.finish()
+    }
+
     /// Canonicalizes `config` under this system's symmetry groups,
     /// additionally relabeling pids embedded in object states through
     /// [`ObjectSpec::relabel_pids`] when the applied permutation is

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Deterministic bench guard, four gates:
+# Deterministic bench guard, five gates:
 #
 # 1. Shard-count independence: the e9 smoke bench runs twice — once with
 #    MC_SHARDS=1 and once with MC_SHARDS=4, so the second run routes every
@@ -36,6 +36,13 @@
 #    no mc-spill-* run directory may survive the run. INTERNER lines are
 #    deliberately NOT diffed: eviction inflates the arenas' miss
 #    counters without touching the graph.
+#
+# 5. mc-report diff self-consistency: `mc-report diff` on the committed
+#    baseline against itself must report zero regressions and exit 0,
+#    and against a doctored copy (a completing row flipped to
+#    "truncated": true) must flag the regression and exit non-zero —
+#    so the analysis CLI the other gates and humans lean on cannot
+#    silently stop seeing regressions.
 #
 # With INTERNER_STATS=1 the smoke run's per-row hash-consing arena
 # summaries are forwarded to stdout.
@@ -188,3 +195,24 @@ if [[ -n "$leftover" ]]; then
   exit 1
 fi
 echo "bench_guard: disk store OK (GUARD/VERDICT identical under MC_STORE=disk, $spilled SPILL rows, run dirs cleaned)"
+
+# Gate 5: the mc-report diff gate must itself work. Identical files diff
+# clean (exit 0, zero regressions); a copy with one completing row
+# doctored to "truncated": true must be flagged (non-zero exit).
+if ! cargo run --release -q --bin mc-report -- diff "$BASELINE" "$BASELINE" >/tmp/mc_diff_self.log; then
+  echo "bench_guard: FAILED — mc-report diff reported regressions on identical files:" >&2
+  sed 's/^/bench_guard:   /' /tmp/mc_diff_self.log >&2
+  exit 1
+fi
+if ! grep -q ' 0 regressed' /tmp/mc_diff_self.log; then
+  echo "bench_guard: FAILED — self-diff summary did not report 0 regressed:" >&2
+  sed 's/^/bench_guard:   /' /tmp/mc_diff_self.log >&2
+  exit 1
+fi
+sed '0,/"truncated": false/s//"truncated": true/' "$BASELINE" >/tmp/mc_doctored.json
+if cargo run --release -q --bin mc-report -- diff "$BASELINE" /tmp/mc_doctored.json >/tmp/mc_diff_doctored.log; then
+  echo "bench_guard: FAILED — mc-report diff missed a doctored truncation regression" >&2
+  exit 1
+fi
+rm -f /tmp/mc_doctored.json /tmp/mc_diff_self.log /tmp/mc_diff_doctored.log
+echo "bench_guard: mc-report diff OK (self-diff clean, doctored regression caught)"

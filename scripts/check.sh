@@ -22,28 +22,29 @@ cargo test -q
 echo "==> workspace tests"
 cargo test -q --workspace
 
-# Telemetry smoke: run the flagship example with the heartbeat and the
-# JSONL span trace on, then validate the trace is well-formed (every line
-# parses as JSON, level numbers strictly monotone from 0). The example runs
-# thousands of explorations; MC_TRACE truncates per exploration, so the
-# file holds the spans of the last one.
-echo "==> telemetry smoke: MC_PROGRESS=1 MC_TRACE=/tmp/mc_trace.jsonl impossibility_search"
-rm -f /tmp/mc_trace.jsonl
+# Telemetry smoke: run the flagship example with the heartbeat, the JSONL
+# span trace, the run ledger and the live status file all on, then validate
+# every artifact with mc-report (the std-only analysis CLI — the trace
+# check replaces the old inline python3 validator: every line parses, the
+# level-span keys are present, levels strictly monotone from 0). The
+# example runs thousands of explorations; MC_TRACE truncates per
+# exploration (the file holds the spans of the last one) while MC_RUN_LOG
+# appends one ledger line per exploration and MC_STATUS_FILE holds the
+# last atomically-renamed heartbeat snapshot.
+echo "==> telemetry smoke: MC_PROGRESS=1 + trace + ledger + status, impossibility_search"
+rm -f /tmp/mc_trace.jsonl /tmp/mc_runs.jsonl /tmp/mc_status.json
 MC_PROGRESS=1 MC_TRACE=/tmp/mc_trace.jsonl \
+  MC_RUN_LOG=/tmp/mc_runs.jsonl MC_STATUS_FILE=/tmp/mc_status.json \
   cargo run --release -q --example impossibility_search >/tmp/mc_example.log
-python3 - <<'EOF'
-import json
-lines = [l for l in open("/tmp/mc_trace.jsonl") if l.strip()]
-assert lines, "MC_TRACE produced an empty trace"
-levels = []
-for l in lines:
-    rec = json.loads(l)  # raises on malformed JSON
-    for key in ("level", "items", "new_nodes", "nodes", "edges", "elapsed_ns"):
-        assert key in rec, f"trace record missing {key!r}: {rec}"
-    levels.append(rec["level"])
-assert levels == list(range(len(levels))), f"levels not monotone from 0: {levels}"
-print(f"telemetry smoke: OK ({len(lines)} well-formed trace records)")
-EOF
+cargo run --release -q --bin mc-report -- validate /tmp/mc_trace.jsonl
+cargo run --release -q --bin mc-report -- ledger /tmp/mc_runs.jsonl --last 1 >/dev/null \
+  || { echo "telemetry smoke: run ledger failed to parse" >&2; exit 1; }
+cargo run --release -q --bin mc-report -- tail /tmp/mc_status.json \
+  || { echo "telemetry smoke: status file failed to parse" >&2; exit 1; }
+# A ledger diffed against itself must report zero regressions.
+cargo run --release -q --bin mc-report -- diff /tmp/mc_runs.jsonl /tmp/mc_runs.jsonl >/dev/null \
+  || { echo "telemetry smoke: self-diff of the run ledger reported regressions" >&2; exit 1; }
+echo "telemetry smoke: OK (trace validated, ledger + status parsed)"
 # The example's closing demo runs an every-expansion heartbeat; its absence
 # means the progress-callback path broke. (The MC_PROGRESS=1 stderr default
 # fires every 100k expansions — these fixtures are far smaller, so stderr

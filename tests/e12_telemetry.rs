@@ -14,6 +14,7 @@ use subconsensus_modelcheck::{
 };
 use subconsensus_objects::Consensus;
 use subconsensus_protocols::ProposeDecide;
+use subconsensus_sim::json::JsonValue;
 use subconsensus_sim::{Pid, Protocol, SystemBuilder, SystemSpec, Value};
 
 /// The E1 fixture: `procs` processes proposing through one
@@ -69,6 +70,146 @@ fn instrumented_graphs_identical_across_matrix() {
             }
         }
     }
+}
+
+#[test]
+fn persistent_sinks_invisible_across_matrix() {
+    // The persistent observability sinks — run ledger, status file, level
+    // trace — must be as invisible as the in-memory recorder: with all
+    // three installed at once, every interned × symmetry × POR × shards ×
+    // store combination reproduces the plain graph node-for-node, and every
+    // artifact the run leaves behind parses with the in-tree JSON parser.
+    let dir = std::env::temp_dir().join(format!("e12_sinks_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger = dir.join("runs.jsonl");
+    let status = dir.join("status.json");
+    let spec = grouped_system(2, 1, 3, true);
+    let mut runs = 0usize;
+    for interned in [true, false] {
+        for symmetry in [false, true] {
+            for por in [false, true] {
+                for (shards, store) in [
+                    (1usize, StoreBackend::Memory),
+                    (2, StoreBackend::Memory),
+                    (2, StoreBackend::Disk),
+                ] {
+                    // The disk store requires the interned representation.
+                    if store == StoreBackend::Disk && !interned {
+                        continue;
+                    }
+                    let label = format!(
+                        "interned={interned} sym={symmetry} por={por} \
+                         shards={shards} store={store:?}"
+                    );
+                    let base_opts = ExploreOptions::default()
+                        .with_interned(interned)
+                        .with_symmetry(symmetry)
+                        .with_por(por);
+                    let plain = StateGraph::explore(&spec, &base_opts).unwrap();
+                    let mut opts = base_opts.with_shards(shards).with_metrics(true);
+                    if store == StoreBackend::Disk {
+                        opts = opts
+                            .with_store(StoreBackend::Disk)
+                            .with_store_budget(4 << 10);
+                    }
+                    let trace = dir.join(format!("trace_{runs}.jsonl"));
+                    let rec = Recorder::new()
+                        .with_trace(&trace)
+                        .expect("create trace file")
+                        .with_run_log(&ledger)
+                        .with_status_file(&status);
+                    let g = StateGraph::explore_with(&spec, &opts, &rec).unwrap();
+                    assert_identical(&plain, &g, &label);
+                    runs += 1;
+
+                    // The status snapshot left behind is the final "done"
+                    // state of *this* run.
+                    let sv = JsonValue::parse(&std::fs::read_to_string(&status).unwrap())
+                        .unwrap_or_else(|e| panic!("{label}: status: {e}"));
+                    assert_eq!(sv.get("state").and_then(JsonValue::as_str), Some("done"));
+                    assert_eq!(
+                        sv.get("explored").and_then(JsonValue::as_u64),
+                        Some(g.len() as u64),
+                        "{label}: status explored"
+                    );
+
+                    // Every trace line parses.
+                    for line in std::fs::read_to_string(&trace).unwrap().lines() {
+                        JsonValue::parse(line).unwrap_or_else(|e| panic!("{label}: trace: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    // One ledger line per run, all parseable, all hashing the same spec,
+    // each faithfully recording its options and graph facts.
+    let text = std::fs::read_to_string(&ledger).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), runs, "one ledger record per exploration");
+    let mut hashes = std::collections::HashSet::new();
+    for line in &lines {
+        let v = JsonValue::parse(line).unwrap_or_else(|e| panic!("ledger: {e}\n{line}"));
+        hashes.insert(
+            v.get("spec_hash")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string(),
+        );
+        let outcome = v.get("outcome").expect("outcome");
+        let configs = outcome.get("configs").and_then(JsonValue::as_u64).unwrap();
+        let metrics = v.get("metrics").expect("metrics");
+        assert_eq!(
+            metrics.get("configs").and_then(JsonValue::as_u64),
+            Some(configs),
+            "outcome and metrics agree on the graph size"
+        );
+        let opts = v.get("options").expect("options");
+        assert!(opts.get("shards").and_then(JsonValue::as_u64).is_some());
+        assert!(opts.get("store").and_then(JsonValue::as_str).is_some());
+    }
+    assert_eq!(hashes.len(), 1, "same spec, same fingerprint: {hashes:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_record_written_only_when_log_installed() {
+    // No ledger installed → `explore_with` must not try to append (and the
+    // bare `Recorder::new()` path must report no run-log path at all).
+    let rec = Recorder::new();
+    assert!(rec.run_log().is_none());
+    // With one installed, a verdict-goal run records a verdict outcome.
+    let dir = std::env::temp_dir().join(format!("e12_ledger_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger = dir.join("runs.jsonl");
+    let spec = grouped_system(2, 1, 3, true);
+    let rec = Recorder::new().with_run_log(&ledger);
+    let opts = ExploreOptions::default().with_goal(subconsensus_modelcheck::ExploreGoal::Verdict(
+        subconsensus_modelcheck::VerdictQuery::new().require_wait_freedom(),
+    ));
+    StateGraph::explore_with(&spec, &opts, &rec).unwrap();
+    let text = std::fs::read_to_string(&ledger).unwrap();
+    let v = JsonValue::parse(text.lines().next().unwrap()).unwrap();
+    let outcome = v.get("outcome").unwrap();
+    assert_eq!(
+        outcome.get("kind").and_then(JsonValue::as_str),
+        Some("verdict")
+    );
+    let verdict = outcome.get("verdict").expect("verdict payload");
+    assert!(verdict.get("holds").is_some());
+    assert_eq!(
+        v.get("options")
+            .unwrap()
+            .get("goal")
+            .and_then(JsonValue::as_str),
+        Some("verdict")
+    );
+    // The record's hash matches a direct fingerprint of the spec.
+    assert_eq!(
+        v.get("spec_hash").and_then(JsonValue::as_str),
+        Some(format!("{:016x}", spec.spec_fingerprint()).as_str())
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
